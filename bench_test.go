@@ -1,0 +1,397 @@
+package datacell
+
+// One benchmark per experiment in DESIGN.md §5 (the demo scenarios E1–E7),
+// plus ablation benches for the kernel design choices DESIGN.md calls out
+// (bulk selection vs row-at-a-time, candidate-list pipelines, hash-join
+// fast paths). The cmd/dcbench harness prints the corresponding tables;
+// these benches expose the same measurements to `go test -bench`.
+//
+// Custom metrics: µs/slide is the paper's headline quantity (cost of one
+// window evaluation); tuples/s is the ingestion throughput.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datacell/internal/algebra"
+	"datacell/internal/bat"
+	"datacell/internal/expr"
+	"datacell/internal/linearroad"
+)
+
+// feedSensor generates n (ts, k, v) tuples in batches.
+func feedSensor(n, batch, nkeys int) []*bat.Chunk {
+	sch := bat.NewSchema([]string{"ts", "k", "v"}, []bat.Kind{bat.Time, bat.Int, bat.Float})
+	var out []*bat.Chunk
+	for pos := 0; pos < n; {
+		take := batch
+		if pos+take > n {
+			take = n - pos
+		}
+		ts := make(bat.Times, take)
+		ks := make(bat.Ints, take)
+		vs := make(bat.Floats, take)
+		for i := 0; i < take; i++ {
+			g := pos + i
+			ts[i] = int64(g)
+			ks[i] = int64((g * 2654435761) % nkeys)
+			if ks[i] < 0 {
+				ks[i] += int64(nkeys)
+			}
+			vs[i] = float64(g%1000) * 0.5
+		}
+		out = append(out, &bat.Chunk{Schema: sch, Cols: []bat.Vector{ts, ks, vs}})
+		pos += take
+	}
+	return out
+}
+
+// runWindowed processes the chunks through one registered query and
+// reports µs/slide and tuples/s.
+func runWindowed(b *testing.B, sql string, mode Mode, chunks []*bat.Chunk, tuples int) {
+	b.Helper()
+	b.ReportAllocs()
+	var evals int64
+	var wall time.Duration
+	for i := 0; i < b.N; i++ {
+		eng := New(&Options{Workers: 2})
+		if _, err := eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)"); err != nil {
+			b.Fatal(err)
+		}
+		q, err := eng.Register("q", sql, &RegisterOptions{Mode: mode, NoChannel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for _, c := range chunks {
+			if err := eng.AppendChunk("s", c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Drain()
+		wall += time.Since(start)
+		evals += q.Stats().Evals
+		eng.Close()
+	}
+	if evals > 0 {
+		b.ReportMetric(float64(wall.Microseconds())/float64(evals), "µs/slide")
+	}
+	b.ReportMetric(float64(tuples)*float64(b.N)/wall.Seconds(), "tuples/s")
+}
+
+// BenchmarkE1ReevalVsIncremental is experiment E1: the two execution
+// modes on a grouped sliding-window aggregate (window 16Ki, slide 2Ki).
+func BenchmarkE1ReevalVsIncremental(b *testing.B) {
+	const w, s = 16384, 2048
+	const n = w * 3
+	chunks := feedSensor(n, s, 16)
+	sql := fmt.Sprintf(
+		"SELECT k, sum(v) AS s, count(*) AS n FROM s [SIZE %d SLIDE %d] GROUP BY k", w, s)
+	b.Run("reeval", func(b *testing.B) { runWindowed(b, sql, ModeReeval, chunks, n) })
+	b.Run("incremental", func(b *testing.B) { runWindowed(b, sql, ModeIncremental, chunks, n) })
+}
+
+// BenchmarkE2WindowStepSweep is experiment E2: fixed window, sweeping the
+// slide from 1/16 of the window up to tumbling.
+func BenchmarkE2WindowStepSweep(b *testing.B) {
+	const w = 8192
+	for _, parts := range []int64{16, 4, 1} {
+		s := w / parts
+		chunks := feedSensor(w*3, int(s), 16)
+		sql := fmt.Sprintf("SELECT k, sum(v) AS t FROM s [SIZE %d SLIDE %d] GROUP BY k", w, s)
+		b.Run(fmt.Sprintf("slide_%d/reeval", s), func(b *testing.B) {
+			runWindowed(b, sql, ModeReeval, chunks, w*3)
+		})
+		b.Run(fmt.Sprintf("slide_%d/incremental", s), func(b *testing.B) {
+			runWindowed(b, sql, ModeIncremental, chunks, w*3)
+		})
+	}
+}
+
+// BenchmarkE3ComplexQueries is experiment E3: simple select-project
+// pipelines vs windowed stream⋈stream joins, both modes.
+func BenchmarkE3ComplexQueries(b *testing.B) {
+	const w, s = 2048, 512
+	const n = w * 3
+	spa := fmt.Sprintf("SELECT k, v FROM s [SIZE %d SLIDE %d] WHERE v > 100.0", w, s)
+	chunks := feedSensor(n, s, 64)
+	b.Run("spa/reeval", func(b *testing.B) { runWindowed(b, spa, ModeReeval, chunks, n) })
+	b.Run("spa/incremental", func(b *testing.B) { runWindowed(b, spa, ModeIncremental, chunks, n) })
+
+	join := fmt.Sprintf(
+		"SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k",
+		w, s, w, s)
+	runJoin := func(b *testing.B, mode Mode) {
+		b.ReportAllocs()
+		// Sparse keys (≈ one match per key pair): probe/build work, which
+		// the pair cache saves, dominates over output materialization.
+		cs := feedSensor(n, s, w)
+		cr := feedSensor(n, s, w)
+		for i := 0; i < b.N; i++ {
+			eng := New(&Options{Workers: 2})
+			_, _ = eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+			_, _ = eng.Exec("CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)")
+			if _, err := eng.Register("q", join, &RegisterOptions{Mode: mode, NoChannel: true}); err != nil {
+				b.Fatal(err)
+			}
+			for j := range cs {
+				_ = eng.AppendChunk("s", cs[j])
+				_ = eng.AppendChunk("r", cr[j])
+			}
+			eng.Drain()
+			eng.Close()
+		}
+	}
+	b.Run("join/reeval", func(b *testing.B) { runJoin(b, ModeReeval) })
+	b.Run("join/incremental", func(b *testing.B) { runJoin(b, ModeIncremental) })
+}
+
+// BenchmarkE4StreamTableJoin is experiment E4: a continuous query joining
+// the stream with a persistent dimension table of increasing size.
+func BenchmarkE4StreamTableJoin(b *testing.B) {
+	const n = 16384
+	chunks := feedSensor(n, 1024, 4096)
+	for _, dim := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("dim_%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := New(&Options{Workers: 2})
+				_, _ = eng.Exec("CREATE TABLE dim (k INT, grp INT)")
+				_, _ = eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+				ks := make(bat.Ints, dim)
+				gs := make(bat.Ints, dim)
+				for j := range ks {
+					ks[j] = int64(j)
+					gs[j] = int64(j % 32)
+				}
+				_ = eng.AppendTable("dim", &bat.Chunk{
+					Schema: bat.NewSchema([]string{"k", "grp"}, []bat.Kind{bat.Int, bat.Int}),
+					Cols:   []bat.Vector{ks, gs},
+				})
+				if _, err := eng.Register("q", `
+					SELECT d.grp, count(*) AS c FROM s [SIZE 4096 SLIDE 1024]
+					JOIN dim d ON s.k = d.k GROUP BY d.grp`,
+					&RegisterOptions{NoChannel: true}); err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range chunks {
+					_ = eng.AppendChunk("s", c)
+				}
+				eng.Drain()
+				eng.Close()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+// BenchmarkE5QueryNetwork is experiment E5: scheduler scaling with the
+// number of standing queries sharing one stream.
+func BenchmarkE5QueryNetwork(b *testing.B) {
+	const n = 8192
+	chunks := feedSensor(n, 512, 16)
+	for _, qn := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("queries_%d", qn), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := New(&Options{Workers: 4})
+				_, _ = eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+				for j := 0; j < qn; j++ {
+					sql := fmt.Sprintf(
+						"SELECT k, count(*) AS n FROM s [SIZE 1024 SLIDE 256] GROUP BY k HAVING count(*) > %d", j%7)
+					if _, err := eng.Register(fmt.Sprintf("q%03d", j), sql,
+						&RegisterOptions{NoChannel: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, c := range chunks {
+					_ = eng.AppendChunk("s", c)
+				}
+				eng.Drain()
+				eng.Close()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(n)/float64(qn)*1e9, "ns/tuple/query")
+		})
+	}
+}
+
+// BenchmarkE6LinearRoad is experiment E6: the Linear Road query set over
+// generated traffic, reporting achieved report rate.
+func BenchmarkE6LinearRoad(b *testing.B) {
+	cfg := linearroad.Config{
+		Xways: 1, CarsPerXway: 500, DurationSec: 300,
+		ReportEverySec: 30, AccidentProb: 0.005, Seed: 1,
+	}
+	chunks := linearroad.Generate(cfg)
+	var reports int
+	for _, c := range chunks {
+		reports += c.Rows()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := New(&Options{Workers: 4})
+		if _, err := eng.Exec(linearroad.CreateStreamSQL); err != nil {
+			b.Fatal(err)
+		}
+		for name, sql := range map[string]string{
+			"seg": linearroad.SegmentStatsSQL(),
+			"cnt": linearroad.VehicleCountSQL(),
+			"acc": linearroad.AccidentSQL(),
+		} {
+			if _, err := eng.Register(name, sql, &RegisterOptions{NoChannel: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, c := range chunks {
+			_ = eng.AppendChunk("lr_pos", c)
+		}
+		eng.Drain()
+		eng.AdvanceTime(int64(cfg.DurationSec+300) * 1_000_000)
+		eng.Drain()
+		eng.Close()
+	}
+	b.ReportMetric(float64(reports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkE7AnalysisOverhead is experiment E7: the cost of the analysis
+// pane's sampling relative to an unmonitored run.
+func BenchmarkE7AnalysisOverhead(b *testing.B) {
+	const n = 16384
+	chunks := feedSensor(n, 512, 16)
+	run := func(b *testing.B, sample bool) {
+		for i := 0; i < b.N; i++ {
+			eng := New(&Options{Workers: 2})
+			_, _ = eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+			if _, err := eng.Register("q",
+				"SELECT k, avg(v) AS m FROM s [SIZE 2048 SLIDE 512] GROUP BY k",
+				&RegisterOptions{NoChannel: true}); err != nil {
+				b.Fatal(err)
+			}
+			for j, c := range chunks {
+				_ = eng.AppendChunk("s", c)
+				if sample && j%4 == 0 {
+					_ = eng.Stats()
+				}
+			}
+			eng.Drain()
+			eng.Close()
+		}
+	}
+	b.Run("monitored", func(b *testing.B) { run(b, true) })
+	b.Run("unmonitored", func(b *testing.B) { run(b, false) })
+}
+
+// --- Ablation benches: kernel design choices -----------------------------
+
+// BenchmarkAblationSelect compares the bulk selection kernel against
+// row-at-a-time evaluation of the same predicate — the columnar
+// bulk-processing choice the architecture rests on.
+func BenchmarkAblationSelect(b *testing.B) {
+	const n = 1 << 16
+	xs := make(bat.Ints, n)
+	for i := range xs {
+		xs[i] = int64(i % 1000)
+	}
+	b.Run("bulk", func(b *testing.B) {
+		b.SetBytes(n * 8)
+		for i := 0; i < b.N; i++ {
+			_ = algebra.Select(xs, nil, algebra.LT, bat.IntValue(500))
+		}
+	})
+	b.Run("row_at_a_time", func(b *testing.B) {
+		b.SetBytes(n * 8)
+		for i := 0; i < b.N; i++ {
+			var out algebra.Sel
+			for j := 0; j < n; j++ {
+				if xs.Get(j).Compare(bat.IntValue(500)) < 0 {
+					out = append(out, int32(j))
+				}
+			}
+			_ = out
+		}
+	})
+}
+
+// BenchmarkAblationPredicate compares the candidate-list AND pipeline
+// against the boolean-vector fallback for a conjunctive range predicate.
+func BenchmarkAblationPredicate(b *testing.B) {
+	const n = 1 << 16
+	xs := make(bat.Ints, n)
+	for i := range xs {
+		xs[i] = int64(i % 1000)
+	}
+	c := &bat.Chunk{
+		Schema: bat.NewSchema([]string{"a"}, []bat.Kind{bat.Int}),
+		Cols:   []bat.Vector{xs},
+	}
+	col := &expr.Col{Idx: 0, K: bat.Int, Name: "a"}
+	pred := &expr.Logic{Op: expr.And,
+		L: &expr.Cmp{Op: algebra.GE, L: col, R: &expr.Const{V: bat.IntValue(100)}},
+		R: &expr.Cmp{Op: algebra.LE, L: col, R: &expr.Const{V: bat.IntValue(400)}},
+	}
+	b.Run("candidate_pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = expr.EvalPred(pred, c, nil)
+		}
+	})
+	b.Run("boolean_vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bv := pred.Eval(c, nil).(bat.Bools)
+			var out algebra.Sel
+			for j, v := range bv {
+				if v {
+					out = append(out, int32(j))
+				}
+			}
+			_ = out
+		}
+	})
+}
+
+// BenchmarkAblationHashJoin compares the single-int-key fast path against
+// the composite-key encoding on identical data.
+func BenchmarkAblationHashJoin(b *testing.B) {
+	const n = 1 << 14
+	l := make(bat.Ints, n)
+	r := make(bat.Ints, n)
+	for i := range l {
+		l[i] = int64(i % 4096)
+		r[i] = int64((i * 7) % 4096)
+	}
+	pad := make(bat.Strs, n) // second key column forcing the composite path
+	b.Run("int_fast_path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = algebra.HashJoin([]bat.Vector{l}, []bat.Vector{r}, nil, nil)
+		}
+	})
+	b.Run("composite", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = algebra.HashJoin(
+				[]bat.Vector{l, pad}, []bat.Vector{r, pad}, nil, nil)
+		}
+	})
+}
+
+// BenchmarkIngestion measures raw basket append throughput (receptor
+// path) with one standing query.
+func BenchmarkIngestion(b *testing.B) {
+	chunks := feedSensor(1<<14, 1024, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := New(&Options{Workers: 2})
+		_, _ = eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+		if _, err := eng.Register("q", "SELECT count(*) AS n FROM s [SIZE 4096 SLIDE 4096]",
+			&RegisterOptions{NoChannel: true}); err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range chunks {
+			_ = eng.AppendChunk("s", c)
+		}
+		eng.Drain()
+		eng.Close()
+	}
+	b.ReportMetric(float64(1<<14)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}

@@ -1,0 +1,108 @@
+// Command datacell runs an interactive DataCell instance: a SQL shell on
+// stdin with the demo's control commands (plan inspection, query network,
+// pause/resume), optionally also serving the same protocol over TCP for
+// cmd/dcmon and remote clients, and optionally opening CSV receptors for
+// streams.
+//
+// Usage:
+//
+//	datacell [-listen addr] [-receptor stream=addr]... [-init file.sql]
+//
+// Example session:
+//
+//	> CREATE STREAM s (ts TIMESTAMP, v FLOAT);
+//	> REGISTER QUERY avg5 AS SELECT avg(v) FROM s [SIZE 100 SLIDE 20];
+//	> \cplan avg5
+//	> \network
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"datacell"
+	"datacell/internal/receptor"
+	"datacell/internal/server"
+)
+
+type receptorFlags []string
+
+func (r *receptorFlags) String() string { return strings.Join(*r, ",") }
+func (r *receptorFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", "", "also serve the session protocol on this TCP address")
+	initFile := flag.String("init", "", "SQL script to execute at startup")
+	workers := flag.Int("workers", 4, "scheduler worker pool size")
+	var receptors receptorFlags
+	flag.Var(&receptors, "receptor", "open a CSV receptor: stream=host:port (repeatable)")
+	flag.Parse()
+
+	eng := datacell.New(&datacell.Options{Workers: *workers})
+	defer eng.Close()
+
+	if *initFile != "" {
+		src, err := os.ReadFile(*initFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "init:", err)
+			os.Exit(1)
+		}
+		if _, err := eng.ExecScript(string(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "init:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("executed %s\n", *initFile)
+	}
+
+	for _, spec := range receptors {
+		name, addr, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bad -receptor %q (want stream=addr)\n", spec)
+			os.Exit(1)
+		}
+		bk, err := eng.Basket(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r, err := receptor.ListenTCP(addr, bk, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer r.Close()
+		fmt.Printf("receptor for stream %s on %s\n", name, r.Addr())
+	}
+
+	if *listen != "" {
+		srv, err := server.Listen(eng, *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving session protocol on %s\n", srv.Addr())
+	}
+
+	fmt.Println("DataCell-Go — type \\help for commands, \\quit to exit")
+	sess := server.NewSession(eng)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	fmt.Print("> ")
+	for sc.Scan() {
+		out, quit := sess.Dispatch(sc.Text())
+		if out != "" {
+			fmt.Println(out)
+		}
+		if quit {
+			return
+		}
+		fmt.Print("> ")
+	}
+}

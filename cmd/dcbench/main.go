@@ -1,0 +1,101 @@
+// Command dcbench regenerates the paper's experiments (DESIGN.md §5,
+// E1–E7) and prints one table per experiment — the reproduction harness
+// behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dcbench                 # run everything at default scale
+//	dcbench -exp e1,e3      # selected experiments
+//	dcbench -quick          # small inputs (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"datacell/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiments: e1..e7 or all")
+	quick := flag.Bool("quick", false, "reduced input sizes")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+	any := false
+
+	if run("e1") {
+		any = true
+		sizes := []int64{1024, 4096, 16384, 65536}
+		if *quick {
+			sizes = []int64{1024, 4096}
+		}
+		fmt.Println(experiments.E1ReevalVsIncremental(sizes, 8))
+	}
+	if run("e2") {
+		any = true
+		size := int64(32768)
+		parts := []int64{64, 16, 4, 2, 1}
+		if *quick {
+			size, parts = 4096, []int64{16, 4, 1}
+		}
+		fmt.Println(experiments.E2SlideSweep(size, parts))
+	}
+	if run("e3") {
+		any = true
+		size, slide := int64(8192), int64(1024)
+		if *quick {
+			size, slide = 1024, 256
+		}
+		fmt.Println(experiments.E3QueryComplexity(size, slide))
+	}
+	if run("e4") {
+		any = true
+		dims := []int{1000, 10000, 100000, 1000000}
+		tuples := 1 << 17
+		if *quick {
+			dims, tuples = []int{1000, 10000}, 1<<14
+		}
+		fmt.Println(experiments.E4StreamTableJoin(dims, tuples))
+	}
+	if run("e5") {
+		any = true
+		counts := []int{1, 4, 16, 64, 256}
+		tuples := 1 << 16
+		if *quick {
+			counts, tuples = []int{1, 4, 16}, 1<<13
+		}
+		fmt.Println(experiments.E5QueryNetwork(counts, tuples))
+	}
+	if run("e6") {
+		any = true
+		xways := []int{1, 2, 4}
+		dur := 600
+		if *quick {
+			xways, dur = []int{1}, 300
+		}
+		fmt.Println(experiments.E6LinearRoad(xways, dur))
+	}
+	if run("e7") {
+		any = true
+		tuples, intervals := 1<<17, 8
+		if *quick {
+			tuples, intervals = 1<<14, 4
+		}
+		table, analysis := experiments.E7Analysis(tuples, intervals)
+		fmt.Println(table)
+		fmt.Println("full analysis pane:")
+		fmt.Println(analysis)
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "no such experiment %q (want e1..e7 or all)\n", *expFlag)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command dcgen generates workload CSV files for DataCell's receptors —
+// the demo's "various predefined data files which can be streamed in the
+// system".
+//
+// Workloads:
+//
+//	sensor     (ts, k, v): uniform keys, smooth values
+//	zipf       (ts, k, v): zipf-skewed keys (hot-key stress)
+//	linearroad (ts, vid, speed, xway, lane, dir, seg, pos)
+//
+// Usage:
+//
+//	dcgen -workload sensor -n 100000 [-keys 64] [-seed 1] [-out file.csv]
+//	dcgen -workload linearroad -xways 2 -cars 500 -duration 600
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"datacell/internal/linearroad"
+)
+
+func main() {
+	workload := flag.String("workload", "sensor", "sensor | zipf | linearroad")
+	n := flag.Int("n", 100000, "number of tuples (sensor, zipf)")
+	keys := flag.Int("keys", 64, "distinct keys (sensor, zipf)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	xways := flag.Int("xways", 1, "linearroad: expressways")
+	cars := flag.Int("cars", 500, "linearroad: cars per expressway")
+	duration := flag.Int("duration", 600, "linearroad: simulated seconds")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	switch *workload {
+	case "sensor":
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *n; i++ {
+			fmt.Fprintf(bw, "%d,%d,%.3f\n", i, rng.Intn(*keys), rng.Float64()*100)
+		}
+	case "zipf":
+		rng := rand.New(rand.NewSource(*seed))
+		z := rand.NewZipf(rng, 1.2, 1, uint64(*keys-1))
+		for i := 0; i < *n; i++ {
+			fmt.Fprintf(bw, "%d,%d,%.3f\n", i, z.Uint64(), rng.Float64()*100)
+		}
+	case "linearroad":
+		cfg := linearroad.Config{
+			Xways: *xways, CarsPerXway: *cars, DurationSec: *duration,
+			ReportEverySec: 30, AccidentProb: 0.005, Seed: *seed,
+		}
+		for _, c := range linearroad.Generate(cfg) {
+			rows := c.Rows()
+			for i := 0; i < rows; i++ {
+				row := c.Row(i)
+				// ts,vid,speed,xway,lane,dir,seg,pos — ts as raw µs.
+				fmt.Fprintf(bw, "%d,%d,%.2f,%d,%d,%d,%d,%d\n",
+					row[0].I, row[1].I, row[2].F, row[3].I,
+					row[4].I, row[5].I, row[6].I, row[7].I)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+// Command dcmon connects to a running datacell instance (started with
+// -listen) and renders the demo's monitoring panes in the terminal: the
+// query network (Figure 3) and, per interval, derived rates (Figure 4's
+// analysis pane). With -once it prints a single snapshot.
+//
+// Usage:
+//
+//	dcmon -addr host:port [-interval 2s] [-once] [-cmd '\network']
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"datacell/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4100", "datacell session server address")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	cmd := flag.String("cmd", `\network`, "command to run each interval")
+	flag.Parse()
+
+	c, err := server.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcmon:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	for {
+		out, err := c.Call(*cmd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s --\n%s\n", time.Now().Format(time.TimeOnly), out)
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

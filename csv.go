@@ -1,0 +1,90 @@
+package datacell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"datacell/internal/bat"
+	"datacell/internal/receptor"
+)
+
+// LoadStreamCSV replays newline-separated CSV into a stream's basket in
+// batches — the programmatic form of the demo's "predefined data files
+// which can be streamed in the system". It returns the number of tuples
+// appended.
+func (e *Engine) LoadStreamCSV(stream string, r io.Reader, batch int) (int64, error) {
+	bk, err := e.Basket(stream)
+	if err != nil {
+		return 0, err
+	}
+	return receptor.ReplayCSV(r, bk, batch, e.now)
+}
+
+// LoadStreamCSVFile is LoadStreamCSV over a file path.
+func (e *Engine) LoadStreamCSVFile(stream, path string, batch int) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return e.LoadStreamCSV(stream, f, batch)
+}
+
+// LoadTableCSV bulk-loads CSV into a persistent table. Empty lines and
+// lines starting with '#' are skipped; a malformed line aborts the load
+// with its line number (rows already buffered are not applied).
+func (e *Engine) LoadTableCSV(table string, r io.Reader) (int64, error) {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("datacell: unknown table %q", table)
+	}
+	sch := t.Schema()
+	chunk := bat.NewChunk(sch)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var total int64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		vals, err := receptor.ParseLine(sch, line)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if err := chunk.AppendRow(vals...); err != nil {
+			return 0, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		total++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if chunk.Rows() > 0 {
+		if err := t.Append(chunk); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// SaveCSV writes a chunk (e.g. a query result) as CSV rows.
+func SaveCSV(w io.Writer, c *bat.Chunk) error {
+	rows := c.Rows()
+	for i := 0; i < rows; i++ {
+		vals := c.Row(i)
+		parts := make([]string, len(vals))
+		for j, v := range vals {
+			parts[j] = v.String()
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

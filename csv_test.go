@@ -1,0 +1,109 @@
+package datacell
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadStreamCSV(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	q, _ := e.Register("q", "SELECT sum(v) AS t FROM s [SIZE 2 SLIDE 2]", nil)
+	src := "# header comment\n1,1,0.5\n2,2,1.5\n\n3,3,2.5\n4,4,3.5\n"
+	n, err := e.LoadStreamCSV("s", strings.NewReader(src), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("loaded %d tuples", n)
+	}
+	res := collect(e, q)
+	if len(res) != 2 || res[0].Chunk.Row(0)[0].F != 2.0 || res[1].Chunk.Row(0)[0].F != 6.0 {
+		t.Errorf("windows = %v", res)
+	}
+	if _, err := e.LoadStreamCSV("ghost", strings.NewReader("1"), 1); err == nil {
+		t.Error("unknown stream should fail")
+	}
+	if _, err := e.LoadStreamCSV("s", strings.NewReader("bad,line,x"), 1); err == nil {
+		t.Error("malformed line should fail")
+	}
+}
+
+func TestLoadStreamCSVFile(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	path := t.TempDir() + "/data.csv"
+	if err := writeFile(path, "1,10\n2,20\n"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.LoadStreamCSVFile("s", path, 10)
+	if err != nil || n != 2 {
+		t.Fatalf("loaded %d, err %v", n, err)
+	}
+	if _, err := e.LoadStreamCSVFile("s", path+".missing", 10); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadTableCSVAndSave(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE dim (k INT, name VARCHAR)")
+	n, err := e.LoadTableCSV("dim", strings.NewReader("1,one\n2,two\n# skip\n3,three\n"))
+	if err != nil || n != 3 {
+		t.Fatalf("loaded %d, err %v", n, err)
+	}
+	res := mustExec(t, e, "SELECT name FROM dim WHERE k >= 2 ORDER BY name")
+	var sb strings.Builder
+	if err := SaveCSV(&sb, res.Chunk); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "three\ntwo\n" {
+		t.Errorf("SaveCSV = %q", sb.String())
+	}
+	if _, err := e.LoadTableCSV("ghost", strings.NewReader("1")); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := e.LoadTableCSV("dim", strings.NewReader("oops")); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := e.LoadTableCSV("dim", strings.NewReader("x,one")); err == nil {
+		t.Error("bad int should fail")
+	}
+}
+
+func TestHeartbeatClosesTimeWindows(t *testing.T) {
+	// Wall-clock engine with a fast heartbeat: a time-windowed query over
+	// an idle stream still emits once the watermark passes the bucket.
+	e := New(&Options{Workers: 2, Heartbeat: 5 * time.Millisecond})
+	defer e.Close()
+	if _, err := e.Exec("CREATE STREAM s (ts TIMESTAMP, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Register("q",
+		"SELECT count(*) AS n FROM s [RANGE 20 MILLISECONDS SLIDE 10 MILLISECONDS ON ts]", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append("s", []any{time.Now(), 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case r := <-q.Out():
+			if r.Chunk.Rows() == 0 {
+				t.Fatal("empty result")
+			}
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("heartbeat never closed the window")
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

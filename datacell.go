@@ -1,0 +1,491 @@
+// Package datacell is a streaming column-store: a Go reproduction of
+// MonetDB/DataCell (Liarou, Idreos, Manegold, Kersten, VLDB 2012), which
+// extends a column-oriented DBMS kernel with online analytics. Stream
+// processing is a query-scheduling task on top of ordinary columnar query
+// plans: incoming events land in baskets, continuous queries are factories
+// fired by a Petri-net scheduler, and sliding windows are processed
+// incrementally by caching per-basic-window columnar intermediates.
+//
+// The engine speaks a SQL'03 subset extended with the paper's continuous
+// constructs:
+//
+//	CREATE STREAM trades (ts TIMESTAMP, sym STRING, px FLOAT);
+//	CREATE TABLE  limits (sym STRING, cap FLOAT);
+//	REGISTER INCREMENTAL QUERY vwap AS
+//	    SELECT sym, sum(px)/count(*) FROM trades [SIZE 1000 SLIDE 100]
+//	    GROUP BY sym;
+//
+// Continuous queries interleave freely with one-time queries over tables
+// and over the current basket contents — the paper's "two query paradigms"
+// in one fabric.
+package datacell
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/catalog"
+	"datacell/internal/plan"
+	"datacell/internal/scheduler"
+	"datacell/internal/sql"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the scheduler worker-pool size (default 4).
+	Workers int
+	// Now supplies the engine clock in microseconds since the epoch.
+	// Benchmarks and tests inject logical clocks; the default is the
+	// system clock.
+	Now func() int64
+	// ResultBuffer is the per-query result channel capacity (default
+	// 1024). When a consumer lags, results are dropped and counted rather
+	// than stalling the query network.
+	ResultBuffer int
+	// Heartbeat, when positive, periodically advances the time-window
+	// watermark to the engine clock, closing open buckets while streams
+	// are idle — the scheduler's time constraints ("possibly delaying
+	// events in their baskets for some time", then forcing evaluation).
+	// Use it when stream timestamps follow the engine clock; leave zero
+	// for event-time replay and drive AdvanceTime explicitly.
+	Heartbeat time.Duration
+}
+
+// Engine is a DataCell instance: catalog, baskets, factories, scheduler.
+type Engine struct {
+	cat       *catalog.Catalog
+	sched     *scheduler.Scheduler
+	now       func() int64
+	buf       int
+	heartbeat *scheduler.Ticker
+
+	mu      sync.Mutex
+	queries map[string]*Query
+	closed  bool
+}
+
+// New starts an engine.
+func New(opts *Options) *Engine {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Now == nil {
+		o.Now = func() int64 { return time.Now().UnixMicro() }
+	}
+	if o.ResultBuffer <= 0 {
+		o.ResultBuffer = 1024
+	}
+	e := &Engine{
+		cat:     catalog.New(),
+		sched:   scheduler.New(o.Workers),
+		now:     o.Now,
+		buf:     o.ResultBuffer,
+		queries: make(map[string]*Query),
+	}
+	if o.Heartbeat > 0 {
+		e.heartbeat = scheduler.NewTicker(o.Heartbeat, func(time.Time) {
+			e.AdvanceTime(e.now())
+		})
+	}
+	return e
+}
+
+// Close stops all continuous queries and the scheduler.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	qs := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		qs = append(qs, q)
+	}
+	e.mu.Unlock()
+	if e.heartbeat != nil {
+		e.heartbeat.Stop()
+	}
+	for _, q := range qs {
+		q.Stop()
+	}
+	e.sched.Stop()
+}
+
+// Result is the outcome of Exec: a chunk for queries, a message for DDL.
+type Result struct {
+	Chunk *bat.Chunk
+	Msg   string
+	// Query is the handle when the statement registered a continuous
+	// query.
+	Query *Query
+}
+
+// Exec parses and executes one SQL statement: DDL, INSERT, a one-time
+// SELECT (over tables and current basket contents), or REGISTER QUERY.
+func (e *Engine) Exec(src string) (*Result, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated sequence of statements,
+// stopping at the first error. It returns the last statement's result.
+func (e *Engine) ExecScript(src string) (*Result, error) {
+	stmts, err := sql.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		last, err = e.execStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+func (e *Engine) execStmt(stmt sql.Stmt) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		sch, err := schemaOf(s.Cols)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.cat.CreateTable(s.Name, sch); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("table %s created", s.Name)}, nil
+
+	case *sql.CreateStream:
+		sch, err := schemaOf(s.Cols)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.cat.CreateStream(s.Name, sch); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("stream %s created", s.Name)}, nil
+
+	case *sql.DropStmt:
+		return e.execDrop(s)
+
+	case *sql.Insert:
+		return e.execInsert(s)
+
+	case *sql.SelectStmt:
+		c, err := e.Select(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Chunk: c}, nil
+
+	case *sql.RegisterQuery:
+		mode := ModeAuto
+		switch s.Mode {
+		case "INCREMENTAL":
+			mode = ModeIncremental
+		case "REEVAL":
+			mode = ModeReeval
+		}
+		q, err := e.register(s.Name, s.Select, mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Msg:   fmt.Sprintf("query %s registered (%s)", s.Name, q.Mode()),
+			Query: q,
+		}, nil
+	}
+	return nil, fmt.Errorf("datacell: unsupported statement %T", stmt)
+}
+
+func schemaOf(cols []sql.ColumnDef) (bat.Schema, error) {
+	names := make([]string, len(cols))
+	types := make([]string, len(cols))
+	for i, c := range cols {
+		names[i], types[i] = c.Name, c.Type
+	}
+	return catalog.SchemaFromDefs(names, types)
+}
+
+func (e *Engine) execDrop(s *sql.DropStmt) (*Result, error) {
+	switch s.What {
+	case "TABLE":
+		if err := e.cat.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("table %s dropped", s.Name)}, nil
+	case "STREAM":
+		if users := e.queriesOnStream(s.Name); len(users) > 0 {
+			return nil, fmt.Errorf("datacell: stream %q is read by queries %v; drop them first",
+				s.Name, users)
+		}
+		if err := e.cat.DropStream(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("stream %s dropped", s.Name)}, nil
+	case "QUERY":
+		e.mu.Lock()
+		q, ok := e.queries[s.Name]
+		e.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("datacell: no query %q", s.Name)
+		}
+		q.Stop()
+		return &Result{Msg: fmt.Sprintf("query %s dropped", s.Name)}, nil
+	}
+	return nil, fmt.Errorf("datacell: cannot drop %s", s.What)
+}
+
+func (e *Engine) queriesOnStream(stream string) []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for name, q := range e.queries {
+		for _, b := range q.fac.Baskets() {
+			if b == stream {
+				out = append(out, name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// execInsert handles INSERT INTO for both tables and streams; inserting
+// into a stream appends to its basket, which is how the demo's predefined
+// scenarios seed data.
+func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
+	var sch bat.Schema
+	isStream := false
+	if t, ok := e.cat.Table(s.Table); ok {
+		sch = t.Schema()
+	} else if st, ok := e.cat.Stream(s.Table); ok {
+		sch = st.Schema()
+		isStream = true
+	} else {
+		return nil, fmt.Errorf("datacell: unknown table or stream %q", s.Table)
+	}
+	c := bat.NewChunk(sch)
+	for _, row := range s.Rows {
+		if len(row) != sch.Width() {
+			return nil, fmt.Errorf("datacell: INSERT row has %d values, %s has %d columns",
+				len(row), s.Table, sch.Width())
+		}
+		vals := make([]bat.Value, len(row))
+		for i, ex := range row {
+			lit, ok := ex.(*sql.Lit)
+			if !ok {
+				return nil, fmt.Errorf("datacell: INSERT values must be literals, got %s", ex)
+			}
+			v, err := litValue(lit, sch.Kinds[i])
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		if err := c.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	if isStream {
+		st, _ := e.cat.Stream(s.Table)
+		if err := st.Basket.Append(c, e.now()); err != nil {
+			return nil, err
+		}
+	} else {
+		t, _ := e.cat.Table(s.Table)
+		if err := t.Append(c); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Msg: fmt.Sprintf("%d row(s) inserted into %s", c.Rows(), s.Table)}, nil
+}
+
+func litValue(l *sql.Lit, want bat.Kind) (bat.Value, error) {
+	var v bat.Value
+	switch l.Kind {
+	case 'i':
+		v = bat.IntValue(l.I)
+	case 'f':
+		v = bat.FloatValue(l.F)
+	case 's':
+		v = bat.StrValue(l.S)
+	case 'b':
+		v = bat.BoolValue(l.B)
+	}
+	if want == bat.Time && v.Kind == bat.Int {
+		return bat.TimeValue(v.I), nil
+	}
+	if want == bat.Time && v.Kind == bat.Str {
+		return bat.ParseValue(bat.Time, v.S)
+	}
+	return v, nil
+}
+
+// Select runs a one-time query: tables read their current snapshot and
+// stream scans read the current basket contents.
+func (e *Engine) Select(s *sql.SelectStmt) (*bat.Chunk, error) {
+	bound, err := plan.Bind(e.cat, s)
+	if err != nil {
+		return nil, err
+	}
+	opt := plan.Optimize(bound)
+	ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{}}
+	for _, sc := range plan.Streams(opt) {
+		if sc.Window != nil {
+			return nil, fmt.Errorf("datacell: window on stream %q in a one-time query; use REGISTER QUERY", sc.Alias)
+		}
+		ex.StreamInputs[sc] = sc.Stream.Basket.Snapshot()
+	}
+	return ex.Run(opt)
+}
+
+// Query1 parses and runs a one-time SELECT.
+func (e *Engine) Query1(src string) (*bat.Chunk, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("datacell: Query1 expects a SELECT")
+	}
+	return e.Select(sel)
+}
+
+// Append pushes rows into a stream's basket. Row values are native Go
+// values matching the stream schema (int/int64, float64, string, bool,
+// time.Time).
+func (e *Engine) Append(stream string, rows ...[]any) error {
+	st, ok := e.cat.Stream(stream)
+	if !ok {
+		return fmt.Errorf("datacell: unknown stream %q", stream)
+	}
+	c := bat.NewChunk(st.Schema())
+	for _, row := range rows {
+		vals := make([]bat.Value, len(row))
+		for i, gv := range row {
+			v, err := bat.GoValue(gv)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		if err := c.AppendRow(vals...); err != nil {
+			return err
+		}
+	}
+	return st.Basket.Append(c, e.now())
+}
+
+// AppendTable bulk-loads a pre-built columnar chunk into a persistent
+// table.
+func (e *Engine) AppendTable(table string, c *bat.Chunk) error {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("datacell: unknown table %q", table)
+	}
+	return t.Append(c)
+}
+
+// AppendChunk pushes a pre-built columnar chunk into a stream's basket —
+// the zero-boxing path used by receptors and benchmarks.
+func (e *Engine) AppendChunk(stream string, c *bat.Chunk) error {
+	st, ok := e.cat.Stream(stream)
+	if !ok {
+		return fmt.Errorf("datacell: unknown stream %q", stream)
+	}
+	return st.Basket.Append(c, e.now())
+}
+
+// Basket exposes a stream's basket (receptors append to it directly).
+func (e *Engine) Basket(stream string) (*basket.Basket, error) {
+	st, ok := e.cat.Stream(stream)
+	if !ok {
+		return nil, fmt.Errorf("datacell: unknown stream %q", stream)
+	}
+	return st.Basket, nil
+}
+
+// Schema reports the schema of a table or stream.
+func (e *Engine) Schema(name string) (bat.Schema, error) {
+	if t, ok := e.cat.Table(name); ok {
+		return t.Schema(), nil
+	}
+	if s, ok := e.cat.Stream(name); ok {
+		return s.Schema(), nil
+	}
+	return bat.Schema{}, fmt.Errorf("datacell: unknown table or stream %q", name)
+}
+
+// PauseStream holds a stream's arrivals back; ResumeStream releases them
+// (demo §4, Pause and Resume).
+func (e *Engine) PauseStream(stream string) error {
+	st, ok := e.cat.Stream(stream)
+	if !ok {
+		return fmt.Errorf("datacell: unknown stream %q", stream)
+	}
+	st.Basket.Pause()
+	return nil
+}
+
+// ResumeStream releases a paused stream.
+func (e *Engine) ResumeStream(stream string) error {
+	st, ok := e.cat.Stream(stream)
+	if !ok {
+		return fmt.Errorf("datacell: unknown stream %q", stream)
+	}
+	st.Basket.Resume()
+	return nil
+}
+
+// AdvanceTime closes time-window buckets up to the watermark (microsecond
+// timestamp) across all continuous queries — the scheduler's time
+// constraint for idle streams. Tuple windows are unaffected.
+func (e *Engine) AdvanceTime(watermark int64) {
+	e.mu.Lock()
+	qs := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		qs = append(qs, q)
+	}
+	e.mu.Unlock()
+	for _, q := range qs {
+		q.fac.Advance(watermark)
+	}
+}
+
+// Drain blocks until every pending firing has completed — the
+// synchronization point for tests and benchmarks after the last append.
+func (e *Engine) Drain() { e.sched.Drain() }
+
+// Catalog lists the engine's tables and streams as "kind name(schema)"
+// lines, sorted.
+func (e *Engine) Catalog() string {
+	var b strings.Builder
+	for _, n := range e.cat.TableNames() {
+		t, _ := e.cat.Table(n)
+		fmt.Fprintf(&b, "table  %s(%s) rows=%d\n", n, t.Schema(), t.Rows())
+	}
+	for _, n := range e.cat.StreamNames() {
+		s, _ := e.cat.Stream(n)
+		fmt.Fprintf(&b, "stream %s(%s)\n", n, s.Schema())
+	}
+	return b.String()
+}
+
+// Now reports the engine clock (microseconds).
+func (e *Engine) Now() int64 { return e.now() }

@@ -1,0 +1,244 @@
+package datacell
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"datacell/internal/bat"
+	"datacell/internal/emitter"
+)
+
+// emitterFunc adapts a row-count callback into an Emitter.
+func emitterFunc(f func(rows int)) emitter.Emitter {
+	return emitter.Func(func(c *bat.Chunk, _ emitter.Meta) { f(c.Rows()) })
+}
+
+// TestConcurrentRegisterStopWhileStreaming hammers the engine with
+// concurrent appends, registrations and stops — the demo's "queries may be
+// removed at any time" under load. The assertion is absence of deadlock,
+// panics and races (run under -race in CI).
+func TestConcurrentRegisterStopWhileStreaming(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // continuous producer
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.Append("s", []any{time.UnixMicro(int64(i)), i % 5, float64(i)})
+			i++
+		}
+	}()
+	for round := 0; round < 20; round++ {
+		name := fmt.Sprintf("q%d", round)
+		q, err := e.Register(name,
+			"SELECT k, count(*) AS n FROM s [SIZE 16 SLIDE 4] GROUP BY k",
+			&RegisterOptions{NoChannel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round%2 == 0 {
+			q.Pause()
+			q.Resume()
+		}
+		q.Stop()
+	}
+	close(stop)
+	wg.Wait()
+	e.Drain()
+	// All transient queries gone; basket must not leak consumers.
+	st := e.Stats()
+	if st.Baskets[0].Consumers != 0 {
+		t.Errorf("leaked consumers: %d", st.Baskets[0].Consumers)
+	}
+}
+
+// TestResultChannelOverflow verifies the documented lag behavior: when a
+// consumer never drains, results are dropped and counted, and the query
+// network keeps flowing.
+func TestResultChannelOverflow(t *testing.T) {
+	var clock atomic.Int64
+	e := New(&Options{Workers: 2, ResultBuffer: 4, Now: func() int64 { return clock.Add(1) }})
+	defer e.Close()
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	// A size-1 tumbling window forces one result per tuple regardless of
+	// append batching.
+	q, _ := e.Register("q", "SELECT v FROM s [SIZE 1]", nil)
+	for i := 0; i < 50; i++ {
+		_ = e.Append("s", []any{time.UnixMicro(int64(i)), i})
+	}
+	e.Drain()
+	if q.Dropped() == 0 {
+		t.Error("expected dropped results with a full buffer")
+	}
+	st := q.Stats()
+	if st.Evals < 50 {
+		t.Errorf("query stalled: evals = %d", st.Evals)
+	}
+}
+
+func TestWindowedDistinct(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT)")
+	q, err := e.Register("q",
+		"SELECT DISTINCT k FROM s [SIZE 4 SLIDE 4] ORDER BY k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, "INSERT INTO s VALUES (1, 3), (2, 1), (3, 3), (4, 1)")
+	res := collect(e, q)
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	got := rowsOf(res)
+	if len(got) != 2 || got[0] != "1" || got[1] != "3" {
+		t.Errorf("distinct rows = %v", got)
+	}
+}
+
+func TestExpressionsInContinuousQuery(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	q, err := e.Register("q", `
+		SELECT k % 2 AS parity, sum(v * 2.0) AS dbl, max(abs(v - 10.0)) AS dev
+		FROM s [SIZE 4 SLIDE 4]
+		GROUP BY k % 2
+		ORDER BY parity`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, "INSERT INTO s VALUES (1, 1, 4.0), (2, 2, 6.0), (3, 3, 12.0), (4, 4, 20.0)")
+	res := collect(e, q)
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	rows := rowsOf(res)
+	// parity 0: v ∈ {6, 20} → dbl 52, dev max(|6-10|,|20-10|)=10
+	// parity 1: v ∈ {4, 12} → dbl 32, dev max(6, 2)=6
+	if rows[0] != "0,52,10" || rows[1] != "1,32,6" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestMultiColumnOrderByInWindow(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, a INT, b INT)")
+	q, err := e.Register("q",
+		"SELECT a, b FROM s [SIZE 4 SLIDE 4] ORDER BY a DESC, b ASC", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, "INSERT INTO s VALUES (1, 1, 9), (2, 2, 5), (3, 2, 3), (4, 1, 1)")
+	rows := rowsOf(collect(e, q))
+	want := []string{"2,3", "2,5", "1,1", "1,9"}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestTumblingWindowNoOverlap(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	q, _ := e.Register("q", "SELECT sum(v) AS t FROM s [SIZE 3]", nil)
+	for i := 1; i <= 9; i++ {
+		_ = e.Append("s", []any{time.UnixMicro(int64(i)), i})
+	}
+	res := collect(e, q)
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	want := []int64{6, 15, 24}
+	for i, r := range res {
+		if r.Chunk.Row(0)[0].I != want[i] {
+			t.Errorf("window %d = %v, want %d", i, r.Chunk.Row(0), want[i])
+		}
+	}
+}
+
+func TestQueryOverflowingVacuum(t *testing.T) {
+	// Enough tuples to trigger basket vacuuming several times; counters
+	// must balance and results stay correct.
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	q, _ := e.Register("q", "SELECT count(*) AS n FROM s [SIZE 1000]", nil)
+	const total = 20000
+	for i := 0; i < total; i += 100 {
+		rows := make([][]any, 100)
+		for j := range rows {
+			rows[j] = []any{time.UnixMicro(int64(i + j)), i + j}
+		}
+		_ = e.Append("s", rows...)
+	}
+	e.Drain()
+	res := collect(e, q)
+	if len(res) != total/1000 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Chunk.Row(0)[0].I != 1000 {
+			t.Errorf("count = %v", r.Chunk.Row(0))
+		}
+	}
+	st := e.Stats()
+	if st.Baskets[0].TotalDrop == 0 {
+		t.Error("vacuum never ran")
+	}
+	if st.Baskets[0].Len > 8192 {
+		t.Errorf("basket grew unboundedly: %d", st.Baskets[0].Len)
+	}
+}
+
+func TestOneTimeJoinOfTwoTables(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE a (k INT, x VARCHAR)")
+	mustExec(t, e, "CREATE TABLE b (k INT, y VARCHAR)")
+	mustExec(t, e, "INSERT INTO a VALUES (1, 'ax'), (2, 'ay')")
+	mustExec(t, e, "INSERT INTO b VALUES (2, 'bz')")
+	r := mustExec(t, e, "SELECT a.x, b.y FROM a, b WHERE a.k = b.k")
+	if r.Chunk.Rows() != 1 || r.Chunk.Row(0)[0].S != "ay" {
+		t.Errorf("table join:\n%s", r.Chunk)
+	}
+}
+
+func TestRegisterWithExtraEmitter(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	var sb strings.Builder
+	var mu sync.Mutex
+	q, err := e.Register("q", "SELECT v FROM s", &RegisterOptions{
+		Emitter: emitterFunc(func(rows int) {
+			mu.Lock()
+			fmt.Fprintf(&sb, "emit %d;", rows)
+			mu.Unlock()
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, "INSERT INTO s VALUES (1, 7)")
+	e.Drain()
+	mu.Lock()
+	got := sb.String()
+	mu.Unlock()
+	if got != "emit 1;" {
+		t.Errorf("extra emitter saw %q", got)
+	}
+	// The channel still works alongside.
+	if len(collect(e, q)) != 1 {
+		t.Error("channel emitter lost the result")
+	}
+}

@@ -1,0 +1,455 @@
+package datacell
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"datacell/internal/emitter"
+)
+
+// newTestEngine uses a logical clock so latency numbers are deterministic.
+func newTestEngine(t *testing.T) (*Engine, *atomic.Int64) {
+	t.Helper()
+	var clock atomic.Int64
+	clock.Store(1)
+	e := New(&Options{Workers: 2, Now: func() int64 { return clock.Add(1) }})
+	t.Cleanup(e.Close)
+	return e, &clock
+}
+
+func mustExec(t *testing.T, e *Engine, src string) *Result {
+	t.Helper()
+	r, err := e.Exec(src)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", src, err)
+	}
+	return r
+}
+
+// collect drains currently available results without blocking beyond the
+// scheduler drain.
+func collect(e *Engine, q *Query) []emitter.Result {
+	e.Drain()
+	var out []emitter.Result
+	for {
+		select {
+		case r := <-q.Out():
+			out = append(out, r)
+		default:
+			return out
+		}
+	}
+}
+
+func rowsOf(rs []emitter.Result) []string {
+	var out []string
+	for _, r := range rs {
+		n := r.Chunk.Rows()
+		for i := 0; i < n; i++ {
+			parts := []string{}
+			for _, v := range r.Chunk.Row(i) {
+				parts = append(parts, v.String())
+			}
+			out = append(out, strings.Join(parts, ","))
+		}
+	}
+	return out
+}
+
+func TestDDLAndInsertAndSelect(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE city (id INT, name VARCHAR, pop FLOAT)")
+	mustExec(t, e, "INSERT INTO city VALUES (1, 'ams', 0.9), (2, 'rot', 0.6), (3, 'utr', 0.4)")
+	r := mustExec(t, e, "SELECT name FROM city WHERE pop > 0.5 ORDER BY name")
+	if r.Chunk.Rows() != 2 || r.Chunk.Row(0)[0].S != "ams" {
+		t.Errorf("select result:\n%s", r.Chunk)
+	}
+	if !strings.Contains(e.Catalog(), "city") {
+		t.Error("catalog missing table")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	e, _ := newTestEngine(t)
+	bad := []string{
+		"CREATE TABLE t (a BLOB)",
+		"INSERT INTO ghost VALUES (1)",
+		"SELECT x FROM ghost",
+		"DROP TABLE ghost",
+		"DROP STREAM ghost",
+		"DROP QUERY ghost",
+		"not sql at all",
+	}
+	for _, src := range bad {
+		if _, err := e.Exec(src); err == nil {
+			t.Errorf("Exec(%q) should fail", src)
+		}
+	}
+	mustExec(t, e, "CREATE TABLE t (a INT)")
+	if _, err := e.Exec("INSERT INTO t VALUES (1, 2)"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := e.Exec("INSERT INTO t VALUES (a)"); err == nil {
+		t.Error("non-literal insert should fail")
+	}
+	if _, err := e.Exec("CREATE TABLE t (a INT)"); err == nil {
+		t.Error("duplicate create should fail")
+	}
+}
+
+func TestContinuousQueryViaSQL(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	r := mustExec(t, e,
+		"REGISTER QUERY tot AS SELECT sum(v) AS total FROM s [SIZE 4 SLIDE 2]")
+	if r.Query == nil || r.Query.Mode() != "incremental" {
+		t.Fatalf("register result = %+v", r)
+	}
+	mustExec(t, e, "INSERT INTO s VALUES (1, 1, 1.0), (2, 1, 2.0), (3, 1, 3.0), (4, 1, 4.0)")
+	res := collect(e, r.Query)
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if got := res[0].Chunk.Row(0)[0].F; got != 10 {
+		t.Errorf("total = %v", got)
+	}
+	mustExec(t, e, "DROP QUERY tot")
+	if _, ok := e.Query("tot"); ok {
+		t.Error("query still registered after drop")
+	}
+}
+
+func TestRegisterModes(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	// Auto on a non-windowed query falls back to reeval.
+	q1, err := e.Register("q1", "SELECT k FROM s WHERE v > 1.0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Mode() != "reeval" {
+		t.Errorf("q1 mode = %s", q1.Mode())
+	}
+	// Forced incremental on a non-decomposable plan errors.
+	if _, err := e.Register("q2", "SELECT k FROM s", &RegisterOptions{Mode: ModeIncremental}); err == nil {
+		t.Error("forced incremental should fail on non-windowed plan")
+	}
+	// Forced reeval on a windowed plan works.
+	q3, err := e.Register("q3", "SELECT sum(v) FROM s [SIZE 4 SLIDE 2]",
+		&RegisterOptions{Mode: ModeReeval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Mode() != "reeval" {
+		t.Errorf("q3 mode = %s", q3.Mode())
+	}
+	// Duplicate names rejected.
+	if _, err := e.Register("q1", "SELECT k FROM s", nil); err != nil {
+		if !strings.Contains(err.Error(), "already registered") {
+			t.Errorf("unexpected error: %v", err)
+		}
+	} else {
+		t.Error("duplicate registration should fail")
+	}
+	// One-time query registration rejected.
+	if _, err := e.Register("q4", "SELECT 1 AS one FROM s", nil); err != nil {
+		t.Errorf("register with const projection should work: %v", err)
+	}
+}
+
+func TestAppendAndMultipleQueries(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	hot, err := e.Register("hot", "SELECT k, v FROM s WHERE v >= 30.0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := e.Register("all", "SELECT count(*) AS n FROM s [SIZE 2 SLIDE 2]", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := e.Append("s", []any{time.UnixMicro(int64(i)), i, float64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hres := rowsOf(collect(e, hot))
+	sort.Strings(hres)
+	if len(hres) != 1 || hres[0] != "3,30" {
+		t.Errorf("hot rows = %v", hres)
+	}
+	ares := collect(e, all)
+	if len(ares) != 2 { // two tumbling windows of 2
+		t.Fatalf("all results = %d", len(ares))
+	}
+	for _, r := range ares {
+		if r.Chunk.Row(0)[0].I != 2 {
+			t.Errorf("window count = %v", r.Chunk.Row(0))
+		}
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	if err := e.Append("ghost", []any{1}); err == nil {
+		t.Error("append to unknown stream should fail")
+	}
+	if err := e.Append("s", []any{time.Now()}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := e.Append("s", []any{struct{}{}, 1}); err == nil {
+		t.Error("unsupported type should fail")
+	}
+}
+
+func TestPauseResumeQuery(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	q, err := e.Register("q", "SELECT v FROM s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Pause()
+	if !q.Paused() {
+		t.Fatal("not paused")
+	}
+	_ = e.Append("s", []any{time.UnixMicro(1), 1})
+	e.Drain()
+	if got := len(collect(e, q)); got != 0 {
+		t.Fatalf("paused query emitted %d results", got)
+	}
+	q.Resume()
+	res := collect(e, q)
+	if len(res) != 1 {
+		t.Fatalf("results after resume = %d", len(res))
+	}
+}
+
+func TestPauseResumeStream(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	q, _ := e.Register("q", "SELECT v FROM s", nil)
+	if err := e.PauseStream("s"); err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Append("s", []any{time.UnixMicro(1), 7})
+	e.Drain()
+	if got := len(collect(e, q)); got != 0 {
+		t.Fatalf("paused stream delivered %d results", got)
+	}
+	if err := e.ResumeStream("s"); err != nil {
+		t.Fatal(err)
+	}
+	res := collect(e, q)
+	if len(res) != 1 || res[0].Chunk.Row(0)[0].I != 7 {
+		t.Fatalf("results after stream resume = %v", res)
+	}
+	if e.PauseStream("ghost") == nil || e.ResumeStream("ghost") == nil {
+		t.Error("pausing unknown stream should fail")
+	}
+}
+
+func TestOneTimeQueryOverStreamSnapshot(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	// A slow query holds tuples in the basket; one-time SELECT sees them.
+	q, _ := e.Register("q", "SELECT v FROM s", nil)
+	q.Pause()
+	mustExec(t, e, "INSERT INTO s VALUES (1, 5), (2, 6)")
+	r := mustExec(t, e, "SELECT v FROM s WHERE v > 5")
+	if r.Chunk.Rows() != 1 || r.Chunk.Row(0)[0].I != 6 {
+		t.Errorf("snapshot query:\n%s", r.Chunk)
+	}
+	// Windowed one-time query is rejected.
+	if _, err := e.Exec("SELECT v FROM s [SIZE 2]"); err == nil {
+		t.Error("windowed one-time query should fail")
+	}
+}
+
+func TestStreamTableJoinContinuous(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE dim (k INT, name VARCHAR)")
+	mustExec(t, e, "INSERT INTO dim VALUES (1, 'one'), (2, 'two')")
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT)")
+	q, err := e.Register("j", `
+		SELECT d.name, count(*) AS n FROM s [SIZE 2 SLIDE 2]
+		JOIN dim d ON s.k = d.k GROUP BY d.name ORDER BY d.name`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mode() != "incremental" {
+		t.Errorf("mode = %s", q.Mode())
+	}
+	mustExec(t, e, "INSERT INTO s VALUES (1, 1), (2, 1)")
+	res := collect(e, q)
+	if len(res) != 1 || res[0].Chunk.Row(0)[0].S != "one" || res[0].Chunk.Row(0)[1].I != 2 {
+		t.Fatalf("join result = %v", res)
+	}
+}
+
+func TestStreamStreamJoinContinuous(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM a (ts TIMESTAMP, k INT, x INT)")
+	mustExec(t, e, "CREATE STREAM b (ts TIMESTAMP, k INT, y INT)")
+	q, err := e.Register("ab", `
+		SELECT a.x, b.y FROM a [SIZE 2 SLIDE 1], b [SIZE 2 SLIDE 1]
+		WHERE a.k = b.k`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, "INSERT INTO a VALUES (1, 7, 100), (2, 8, 200)")
+	mustExec(t, e, "INSERT INTO b VALUES (1, 7, 111), (2, 9, 222)")
+	res := collect(e, q)
+	rows := rowsOf(res)
+	if len(rows) != 1 || rows[0] != "100,111" {
+		t.Fatalf("join rows = %v", rows)
+	}
+}
+
+func TestDropStreamInUse(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	_, _ = e.Register("q", "SELECT v FROM s", nil)
+	if _, err := e.Exec("DROP STREAM s"); err == nil {
+		t.Fatal("dropping in-use stream should fail")
+	}
+	mustExec(t, e, "DROP QUERY q")
+	mustExec(t, e, "DROP STREAM s")
+}
+
+func TestStatsAndNetworkString(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v FLOAT)")
+	q, _ := e.Register("avg5", "SELECT avg(v) AS m FROM s [SIZE 2 SLIDE 1]", nil)
+	mustExec(t, e, "INSERT INTO s VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+	e.Drain()
+	st := e.Stats()
+	if len(st.Baskets) != 1 || len(st.Queries) != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Baskets[0].TotalIn != 3 || st.Queries[0].TuplesIn != 3 {
+		t.Errorf("counters = %+v", st)
+	}
+	qs, err := e.QueryStats("avg5")
+	if err != nil || qs.Evals != 2 {
+		t.Errorf("query stats = %+v err=%v", qs, err)
+	}
+	if _, err := e.QueryStats("ghost"); err == nil {
+		t.Error("unknown query stats should fail")
+	}
+	net := e.NetworkString()
+	for _, want := range []string{"avg5", "<- s", "mode=incremental", "baskets:", "queries:"} {
+		if !strings.Contains(net, want) {
+			t.Errorf("network missing %q:\n%s", want, net)
+		}
+	}
+	if names := e.QueryNames(); len(names) != 1 || names[0] != "avg5" {
+		t.Errorf("QueryNames = %v", names)
+	}
+	_ = q
+}
+
+func TestPlanStrings(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	q, _ := e.Register("w", "SELECT k, sum(v) AS s FROM s [SIZE 8 SLIDE 2] GROUP BY k", nil)
+	ps := q.PlanString()
+	cs := q.ContinuousPlanString()
+	if !strings.Contains(ps, "scan stream s [SIZE 8 SLIDE 2]") {
+		t.Errorf("plan:\n%s", ps)
+	}
+	if !strings.Contains(cs, "merged per slide") {
+		t.Errorf("continuous plan:\n%s", cs)
+	}
+}
+
+func TestExecScript(t *testing.T) {
+	e, _ := newTestEngine(t)
+	r, err := e.ExecScript(`
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1), (2);
+		SELECT count(*) AS n FROM t;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chunk.Row(0)[0].I != 2 {
+		t.Errorf("script result = %v", r.Chunk)
+	}
+	if _, err := e.ExecScript("CREATE TABLE x (a INT); BROKEN"); err == nil {
+		t.Error("script with parse error should fail")
+	}
+}
+
+func TestTimeWindowWithAdvanceTime(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	q, err := e.Register("tw",
+		"SELECT count(*) AS n FROM s [RANGE 2 SECONDS SLIDE 1 SECOND ON ts]", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := int64(1_000_000)
+	mustExec(t, e, fmt.Sprintf("INSERT INTO s VALUES (%d, 1), (%d, 2)", sec/2, sec+sec/2))
+	e.Drain()
+	e.AdvanceTime(3 * sec)
+	res := collect(e, q)
+	if len(res) != 2 {
+		t.Fatalf("time-window results = %d", len(res))
+	}
+	if res[0].Chunk.Row(0)[0].I != 2 || res[1].Chunk.Row(0)[0].I != 1 {
+		t.Errorf("counts = %v, %v", res[0].Chunk.Row(0), res[1].Chunk.Row(0))
+	}
+}
+
+func TestLatencyMetadata(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	q, _ := e.Register("l", "SELECT v FROM s", nil)
+	_ = e.Append("s", []any{time.UnixMicro(5), 1})
+	res := collect(e, q)
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	m := res[0].Meta
+	if m.Query != "l" || m.Seq != 0 || m.LatencyUsec <= 0 {
+		t.Errorf("meta = %+v", m)
+	}
+}
+
+func TestEngineCloseIdempotentAndRejectsRegister(t *testing.T) {
+	e := New(nil)
+	e.Close()
+	e.Close()
+	if _, err := e.Register("q", "SELECT 1 FROM x", nil); err == nil {
+		t.Error("register after close should fail")
+	}
+}
+
+func TestHighVolumeThroughScheduler(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	q, err := e.Register("agg",
+		"SELECT k, count(*) AS n FROM s [SIZE 100 SLIDE 50] GROUP BY k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 5000
+	for i := 0; i < total; i++ {
+		_ = e.Append("s", []any{time.UnixMicro(int64(i)), i % 7, float64(i)})
+	}
+	e.Drain()
+	st := q.Stats()
+	if st.TuplesIn != total {
+		t.Errorf("TuplesIn = %d, want %d", st.TuplesIn, total)
+	}
+	wantEvals := int64(total/50 - 1) // first window needs 2 slides
+	if st.Evals != wantEvals {
+		t.Errorf("Evals = %d, want %d", st.Evals, wantEvals)
+	}
+}

@@ -1,0 +1,93 @@
+// Linear Road: run the benchmark's continuous query set (segment
+// statistics, vehicle counts, accident detection) over generated traffic
+// and check the ≤5 s response-time constraint the paper claims DataCell
+// meets — with tolls derived from the segment-statistics output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"datacell"
+	"datacell/internal/linearroad"
+	"datacell/internal/monitor"
+)
+
+func main() {
+	xways := flag.Int("xways", 1, "number of expressways (the benchmark's L factor)")
+	cars := flag.Int("cars", 500, "cars per expressway")
+	dur := flag.Int("duration", 600, "simulated seconds")
+	flag.Parse()
+
+	eng := datacell.New(&datacell.Options{Workers: 4})
+	defer eng.Close()
+
+	if _, err := eng.Exec(linearroad.CreateStreamSQL); err != nil {
+		log.Fatal(err)
+	}
+	segStats, err := eng.Register("seg_stats", linearroad.SegmentStatsSQL(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accidents, err := eng.Register("accidents", linearroad.AccidentSQL(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := linearroad.Config{
+		Xways: *xways, CarsPerXway: *cars, DurationSec: *dur,
+		ReportEverySec: 30, AccidentProb: 0.01, Seed: 42,
+	}
+	fmt.Printf("generating traffic: %s\n", cfg.Summary())
+	chunks := linearroad.Generate(cfg)
+	var reports int64
+	for _, c := range chunks {
+		if err := eng.AppendChunk("lr_pos", c); err != nil {
+			log.Fatal(err)
+		}
+		reports += int64(c.Rows())
+	}
+	eng.Drain()
+	eng.AdvanceTime(int64(cfg.DurationSec+300) * 1_000_000)
+	eng.Drain()
+	fmt.Printf("pushed %d position reports\n\n", reports)
+
+	// Tolls derive from segment statistics (average speed, volume).
+	var latencies []int64
+	tolled := 0
+	for {
+		select {
+		case r := <-segStats.Out():
+			latencies = append(latencies, r.Meta.LatencyUsec)
+			for i := 0; i < r.Chunk.Rows(); i++ {
+				row := r.Chunk.Row(i)
+				if toll := linearroad.Toll(row[3].F, row[4].I); toll > 0 {
+					tolled++
+				}
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	fmt.Printf("segment-stat evaluations: %d, tolled segment-windows: %d\n",
+		len(latencies), tolled)
+
+	accCount := 0
+	for {
+		select {
+		case r := <-accidents.Out():
+			accCount += r.Chunk.Rows()
+		default:
+			fmt.Printf("accident segment detections: %d\n\n", accCount)
+			goto check
+		}
+	}
+check:
+	ok, worst := linearroad.CheckResponse(latencies)
+	fmt.Printf("response-time constraint (<= %v): ok=%v worst=%dµs p99=%dµs\n",
+		linearroad.ResponseConstraint, ok, worst, monitor.Percentile(latencies, 99))
+	fmt.Println()
+	fmt.Println(eng.NetworkString())
+}

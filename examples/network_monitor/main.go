@@ -1,0 +1,129 @@
+// Network monitor: the paper's cloud/network-monitoring motivation —
+// correlate two live streams (flows and alerts) with a stream⋈stream
+// windowed join, demonstrate pause/resume of queries and streams, and
+// inspect plan shapes the way the demo GUI does.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"datacell"
+)
+
+func main() {
+	eng := datacell.New(nil)
+	defer eng.Close()
+
+	must := func(src string) {
+		if _, err := eng.Exec(src); err != nil {
+			log.Fatalf("%s: %v", src, err)
+		}
+	}
+	must("CREATE STREAM flows  (ts TIMESTAMP, src INT, dst INT, bytes INT)")
+	must("CREATE STREAM alerts (ts TIMESTAMP, src INT, severity INT)")
+
+	// Q1: heavy hitters per source over a sliding window.
+	heavy, err := eng.Register("heavy_hitters", `
+		SELECT src, sum(bytes) AS total
+		FROM flows [SIZE 300 SLIDE 100]
+		GROUP BY src
+		HAVING sum(bytes) > 500000
+		ORDER BY total DESC LIMIT 5`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Q2: flows from sources with an active high-severity alert — a
+	// windowed stream⋈stream join, executed incrementally by caching
+	// per-basic-window-pair join results.
+	suspicious, err := eng.Register("suspicious", `
+		SELECT f.src, f.dst, f.bytes, a.severity
+		FROM flows [SIZE 300 SLIDE 100] f, alerts [SIZE 300 SLIDE 100] a
+		WHERE f.src = a.src AND a.severity >= 8`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("normal plan of %q:\n%s\n", suspicious.Name(), suspicious.PlanString())
+	fmt.Printf("continuous plan of %q:\n%s\n", suspicious.Name(), suspicious.ContinuousPlanString())
+
+	rng := rand.New(rand.NewSource(3))
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			src := rng.Intn(50)
+			if err := eng.Append("flows", []any{
+				int64(i) * 100, src, rng.Intn(1000), 1000 + rng.Intn(20000),
+			}); err != nil {
+				log.Fatal(err)
+			}
+			if rng.Intn(10) == 0 {
+				if err := eng.Append("alerts", []any{
+					int64(i) * 100, src, 1 + rng.Intn(10),
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	feed(600)
+	eng.Drain()
+	fmt.Println("== heavy hitters ==")
+	printLast(heavy)
+	fmt.Println("== suspicious flows ==")
+	printLast(suspicious)
+
+	// Demo §4 "Pause and Resume": pause the join, keep streaming; events
+	// accumulate in the baskets and are processed on resume.
+	suspicious.Pause()
+	feed(300)
+	eng.Drain()
+	fmt.Printf("paused: %v; results while paused: %d\n",
+		suspicious.Paused(), countPending(suspicious))
+	suspicious.Resume()
+	eng.Drain()
+	fmt.Printf("after resume: %d new results\n", countPending(suspicious))
+
+	// Pausing a stream holds arrivals inside the basket.
+	if err := eng.PauseStream("alerts"); err != nil {
+		log.Fatal(err)
+	}
+	feed(100)
+	if err := eng.ResumeStream("alerts"); err != nil {
+		log.Fatal(err)
+	}
+	eng.Drain()
+
+	fmt.Println(eng.NetworkString())
+}
+
+func printLast(q *datacell.Query) {
+	var last fmt.Stringer
+	for {
+		select {
+		case r := <-q.Out():
+			last = r.Chunk
+		default:
+			if last != nil {
+				fmt.Println(last)
+			} else {
+				fmt.Println("(no results)")
+			}
+			return
+		}
+	}
+}
+
+func countPending(q *datacell.Query) int {
+	n := 0
+	for {
+		select {
+		case <-q.Out():
+			n++
+		default:
+			return n
+		}
+	}
+}

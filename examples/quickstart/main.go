@@ -1,0 +1,59 @@
+// Quickstart: the smallest useful DataCell program. It creates a sensor
+// stream, registers one continuous sliding-window query, pushes a burst of
+// readings and prints every emitted result set.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"datacell"
+)
+
+func main() {
+	eng := datacell.New(nil)
+	defer eng.Close()
+
+	// A stream is a schema plus a basket buffering in-flight events.
+	if _, err := eng.Exec("CREATE STREAM sensors (ts TIMESTAMP, room INT, temp FLOAT)"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The continuous query: per-room average temperature over the last 8
+	// readings, re-reported every 4. The engine picks the incremental
+	// execution mode because the plan decomposes into cacheable
+	// basic-window partials.
+	q, err := eng.Register("room_avg", `
+		SELECT room, avg(temp) AS avg_temp, max(temp) AS max_temp
+		FROM sensors [SIZE 8 SLIDE 4]
+		GROUP BY room
+		ORDER BY room`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %s (mode=%s)\n\ncontinuous plan:\n%s\n",
+		q.Name(), q.Mode(), q.ContinuousPlanString())
+
+	// Push two windows worth of readings.
+	for i := 0; i < 16; i++ {
+		err := eng.Append("sensors",
+			[]any{time.Now(), i % 2, 20.0 + float64(i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng.Drain()
+
+	// Each Out element is one window evaluation.
+	for {
+		select {
+		case r := <-q.Out():
+			fmt.Printf("-- window result seq=%d latency=%dµs --\n%s\n",
+				r.Meta.Seq, r.Meta.LatencyUsec, r.Chunk)
+		default:
+			fmt.Println(eng.NetworkString())
+			return
+		}
+	}
+}

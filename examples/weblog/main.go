@@ -1,0 +1,123 @@
+// Weblog: online analysis of a web-server log stream — one of the
+// motivating applications in the paper's introduction ("web log analysis
+// requires fast analysis of big streaming data for decision support").
+//
+// It demonstrates the two query paradigms in one fabric: continuous
+// queries over the request stream joined with a persistent page-metadata
+// table, plus one-time queries over the same data, and error-rate
+// monitoring with HAVING.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"datacell"
+)
+
+func main() {
+	eng := datacell.New(nil)
+	defer eng.Close()
+
+	must := func(src string) {
+		if _, err := eng.Exec(src); err != nil {
+			log.Fatalf("%s: %v", src, err)
+		}
+	}
+
+	// Persistent dimension table: page metadata.
+	must("CREATE TABLE pages (path VARCHAR, section VARCHAR, weight FLOAT)")
+	must(`INSERT INTO pages VALUES
+		('/',        'home',     1.0),
+		('/search',  'search',   2.0),
+		('/cart',    'checkout', 5.0),
+		('/pay',     'checkout', 9.0),
+		('/help',    'support',  0.5)`)
+
+	// The request stream.
+	must("CREATE STREAM requests (ts TIMESTAMP, path VARCHAR, status INT, bytes INT, ms FLOAT)")
+
+	// Q1: per-section traffic value over a sliding window, joining the
+	// stream with the persistent table inside the continuous plan.
+	bySection, err := eng.Register("by_section", `
+		SELECT p.section, count(*) AS hits, sum(r.bytes) AS bytes,
+		       avg(r.ms) AS avg_ms
+		FROM requests [SIZE 400 SLIDE 100] r
+		JOIN pages p ON r.path = p.path
+		GROUP BY p.section
+		ORDER BY hits DESC`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Q2: error-rate alarm — sections of the site throwing 5xx.
+	errors5xx, err := eng.Register("errors_5xx", `
+		SELECT path, count(*) AS errors
+		FROM requests [SIZE 400 SLIDE 100]
+		WHERE status >= 500
+		GROUP BY path
+		HAVING count(*) >= 3
+		ORDER BY errors DESC`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queries: %s (%s), %s (%s)\n\n",
+		bySection.Name(), bySection.Mode(), errors5xx.Name(), errors5xx.Mode())
+
+	// Replay synthetic traffic.
+	paths := []string{"/", "/", "/", "/search", "/search", "/cart", "/pay", "/help"}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1200; i++ {
+		status := 200
+		if rng.Intn(100) < 4 {
+			status = 500 + rng.Intn(4)
+		}
+		err := eng.Append("requests", []any{
+			int64(i) * 1000, // logical µs timestamps
+			paths[rng.Intn(len(paths))],
+			status,
+			200 + rng.Intn(5000),
+			float64(5 + rng.Intn(200)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng.Drain()
+
+	fmt.Println("== latest per-section window ==")
+	printLast(bySection)
+	fmt.Println("== 5xx alarms ==")
+	printLast(errors5xx)
+
+	// A one-time query over the same fabric: the persistent table.
+	res, err := eng.Query1(`
+		SELECT section, count(*) AS pages FROM pages GROUP BY section ORDER BY section`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== one-time query over the pages table ==\n%s\n", res)
+
+	fmt.Println(eng.NetworkString())
+}
+
+// printLast drains a query's channel and prints the newest result.
+func printLast(q *datacell.Query) {
+	var last fmt.Stringer
+	n := 0
+	for {
+		select {
+		case r := <-q.Out():
+			last = r.Chunk
+			n++
+		default:
+			if last != nil {
+				fmt.Printf("(%d evaluations)\n%s\n", n, last)
+			} else {
+				fmt.Println("(no results)")
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package algebra
+
+import (
+	"fmt"
+
+	"datacell/internal/bat"
+)
+
+// Fetch performs late tuple reconstruction: it gathers the values of v at
+// the positions of the candidate list, producing a dense vector. This is
+// MonetDB's positional fetch-join against a void head — the operation that
+// lets select operators work on one column at a time and reconstruct the
+// other attributes only when needed.
+func Fetch(v bat.Vector, sel Sel) bat.Vector {
+	if sel == nil {
+		return v
+	}
+	switch xs := v.(type) {
+	case bat.Ints:
+		return bat.Ints(fetch(xs, sel))
+	case bat.Times:
+		return bat.Times(fetch(xs, sel))
+	case bat.Floats:
+		return bat.Floats(fetch(xs, sel))
+	case bat.Strs:
+		return bat.Strs(fetch(xs, sel))
+	case bat.Bools:
+		return bat.Bools(fetch(xs, sel))
+	}
+	panic(fmt.Sprintf("algebra: Fetch on unknown vector %T", v))
+}
+
+func fetch[T any](xs []T, sel Sel) []T {
+	out := make([]T, len(sel))
+	for k, i := range sel {
+		out[k] = xs[i]
+	}
+	return out
+}
+
+// FetchChunk reconstructs every column of a chunk at the given candidate
+// list.
+func FetchChunk(c *bat.Chunk, sel Sel) *bat.Chunk {
+	if sel == nil {
+		return c
+	}
+	cols := make([]bat.Vector, len(c.Cols))
+	for i, col := range c.Cols {
+		cols[i] = Fetch(col, sel)
+	}
+	return &bat.Chunk{Schema: c.Schema, Cols: cols}
+}
+
+// Gather is Fetch with an int32 index list that may repeat or be unsorted
+// (join results, sort orders). Unlike Fetch's candidate-list convention, a
+// nil index list means "no rows" — a zero-match join yields an empty
+// result, not the whole input.
+func Gather(v bat.Vector, idx []int32) bat.Vector {
+	if idx == nil {
+		idx = []int32{}
+	}
+	return Fetch(v, Sel(idx))
+}

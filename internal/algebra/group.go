@@ -1,0 +1,102 @@
+package algebra
+
+import (
+	"datacell/internal/bat"
+)
+
+// Grouping is the result of a Group call: a dense group id per qualifying
+// input row, the number of groups, and one representative input position
+// per group (in first-appearance order), from which the key columns can be
+// reconstructed with Fetch.
+type Grouping struct {
+	// GIDs[k] is the group of the k-th qualifying row (the k-th row of
+	// sel, or row k if sel is nil).
+	GIDs []int32
+	// N is the number of distinct groups.
+	N int
+	// Repr[g] is the input position of the first row of group g.
+	Repr Sel
+}
+
+// Group computes a dense grouping of the rows covered by sel over one or
+// more key columns. With no key columns it returns a single group covering
+// all rows (the SQL "aggregate without GROUP BY" case), or zero groups if
+// the input is empty.
+func Group(keys []bat.Vector, sel Sel, n int) Grouping {
+	rows := SelLen(sel, n)
+	if len(keys) == 0 {
+		g := Grouping{GIDs: make([]int32, rows)}
+		if rows > 0 {
+			g.N = 1
+			g.Repr = Sel{firstPos(sel)}
+		}
+		return g
+	}
+	if len(keys) == 1 {
+		if isIntKind(keys[0]) {
+			return groupInt(bat.AsInts(keys[0]), sel, rows)
+		}
+		if xs, ok := keys[0].(bat.Strs); ok {
+			return groupStr(xs, sel, rows)
+		}
+	}
+	return groupComposite(keys, sel, rows)
+}
+
+func firstPos(sel Sel) int32 {
+	if sel == nil {
+		return 0
+	}
+	return sel[0]
+}
+
+func groupInt(xs []int64, sel Sel, rows int) Grouping {
+	g := Grouping{GIDs: make([]int32, 0, rows)}
+	ids := make(map[int64]int32, 64)
+	eachSel(xs, sel, func(i int32, x int64) {
+		id, ok := ids[x]
+		if !ok {
+			id = int32(g.N)
+			ids[x] = id
+			g.N++
+			g.Repr = append(g.Repr, i)
+		}
+		g.GIDs = append(g.GIDs, id)
+	})
+	return g
+}
+
+func groupStr(xs []string, sel Sel, rows int) Grouping {
+	g := Grouping{GIDs: make([]int32, 0, rows)}
+	ids := make(map[string]int32, 64)
+	eachSel(xs, sel, func(i int32, x string) {
+		id, ok := ids[x]
+		if !ok {
+			id = int32(g.N)
+			ids[x] = id
+			g.N++
+			g.Repr = append(g.Repr, i)
+		}
+		g.GIDs = append(g.GIDs, id)
+	})
+	return g
+}
+
+func groupComposite(keys []bat.Vector, sel Sel, rows int) Grouping {
+	g := Grouping{GIDs: make([]int32, 0, rows)}
+	ids := make(map[string]int32, 64)
+	var buf []byte
+	n := keys[0].Len()
+	forSel(sel, n, func(i int32) {
+		buf = encodeKey(buf[:0], keys, i)
+		id, ok := ids[string(buf)]
+		if !ok {
+			id = int32(g.N)
+			ids[string(buf)] = id
+			g.N++
+			g.Repr = append(g.Repr, i)
+		}
+		g.GIDs = append(g.GIDs, id)
+	})
+	return g
+}

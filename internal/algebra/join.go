@@ -1,0 +1,144 @@
+package algebra
+
+import (
+	"encoding/binary"
+	"math"
+
+	"datacell/internal/bat"
+)
+
+// HashJoin computes the equi-join of two sides over one or more key
+// columns. It returns parallel index lists (lout, rout): row lout[k] of the
+// left side matches row rout[k] of the right side. Candidate lists restrict
+// each side. The build side is the right side; callers put the smaller
+// input on the right.
+//
+// Keys of Int/Time kind use a fast single-column path; everything else goes
+// through a composite binary key encoding.
+func HashJoin(lkeys, rkeys []bat.Vector, lsel, rsel Sel) (lout, rout []int32) {
+	if len(lkeys) != len(rkeys) || len(lkeys) == 0 {
+		panic("algebra: HashJoin key arity mismatch")
+	}
+	if len(lkeys) == 1 {
+		if isIntKind(lkeys[0]) && isIntKind(rkeys[0]) {
+			return hashJoinInt(bat.AsInts(lkeys[0]), bat.AsInts(rkeys[0]), lsel, rsel)
+		}
+		if ls, ok := lkeys[0].(bat.Strs); ok {
+			if rs, ok := rkeys[0].(bat.Strs); ok {
+				return hashJoinStr(ls, rs, lsel, rsel)
+			}
+		}
+	}
+	return hashJoinComposite(lkeys, rkeys, lsel, rsel)
+}
+
+func isIntKind(v bat.Vector) bool {
+	k := v.Kind()
+	return k == bat.Int || k == bat.Time
+}
+
+func hashJoinInt(l, r []int64, lsel, rsel Sel) (lout, rout []int32) {
+	ht := make(map[int64][]int32, SelLen(rsel, len(r)))
+	eachSel(r, rsel, func(i int32, x int64) {
+		ht[x] = append(ht[x], i)
+	})
+	eachSel(l, lsel, func(i int32, x int64) {
+		for _, j := range ht[x] {
+			lout = append(lout, i)
+			rout = append(rout, j)
+		}
+	})
+	return lout, rout
+}
+
+func hashJoinStr(l, r []string, lsel, rsel Sel) (lout, rout []int32) {
+	ht := make(map[string][]int32, SelLen(rsel, len(r)))
+	eachSel(r, rsel, func(i int32, x string) {
+		ht[x] = append(ht[x], i)
+	})
+	eachSel(l, lsel, func(i int32, x string) {
+		for _, j := range ht[x] {
+			lout = append(lout, i)
+			rout = append(rout, j)
+		}
+	})
+	return lout, rout
+}
+
+func hashJoinComposite(lkeys, rkeys []bat.Vector, lsel, rsel Sel) (lout, rout []int32) {
+	ht := make(map[string][]int32)
+	var buf []byte
+	rn := rkeys[0].Len()
+	forSel(rsel, rn, func(i int32) {
+		buf = encodeKey(buf[:0], rkeys, i)
+		ht[string(buf)] = append(ht[string(buf)], i)
+	})
+	ln := lkeys[0].Len()
+	forSel(lsel, ln, func(i int32) {
+		buf = encodeKey(buf[:0], lkeys, i)
+		for _, j := range ht[string(buf)] {
+			lout = append(lout, i)
+			rout = append(rout, j)
+		}
+	})
+	return lout, rout
+}
+
+// forSel iterates positions of a candidate list over n rows (nil = all).
+func forSel(sel Sel, n int, f func(i int32)) {
+	if sel == nil {
+		for i := int32(0); i < int32(n); i++ {
+			f(i)
+		}
+		return
+	}
+	for _, i := range sel {
+		f(i)
+	}
+}
+
+// encodeKey appends a self-delimiting binary encoding of row i of the key
+// columns, usable as a hash map key. Numeric values encode fixed-width;
+// strings length-prefixed.
+func encodeKey(buf []byte, keys []bat.Vector, i int32) []byte {
+	var tmp [8]byte
+	for _, k := range keys {
+		switch xs := k.(type) {
+		case bat.Ints:
+			binary.LittleEndian.PutUint64(tmp[:], uint64(xs[i]))
+			buf = append(buf, tmp[:]...)
+		case bat.Times:
+			binary.LittleEndian.PutUint64(tmp[:], uint64(xs[i]))
+			buf = append(buf, tmp[:]...)
+		case bat.Floats:
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(xs[i]))
+			buf = append(buf, tmp[:]...)
+		case bat.Strs:
+			binary.LittleEndian.PutUint64(tmp[:], uint64(len(xs[i])))
+			buf = append(buf, tmp[:]...)
+			buf = append(buf, xs[i]...)
+		case bat.Bools:
+			if xs[i] {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return buf
+}
+
+// NestedLoopJoin is the naive reference join used by tests and as the
+// fallback for non-equi predicates: it emits every (l, r) pair for which
+// pred returns true.
+func NestedLoopJoin(ln, rn int, lsel, rsel Sel, pred func(l, r int32) bool) (lout, rout []int32) {
+	forSel(lsel, ln, func(i int32) {
+		forSel(rsel, rn, func(j int32) {
+			if pred(i, j) {
+				lout = append(lout, i)
+				rout = append(rout, j)
+			}
+		})
+	})
+	return lout, rout
+}

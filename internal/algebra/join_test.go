@@ -1,0 +1,172 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacell/internal/bat"
+)
+
+func TestHashJoinInt(t *testing.T) {
+	l := ints(1, 2, 3, 2)
+	r := ints(2, 4, 2)
+	lout, rout := HashJoin([]bat.Vector{l}, []bat.Vector{r}, nil, nil)
+	// l rows 1 and 3 (value 2) each match r rows 0 and 2.
+	if len(lout) != 4 {
+		t.Fatalf("match count = %d, want 4", len(lout))
+	}
+	for k := range lout {
+		if l[lout[k]] != r[rout[k]] {
+			t.Errorf("pair %d: %d != %d", k, l[lout[k]], r[rout[k]])
+		}
+	}
+}
+
+func TestHashJoinStr(t *testing.T) {
+	l := bat.Strs{"a", "b"}
+	r := bat.Strs{"b", "b", "c"}
+	lout, rout := HashJoin([]bat.Vector{l}, []bat.Vector{r}, nil, nil)
+	if len(lout) != 2 {
+		t.Fatalf("match count = %d, want 2", len(lout))
+	}
+	for k := range lout {
+		if l[lout[k]] != r[rout[k]] {
+			t.Errorf("pair %d mismatched", k)
+		}
+	}
+}
+
+func TestHashJoinComposite(t *testing.T) {
+	l1, l2 := ints(1, 1, 2), bat.Strs{"x", "y", "x"}
+	r1, r2 := ints(1, 2), bat.Strs{"x", "x"}
+	lout, rout := HashJoin(
+		[]bat.Vector{l1, l2}, []bat.Vector{r1, r2}, nil, nil)
+	if len(lout) != 2 {
+		t.Fatalf("match count = %d, want 2", len(lout))
+	}
+	for k := range lout {
+		if l1[lout[k]] != r1[rout[k]] || l2[lout[k]] != r2[rout[k]] {
+			t.Errorf("pair %d mismatched", k)
+		}
+	}
+}
+
+func TestHashJoinWithCandidates(t *testing.T) {
+	l := ints(1, 2, 3)
+	r := ints(1, 2, 3)
+	lout, rout := HashJoin([]bat.Vector{l}, []bat.Vector{r}, Sel{0, 1}, Sel{1, 2})
+	if len(lout) != 1 || l[lout[0]] != 2 || r[rout[0]] != 2 {
+		t.Errorf("candidate-restricted join = %v/%v", lout, rout)
+	}
+}
+
+func TestHashJoinFloatKeys(t *testing.T) {
+	l := bat.Floats{1.5, 2.5}
+	r := bat.Floats{2.5}
+	lout, rout := HashJoin([]bat.Vector{l}, []bat.Vector{r}, nil, nil)
+	if len(lout) != 1 || lout[0] != 1 || rout[0] != 0 {
+		t.Errorf("float join = %v/%v", lout, rout)
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	l := ints(1, 2, 3)
+	r := ints(2, 3)
+	lout, rout := NestedLoopJoin(3, 2, nil, nil, func(i, j int32) bool {
+		return l[i] < r[j]
+	})
+	if len(lout) != 3 { // (1,2) (1,3) (2,3)
+		t.Fatalf("non-equi matches = %d, want 3", len(lout))
+	}
+	_ = rout
+}
+
+// Property: HashJoin ≡ NestedLoopJoin with equality predicate, as sets of
+// pairs.
+func TestQuickHashJoinMatchesNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		ln, rn := rng.Intn(30), rng.Intn(30)
+		l := make(bat.Ints, ln)
+		r := make(bat.Ints, rn)
+		for i := range l {
+			l[i] = int64(rng.Intn(8))
+		}
+		for i := range r {
+			r[i] = int64(rng.Intn(8))
+		}
+		hl, hr := HashJoin([]bat.Vector{l}, []bat.Vector{r}, nil, nil)
+		nl, nr := NestedLoopJoin(ln, rn, nil, nil, func(i, j int32) bool {
+			return l[i] == r[j]
+		})
+		if len(hl) != len(nl) {
+			t.Fatalf("iter %d: hash %d pairs, nested %d pairs", iter, len(hl), len(nl))
+		}
+		pairs := make(map[[2]int32]int)
+		for k := range hl {
+			pairs[[2]int32{hl[k], hr[k]}]++
+		}
+		for k := range nl {
+			pairs[[2]int32{nl[k], nr[k]}]--
+		}
+		for p, c := range pairs {
+			if c != 0 {
+				t.Fatalf("iter %d: pair %v count diff %d", iter, p, c)
+			}
+		}
+	}
+}
+
+func TestFetch(t *testing.T) {
+	v := ints(10, 20, 30, 40)
+	got := Fetch(v, Sel{3, 1})
+	if got.Len() != 2 || got.Get(0).I != 40 || got.Get(1).I != 20 {
+		t.Errorf("Fetch = %v", bat.VectorString(got))
+	}
+	if Fetch(v, nil).Len() != 4 {
+		t.Error("Fetch nil sel should be identity")
+	}
+	s := Fetch(bat.Strs{"a", "b"}, Sel{1})
+	if s.Get(0).S != "b" {
+		t.Errorf("Fetch strs = %v", bat.VectorString(s))
+	}
+	bl := Fetch(bat.Bools{true, false}, Sel{1})
+	if bl.Get(0).B {
+		t.Error("Fetch bools wrong")
+	}
+	tm := Fetch(bat.Times{5, 6}, Sel{0})
+	if tm.Kind() != bat.Time || tm.Get(0).I != 5 {
+		t.Error("Fetch times wrong")
+	}
+	fl := Fetch(bat.Floats{1.5, 2.5}, Sel{0})
+	if fl.Get(0).F != 1.5 {
+		t.Error("Fetch floats wrong")
+	}
+}
+
+func TestFetchChunk(t *testing.T) {
+	sch := bat.NewSchema([]string{"a", "b"}, []bat.Kind{bat.Int, bat.Str})
+	c := bat.NewChunk(sch)
+	_ = c.AppendRow(bat.IntValue(1), bat.StrValue("x"))
+	_ = c.AppendRow(bat.IntValue(2), bat.StrValue("y"))
+	got := FetchChunk(c, Sel{1})
+	if got.Rows() != 1 || got.Row(0)[1].S != "y" {
+		t.Errorf("FetchChunk = %v", got)
+	}
+	if FetchChunk(c, nil) != c {
+		t.Error("FetchChunk nil sel should be identity")
+	}
+}
+
+func TestGatherNilMeansEmpty(t *testing.T) {
+	// Regression: a zero-match join produces nil index lists; Gather must
+	// return an empty vector, not the whole input (Fetch's nil-candidate
+	// convention).
+	v := ints(1, 2, 3)
+	if got := Gather(v, nil); got.Len() != 0 {
+		t.Errorf("Gather(nil) = %d rows, want 0", got.Len())
+	}
+	if got := Gather(v, []int32{2, 0, 2}); got.Len() != 3 || got.Get(0).I != 3 {
+		t.Errorf("Gather = %v", bat.VectorString(got))
+	}
+}

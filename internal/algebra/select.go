@@ -1,0 +1,321 @@
+// Package algebra implements the bulk (vector-at-a-time) relational
+// operators of the DataCell-Go kernel, mirroring the MonetDB columnar
+// algebra the paper builds on: operators consume whole column vectors plus
+// an optional candidate list and produce new vectors or candidate lists.
+//
+// A candidate list (Sel) is a sorted list of qualifying row positions — the
+// columnar intermediate that the paper's incremental processing strategy
+// caches and reuses ("we can selectively keep around the proper
+// intermediates at the proper places of a plan").
+package algebra
+
+import (
+	"fmt"
+
+	"datacell/internal/bat"
+)
+
+// Sel is a candidate list: strictly increasing positions into a vector.
+// A nil Sel means "all rows". Positions are int32, as dense selection
+// vectors are the cache-resident intermediate of choice in columnar
+// engines.
+type Sel []int32
+
+// AllSel materializes the identity candidate list [0, n).
+func AllSel(n int) Sel {
+	s := make(Sel, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+// SelLen reports how many rows a candidate list covers over a vector of n
+// rows (nil means all).
+func SelLen(sel Sel, n int) int {
+	if sel == nil {
+		return n
+	}
+	return len(sel)
+}
+
+// CmpOp is a comparison operator for selections and join predicates.
+type CmpOp uint8
+
+// The comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String renders the SQL form of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Select filters a vector with a single comparison against a constant and
+// returns the qualifying candidate list, intersected with sel.
+func Select(v bat.Vector, sel Sel, op CmpOp, c bat.Value) Sel {
+	switch xs := v.(type) {
+	case bat.Ints:
+		return selectCmp(xs, sel, op, c.AsInt())
+	case bat.Times:
+		return selectCmp(xs, sel, op, c.AsInt())
+	case bat.Floats:
+		return selectCmp(xs, sel, op, c.AsFloat())
+	case bat.Strs:
+		return selectCmp(xs, sel, op, c.S)
+	case bat.Bools:
+		return selectBool(xs, sel, op, c.B)
+	}
+	panic(fmt.Sprintf("algebra: Select on unknown vector %T", v))
+}
+
+// SelectRange filters v to lo <= x <= hi (bounds optional, inclusivity
+// configurable), in one pass — the MonetDB theta-select. Nil bounds are
+// open.
+func SelectRange(v bat.Vector, sel Sel, lo, hi *bat.Value, loIncl, hiIncl bool) Sel {
+	switch xs := v.(type) {
+	case bat.Ints:
+		return selectRange(xs, sel, intBound(lo), intBound(hi), loIncl, hiIncl, lo != nil, hi != nil)
+	case bat.Times:
+		return selectRange(xs, sel, intBound(lo), intBound(hi), loIncl, hiIncl, lo != nil, hi != nil)
+	case bat.Floats:
+		return selectRange(xs, sel, floatBound(lo), floatBound(hi), loIncl, hiIncl, lo != nil, hi != nil)
+	case bat.Strs:
+		return selectRange(xs, sel, strBound(lo), strBound(hi), loIncl, hiIncl, lo != nil, hi != nil)
+	}
+	panic(fmt.Sprintf("algebra: SelectRange on %s vector", v.Kind()))
+}
+
+func intBound(v *bat.Value) int64 {
+	if v == nil {
+		return 0
+	}
+	return v.AsInt()
+}
+
+func floatBound(v *bat.Value) float64 {
+	if v == nil {
+		return 0
+	}
+	return v.AsFloat()
+}
+
+func strBound(v *bat.Value) string {
+	if v == nil {
+		return ""
+	}
+	return v.S
+}
+
+// selectCmp is the generic single-comparison kernel. The comparison
+// operator is hoisted out of the loop (one loop per op) so the inner loops
+// stay branch-predictable, in the bulk-processing style the paper relies
+// on.
+func selectCmp[T int64 | float64 | string](xs []T, sel Sel, op CmpOp, c T) Sel {
+	out := make(Sel, 0, SelLen(sel, len(xs))/4+4)
+	push := func(i int32) { out = append(out, i) }
+	switch op {
+	case EQ:
+		eachSel(xs, sel, func(i int32, x T) {
+			if x == c {
+				push(i)
+			}
+		})
+	case NE:
+		eachSel(xs, sel, func(i int32, x T) {
+			if x != c {
+				push(i)
+			}
+		})
+	case LT:
+		eachSel(xs, sel, func(i int32, x T) {
+			if x < c {
+				push(i)
+			}
+		})
+	case LE:
+		eachSel(xs, sel, func(i int32, x T) {
+			if x <= c {
+				push(i)
+			}
+		})
+	case GT:
+		eachSel(xs, sel, func(i int32, x T) {
+			if x > c {
+				push(i)
+			}
+		})
+	case GE:
+		eachSel(xs, sel, func(i int32, x T) {
+			if x >= c {
+				push(i)
+			}
+		})
+	}
+	return out
+}
+
+func selectBool(xs []bool, sel Sel, op CmpOp, c bool) Sel {
+	out := make(Sel, 0, 8)
+	eachSel(xs, sel, func(i int32, x bool) {
+		keep := false
+		switch op {
+		case EQ:
+			keep = x == c
+		case NE:
+			keep = x != c
+		default:
+			// Ordered comparisons on booleans use false < true.
+			bi, ci := b2i(x), b2i(c)
+			switch op {
+			case LT:
+				keep = bi < ci
+			case LE:
+				keep = bi <= ci
+			case GT:
+				keep = bi > ci
+			case GE:
+				keep = bi >= ci
+			}
+		}
+		if keep {
+			out = append(out, i)
+		}
+	})
+	return out
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func selectRange[T int64 | float64 | string](xs []T, sel Sel, lo, hi T, loIncl, hiIncl, hasLo, hasHi bool) Sel {
+	out := make(Sel, 0, SelLen(sel, len(xs))/4+4)
+	eachSel(xs, sel, func(i int32, x T) {
+		if hasLo {
+			if loIncl {
+				if x < lo {
+					return
+				}
+			} else if x <= lo {
+				return
+			}
+		}
+		if hasHi {
+			if hiIncl {
+				if x > hi {
+					return
+				}
+			} else if x >= hi {
+				return
+			}
+		}
+		out = append(out, i)
+	})
+	return out
+}
+
+// eachSel iterates a slice restricted to a candidate list.
+func eachSel[T any](xs []T, sel Sel, f func(i int32, x T)) {
+	if sel == nil {
+		for i, x := range xs {
+			f(int32(i), x)
+		}
+		return
+	}
+	for _, i := range sel {
+		f(i, xs[i])
+	}
+}
+
+// SelIntersect intersects two sorted candidate lists (nil = all).
+func SelIntersect(a, b Sel) Sel {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(Sel, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// SelUnion merges two sorted candidate lists (nil = all rows, which
+// dominates).
+func SelUnion(a, b Sel, n int) Sel {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := make(Sel, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// SelComplement returns all positions in [0, n) not present in sorted a.
+func SelComplement(a Sel, n int) Sel {
+	if a == nil {
+		return Sel{}
+	}
+	out := make(Sel, 0, n-len(a))
+	j := 0
+	for i := int32(0); i < int32(n); i++ {
+		if j < len(a) && a[j] == i {
+			j++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datacell/internal/bat"
+)
+
+func ints(xs ...int64) bat.Ints { return bat.Ints(xs) }
+
+func selEqual(a, b Sel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectOps(t *testing.T) {
+	v := ints(5, 1, 9, 5, 3)
+	cases := []struct {
+		op   CmpOp
+		c    int64
+		want Sel
+	}{
+		{EQ, 5, Sel{0, 3}},
+		{NE, 5, Sel{1, 2, 4}},
+		{LT, 5, Sel{1, 4}},
+		{LE, 5, Sel{0, 1, 3, 4}},
+		{GT, 5, Sel{2}},
+		{GE, 5, Sel{0, 2, 3}},
+	}
+	for _, c := range cases {
+		got := Select(v, nil, c.op, bat.IntValue(c.c))
+		if !selEqual(got, c.want) {
+			t.Errorf("Select %s %d = %v, want %v", c.op, c.c, got, c.want)
+		}
+	}
+}
+
+func TestSelectWithCandidates(t *testing.T) {
+	v := ints(5, 1, 9, 5, 3)
+	got := Select(v, Sel{0, 2, 4}, GE, bat.IntValue(4))
+	if !selEqual(got, Sel{0, 2}) {
+		t.Errorf("Select with candidates = %v", got)
+	}
+}
+
+func TestSelectFloatsStrsBools(t *testing.T) {
+	f := bat.Floats{1.5, 2.5, 3.5}
+	if got := Select(f, nil, GT, bat.FloatValue(2.0)); !selEqual(got, Sel{1, 2}) {
+		t.Errorf("float select = %v", got)
+	}
+	s := bat.Strs{"b", "a", "c"}
+	if got := Select(s, nil, LE, bat.StrValue("b")); !selEqual(got, Sel{0, 1}) {
+		t.Errorf("string select = %v", got)
+	}
+	b := bat.Bools{true, false, true}
+	if got := Select(b, nil, EQ, bat.BoolValue(true)); !selEqual(got, Sel{0, 2}) {
+		t.Errorf("bool select = %v", got)
+	}
+	if got := Select(b, nil, NE, bat.BoolValue(true)); !selEqual(got, Sel{1}) {
+		t.Errorf("bool NE select = %v", got)
+	}
+	if got := Select(b, nil, LT, bat.BoolValue(true)); !selEqual(got, Sel{1}) {
+		t.Errorf("bool LT select = %v", got)
+	}
+}
+
+func TestSelectTimes(t *testing.T) {
+	v := bat.Times{100, 200, 300}
+	if got := Select(v, nil, GE, bat.TimeValue(200)); !selEqual(got, Sel{1, 2}) {
+		t.Errorf("time select = %v", got)
+	}
+}
+
+func TestSelectRange(t *testing.T) {
+	v := ints(1, 2, 3, 4, 5)
+	lo, hi := bat.IntValue(2), bat.IntValue(4)
+	if got := SelectRange(v, nil, &lo, &hi, true, true); !selEqual(got, Sel{1, 2, 3}) {
+		t.Errorf("closed range = %v", got)
+	}
+	if got := SelectRange(v, nil, &lo, &hi, false, false); !selEqual(got, Sel{2}) {
+		t.Errorf("open range = %v", got)
+	}
+	if got := SelectRange(v, nil, &lo, nil, true, true); !selEqual(got, Sel{1, 2, 3, 4}) {
+		t.Errorf("lower-only range = %v", got)
+	}
+	if got := SelectRange(v, nil, nil, &hi, true, false); !selEqual(got, Sel{0, 1, 2}) {
+		t.Errorf("upper-only range = %v", got)
+	}
+}
+
+func TestSelSetOps(t *testing.T) {
+	a, b := Sel{1, 3, 5}, Sel{3, 4, 5, 7}
+	if got := SelIntersect(a, b); !selEqual(got, Sel{3, 5}) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := SelIntersect(nil, b); !selEqual(got, b) {
+		t.Errorf("intersect nil = %v", got)
+	}
+	if got := SelUnion(a, b, 8); !selEqual(got, Sel{1, 3, 4, 5, 7}) {
+		t.Errorf("union = %v", got)
+	}
+	if got := SelUnion(a, nil, 8); got != nil {
+		t.Errorf("union with nil should be nil (all), got %v", got)
+	}
+	if got := SelComplement(a, 6); !selEqual(got, Sel{0, 2, 4}) {
+		t.Errorf("complement = %v", got)
+	}
+	if got := SelComplement(nil, 3); len(got) != 0 {
+		t.Errorf("complement of all = %v", got)
+	}
+}
+
+func TestAllSelAndSelLen(t *testing.T) {
+	if got := AllSel(3); !selEqual(got, Sel{0, 1, 2}) {
+		t.Errorf("AllSel = %v", got)
+	}
+	if SelLen(nil, 7) != 7 || SelLen(Sel{1}, 7) != 1 {
+		t.Error("SelLen wrong")
+	}
+}
+
+// naiveSelect is the row-at-a-time reference.
+func naiveSelect(xs []int64, op CmpOp, c int64) Sel {
+	var out Sel
+	for i, x := range xs {
+		keep := false
+		switch op {
+		case EQ:
+			keep = x == c
+		case NE:
+			keep = x != c
+		case LT:
+			keep = x < c
+		case LE:
+			keep = x <= c
+		case GT:
+			keep = x > c
+		case GE:
+			keep = x >= c
+		}
+		if keep {
+			out = append(out, int32(i))
+		}
+	}
+	if out == nil {
+		out = Sel{}
+	}
+	return out
+}
+
+// Property: bulk Select ≡ naive row-at-a-time select for every operator.
+func TestQuickSelectMatchesNaive(t *testing.T) {
+	f := func(xs []int64, c int64, opRaw uint8) bool {
+		op := CmpOp(opRaw % 6)
+		// Shrink the domain so matches actually occur.
+		for i := range xs {
+			xs[i] %= 16
+		}
+		c %= 16
+		got := Select(bat.Ints(xs), nil, op, bat.IntValue(c))
+		want := naiveSelect(xs, op, c)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return selEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SelectRange ≡ composing two Selects.
+func TestQuickSelectRangeMatchesComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(50)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(20))
+		}
+		lo := bat.IntValue(int64(rng.Intn(20)))
+		hi := bat.IntValue(lo.I + int64(rng.Intn(10)))
+		v := bat.Ints(xs)
+		got := SelectRange(v, nil, &lo, &hi, true, true)
+		want := SelIntersect(
+			Select(v, nil, GE, lo),
+			Select(v, nil, LE, hi),
+		)
+		if !selEqual(got, want) {
+			t.Fatalf("iter %d: range=%v composed=%v xs=%v lo=%v hi=%v",
+				iter, got, want, xs, lo, hi)
+		}
+	}
+}

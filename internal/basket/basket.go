@@ -1,0 +1,306 @@
+// Package basket implements DataCell's baskets: lightweight columnar
+// tables that buffer in-flight stream tuples. A receptor appends incoming
+// events to a basket; the continuous queries bound to the stream each hold
+// a read cursor into it; and "once a tuple has been seen by all relevant
+// queries, it is dropped from its basket" (paper §3) — implemented here by
+// vacuuming the prefix below the minimum cursor.
+//
+// In the Petri-net scheduler, baskets are the places: appends raise tokens
+// that enable the factory transitions reading from them.
+package basket
+
+import (
+	"fmt"
+	"sync"
+
+	"datacell/internal/bat"
+)
+
+// Basket buffers stream tuples between a receptor and the factories of the
+// continuous queries bound to the stream. It is safe for concurrent use.
+type Basket struct {
+	name   string
+	schema bat.Schema
+
+	mu        sync.Mutex
+	cols      []bat.Vector
+	arrivals  bat.Ints // per-row arrival stamp, microseconds
+	base      int64    // absolute row id of cols[*][0]
+	consumers map[int]int64
+	nextID    int
+	totalIn   int64
+	totalDrop int64
+	onAppend  []func()
+	paused    bool
+	pending   []*bat.Chunk // appends buffered while paused
+	pendStamp []int64
+}
+
+// New creates an empty basket for the given stream schema.
+func New(name string, schema bat.Schema) *Basket {
+	return &Basket{
+		name:      name,
+		schema:    schema,
+		cols:      bat.NewChunk(schema).Cols,
+		consumers: make(map[int]int64),
+	}
+}
+
+// Name reports the stream the basket belongs to.
+func (b *Basket) Name() string { return b.name }
+
+// Schema reports the column layout.
+func (b *Basket) Schema() bat.Schema { return b.schema }
+
+// OnAppend registers a callback invoked (outside the basket lock) after
+// every append. The scheduler uses it as the Petri-net token notification.
+func (b *Basket) OnAppend(f func()) {
+	b.mu.Lock()
+	b.onAppend = append(b.onAppend, f)
+	b.mu.Unlock()
+}
+
+// Register adds a consumer whose cursor starts at the current end of the
+// basket: a freshly registered query sees only tuples arriving after it,
+// matching the paper's continuous-query semantics. It returns the consumer
+// id.
+func (b *Basket) Register() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextID
+	b.nextID++
+	b.consumers[id] = b.base + int64(b.len())
+	return id
+}
+
+// Unregister removes a consumer and vacuums any tuples only it was
+// holding.
+func (b *Basket) Unregister(id int) {
+	b.mu.Lock()
+	delete(b.consumers, id)
+	b.vacuumLocked()
+	b.mu.Unlock()
+}
+
+// Consumers reports the number of registered consumers.
+func (b *Basket) Consumers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.consumers)
+}
+
+// Append adds a chunk of stream tuples, all stamped with the same arrival
+// time (microseconds; receptors pass the wall clock, benchmarks may pass
+// logical time). The chunk's columns must match the basket schema by kind
+// and arity.
+func (b *Basket) Append(c *bat.Chunk, arrival int64) error {
+	if len(c.Cols) != len(b.schema.Kinds) {
+		return fmt.Errorf("basket %s: append of %d columns, want %d",
+			b.name, len(c.Cols), len(b.schema.Kinds))
+	}
+	for i, col := range c.Cols {
+		if col.Kind() != b.schema.Kinds[i] {
+			return fmt.Errorf("basket %s: column %d is %s, want %s",
+				b.name, i, col.Kind(), b.schema.Kinds[i])
+		}
+	}
+	b.mu.Lock()
+	if b.paused {
+		// Paused streams hold arrivals back; they flow in on Resume,
+		// which is how the demo's per-stream pause behaves.
+		b.pending = append(b.pending, c)
+		b.pendStamp = append(b.pendStamp, arrival)
+		b.mu.Unlock()
+		return nil
+	}
+	b.appendLocked(c, arrival)
+	subs := b.onAppend
+	b.mu.Unlock()
+	for _, f := range subs {
+		f()
+	}
+	return nil
+}
+
+func (b *Basket) appendLocked(c *bat.Chunk, arrival int64) {
+	rows := c.Rows()
+	for i := range b.cols {
+		b.cols[i] = b.cols[i].AppendVector(c.Cols[i])
+	}
+	for i := 0; i < rows; i++ {
+		b.arrivals = append(b.arrivals, arrival)
+	}
+	b.totalIn += int64(rows)
+}
+
+// Pause makes subsequent appends queue inside the basket instead of
+// becoming visible to consumers.
+func (b *Basket) Pause() {
+	b.mu.Lock()
+	b.paused = true
+	b.mu.Unlock()
+}
+
+// Resume releases a paused basket, flushing any held appends, and fires
+// the append notifications if anything flowed in.
+func (b *Basket) Resume() {
+	b.mu.Lock()
+	b.paused = false
+	flushed := len(b.pending) > 0
+	for i, c := range b.pending {
+		b.appendLocked(c, b.pendStamp[i])
+	}
+	b.pending, b.pendStamp = nil, nil
+	subs := b.onAppend
+	b.mu.Unlock()
+	if flushed {
+		for _, f := range subs {
+			f()
+		}
+	}
+}
+
+// Paused reports whether the basket is holding arrivals back.
+func (b *Basket) Paused() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.paused
+}
+
+func (b *Basket) len() int {
+	if len(b.cols) == 0 {
+		return int(b.arrivals.Len())
+	}
+	return b.cols[0].Len()
+}
+
+// Available reports how many tuples are pending for the given consumer.
+func (b *Basket) Available(id int) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, ok := b.consumers[id]
+	if !ok {
+		return 0
+	}
+	return b.base + int64(b.len()) - cur
+}
+
+// Peek returns up to n pending tuples for the consumer without consuming
+// them, plus their arrival stamps. The returned chunk is a view; it stays
+// valid after concurrent appends and vacuums (vacuum reallocates, old
+// views keep the old arrays). It returns nil when nothing is pending.
+func (b *Basket) Peek(id int, n int) (*bat.Chunk, bat.Ints) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, ok := b.consumers[id]
+	if !ok {
+		return nil, nil
+	}
+	lo := int(cur - b.base)
+	hi := b.len()
+	if hi-lo > n {
+		hi = lo + n
+	}
+	if hi <= lo {
+		return nil, nil
+	}
+	cols := make([]bat.Vector, len(b.cols))
+	for i, col := range b.cols {
+		cols[i] = col.Slice(lo, hi)
+	}
+	return &bat.Chunk{Schema: b.schema, Cols: cols},
+		b.arrivals[lo:hi:hi]
+}
+
+// Snapshot returns a copy of everything currently buffered in the basket,
+// regardless of consumer cursors. One-time queries use it to read a stream
+// as if it were a table — the paper's integration of baskets and tables in
+// one processing fabric.
+func (b *Basket) Snapshot() *bat.Chunk {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cols := make([]bat.Vector, len(b.cols))
+	for i, col := range b.cols {
+		cols[i] = col.Slice(0, b.len())
+	}
+	return &bat.Chunk{Schema: b.schema, Cols: cols}
+}
+
+// Consume advances the consumer's cursor by n tuples and vacuums tuples
+// every consumer has passed.
+func (b *Basket) Consume(id int, n int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, ok := b.consumers[id]
+	if !ok {
+		return
+	}
+	hi := b.base + int64(b.len())
+	cur += n
+	if cur > hi {
+		cur = hi
+	}
+	b.consumers[id] = cur
+	b.vacuumLocked()
+}
+
+// vacuumThreshold is how far the minimum cursor may run ahead of the base
+// before the consumed prefix is physically dropped. Batching the drops
+// amortizes the copy.
+const vacuumThreshold = 4096
+
+func (b *Basket) vacuumLocked() {
+	if len(b.consumers) == 0 {
+		// No queries bound: the basket would grow without bound, so drop
+		// everything (nobody can ever read it).
+		n := b.len()
+		if n > 0 {
+			b.dropPrefixLocked(n)
+		}
+		return
+	}
+	minCur := b.base + int64(b.len())
+	for _, c := range b.consumers {
+		if c < minCur {
+			minCur = c
+		}
+	}
+	if minCur-b.base >= vacuumThreshold {
+		b.dropPrefixLocked(int(minCur - b.base))
+	}
+}
+
+func (b *Basket) dropPrefixLocked(n int) {
+	hi := b.len()
+	for i, col := range b.cols {
+		b.cols[i] = col.CopyRange(n, hi)
+	}
+	b.arrivals = b.arrivals.CopyRange(n, int(b.arrivals.Len())).(bat.Ints)
+	b.base += int64(n)
+	b.totalDrop += int64(n)
+}
+
+// Stats is a snapshot of the basket's counters, feeding the demo's
+// analysis pane.
+type Stats struct {
+	Name      string
+	Len       int   // tuples currently buffered
+	TotalIn   int64 // tuples ever appended
+	TotalDrop int64 // tuples dropped after full consumption
+	Consumers int
+	Paused    bool
+}
+
+// Stats returns a snapshot of the basket's counters.
+func (b *Basket) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		Name:      b.name,
+		Len:       b.len(),
+		TotalIn:   b.totalIn,
+		TotalDrop: b.totalDrop,
+		Consumers: len(b.consumers),
+		Paused:    b.paused,
+	}
+}

@@ -1,0 +1,68 @@
+// Package bat implements the columnar storage layer of DataCell-Go.
+//
+// It mirrors the storage model of MonetDB, the column-store that the
+// DataCell paper builds on: every relational column is stored as a Binary
+// Association Table (BAT) whose head is a dense sequence of row ids (a
+// "void" column, represented implicitly by a sequence base) and whose tail
+// is a typed, densely packed vector of values. All query operators in
+// internal/algebra work on these vectors in bulk, producing either new
+// vectors or candidate lists (selection vectors), which is what enables the
+// incremental window processing described in the paper: intermediates are
+// plain columnar values that can be cached and merged cheaply.
+package bat
+
+import "fmt"
+
+// Kind identifies the value type stored in a Vector. DataCell-Go supports
+// the scalar types exercised by the paper's workloads: 64-bit integers,
+// 64-bit floats, strings, booleans and microsecond-precision timestamps.
+type Kind uint8
+
+// The supported column types.
+const (
+	Int   Kind = iota // int64
+	Float             // float64
+	Str               // string
+	Bool              // bool
+	Time              // int64 microseconds since the Unix epoch
+)
+
+// String returns the SQL-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case Str:
+		return "STRING"
+	case Bool:
+		return "BOOL"
+	case Time:
+		return "TIMESTAMP"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether the kind supports arithmetic.
+func (k Kind) Numeric() bool { return k == Int || k == Float || k == Time }
+
+// ParseKind maps a SQL type name to a Kind. It accepts the common aliases
+// used by the demo scenarios (INTEGER, BIGINT, DOUBLE, REAL, VARCHAR, ...).
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT":
+		return Int, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return Float, nil
+	case "STRING", "VARCHAR", "CHAR", "TEXT", "CLOB":
+		return Str, nil
+	case "BOOL", "BOOLEAN":
+		return Bool, nil
+	case "TIMESTAMP", "TIME", "DATE":
+		return Time, nil
+	default:
+		return 0, fmt.Errorf("bat: unknown type %q", name)
+	}
+}

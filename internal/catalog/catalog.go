@@ -1,0 +1,226 @@
+// Package catalog holds the schema objects of a DataCell instance:
+// persistent tables (ordinary column-store relations backed by BATs) and
+// streams (schemas whose live data lives in a basket). The natural
+// integration of both kinds in one catalog is what lets a single factory
+// "interact both with tables and baskets" (paper §3, Two Query Paradigms).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+)
+
+// Table is a persistent columnar relation. Appends take the write lock;
+// Snapshot returns an immutable view (Go slice semantics make previously
+// captured views safe across later appends).
+type Table struct {
+	Name   string
+	schema bat.Schema
+
+	mu   sync.RWMutex
+	cols []bat.Vector
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema bat.Schema) *Table {
+	return &Table{Name: name, schema: schema, cols: bat.NewChunk(schema).Cols}
+}
+
+// Schema reports the column layout.
+func (t *Table) Schema() bat.Schema { return t.schema }
+
+// Append adds rows from a chunk with matching column kinds.
+func (t *Table) Append(c *bat.Chunk) error {
+	if len(c.Cols) != len(t.schema.Kinds) {
+		return fmt.Errorf("table %s: append of %d columns, want %d",
+			t.Name, len(c.Cols), len(t.schema.Kinds))
+	}
+	for i, col := range c.Cols {
+		if col.Kind() != t.schema.Kinds[i] {
+			return fmt.Errorf("table %s: column %d is %s, want %s",
+				t.Name, i, col.Kind(), t.schema.Kinds[i])
+		}
+	}
+	t.mu.Lock()
+	for i := range t.cols {
+		t.cols[i] = t.cols[i].AppendVector(c.Cols[i])
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// Snapshot returns the table's current contents as a chunk view.
+func (t *Table) Snapshot() *bat.Chunk {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cols := make([]bat.Vector, len(t.cols))
+	copy(cols, t.cols)
+	return &bat.Chunk{Schema: t.schema, Cols: cols}
+}
+
+// Rows reports the current row count.
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].Len()
+}
+
+// Stream couples a stream schema with its input basket.
+type Stream struct {
+	Name   string
+	schema bat.Schema
+	Basket *basket.Basket
+}
+
+// Schema reports the column layout.
+func (s *Stream) Schema() bat.Schema { return s.schema }
+
+// DefaultTimeCol returns the name of the stream's first TIMESTAMP column,
+// the default ordering attribute for time-based windows, or "" if none.
+func (s *Stream) DefaultTimeCol() string {
+	for i, k := range s.schema.Kinds {
+		if k == bat.Time {
+			return s.schema.Names[i]
+		}
+	}
+	return ""
+}
+
+// Catalog is the name → object registry. All methods are safe for
+// concurrent use.
+type Catalog struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	streams map[string]*Stream
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*Table),
+		streams: make(map[string]*Stream),
+	}
+}
+
+// CreateTable registers a new persistent table.
+func (c *Catalog) CreateTable(name string, schema bat.Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.freeLocked(name); err != nil {
+		return nil, err
+	}
+	t := NewTable(name, schema)
+	c.tables[name] = t
+	return t, nil
+}
+
+// CreateStream registers a new stream and allocates its basket.
+func (c *Catalog) CreateStream(name string, schema bat.Schema) (*Stream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.freeLocked(name); err != nil {
+		return nil, err
+	}
+	s := &Stream{Name: name, schema: schema, Basket: basket.New(name, schema)}
+	c.streams[name] = s
+	return s, nil
+}
+
+func (c *Catalog) freeLocked(name string) error {
+	if _, ok := c.tables[name]; ok {
+		return fmt.Errorf("catalog: %q already exists as a table", name)
+	}
+	if _, ok := c.streams[name]; ok {
+		return fmt.Errorf("catalog: %q already exists as a stream", name)
+	}
+	return nil
+}
+
+// Table looks up a persistent table.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Stream looks up a stream.
+func (c *Catalog) Stream(name string) (*Stream, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.streams[name]
+	return s, ok
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// DropStream removes a stream. The caller (the engine) is responsible for
+// stopping the queries bound to it first.
+func (c *Catalog) DropStream(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.streams[name]; !ok {
+		return fmt.Errorf("catalog: no stream %q", name)
+	}
+	delete(c.streams, name)
+	return nil
+}
+
+// TableNames lists tables in sorted order.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StreamNames lists streams in sorted order.
+func (c *Catalog) StreamNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.streams))
+	for n := range c.streams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemaFromDefs converts parsed column definitions (name, SQL type name)
+// into a schema. It is shared by the engine's DDL paths.
+func SchemaFromDefs(names []string, types []string) (bat.Schema, error) {
+	kinds := make([]bat.Kind, len(types))
+	seen := make(map[string]bool, len(names))
+	for i, tn := range types {
+		k, err := bat.ParseKind(tn)
+		if err != nil {
+			return bat.Schema{}, err
+		}
+		kinds[i] = k
+		if seen[names[i]] {
+			return bat.Schema{}, fmt.Errorf("catalog: duplicate column %q", names[i])
+		}
+		seen[names[i]] = true
+	}
+	return bat.NewSchema(names, kinds), nil
+}

@@ -1,0 +1,144 @@
+package catalog
+
+import (
+	"testing"
+
+	"datacell/internal/bat"
+)
+
+func sch() bat.Schema {
+	return bat.NewSchema([]string{"id", "v"}, []bat.Kind{bat.Int, bat.Float})
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("t", sch()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateStream("s", sch()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("t"); !ok {
+		t.Error("table not found")
+	}
+	if _, ok := c.Stream("s"); !ok {
+		t.Error("stream not found")
+	}
+	if _, ok := c.Table("s"); ok {
+		t.Error("stream visible as table")
+	}
+}
+
+func TestNameCollisions(t *testing.T) {
+	c := New()
+	_, _ = c.CreateTable("x", sch())
+	if _, err := c.CreateTable("x", sch()); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, err := c.CreateStream("x", sch()); err == nil {
+		t.Error("stream colliding with table should fail")
+	}
+	_, _ = c.CreateStream("y", sch())
+	if _, err := c.CreateTable("y", sch()); err == nil {
+		t.Error("table colliding with stream should fail")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c := New()
+	_, _ = c.CreateTable("t", sch())
+	_, _ = c.CreateStream("s", sch())
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("double drop should fail")
+	}
+	if err := c.DropStream("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropStream("nope"); err == nil {
+		t.Error("dropping unknown stream should fail")
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := New()
+	_, _ = c.CreateTable("b", sch())
+	_, _ = c.CreateTable("a", sch())
+	_, _ = c.CreateStream("z", sch())
+	tn := c.TableNames()
+	if len(tn) != 2 || tn[0] != "a" || tn[1] != "b" {
+		t.Errorf("TableNames = %v", tn)
+	}
+	if sn := c.StreamNames(); len(sn) != 1 || sn[0] != "z" {
+		t.Errorf("StreamNames = %v", sn)
+	}
+}
+
+func TestTableAppendSnapshot(t *testing.T) {
+	tab := NewTable("t", sch())
+	c := bat.NewChunk(sch())
+	_ = c.AppendRow(bat.IntValue(1), bat.FloatValue(0.5))
+	if err := tab.Append(c); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 1 {
+		t.Errorf("Rows = %d", tab.Rows())
+	}
+	snap := tab.Snapshot()
+	// Later appends must not disturb the snapshot.
+	_ = tab.Append(c)
+	if snap.Rows() != 1 {
+		t.Error("snapshot mutated by later append")
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("Rows after second append = %d", tab.Rows())
+	}
+}
+
+func TestTableAppendValidation(t *testing.T) {
+	tab := NewTable("t", sch())
+	bad := bat.NewChunk(bat.NewSchema([]string{"x"}, []bat.Kind{bat.Int}))
+	if err := tab.Append(bad); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	wrong := bat.NewChunk(bat.NewSchema([]string{"id", "v"}, []bat.Kind{bat.Int, bat.Str}))
+	if err := tab.Append(wrong); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+}
+
+func TestStreamDefaultTimeCol(t *testing.T) {
+	c := New()
+	s, _ := c.CreateStream("ev", bat.NewSchema(
+		[]string{"v", "ts", "ts2"},
+		[]bat.Kind{bat.Int, bat.Time, bat.Time},
+	))
+	if got := s.DefaultTimeCol(); got != "ts" {
+		t.Errorf("DefaultTimeCol = %q", got)
+	}
+	s2, _ := c.CreateStream("no_ts", sch())
+	if got := s2.DefaultTimeCol(); got != "" {
+		t.Errorf("DefaultTimeCol = %q, want empty", got)
+	}
+	if s.Basket == nil || s.Basket.Name() != "ev" {
+		t.Error("stream basket not wired")
+	}
+}
+
+func TestSchemaFromDefs(t *testing.T) {
+	s, err := SchemaFromDefs([]string{"a", "b"}, []string{"INT", "DOUBLE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kinds[1] != bat.Float {
+		t.Errorf("kinds = %v", s.Kinds)
+	}
+	if _, err := SchemaFromDefs([]string{"a"}, []string{"BLOB"}); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if _, err := SchemaFromDefs([]string{"a", "a"}, []string{"INT", "INT"}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+}

@@ -1,0 +1,142 @@
+package emitter
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"datacell/internal/bat"
+)
+
+func testChunk() *bat.Chunk {
+	c := bat.NewChunk(bat.NewSchema([]string{"k", "v"}, []bat.Kind{bat.Int, bat.Str}))
+	_ = c.AppendRow(bat.IntValue(1), bat.StrValue("a"))
+	_ = c.AppendRow(bat.IntValue(2), bat.StrValue("b"))
+	return c
+}
+
+func TestChannelEmitter(t *testing.T) {
+	e := NewChannel(2)
+	e.Emit(testChunk(), Meta{Query: "q", Seq: 0})
+	e.Emit(testChunk(), Meta{Query: "q", Seq: 1})
+	e.Emit(testChunk(), Meta{Query: "q", Seq: 2}) // buffer full → dropped
+	if e.Dropped() != 1 {
+		t.Errorf("Dropped = %d", e.Dropped())
+	}
+	r := <-e.Out()
+	if r.Meta.Seq != 0 || r.Chunk.Rows() != 2 {
+		t.Errorf("result = %+v", r.Meta)
+	}
+	e.Close()
+	e.Close() // idempotent
+	e.Emit(testChunk(), Meta{})
+	if e.Dropped() != 2 {
+		t.Errorf("Dropped after close = %d", e.Dropped())
+	}
+	// Channel is closed: drain remaining then zero value.
+	<-e.Out()
+	if _, ok := <-e.Out(); ok {
+		t.Error("channel should be closed")
+	}
+}
+
+func TestWriterEmitter(t *testing.T) {
+	var sb strings.Builder
+	e := NewWriter(&sb, true)
+	e.Emit(testChunk(), Meta{Query: "q", Seq: 3, LatencyUsec: 42})
+	e.Close()
+	out := sb.String()
+	if !strings.Contains(out, "# q seq=3 rows=2 latency=42us") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1,a\n2,b\n") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	var sb2 strings.Builder
+	e2 := NewWriter(&sb2, false)
+	e2.Emit(testChunk(), Meta{})
+	if strings.Contains(sb2.String(), "#") {
+		t.Error("unexpected header")
+	}
+}
+
+func TestFuncAndNullAndMulti(t *testing.T) {
+	var got int
+	f := Func(func(c *bat.Chunk, m Meta) { got += c.Rows() })
+	m := Multi{f, Null{}}
+	m.Emit(testChunk(), Meta{})
+	m.Close()
+	if got != 2 {
+		t.Errorf("func emitter rows = %d", got)
+	}
+}
+
+func TestTCPServerEmitter(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Wait for the server to register the client.
+	for i := 0; i < 100 && s.Clients() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Clients() != 1 {
+		t.Fatalf("clients = %d", s.Clients())
+	}
+	s.Emit(testChunk(), Meta{Query: "net", Seq: 7})
+	rd := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	header, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(header, "net seq=7") {
+		t.Errorf("header = %q", header)
+	}
+	line, _ := rd.ReadString('\n')
+	if strings.TrimSpace(line) != "1,a" {
+		t.Errorf("row = %q", line)
+	}
+}
+
+func TestTCPServerDropsDeadClients(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, _ := net.Dial("tcp", s.Addr())
+	for i := 0; i < 100 && s.Clients() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	_ = conn.Close()
+	// Emitting to a closed client eventually drops it without blocking.
+	for i := 0; i < 10; i++ {
+		s.Emit(testChunk(), Meta{})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Clients() > 0 && time.Now().Before(deadline) {
+		s.Emit(testChunk(), Meta{})
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Clients() != 0 {
+		t.Error("dead client not dropped")
+	}
+}
+
+func TestTCPServerCloseIdempotent(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment functions are exercised at toy scale: correctness of the
+// numbers they derive is covered by the engine tests; here we check that
+// each harness runs, produces the advertised columns, and that the
+// headline shapes hold where they are deterministic.
+
+func TestE1Shape(t *testing.T) {
+	tab := E1ReevalVsIncremental([]int64{512, 2048}, 8)
+	if len(tab.Rows) != 2 || len(tab.Header) != 6 {
+		t.Fatalf("table = %+v", tab)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "speedup") {
+		t.Errorf("render:\n%s", out)
+	}
+	// Both modes saw the same number of evaluations per row.
+	for _, r := range tab.Rows {
+		if evals, _ := strconv.Atoi(r[5]); evals < 2 {
+			t.Errorf("too few evals: %v", r)
+		}
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tab := E2SlideSweep(2048, []int64{8, 2, 1})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Slides must sweep up to the tumbling case (slide == window).
+	if tab.Rows[2][0] != "2048" {
+		t.Errorf("last slide = %s", tab.Rows[2][0])
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tab := E3QueryComplexity(512, 128)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	names := []string{"select-project", "grouped aggregate", "stream join", "join + aggregate"}
+	for i, r := range tab.Rows {
+		if r[0] != names[i] {
+			t.Errorf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tab := E4StreamTableJoin([]int{100, 1000}, 8192)
+	if len(tab.Rows) != 3 { // stream-only + 2 dim sizes
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "stream-only" {
+		t.Errorf("baseline row = %v", tab.Rows[0])
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tab := E5QueryNetwork([]int{1, 4}, 4096)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	e1, _ := strconv.Atoi(tab.Rows[0][3])
+	e4, _ := strconv.Atoi(tab.Rows[1][3])
+	if e4 != 4*e1 {
+		t.Errorf("evals should scale linearly with queries: %d vs %d", e1, e4)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tab := E6LinearRoad([]int{1}, 180)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][6] != "true" {
+		t.Errorf("LR constraint failed at toy scale: %v", tab.Rows[0])
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tab, analysis := E7Analysis(8192, 4)
+	if len(tab.Rows) < 2 {
+		t.Fatalf("intervals = %d", len(tab.Rows))
+	}
+	if !strings.Contains(analysis, "basket s:") || !strings.Contains(analysis, "query watch:") {
+		t.Errorf("analysis pane:\n%s", analysis)
+	}
+}
+
+func TestSensorChunksDeterministic(t *testing.T) {
+	a := sensorChunks(1000, 128, 8)
+	b := sensorChunks(1000, 128, 8)
+	if len(a) != len(b) || len(a) != 8 {
+		t.Fatalf("chunks = %d", len(a))
+	}
+	total := 0
+	for i := range a {
+		total += a[i].Rows()
+		if a[i].Rows() != b[i].Rows() {
+			t.Fatal("nondeterministic chunking")
+		}
+	}
+	if total != 1000 {
+		t.Errorf("total = %d", total)
+	}
+	// Keys stay within [0, nkeys).
+	for _, c := range a {
+		ks := c.Cols[1]
+		for i := 0; i < ks.Len(); i++ {
+			if k := ks.Get(i).I; k < 0 || k >= 8 {
+				t.Fatalf("key out of range: %d", k)
+			}
+		}
+	}
+}

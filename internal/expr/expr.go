@@ -1,0 +1,485 @@
+// Package expr implements typed, vectorized expression evaluation over
+// chunks. Expressions are compiled by the planner's binder from SQL ASTs:
+// column references are resolved to positional indexes, so evaluation never
+// looks up names. Evaluation is bulk: every node produces a whole vector,
+// and predicates produce candidate lists via the algebra kernels, so that
+// WHERE clauses run as MonetDB-style selections rather than per-row
+// interpretation.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"datacell/internal/algebra"
+	"datacell/internal/bat"
+)
+
+// Expr is a bound, typed expression.
+type Expr interface {
+	// Kind is the result type.
+	Kind() bat.Kind
+	// Eval produces the expression's value for every row covered by sel
+	// (nil = all rows), as a dense vector aligned with sel.
+	Eval(c *bat.Chunk, sel algebra.Sel) bat.Vector
+	// String renders the expression in SQL-ish form for plan printing.
+	String() string
+}
+
+// Col is a positional column reference.
+type Col struct {
+	Idx  int
+	K    bat.Kind
+	Name string // original name, for plan printing
+}
+
+// Kind implements Expr.
+func (e *Col) Kind() bat.Kind { return e.K }
+
+// Eval implements Expr.
+func (e *Col) Eval(c *bat.Chunk, sel algebra.Sel) bat.Vector {
+	return algebra.Fetch(c.Cols[e.Idx], sel)
+}
+
+// String implements Expr.
+func (e *Col) String() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return fmt.Sprintf("$%d", e.Idx)
+}
+
+// Const is a literal.
+type Const struct{ V bat.Value }
+
+// Kind implements Expr.
+func (e *Const) Kind() bat.Kind { return e.V.Kind }
+
+// Eval implements Expr.
+func (e *Const) Eval(c *bat.Chunk, sel algebra.Sel) bat.Vector {
+	n := algebra.SelLen(sel, c.Rows())
+	out := bat.NewVector(e.V.Kind, n)
+	for i := 0; i < n; i++ {
+		out = out.Append(e.V)
+	}
+	return out
+}
+
+// String implements Expr.
+func (e *Const) String() string {
+	if e.V.Kind == bat.Str {
+		return "'" + e.V.S + "'"
+	}
+	return e.V.String()
+}
+
+// ArithOp is a binary arithmetic operator.
+type ArithOp uint8
+
+// The arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+// String renders the operator symbol.
+func (op ArithOp) String() string { return [...]string{"+", "-", "*", "/", "%"}[op] }
+
+// Arith is a binary arithmetic node. Result typing follows SQL: if either
+// side is FLOAT the result is FLOAT (and division always widens to FLOAT
+// when either side is FLOAT); INT op INT stays INT with integer division;
+// TIME arithmetic degrades to its microsecond integer payload.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// ArithKind computes the result kind for an arithmetic node.
+func ArithKind(l, r bat.Kind) bat.Kind {
+	if l == bat.Float || r == bat.Float {
+		return bat.Float
+	}
+	return bat.Int
+}
+
+// Kind implements Expr.
+func (e *Arith) Kind() bat.Kind { return ArithKind(e.L.Kind(), e.R.Kind()) }
+
+// Eval implements Expr.
+func (e *Arith) Eval(c *bat.Chunk, sel algebra.Sel) bat.Vector {
+	l := e.L.Eval(c, sel)
+	r := e.R.Eval(c, sel)
+	if e.Kind() == bat.Float {
+		return arithKernel(toFloats(l), toFloats(r), e.Op)
+	}
+	return arithKernelInt(bat.AsInts(l), bat.AsInts(r), e.Op)
+}
+
+// String implements Expr.
+func (e *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+func arithKernel(l, r []float64, op ArithOp) bat.Floats {
+	out := make(bat.Floats, len(l))
+	switch op {
+	case Add:
+		for i := range l {
+			out[i] = l[i] + r[i]
+		}
+	case Sub:
+		for i := range l {
+			out[i] = l[i] - r[i]
+		}
+	case Mul:
+		for i := range l {
+			out[i] = l[i] * r[i]
+		}
+	case Div:
+		for i := range l {
+			out[i] = l[i] / r[i]
+		}
+	case Mod:
+		for i := range l {
+			out[i] = math.Mod(l[i], r[i])
+		}
+	}
+	return out
+}
+
+func arithKernelInt(l, r []int64, op ArithOp) bat.Ints {
+	out := make(bat.Ints, len(l))
+	switch op {
+	case Add:
+		for i := range l {
+			out[i] = l[i] + r[i]
+		}
+	case Sub:
+		for i := range l {
+			out[i] = l[i] - r[i]
+		}
+	case Mul:
+		for i := range l {
+			out[i] = l[i] * r[i]
+		}
+	case Div:
+		for i := range l {
+			if r[i] != 0 {
+				out[i] = l[i] / r[i]
+			}
+		}
+	case Mod:
+		for i := range l {
+			if r[i] != 0 {
+				out[i] = l[i] % r[i]
+			}
+		}
+	}
+	return out
+}
+
+func toFloats(v bat.Vector) bat.Floats {
+	switch xs := v.(type) {
+	case bat.Floats:
+		return xs
+	case bat.Ints:
+		out := make(bat.Floats, len(xs))
+		for i, x := range xs {
+			out[i] = float64(x)
+		}
+		return out
+	case bat.Times:
+		out := make(bat.Floats, len(xs))
+		for i, x := range xs {
+			out[i] = float64(x)
+		}
+		return out
+	}
+	panic(fmt.Sprintf("expr: cannot widen %s to FLOAT", v.Kind()))
+}
+
+// Cast converts a numeric expression to another numeric kind.
+type Cast struct {
+	To bat.Kind
+	E  Expr
+}
+
+// Kind implements Expr.
+func (e *Cast) Kind() bat.Kind { return e.To }
+
+// Eval implements Expr.
+func (e *Cast) Eval(c *bat.Chunk, sel algebra.Sel) bat.Vector {
+	v := e.E.Eval(c, sel)
+	if v.Kind() == e.To {
+		return v
+	}
+	switch e.To {
+	case bat.Float:
+		return toFloats(v)
+	case bat.Int:
+		switch xs := v.(type) {
+		case bat.Floats:
+			out := make(bat.Ints, len(xs))
+			for i, x := range xs {
+				out[i] = int64(x)
+			}
+			return out
+		case bat.Times:
+			return bat.Ints(bat.AsInts(v))
+		}
+	case bat.Time:
+		return bat.Times(bat.AsInts(v))
+	}
+	panic(fmt.Sprintf("expr: cast %s to %s", v.Kind(), e.To))
+}
+
+// String implements Expr.
+func (e *Cast) String() string { return fmt.Sprintf("cast(%s as %s)", e.E, e.To) }
+
+// Cmp is a comparison producing booleans.
+type Cmp struct {
+	Op   algebra.CmpOp
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (e *Cmp) Kind() bat.Kind { return bat.Bool }
+
+// Eval implements Expr.
+func (e *Cmp) Eval(c *bat.Chunk, sel algebra.Sel) bat.Vector {
+	l := e.L.Eval(c, sel)
+	r := e.R.Eval(c, sel)
+	n := l.Len()
+	out := make(bat.Bools, n)
+	lk, rk := l.Kind(), r.Kind()
+	if lk.Numeric() && rk.Numeric() && lk != rk {
+		lf, rf := toFloats(l), toFloats(r)
+		for i := 0; i < n; i++ {
+			out[i] = cmpHolds(e.Op, cmpOrd(lf[i], rf[i]))
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out[i] = cmpHolds(e.Op, l.Get(i).Compare(r.Get(i)))
+	}
+	return out
+}
+
+// String implements Expr.
+func (e *Cmp) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+
+func cmpHolds(op algebra.CmpOp, c int) bool {
+	switch op {
+	case algebra.EQ:
+		return c == 0
+	case algebra.NE:
+		return c != 0
+	case algebra.LT:
+		return c < 0
+	case algebra.LE:
+		return c <= 0
+	case algebra.GT:
+		return c > 0
+	case algebra.GE:
+		return c >= 0
+	}
+	return false
+}
+
+func cmpOrd(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// LogicOp is a boolean connective.
+type LogicOp uint8
+
+// The boolean connectives.
+const (
+	And LogicOp = iota
+	Or
+	Not
+)
+
+// Logic is a boolean combination node. R is nil for Not.
+type Logic struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (e *Logic) Kind() bat.Kind { return bat.Bool }
+
+// Eval implements Expr.
+func (e *Logic) Eval(c *bat.Chunk, sel algebra.Sel) bat.Vector {
+	l := e.L.Eval(c, sel).(bat.Bools)
+	if e.Op == Not {
+		out := make(bat.Bools, len(l))
+		for i, x := range l {
+			out[i] = !x
+		}
+		return out
+	}
+	r := e.R.Eval(c, sel).(bat.Bools)
+	out := make(bat.Bools, len(l))
+	if e.Op == And {
+		for i := range l {
+			out[i] = l[i] && r[i]
+		}
+	} else {
+		for i := range l {
+			out[i] = l[i] || r[i]
+		}
+	}
+	return out
+}
+
+// String implements Expr.
+func (e *Logic) String() string {
+	switch e.Op {
+	case Not:
+		return fmt.Sprintf("(not %s)", e.L)
+	case And:
+		return fmt.Sprintf("(%s and %s)", e.L, e.R)
+	default:
+		return fmt.Sprintf("(%s or %s)", e.L, e.R)
+	}
+}
+
+// Func is a scalar function call. The supported functions cover the demo
+// workloads: abs, floor, ceil, sqrt, round, lower, upper, length.
+type Func struct {
+	Name string
+	Args []Expr
+	K    bat.Kind
+}
+
+// ResolveFunc type-checks a scalar function call and returns the bound
+// node.
+func ResolveFunc(name string, args []Expr) (*Func, error) {
+	argn := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("expr: %s expects %d argument(s), got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "abs":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		if !args[0].Kind().Numeric() {
+			return nil, fmt.Errorf("expr: abs of %s", args[0].Kind())
+		}
+		return &Func{Name: name, Args: args, K: args[0].Kind()}, nil
+	case "floor", "ceil", "round", "sqrt":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		if !args[0].Kind().Numeric() {
+			return nil, fmt.Errorf("expr: %s of %s", name, args[0].Kind())
+		}
+		return &Func{Name: name, Args: args, K: bat.Float}, nil
+	case "lower", "upper":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		if args[0].Kind() != bat.Str {
+			return nil, fmt.Errorf("expr: %s of %s", name, args[0].Kind())
+		}
+		return &Func{Name: name, Args: args, K: bat.Str}, nil
+	case "length":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		if args[0].Kind() != bat.Str {
+			return nil, fmt.Errorf("expr: length of %s", args[0].Kind())
+		}
+		return &Func{Name: name, Args: args, K: bat.Int}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown function %q", name)
+	}
+}
+
+// Kind implements Expr.
+func (e *Func) Kind() bat.Kind { return e.K }
+
+// Eval implements Expr.
+func (e *Func) Eval(c *bat.Chunk, sel algebra.Sel) bat.Vector {
+	a := e.Args[0].Eval(c, sel)
+	switch e.Name {
+	case "abs":
+		switch xs := a.(type) {
+		case bat.Ints:
+			out := make(bat.Ints, len(xs))
+			for i, x := range xs {
+				if x < 0 {
+					x = -x
+				}
+				out[i] = x
+			}
+			return out
+		case bat.Floats:
+			out := make(bat.Floats, len(xs))
+			for i, x := range xs {
+				out[i] = math.Abs(x)
+			}
+			return out
+		}
+	case "floor", "ceil", "round", "sqrt":
+		xs := toFloats(a)
+		out := make(bat.Floats, len(xs))
+		var f func(float64) float64
+		switch e.Name {
+		case "floor":
+			f = math.Floor
+		case "ceil":
+			f = math.Ceil
+		case "round":
+			f = math.Round
+		case "sqrt":
+			f = math.Sqrt
+		}
+		for i, x := range xs {
+			out[i] = f(x)
+		}
+		return out
+	case "lower", "upper":
+		xs := a.(bat.Strs)
+		out := make(bat.Strs, len(xs))
+		for i, x := range xs {
+			if e.Name == "lower" {
+				out[i] = strings.ToLower(x)
+			} else {
+				out[i] = strings.ToUpper(x)
+			}
+		}
+		return out
+	case "length":
+		xs := a.(bat.Strs)
+		out := make(bat.Ints, len(xs))
+		for i, x := range xs {
+			out[i] = int64(len(x))
+		}
+		return out
+	}
+	panic("expr: unreachable function " + e.Name)
+}
+
+// String implements Expr.
+func (e *Func) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,375 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacell/internal/algebra"
+	"datacell/internal/bat"
+)
+
+// testChunk builds a chunk: a INT, b FLOAT, s STRING, t TIMESTAMP.
+func testChunk() *bat.Chunk {
+	sch := bat.NewSchema(
+		[]string{"a", "b", "s", "t"},
+		[]bat.Kind{bat.Int, bat.Float, bat.Str, bat.Time},
+	)
+	return &bat.Chunk{Schema: sch, Cols: []bat.Vector{
+		bat.Ints{1, -2, 3, 4},
+		bat.Floats{0.5, 1.5, -2.5, 3.5},
+		bat.Strs{"Ab", "cD", "e", "ff"},
+		bat.Times{100, 200, 300, 400},
+	}}
+}
+
+func colA() *Col { return &Col{Idx: 0, K: bat.Int, Name: "a"} }
+func colB() *Col { return &Col{Idx: 1, K: bat.Float, Name: "b"} }
+func colS() *Col { return &Col{Idx: 2, K: bat.Str, Name: "s"} }
+
+func TestColAndConstEval(t *testing.T) {
+	c := testChunk()
+	v := colA().Eval(c, nil)
+	if v.Len() != 4 || v.Get(1).I != -2 {
+		t.Errorf("col eval = %v", bat.VectorString(v))
+	}
+	v = colA().Eval(c, algebra.Sel{2, 3})
+	if v.Len() != 2 || v.Get(0).I != 3 {
+		t.Errorf("col eval with sel = %v", bat.VectorString(v))
+	}
+	k := (&Const{V: bat.IntValue(9)}).Eval(c, algebra.Sel{0, 1, 2})
+	if k.Len() != 3 || k.Get(2).I != 9 {
+		t.Errorf("const eval = %v", bat.VectorString(k))
+	}
+}
+
+func TestArithIntFloat(t *testing.T) {
+	c := testChunk()
+	sum := &Arith{Op: Add, L: colA(), R: &Const{V: bat.IntValue(10)}}
+	if sum.Kind() != bat.Int {
+		t.Error("int+int should be int")
+	}
+	v := sum.Eval(c, nil).(bat.Ints)
+	if v[0] != 11 || v[1] != 8 {
+		t.Errorf("int add = %v", v)
+	}
+	mix := &Arith{Op: Mul, L: colA(), R: colB()}
+	if mix.Kind() != bat.Float {
+		t.Error("int*float should be float")
+	}
+	f := mix.Eval(c, nil).(bat.Floats)
+	if f[0] != 0.5 || f[2] != -7.5 {
+		t.Errorf("mixed mul = %v", f)
+	}
+}
+
+func TestArithAllOps(t *testing.T) {
+	c := testChunk()
+	two := &Const{V: bat.IntValue(2)}
+	for op, want := range map[ArithOp]int64{
+		Add: 3, Sub: -1, Mul: 2, Div: 0, Mod: 1,
+	} {
+		e := &Arith{Op: op, L: colA(), R: two}
+		if got := e.Eval(c, nil).(bat.Ints)[0]; got != want {
+			t.Errorf("1 %s 2 = %d, want %d", op, got, want)
+		}
+	}
+	// Division by zero yields zero rather than a panic.
+	zero := &Const{V: bat.IntValue(0)}
+	if got := (&Arith{Op: Div, L: colA(), R: zero}).Eval(c, nil).(bat.Ints)[0]; got != 0 {
+		t.Errorf("div by zero = %d", got)
+	}
+	fhalf := &Const{V: bat.FloatValue(0.5)}
+	if got := (&Arith{Op: Div, L: colB(), R: fhalf}).Eval(c, nil).(bat.Floats)[0]; got != 1.0 {
+		t.Errorf("float div = %v", got)
+	}
+	if got := (&Arith{Op: Mod, L: colB(), R: fhalf}).Eval(c, nil).(bat.Floats)[1]; got != 0 {
+		t.Errorf("float mod = %v", got)
+	}
+}
+
+func TestCast(t *testing.T) {
+	c := testChunk()
+	f := &Cast{To: bat.Float, E: colA()}
+	if got := f.Eval(c, nil).(bat.Floats)[3]; got != 4.0 {
+		t.Errorf("int->float = %v", got)
+	}
+	i := &Cast{To: bat.Int, E: colB()}
+	if got := i.Eval(c, nil).(bat.Ints)[3]; got != 3 {
+		t.Errorf("float->int = %v", got)
+	}
+	same := &Cast{To: bat.Int, E: colA()}
+	if got := same.Eval(c, nil).(bat.Ints)[0]; got != 1 {
+		t.Errorf("noop cast = %v", got)
+	}
+	tcol := &Col{Idx: 3, K: bat.Time, Name: "t"}
+	ti := &Cast{To: bat.Int, E: tcol}
+	if got := ti.Eval(c, nil).(bat.Ints)[0]; got != 100 {
+		t.Errorf("time->int = %v", got)
+	}
+	it := &Cast{To: bat.Time, E: colA()}
+	if got := it.Eval(c, nil); got.Kind() != bat.Time {
+		t.Errorf("int->time kind = %v", got.Kind())
+	}
+}
+
+func TestCmp(t *testing.T) {
+	c := testChunk()
+	e := &Cmp{Op: algebra.GT, L: colA(), R: &Const{V: bat.IntValue(2)}}
+	v := e.Eval(c, nil).(bat.Bools)
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("cmp[%d] = %v", i, v[i])
+		}
+	}
+	// Cross-kind numeric comparison.
+	x := &Cmp{Op: algebra.LT, L: colA(), R: colB()}
+	xv := x.Eval(c, nil).(bat.Bools)
+	if xv[0] != false || xv[1] != true {
+		t.Errorf("cross-kind cmp = %v", xv)
+	}
+}
+
+func TestLogic(t *testing.T) {
+	c := testChunk()
+	gt0 := &Cmp{Op: algebra.GT, L: colA(), R: &Const{V: bat.IntValue(0)}}
+	lt4 := &Cmp{Op: algebra.LT, L: colA(), R: &Const{V: bat.IntValue(4)}}
+	and := &Logic{Op: And, L: gt0, R: lt4}
+	v := and.Eval(c, nil).(bat.Bools)
+	if !v[0] || v[1] || !v[2] || v[3] {
+		t.Errorf("and = %v", v)
+	}
+	or := &Logic{Op: Or, L: gt0, R: lt4}
+	ov := or.Eval(c, nil).(bat.Bools)
+	for i := range ov {
+		if !ov[i] {
+			t.Errorf("or[%d] should be true", i)
+		}
+	}
+	not := &Logic{Op: Not, L: gt0}
+	nv := not.Eval(c, nil).(bat.Bools)
+	if nv[0] || !nv[1] {
+		t.Errorf("not = %v", nv)
+	}
+}
+
+func TestFuncs(t *testing.T) {
+	c := testChunk()
+	abs, err := ResolveFunc("abs", []Expr{colA()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := abs.Eval(c, nil).(bat.Ints)[1]; got != 2 {
+		t.Errorf("abs = %v", got)
+	}
+	fabs, _ := ResolveFunc("abs", []Expr{colB()})
+	if got := fabs.Eval(c, nil).(bat.Floats)[2]; got != 2.5 {
+		t.Errorf("fabs = %v", got)
+	}
+	floor, _ := ResolveFunc("floor", []Expr{colB()})
+	if got := floor.Eval(c, nil).(bat.Floats)[1]; got != 1.0 {
+		t.Errorf("floor = %v", got)
+	}
+	sqrt, _ := ResolveFunc("sqrt", []Expr{&Const{V: bat.FloatValue(9)}})
+	if got := sqrt.Eval(c, nil).(bat.Floats)[0]; got != 3.0 {
+		t.Errorf("sqrt = %v", got)
+	}
+	lower, _ := ResolveFunc("lower", []Expr{colS()})
+	if got := lower.Eval(c, nil).(bat.Strs)[0]; got != "ab" {
+		t.Errorf("lower = %v", got)
+	}
+	upper, _ := ResolveFunc("upper", []Expr{colS()})
+	if got := upper.Eval(c, nil).(bat.Strs)[1]; got != "CD" {
+		t.Errorf("upper = %v", got)
+	}
+	length, _ := ResolveFunc("length", []Expr{colS()})
+	if got := length.Eval(c, nil).(bat.Ints)[3]; got != 2 {
+		t.Errorf("length = %v", got)
+	}
+}
+
+func TestResolveFuncErrors(t *testing.T) {
+	if _, err := ResolveFunc("nope", nil); err == nil {
+		t.Error("unknown function should fail")
+	}
+	if _, err := ResolveFunc("abs", []Expr{colA(), colA()}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := ResolveFunc("abs", []Expr{colS()}); err == nil {
+		t.Error("abs of string should fail")
+	}
+	if _, err := ResolveFunc("lower", []Expr{colA()}); err == nil {
+		t.Error("lower of int should fail")
+	}
+	if _, err := ResolveFunc("length", []Expr{colA()}); err == nil {
+		t.Error("length of int should fail")
+	}
+	if _, err := ResolveFunc("sqrt", []Expr{colS()}); err == nil {
+		t.Error("sqrt of string should fail")
+	}
+}
+
+func TestEvalPredFastPaths(t *testing.T) {
+	c := testChunk()
+	// col > const routes to algebra.Select.
+	p := &Cmp{Op: algebra.GT, L: colA(), R: &Const{V: bat.IntValue(1)}}
+	got := EvalPred(p, c, nil)
+	if len(got) != 2 || got[0] != 2 {
+		t.Errorf("pred = %v", got)
+	}
+	// const > col flips.
+	p2 := &Cmp{Op: algebra.GT, L: &Const{V: bat.IntValue(1)}, R: colA()}
+	got = EvalPred(p2, c, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("flipped pred = %v", got)
+	}
+	// AND pipelines.
+	and := &Logic{Op: And,
+		L: &Cmp{Op: algebra.GT, L: colA(), R: &Const{V: bat.IntValue(0)}},
+		R: &Cmp{Op: algebra.LT, L: colA(), R: &Const{V: bat.IntValue(4)}}}
+	got = EvalPred(and, c, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("and pred = %v", got)
+	}
+	// OR unions.
+	or := &Logic{Op: Or,
+		L: &Cmp{Op: algebra.EQ, L: colA(), R: &Const{V: bat.IntValue(1)}},
+		R: &Cmp{Op: algebra.EQ, L: colA(), R: &Const{V: bat.IntValue(4)}}}
+	got = EvalPred(or, c, nil)
+	if len(got) != 2 || got[1] != 3 {
+		t.Errorf("or pred = %v", got)
+	}
+	// NOT complements within sel.
+	not := &Logic{Op: Not, L: &Cmp{Op: algebra.GT, L: colA(), R: &Const{V: bat.IntValue(0)}}}
+	got = EvalPred(not, c, algebra.Sel{0, 1})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("not pred = %v", got)
+	}
+	// Constant true/false.
+	if got := EvalPred(&Const{V: bat.BoolValue(false)}, c, nil); len(got) != 0 {
+		t.Errorf("const false = %v", got)
+	}
+	if got := EvalPred(&Const{V: bat.BoolValue(true)}, c, algebra.Sel{1}); len(got) != 1 {
+		t.Errorf("const true = %v", got)
+	}
+	// Fallback path: arith inside comparison.
+	fb := &Cmp{Op: algebra.EQ,
+		L: &Arith{Op: Mod, L: colA(), R: &Const{V: bat.IntValue(2)}},
+		R: &Const{V: bat.IntValue(0)}}
+	got = EvalPred(fb, c, nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("fallback pred = %v", got)
+	}
+	// Fallback with sel keeps original positions.
+	got = EvalPred(fb, c, algebra.Sel{1, 2})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("fallback with sel = %v", got)
+	}
+}
+
+// Property: EvalPred fast paths agree with the naive boolean-vector route
+// for random conjunctive range predicates.
+func TestQuickEvalPredMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(60)
+		xs := make(bat.Ints, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(20))
+		}
+		c := &bat.Chunk{
+			Schema: bat.NewSchema([]string{"a"}, []bat.Kind{bat.Int}),
+			Cols:   []bat.Vector{xs},
+		}
+		a := &Col{Idx: 0, K: bat.Int}
+		lo, hi := int64(rng.Intn(20)), int64(rng.Intn(20))
+		p := &Logic{Op: And,
+			L: &Cmp{Op: algebra.GE, L: a, R: &Const{V: bat.IntValue(lo)}},
+			R: &Cmp{Op: algebra.LE, L: a, R: &Const{V: bat.IntValue(hi)}}}
+		fast := EvalPred(p, c, nil)
+		var naive algebra.Sel
+		bools := p.Eval(c, nil).(bat.Bools)
+		for i, b := range bools {
+			if b {
+				naive = append(naive, int32(i))
+			}
+		}
+		if len(fast) != len(naive) {
+			t.Fatalf("iter %d: fast %v naive %v", iter, fast, naive)
+		}
+		for i := range fast {
+			if fast[i] != naive[i] {
+				t.Fatalf("iter %d: fast %v naive %v", iter, fast, naive)
+			}
+		}
+	}
+}
+
+func TestSplitJoinConjuncts(t *testing.T) {
+	a := &Cmp{Op: algebra.EQ, L: colA(), R: &Const{V: bat.IntValue(1)}}
+	b := &Cmp{Op: algebra.EQ, L: colA(), R: &Const{V: bat.IntValue(2)}}
+	cc := &Cmp{Op: algebra.EQ, L: colA(), R: &Const{V: bat.IntValue(3)}}
+	e := &Logic{Op: And, L: &Logic{Op: And, L: a, R: b}, R: cc}
+	parts := SplitConjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("conjuncts = %d", len(parts))
+	}
+	re := JoinConjuncts(parts)
+	if re.String() != e.String() {
+		t.Errorf("rebuilt = %s, want %s", re, e)
+	}
+	if JoinConjuncts(nil) != nil {
+		t.Error("empty conjunction should be nil")
+	}
+}
+
+func TestColsAndRemap(t *testing.T) {
+	f, _ := ResolveFunc("abs", []Expr{colA()})
+	e := &Logic{Op: And,
+		L: &Cmp{Op: algebra.GT, L: f, R: &Const{V: bat.IntValue(0)}},
+		R: &Cmp{Op: algebra.LT, L: &Cast{To: bat.Float, E: colB()}, R: &Const{V: bat.FloatValue(9)}},
+	}
+	got := map[int]bool{}
+	Cols(e, got)
+	if !got[0] || !got[1] || len(got) != 2 {
+		t.Errorf("Cols = %v", got)
+	}
+	r := Remap(e, map[int]int{0: 5, 1: 6})
+	got = map[int]bool{}
+	Cols(r, got)
+	if !got[5] || !got[6] || len(got) != 2 {
+		t.Errorf("remapped Cols = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Remap of unmapped column should panic")
+		}
+	}()
+	Remap(colA(), map[int]int{3: 0})
+}
+
+func TestExprStrings(t *testing.T) {
+	e := &Logic{Op: And,
+		L: &Cmp{Op: algebra.GT, L: colA(), R: &Const{V: bat.IntValue(0)}},
+		R: &Logic{Op: Not, L: &Cmp{Op: algebra.EQ, L: colS(), R: &Const{V: bat.StrValue("x")}}},
+	}
+	if e.String() != "((a > 0) and (not (s = 'x')))" {
+		t.Errorf("String = %q", e.String())
+	}
+	ar := &Arith{Op: Add, L: colA(), R: &Const{V: bat.IntValue(1)}}
+	if ar.String() != "(a + 1)" {
+		t.Errorf("arith String = %q", ar.String())
+	}
+	cs := &Cast{To: bat.Float, E: colA()}
+	if cs.String() != "cast(a as FLOAT)" {
+		t.Errorf("cast String = %q", cs.String())
+	}
+	fn, _ := ResolveFunc("abs", []Expr{colA()})
+	if fn.String() != "abs(a)" {
+		t.Errorf("func String = %q", fn.String())
+	}
+	anon := &Col{Idx: 2, K: bat.Int}
+	if anon.String() != "$2" {
+		t.Errorf("anon col String = %q", anon.String())
+	}
+}

@@ -1,0 +1,425 @@
+// Package factory implements DataCell's factories: the co-routine-like
+// executors of continuous query plans (paper §3). "Each factory encloses a
+// (partial) query plan and produces a partial result at each call. For
+// this, a factory continuously reads data from the input baskets,
+// evaluates its query plan and creates a result set, which it then places
+// in its output baskets. The factory remains active as long as the
+// continuous query remains in the system."
+//
+// A factory runs in one of the paper's two execution modes:
+//
+//   - Re-evaluation (mode 1): every firing materializes the full current
+//     window (or the new batch, for non-windowed queries) and runs the
+//     complete plan.
+//   - Incremental (mode 2): per-basic-window intermediates are computed
+//     once, cached in columnar form, and merged per slide according to the
+//     plan decomposition.
+package factory
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/emitter"
+	"datacell/internal/plan"
+	"datacell/internal/window"
+)
+
+// Mode selects the execution strategy.
+type Mode uint8
+
+// The two execution modes of the demo (§4, Simple Re-evaluation Scenarios
+// and Sliding Window Processing).
+const (
+	Reeval Mode = iota
+	Incremental
+)
+
+// String renders the mode name.
+func (m Mode) String() string {
+	if m == Incremental {
+		return "incremental"
+	}
+	return "reeval"
+}
+
+// Config assembles a factory.
+type Config struct {
+	// Name is the continuous query name.
+	Name string
+	// Full is the optimized full plan (always required; re-evaluation runs
+	// it directly, incremental mode keeps it for inspection).
+	Full plan.Node
+	// Decomp is the incremental decomposition; required iff Mode is
+	// Incremental.
+	Decomp *plan.Decomposition
+	// Mode selects the execution strategy.
+	Mode Mode
+	// Emit receives every evaluation's result set.
+	Emit emitter.Emitter
+	// Now supplies the wall clock in microseconds; defaults to the system
+	// clock. Benchmarks inject logical clocks.
+	Now func() int64
+}
+
+// input wires one stream scan to its basket.
+type input struct {
+	scan   *plan.ScanStream
+	bk     *basket.Basket
+	cid    int
+	slicer *window.Slicer
+	ring   *window.Ring
+}
+
+// Stats is a snapshot of a factory's counters, feeding the demo's analysis
+// pane.
+type Stats struct {
+	Name        string
+	Mode        string
+	Firings     int64 // scheduler activations
+	Evals       int64 // window/batch evaluations (results emitted)
+	TuplesIn    int64
+	RowsOut     int64
+	BusyUsec    int64 // total time spent inside Step
+	LastLatency int64 // response time of the newest result (µs)
+	MaxLatency  int64
+	SumLatency  int64 // across evals, for averaging
+	CachedPairs int   // live join-pair cache entries (join plans)
+}
+
+// Factory executes one continuous query. Step is not reentrant: the
+// scheduler guarantees a single in-flight firing per factory.
+type Factory struct {
+	cfg    Config
+	inputs []*input
+	jc     *window.JoinCache
+	seq    int64
+
+	// stepMu serializes Step (scheduler-driven) with Advance
+	// (engine-driven watermarks); both mutate window state.
+	stepMu sync.Mutex
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New builds a factory and registers it as a consumer on every input
+// basket. bind maps each stream scan of the plan to its basket.
+func New(cfg Config, bind map[*plan.ScanStream]*basket.Basket) (*Factory, error) {
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixMicro() }
+	}
+	if cfg.Mode == Incremental && cfg.Decomp == nil {
+		return nil, fmt.Errorf("factory %s: incremental mode without decomposition", cfg.Name)
+	}
+	f := &Factory{cfg: cfg}
+	f.stats.Name = cfg.Name
+	f.stats.Mode = cfg.Mode.String()
+
+	scans := plan.Streams(cfg.Full)
+	if cfg.Mode == Incremental {
+		// Incremental execution reads through the decomposition's scans.
+		scans = nil
+		for _, p := range cfg.Decomp.Pipelines {
+			scans = append(scans, p.Scan)
+		}
+		if cfg.Decomp.Join != nil {
+			f.jc = window.NewJoinCache(cfg.Decomp.Join)
+		}
+	}
+	if len(scans) == 0 {
+		return nil, fmt.Errorf("factory %s: plan reads no stream", cfg.Name)
+	}
+	for _, s := range scans {
+		bk, ok := bind[s]
+		if !ok {
+			return nil, fmt.Errorf("factory %s: no basket bound for stream %q", cfg.Name, s.Alias)
+		}
+		in := &input{scan: s, bk: bk, cid: bk.Register()}
+		if s.Window != nil {
+			in.slicer = window.NewSlicer(s.Window, s.Out)
+			in.ring = window.NewRing(s.Window.Parts())
+		}
+		f.inputs = append(f.inputs, in)
+	}
+	return f, nil
+}
+
+// Name reports the query name.
+func (f *Factory) Name() string { return f.cfg.Name }
+
+// Mode reports the execution mode.
+func (f *Factory) Mode() Mode { return f.cfg.Mode }
+
+// Ready reports whether any input basket has pending tuples — the
+// factory's Petri-net firing condition.
+func (f *Factory) Ready() bool {
+	for _, in := range f.inputs {
+		if in.bk.Available(in.cid) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Baskets lists the names of the factory's input baskets (for the query
+// network view).
+func (f *Factory) Baskets() []string {
+	out := make([]string, len(f.inputs))
+	for i, in := range f.inputs {
+		out[i] = in.bk.Name()
+	}
+	return out
+}
+
+// PlanString renders the full (optimized) plan.
+func (f *Factory) PlanString() string { return plan.String(f.cfg.Full) }
+
+// ContinuousPlanString renders the continuous form: the incremental
+// decomposition when available, otherwise the full plan annotated with the
+// re-evaluation mode.
+func (f *Factory) ContinuousPlanString() string {
+	if f.cfg.Mode == Incremental {
+		return f.cfg.Decomp.ContinuousString()
+	}
+	return "-- re-evaluate per firing --\n" + plan.String(f.cfg.Full)
+}
+
+// Stop unregisters the factory from its baskets and closes its emitter.
+func (f *Factory) Stop() {
+	for _, in := range f.inputs {
+		in.bk.Unregister(in.cid)
+	}
+	f.cfg.Emit.Close()
+}
+
+// Stats returns a snapshot of the factory's counters.
+func (f *Factory) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	if f.jc != nil {
+		s.CachedPairs = f.jc.Pairs()
+	}
+	return s
+}
+
+// Step is one Petri-net transition firing: drain the input baskets,
+// advance window state, and evaluate whatever became complete. It returns
+// the number of result sets emitted.
+func (f *Factory) Step() int {
+	f.stepMu.Lock()
+	defer f.stepMu.Unlock()
+	start := f.cfg.Now()
+	emitted := 0
+	f.mu.Lock()
+	f.stats.Firings++
+	f.mu.Unlock()
+
+	windowed := f.inputs[0].slicer != nil
+	for idx, in := range f.inputs {
+		c, arrivals := in.bk.Peek(in.cid, int(in.bk.Available(in.cid)))
+		if c == nil {
+			continue
+		}
+		rows := c.Rows()
+		in.bk.Consume(in.cid, int64(rows))
+		f.mu.Lock()
+		f.stats.TuplesIn += int64(rows)
+		f.mu.Unlock()
+
+		if !windowed {
+			emitted += f.evalBatch(in.scan, c, arrivals)
+			continue
+		}
+		for _, bw := range in.slicer.Push(c, arrivals) {
+			emitted += f.onBasicWindow(idx, bw)
+		}
+	}
+
+	f.mu.Lock()
+	f.stats.BusyUsec += f.cfg.Now() - start
+	f.mu.Unlock()
+	return emitted
+}
+
+// Advance closes time-window buckets up to the watermark (microsecond
+// timestamp) on every time-windowed input — the scheduler's time
+// constraint / heartbeat path for idle streams.
+func (f *Factory) Advance(watermark int64) int {
+	f.stepMu.Lock()
+	defer f.stepMu.Unlock()
+	emitted := 0
+	for idx, in := range f.inputs {
+		if in.slicer == nil {
+			continue
+		}
+		for _, bw := range in.slicer.AdvanceTime(watermark) {
+			emitted += f.onBasicWindow(idx, bw)
+		}
+	}
+	return emitted
+}
+
+// evalBatch handles non-windowed continuous queries: the paper's mode 1
+// applied to each arriving batch. The batch feeds its own scan; any other
+// stream scans in the plan see empty input this firing and are evaluated
+// in their own firings as their data arrives.
+func (f *Factory) evalBatch(scan *plan.ScanStream, c *bat.Chunk, arrivals bat.Ints) int {
+	var maxArr int64
+	for _, a := range arrivals {
+		if a > maxArr {
+			maxArr = a
+		}
+	}
+	ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{scan: c}}
+	out, err := ex.Run(f.cfg.Full)
+	if err != nil {
+		return 0
+	}
+	f.emit(out, maxArr, f.seq)
+	return 1
+}
+
+// onBasicWindow advances the window state of input idx with a completed
+// basic window and evaluates if a slide completed.
+func (f *Factory) onBasicWindow(idx int, bw *window.BW) int {
+	in := f.inputs[idx]
+	if f.cfg.Mode == Reeval {
+		in.ring.Push(bw)
+		if !f.ringsFull() {
+			return 0
+		}
+		ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{}}
+		for _, i2 := range f.inputs {
+			ex.StreamInputs[i2.scan] = i2.ring.ConcatData(i2.scan.Out)
+		}
+		out, err := ex.Run(f.cfg.Full)
+		if err != nil {
+			return 0
+		}
+		f.emit(out, f.triggerArrival(bw), bw.Gen)
+		return 1
+	}
+	return f.incrementalStep(idx, bw)
+}
+
+func (f *Factory) ringsFull() bool {
+	for _, in := range f.inputs {
+		if !in.ring.Full() {
+			return false
+		}
+	}
+	return true
+}
+
+// triggerArrival picks the arrival stamp representing the data that
+// triggered this evaluation: the new basic window's newest tuple, falling
+// back to the window's newest tuple when the basic window was empty.
+func (f *Factory) triggerArrival(bw *window.BW) int64 {
+	if bw.MaxArrival > 0 {
+		return bw.MaxArrival
+	}
+	var m int64
+	for _, in := range f.inputs {
+		if in.ring != nil {
+			if a := in.ring.MaxArrival(); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+// incrementalStep is the paper's mode 2: evaluate the per-basic-window
+// pipeline once, cache the intermediate, and merge cached intermediates
+// when a slide completes.
+func (f *Factory) incrementalStep(idx int, bw *window.BW) int {
+	d := f.cfg.Decomp
+	in := f.inputs[idx]
+	pipe := d.Pipelines[idx]
+
+	// Run the per-basic-window fragment.
+	ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: bw.Data}}
+	out, err := ex.Run(pipe.Root)
+	if err != nil {
+		return 0
+	}
+	bw.Out = out
+	if d.Agg != nil {
+		bw.Partial = plan.RunAggregate(d.Agg, out)
+	}
+
+	evicted := in.ring.Push(bw)
+	if f.jc != nil {
+		if evicted != nil {
+			if idx == 0 {
+				f.jc.EvictLeft(evicted.Gen)
+			} else {
+				f.jc.EvictRight(evicted.Gen)
+			}
+		}
+		other := f.inputs[1-idx]
+		if idx == 0 {
+			f.jc.AddLeft(bw, other.ring.Live())
+		} else {
+			f.jc.AddRight(bw, other.ring.Live())
+		}
+	}
+
+	if !f.ringsFull() {
+		return 0
+	}
+
+	// Merge stage.
+	var merged *bat.Chunk
+	switch {
+	case f.jc != nil:
+		merged = f.jc.Merged(f.inputs[0].ring.Live(), f.inputs[1].ring.Live())
+	case d.Agg != nil:
+		merged = plan.MergeAggregate(d.Agg, in.ring.ConcatPartials(d.Agg.Out))
+	default:
+		merged = in.ring.ConcatOuts(d.MergedLeaf.Out)
+	}
+
+	result := merged
+	if d.Post != nil {
+		ex := &plan.Exec{MergedInputs: map[*plan.Merged]*bat.Chunk{d.MergedLeaf: merged}}
+		out, err := ex.Run(d.Post)
+		if err != nil {
+			return 0
+		}
+		result = out
+	}
+	f.emit(result, f.triggerArrival(bw), bw.Gen)
+	return 1
+}
+
+func (f *Factory) emit(c *bat.Chunk, maxArrival, gen int64) {
+	now := f.cfg.Now()
+	lat := int64(0)
+	if maxArrival > 0 && now > maxArrival {
+		lat = now - maxArrival
+	}
+	m := emitter.Meta{
+		Query:       f.cfg.Name,
+		Seq:         f.seq,
+		FiredAt:     now,
+		LatencyUsec: lat,
+		TriggerGen:  gen,
+	}
+	f.seq++
+	f.mu.Lock()
+	f.stats.Evals++
+	f.stats.RowsOut += int64(c.Rows())
+	f.stats.LastLatency = lat
+	f.stats.SumLatency += lat
+	if lat > f.stats.MaxLatency {
+		f.stats.MaxLatency = lat
+	}
+	f.mu.Unlock()
+	f.cfg.Emit.Emit(c, m)
+}

@@ -1,0 +1,204 @@
+// Package monitor implements the observability layer of the demo: the
+// "Analysis" pane (paper Figure 4) that tracks elapsed time, incoming data
+// rate for given baskets and other parameters over a period of time, for
+// individual queries and for the complete query network. A Collector
+// periodically samples basket and factory counters and derives per-interval
+// rates.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"datacell/internal/basket"
+	"datacell/internal/factory"
+)
+
+// Sample is one point-in-time snapshot of the network's counters.
+type Sample struct {
+	AtUsec  int64
+	Baskets []basket.Stats
+	Queries []factory.Stats
+}
+
+// Collector accumulates samples from a snapshot source.
+type Collector struct {
+	snap func() ([]basket.Stats, []factory.Stats)
+
+	mu      sync.Mutex
+	samples []Sample
+}
+
+// NewCollector builds a collector over a snapshot function (typically
+// wrapping Engine.Stats).
+func NewCollector(snap func() ([]basket.Stats, []factory.Stats)) *Collector {
+	return &Collector{snap: snap}
+}
+
+// Sample takes one snapshot stamped with the given time (µs).
+func (c *Collector) Sample(at int64) {
+	b, q := c.snap()
+	c.mu.Lock()
+	c.samples = append(c.samples, Sample{AtUsec: at, Baskets: b, Queries: q})
+	c.mu.Unlock()
+}
+
+// Series returns the collected samples in order.
+func (c *Collector) Series() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Sample(nil), c.samples...)
+}
+
+// IntervalRate is the derived activity of one object over one sampling
+// interval.
+type IntervalRate struct {
+	Name        string
+	FromUsec    int64
+	ToUsec      int64
+	TuplesInSec float64 // basket: append rate; query: consumption rate
+	EvalsSec    float64 // query: evaluations per second
+	AvgLatency  float64 // query: mean response time in the interval (µs)
+	Occupancy   int     // basket: buffered tuples at interval end
+}
+
+// BasketRates derives per-interval input rates for one basket.
+func (c *Collector) BasketRates(name string) []IntervalRate {
+	samples := c.Series()
+	var out []IntervalRate
+	for i := 1; i < len(samples); i++ {
+		prev := findBasket(samples[i-1].Baskets, name)
+		cur := findBasket(samples[i].Baskets, name)
+		if prev == nil || cur == nil {
+			continue
+		}
+		dt := float64(samples[i].AtUsec-samples[i-1].AtUsec) / 1e6
+		if dt <= 0 {
+			continue
+		}
+		out = append(out, IntervalRate{
+			Name:        name,
+			FromUsec:    samples[i-1].AtUsec,
+			ToUsec:      samples[i].AtUsec,
+			TuplesInSec: float64(cur.TotalIn-prev.TotalIn) / dt,
+			Occupancy:   cur.Len,
+		})
+	}
+	return out
+}
+
+// QueryRates derives per-interval evaluation rates and latencies for one
+// query.
+func (c *Collector) QueryRates(name string) []IntervalRate {
+	samples := c.Series()
+	var out []IntervalRate
+	for i := 1; i < len(samples); i++ {
+		prev := findQuery(samples[i-1].Queries, name)
+		cur := findQuery(samples[i].Queries, name)
+		if prev == nil || cur == nil {
+			continue
+		}
+		dt := float64(samples[i].AtUsec-samples[i-1].AtUsec) / 1e6
+		if dt <= 0 {
+			continue
+		}
+		r := IntervalRate{
+			Name:        name,
+			FromUsec:    samples[i-1].AtUsec,
+			ToUsec:      samples[i].AtUsec,
+			TuplesInSec: float64(cur.TuplesIn-prev.TuplesIn) / dt,
+			EvalsSec:    float64(cur.Evals-prev.Evals) / dt,
+		}
+		if d := cur.Evals - prev.Evals; d > 0 {
+			r.AvgLatency = float64(cur.SumLatency-prev.SumLatency) / float64(d)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func findBasket(bs []basket.Stats, name string) *basket.Stats {
+	for i := range bs {
+		if bs[i].Name == name {
+			return &bs[i]
+		}
+	}
+	return nil
+}
+
+func findQuery(qs []factory.Stats, name string) *factory.Stats {
+	for i := range qs {
+		if qs[i].Name == name {
+			return &qs[i]
+		}
+	}
+	return nil
+}
+
+// AnalysisString renders the full analysis pane: one block per basket and
+// per query with its interval series — the terminal rendering of Figure 4.
+func (c *Collector) AnalysisString() string {
+	samples := c.Series()
+	if len(samples) == 0 {
+		return "no samples\n"
+	}
+	var b strings.Builder
+	names := map[string]bool{}
+	for _, s := range samples {
+		for _, bs := range s.Baskets {
+			names[bs.Name] = true
+		}
+	}
+	sorted := sortedKeys(names)
+	for _, n := range sorted {
+		fmt.Fprintf(&b, "basket %s:\n", n)
+		for _, r := range c.BasketRates(n) {
+			fmt.Fprintf(&b, "  t=%8.3fs in=%10.1f tup/s occupancy=%d\n",
+				float64(r.ToUsec-samples[0].AtUsec)/1e6, r.TuplesInSec, r.Occupancy)
+		}
+	}
+	qnames := map[string]bool{}
+	for _, s := range samples {
+		for _, qs := range s.Queries {
+			qnames[qs.Name] = true
+		}
+	}
+	for _, n := range sortedKeys(qnames) {
+		fmt.Fprintf(&b, "query %s:\n", n)
+		for _, r := range c.QueryRates(n) {
+			fmt.Fprintf(&b, "  t=%8.3fs in=%10.1f tup/s evals=%6.1f/s avg_lat=%8.1fµs\n",
+				float64(r.ToUsec-samples[0].AtUsec)/1e6, r.TuplesInSec, r.EvalsSec, r.AvgLatency)
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Percentile computes the p-th percentile (0..100) of a latency sample by
+// nearest-rank; it sorts a copy. Used by the Linear Road response-time
+// checker and the benchmark harness.
+func Percentile(xs []int64, p float64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]int64(nil), xs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	rank := int(p/100*float64(len(cp))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(cp) {
+		rank = len(cp) - 1
+	}
+	return cp[rank]
+}

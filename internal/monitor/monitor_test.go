@@ -1,0 +1,102 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"datacell/internal/basket"
+	"datacell/internal/factory"
+)
+
+func TestCollectorRates(t *testing.T) {
+	var in int64
+	var evals int64
+	var lat int64
+	snap := func() ([]basket.Stats, []factory.Stats) {
+		return []basket.Stats{{Name: "s", TotalIn: in, Len: int(in % 10)}},
+			[]factory.Stats{{Name: "q", TuplesIn: in, Evals: evals, SumLatency: lat}}
+	}
+	c := NewCollector(snap)
+	c.Sample(0)
+	in, evals, lat = 1000, 10, 5000
+	c.Sample(1_000_000) // 1s later
+	in, evals, lat = 3000, 30, 15000
+	c.Sample(2_000_000)
+
+	br := c.BasketRates("s")
+	if len(br) != 2 {
+		t.Fatalf("basket intervals = %d", len(br))
+	}
+	if br[0].TuplesInSec != 1000 || br[1].TuplesInSec != 2000 {
+		t.Errorf("basket rates = %+v", br)
+	}
+	qr := c.QueryRates("q")
+	if len(qr) != 2 {
+		t.Fatalf("query intervals = %d", len(qr))
+	}
+	if qr[0].EvalsSec != 10 || qr[1].EvalsSec != 20 {
+		t.Errorf("eval rates = %+v", qr)
+	}
+	if qr[0].AvgLatency != 500 || qr[1].AvgLatency != 500 {
+		t.Errorf("latencies = %+v", qr)
+	}
+	if got := c.BasketRates("ghost"); got != nil {
+		t.Errorf("unknown basket rates = %v", got)
+	}
+	if got := c.QueryRates("ghost"); got != nil {
+		t.Errorf("unknown query rates = %v", got)
+	}
+}
+
+func TestCollectorZeroDt(t *testing.T) {
+	snap := func() ([]basket.Stats, []factory.Stats) {
+		return []basket.Stats{{Name: "s"}}, nil
+	}
+	c := NewCollector(snap)
+	c.Sample(5)
+	c.Sample(5) // same timestamp → interval skipped
+	if got := c.BasketRates("s"); len(got) != 0 {
+		t.Errorf("zero-dt interval produced rates: %v", got)
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	var in int64
+	snap := func() ([]basket.Stats, []factory.Stats) {
+		return []basket.Stats{{Name: "s", TotalIn: in}},
+			[]factory.Stats{{Name: "q", TuplesIn: in}}
+	}
+	c := NewCollector(snap)
+	if got := c.AnalysisString(); !strings.Contains(got, "no samples") {
+		t.Errorf("empty analysis = %q", got)
+	}
+	c.Sample(0)
+	in = 500
+	c.Sample(1_000_000)
+	out := c.AnalysisString()
+	for _, want := range []string{"basket s:", "query q:", "tup/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analysis missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []int64{50, 10, 40, 20, 30}
+	if got := Percentile(xs, 50); got != 30 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("p0 = %d", got)
+	}
+	if got := Percentile(nil, 99); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+	// Input must stay unsorted.
+	if xs[0] != 50 {
+		t.Error("Percentile mutated input")
+	}
+}

@@ -1,0 +1,640 @@
+package plan
+
+import (
+	"fmt"
+
+	"datacell/internal/algebra"
+	"datacell/internal/bat"
+	"datacell/internal/catalog"
+	"datacell/internal/expr"
+	"datacell/internal/sql"
+)
+
+// Bind resolves a parsed SELECT against the catalog and returns the naive
+// bound plan: scans, left-deep joins with predicates still as filters,
+// aggregation, projection, ordering. The optimizer then rewrites it; plan
+// printing of both stages reproduces the demo's "how the shape of a normal
+// query plan changes" inspection.
+func Bind(cat *catalog.Catalog, sel *sql.SelectStmt) (Node, error) {
+	b := &binder{cat: cat}
+	return b.bindSelect(sel)
+}
+
+type binder struct {
+	cat *catalog.Catalog
+}
+
+// scopeCol is one visible column during binding.
+type scopeCol struct {
+	qual string // source alias
+	name string
+	kind bat.Kind
+}
+
+type scope struct {
+	cols []scopeCol
+}
+
+func (s *scope) add(qual string, sch bat.Schema) {
+	for i, n := range sch.Names {
+		s.cols = append(s.cols, scopeCol{qual: qual, name: n, kind: sch.Kinds[i]})
+	}
+}
+
+// resolve finds a column by (optional) qualifier and name, rejecting
+// ambiguity.
+func (s *scope) resolve(qual, name string) (int, bat.Kind, error) {
+	found := -1
+	for i, c := range s.cols {
+		if c.name != name {
+			continue
+		}
+		if qual != "" && c.qual != qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, 0, fmt.Errorf("plan: ambiguous column %q", ident(qual, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("plan: unknown column %q", ident(qual, name))
+	}
+	return found, s.cols[found].kind, nil
+}
+
+func ident(qual, name string) string {
+	if qual != "" {
+		return qual + "." + name
+	}
+	return name
+}
+
+func (b *binder) bindSelect(sel *sql.SelectStmt) (Node, error) {
+	// FROM clause: scans plus explicit JOINs, combined left-deep.
+	items := append([]sql.FromItem(nil), sel.From...)
+	var onConds []sql.Expr
+	for _, j := range sel.Joins {
+		items = append(items, j.Right)
+		onConds = append(onConds, j.On)
+	}
+	sc := &scope{}
+	seen := map[string]bool{}
+	var root Node
+	for _, fi := range items {
+		n, alias, err := b.bindFrom(fi)
+		if err != nil {
+			return nil, err
+		}
+		if seen[alias] {
+			return nil, fmt.Errorf("plan: duplicate relation alias %q", alias)
+		}
+		seen[alias] = true
+		sc.add(alias, n.Schema())
+		if root == nil {
+			root = n
+		} else {
+			root = &Join{L: root, R: n, Out: concatSchemas(root.Schema(), n.Schema())}
+		}
+	}
+
+	// Predicates: JOIN ... ON conditions and WHERE all start as filters on
+	// top of the join tree; the optimizer pushes them down and extracts
+	// equi-join keys.
+	var preds []sql.Expr
+	preds = append(preds, onConds...)
+	if sel.Where != nil {
+		preds = append(preds, sel.Where)
+	}
+	for _, p := range preds {
+		e, err := b.bindScalar(p, sc)
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind() != bat.Bool {
+			return nil, fmt.Errorf("plan: predicate %s is %s, not BOOL", p, e.Kind())
+		}
+		root = &Filter{Child: root, Pred: e}
+	}
+
+	hasAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, item := range sel.Items {
+		if !item.Star && containsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var projExprs []expr.Expr
+	var projNames []string
+	if hasAgg {
+		var err error
+		root, projExprs, projNames, err = b.bindAggQuery(sel, sc, root)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		projExprs, projNames, err = b.bindPlainItems(sel, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	kinds := make([]bat.Kind, len(projExprs))
+	for i, e := range projExprs {
+		kinds[i] = e.Kind()
+	}
+	proj := &Project{Child: root, Exprs: projExprs, Out: bat.NewSchema(projNames, kinds)}
+	root = proj
+
+	if sel.Distinct {
+		root = &Distinct{Child: root}
+	}
+
+	if len(sel.OrderBy) > 0 {
+		keys, err := b.bindOrderBy(sel, proj)
+		if err != nil {
+			return nil, err
+		}
+		root = &Sort{Child: root, Keys: keys}
+	}
+
+	if sel.Limit >= 0 {
+		root = &Limit{Child: root, N: sel.Limit}
+	}
+	return root, nil
+}
+
+// bindFrom resolves one FROM item to a scan node.
+func (b *binder) bindFrom(fi sql.FromItem) (Node, string, error) {
+	alias := fi.Alias
+	if alias == "" {
+		alias = fi.Name
+	}
+	if t, ok := b.cat.Table(fi.Name); ok {
+		if fi.Window != nil {
+			return nil, "", fmt.Errorf("plan: window on table %q (windows apply to streams)", fi.Name)
+		}
+		return &ScanTable{Table: t, Alias: alias, Out: t.Schema()}, alias, nil
+	}
+	if s, ok := b.cat.Stream(fi.Name); ok {
+		scan := &ScanStream{Stream: s, Alias: alias, Out: s.Schema()}
+		if fi.Window != nil {
+			w, err := bindWindow(fi.Window, s)
+			if err != nil {
+				return nil, "", err
+			}
+			scan.Window = w
+		}
+		return scan, alias, nil
+	}
+	return nil, "", fmt.Errorf("plan: unknown table or stream %q", fi.Name)
+}
+
+func bindWindow(w *sql.WindowSpec, s *catalog.Stream) (*Window, error) {
+	out := &Window{
+		Tuples: w.Tuples, Size: w.Size, Slide: w.Slide,
+		Range: w.Range, SlideDur: w.SlideDur,
+	}
+	if !w.Tuples {
+		col := w.TimeCol
+		if col == "" {
+			col = s.DefaultTimeCol()
+			if col == "" {
+				return nil, fmt.Errorf("plan: time window on stream %q needs a TIMESTAMP column", s.Name)
+			}
+		}
+		idx := s.Schema().Index(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("plan: window attribute %q not in stream %q", col, s.Name)
+		}
+		if s.Schema().Kinds[idx] != bat.Time {
+			return nil, fmt.Errorf("plan: window attribute %q is %s, want TIMESTAMP",
+				col, s.Schema().Kinds[idx])
+		}
+		out.TimeIdx = idx
+	}
+	return out, nil
+}
+
+func concatSchemas(a, b bat.Schema) bat.Schema {
+	names := append(append([]string(nil), a.Names...), b.Names...)
+	kinds := append(append([]bat.Kind(nil), a.Kinds...), b.Kinds...)
+	return bat.Schema{Names: names, Kinds: kinds}
+}
+
+// bindPlainItems binds a non-aggregating select list.
+func (b *binder) bindPlainItems(sel *sql.SelectStmt, sc *scope) ([]expr.Expr, []string, error) {
+	var exprs []expr.Expr
+	var names []string
+	for _, item := range sel.Items {
+		if item.Star {
+			for i, c := range sc.cols {
+				exprs = append(exprs, &expr.Col{Idx: i, K: c.kind, Name: c.name})
+				names = append(names, c.name)
+			}
+			continue
+		}
+		e, err := b.bindScalar(item.Expr, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		exprs = append(exprs, e)
+		names = append(names, itemName(item, e))
+	}
+	return exprs, names, nil
+}
+
+func itemName(item sql.SelectItem, e expr.Expr) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if id, ok := item.Expr.(*sql.Ident); ok {
+		return id.Name
+	}
+	return e.String()
+}
+
+// bindOrderBy binds ORDER BY keys to output columns of the projection: by
+// output name first, then by matching the rendering of the projected
+// expressions.
+func (b *binder) bindOrderBy(sel *sql.SelectStmt, proj *Project) ([]SortSpec, error) {
+	var keys []SortSpec
+	for _, oi := range sel.OrderBy {
+		idx := -1
+		if id, ok := oi.Expr.(*sql.Ident); ok {
+			// Both n and t.n match an output column named n.
+			idx = proj.Out.Index(id.Name)
+		}
+		if idx < 0 {
+			want := oi.Expr.String()
+			for i, e := range proj.Exprs {
+				if e.String() == want || proj.Out.Names[i] == want {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("plan: ORDER BY %s does not name an output column", oi.Expr)
+		}
+		keys = append(keys, SortSpec{Col: idx, Desc: oi.Desc})
+	}
+	return keys, nil
+}
+
+// aggNames is the set of aggregate function names.
+var aggNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+func containsAggregate(e sql.Expr) bool {
+	switch n := e.(type) {
+	case *sql.CallExpr:
+		if aggNames[n.Name] {
+			return true
+		}
+		for _, a := range n.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *sql.BinExpr:
+		return containsAggregate(n.L) || containsAggregate(n.R)
+	case *sql.NotExpr:
+		return containsAggregate(n.E)
+	case *sql.CastExpr:
+		return containsAggregate(n.E)
+	}
+	return false
+}
+
+// aggCtx accumulates the aggregate node contents while binding an
+// aggregating query.
+type aggCtx struct {
+	b       *binder
+	child   *scope // scope of the aggregate's input
+	keySrc  []sql.Expr
+	keys    []expr.Expr
+	keyName []string
+	aggs    []AggSpec
+}
+
+// bindAggQuery plans GROUP BY / aggregate queries: it builds the Aggregate
+// node (rewriting avg into sum/count so all aggregates merge across basic
+// windows) and binds the select list, HAVING and ORDER BY over the
+// aggregate's output.
+func (b *binder) bindAggQuery(sel *sql.SelectStmt, sc *scope, child Node) (Node, []expr.Expr, []string, error) {
+	ac := &aggCtx{b: b, child: sc, keySrc: sel.GroupBy}
+	for _, g := range sel.GroupBy {
+		e, err := b.bindScalar(g, sc)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ac.keys = append(ac.keys, e)
+		name := g.String()
+		if id, ok := g.(*sql.Ident); ok {
+			name = id.Name
+		}
+		ac.keyName = append(ac.keyName, name)
+	}
+
+	// Bind the select list over the (virtual) aggregate output.
+	var projExprs []expr.Expr
+	var projNames []string
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, nil, nil, fmt.Errorf("plan: SELECT * cannot be combined with GROUP BY")
+		}
+		e, err := ac.bind(item.Expr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		projExprs = append(projExprs, e)
+		projNames = append(projNames, itemName(item, e))
+	}
+
+	var havingExpr expr.Expr
+	if sel.Having != nil {
+		e, err := ac.bind(sel.Having)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if e.Kind() != bat.Bool {
+			return nil, nil, nil, fmt.Errorf("plan: HAVING is %s, not BOOL", e.Kind())
+		}
+		havingExpr = e
+	}
+
+	agg := NewAggregate(child, ac.keys, ac.keyName, ac.aggs)
+	var root Node = agg
+	if havingExpr != nil {
+		root = &Filter{Child: root, Pred: havingExpr}
+	}
+	return root, projExprs, projNames, nil
+}
+
+// bind binds an expression over the aggregate output: group-key
+// subexpressions become key column references, aggregate calls become
+// aggregate column references, anything else must be built from those.
+func (ac *aggCtx) bind(e sql.Expr) (expr.Expr, error) {
+	// A subexpression identical to a GROUP BY key binds to the key column.
+	for i, src := range ac.keySrc {
+		if src.String() == e.String() {
+			return &expr.Col{Idx: i, K: ac.keys[i].Kind(), Name: ac.keyName[i]}, nil
+		}
+	}
+	switch n := e.(type) {
+	case *sql.Lit:
+		return ac.b.bindScalar(n, ac.child)
+	case *sql.Ident:
+		return nil, fmt.Errorf("plan: column %s must appear in GROUP BY or inside an aggregate", n)
+	case *sql.CallExpr:
+		if aggNames[n.Name] {
+			return ac.bindAggCall(n)
+		}
+		args := make([]expr.Expr, len(n.Args))
+		for i, a := range n.Args {
+			bound, err := ac.bind(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = bound
+		}
+		return expr.ResolveFunc(n.Name, args)
+	case *sql.BinExpr:
+		l, err := ac.bind(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ac.bind(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return combineBin(n.Op, l, r)
+	case *sql.NotExpr:
+		inner, err := ac.bind(n.E)
+		if err != nil {
+			return nil, err
+		}
+		if inner.Kind() != bat.Bool {
+			return nil, fmt.Errorf("plan: NOT of %s", inner.Kind())
+		}
+		return &expr.Logic{Op: expr.Not, L: inner}, nil
+	case *sql.CastExpr:
+		inner, err := ac.bind(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return bindCast(inner, n.Type)
+	}
+	return nil, fmt.Errorf("plan: cannot bind %s in aggregate context", e)
+}
+
+// bindAggCall registers an aggregate (deduplicated) and returns a
+// reference to its output column. avg(x) is rewritten to
+// sum(x)/count(*) in FLOAT, making every aggregate mergeable.
+func (ac *aggCtx) bindAggCall(n *sql.CallExpr) (expr.Expr, error) {
+	if n.Name == "avg" {
+		if n.Star || len(n.Args) != 1 {
+			return nil, fmt.Errorf("plan: avg takes one argument")
+		}
+		arg, err := ac.b.bindScalar(n.Args[0], ac.child)
+		if err != nil {
+			return nil, err
+		}
+		if !arg.Kind().Numeric() {
+			return nil, fmt.Errorf("plan: avg of %s", arg.Kind())
+		}
+		sumCol, err := ac.register(algebra.AggSum, arg, "sum("+n.Args[0].String()+")")
+		if err != nil {
+			return nil, err
+		}
+		cntCol, err := ac.register(algebra.AggCount, nil, "count(*)")
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Arith{
+			Op: expr.Div,
+			L:  &expr.Cast{To: bat.Float, E: sumCol},
+			R:  &expr.Cast{To: bat.Float, E: cntCol},
+		}, nil
+	}
+
+	var op algebra.AggOp
+	switch n.Name {
+	case "count":
+		op = algebra.AggCount
+	case "sum":
+		op = algebra.AggSum
+	case "min":
+		op = algebra.AggMin
+	case "max":
+		op = algebra.AggMax
+	}
+	if op == algebra.AggCount {
+		// With no NULLs, count(x) ≡ count(*).
+		return ac.register(algebra.AggCount, nil, "count(*)")
+	}
+	if n.Star || len(n.Args) != 1 {
+		return nil, fmt.Errorf("plan: %s takes one argument", n.Name)
+	}
+	arg, err := ac.b.bindScalar(n.Args[0], ac.child)
+	if err != nil {
+		return nil, err
+	}
+	if op == algebra.AggSum && !arg.Kind().Numeric() {
+		return nil, fmt.Errorf("plan: sum of %s", arg.Kind())
+	}
+	if (op == algebra.AggMin || op == algebra.AggMax) && arg.Kind() == bat.Bool {
+		return nil, fmt.Errorf("plan: %s of BOOL", n.Name)
+	}
+	return ac.register(op, arg, fmt.Sprintf("%s(%s)", n.Name, n.Args[0]))
+}
+
+func (ac *aggCtx) register(op algebra.AggOp, arg expr.Expr, name string) (expr.Expr, error) {
+	sig := name
+	for i, a := range ac.aggs {
+		if a.Name == sig && a.Op == op {
+			return ac.aggCol(i), nil
+		}
+	}
+	ac.aggs = append(ac.aggs, AggSpec{Op: op, Arg: arg, Name: sig})
+	return ac.aggCol(len(ac.aggs) - 1), nil
+}
+
+func (ac *aggCtx) aggCol(i int) expr.Expr {
+	spec := ac.aggs[i]
+	return &expr.Col{Idx: len(ac.keys) + i, K: spec.Kind(), Name: spec.Name}
+}
+
+// bindScalar binds an expression over a plain row scope.
+func (b *binder) bindScalar(e sql.Expr, sc *scope) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *sql.Ident:
+		idx, kind, err := sc.resolve(n.Qual, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Col{Idx: idx, K: kind, Name: ident(n.Qual, n.Name)}, nil
+	case *sql.Lit:
+		switch n.Kind {
+		case 'i':
+			return &expr.Const{V: bat.IntValue(n.I)}, nil
+		case 'f':
+			return &expr.Const{V: bat.FloatValue(n.F)}, nil
+		case 's':
+			return &expr.Const{V: bat.StrValue(n.S)}, nil
+		case 'b':
+			return &expr.Const{V: bat.BoolValue(n.B)}, nil
+		}
+		return nil, fmt.Errorf("plan: bad literal %s", n)
+	case *sql.BinExpr:
+		l, err := b.bindScalar(n.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindScalar(n.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		return combineBin(n.Op, l, r)
+	case *sql.NotExpr:
+		inner, err := b.bindScalar(n.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		if inner.Kind() != bat.Bool {
+			return nil, fmt.Errorf("plan: NOT of %s", inner.Kind())
+		}
+		return &expr.Logic{Op: expr.Not, L: inner}, nil
+	case *sql.CallExpr:
+		if aggNames[n.Name] {
+			return nil, fmt.Errorf("plan: aggregate %s not allowed here", n.Name)
+		}
+		args := make([]expr.Expr, len(n.Args))
+		for i, a := range n.Args {
+			bound, err := b.bindScalar(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = bound
+		}
+		return expr.ResolveFunc(n.Name, args)
+	case *sql.CastExpr:
+		inner, err := b.bindScalar(n.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return bindCast(inner, n.Type)
+	}
+	return nil, fmt.Errorf("plan: cannot bind expression %s", e)
+}
+
+func bindCast(inner expr.Expr, typeName string) (expr.Expr, error) {
+	k, err := bat.ParseKind(typeName)
+	if err != nil {
+		return nil, err
+	}
+	if k == inner.Kind() {
+		return inner, nil
+	}
+	if !k.Numeric() || !inner.Kind().Numeric() {
+		return nil, fmt.Errorf("plan: cannot cast %s to %s", inner.Kind(), k)
+	}
+	return &expr.Cast{To: k, E: inner}, nil
+}
+
+func combineBin(op string, l, r expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "+", "-", "*", "/", "%":
+		if !l.Kind().Numeric() || !r.Kind().Numeric() {
+			return nil, fmt.Errorf("plan: arithmetic on %s and %s", l.Kind(), r.Kind())
+		}
+		var aop expr.ArithOp
+		switch op {
+		case "+":
+			aop = expr.Add
+		case "-":
+			aop = expr.Sub
+		case "*":
+			aop = expr.Mul
+		case "/":
+			aop = expr.Div
+		case "%":
+			aop = expr.Mod
+		}
+		return &expr.Arith{Op: aop, L: l, R: r}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		lk, rk := l.Kind(), r.Kind()
+		if lk != rk && !(lk.Numeric() && rk.Numeric()) {
+			return nil, fmt.Errorf("plan: comparing %s with %s", lk, rk)
+		}
+		var cop algebra.CmpOp
+		switch op {
+		case "=":
+			cop = algebra.EQ
+		case "<>":
+			cop = algebra.NE
+		case "<":
+			cop = algebra.LT
+		case "<=":
+			cop = algebra.LE
+		case ">":
+			cop = algebra.GT
+		case ">=":
+			cop = algebra.GE
+		}
+		return &expr.Cmp{Op: cop, L: l, R: r}, nil
+	case "AND", "OR":
+		if l.Kind() != bat.Bool || r.Kind() != bat.Bool {
+			return nil, fmt.Errorf("plan: %s of %s and %s", op, l.Kind(), r.Kind())
+		}
+		lop := expr.And
+		if op == "OR" {
+			lop = expr.Or
+		}
+		return &expr.Logic{Op: lop, L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("plan: unknown operator %q", op)
+}

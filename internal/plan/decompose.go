@@ -1,0 +1,258 @@
+package plan
+
+import (
+	"fmt"
+)
+
+// Decomposition is a continuous plan split for incremental evaluation
+// (paper §3, Sliding Window Processing): per-basic-window pipeline
+// fragments whose intermediates are cached, an optional blocking boundary
+// (aggregate or stream-stream join) where partials are merged, and a
+// post-merge fragment.
+//
+// Layouts produced:
+//
+//	single stream, aggregate:   PerBW → [Agg partials per basic window] → merge → Post
+//	single stream, no aggregate: PerBW cached per basic window → concat → Post
+//	two streams (join):         PerBW_L, PerBW_R cached; join evaluated per
+//	                            basic-window pair and cached; concat → Post
+type Decomposition struct {
+	// Pipelines holds one per-basic-window fragment per stream, in
+	// Streams() order. Each fragment's only stream leaf is its Scan; it
+	// may include filters, projections and joins against static tables.
+	Pipelines []*Pipeline
+	// Join is the stream⋈stream node (nil for single-stream plans). Its
+	// inputs correspond to the two pipeline outputs.
+	Join *Join
+	// Agg is the aggregate at the blocking boundary for single-stream
+	// plans (nil if none, or if the plan is a join plan — aggregates above
+	// a stream join are recomputed over the merged join output inside
+	// Post).
+	Agg *Aggregate
+	// MergedLeaf is the synthetic leaf feeding Post.
+	MergedLeaf *Merged
+	// Post is the fragment above the merge; nil means the merged chunk is
+	// the query result.
+	Post Node
+}
+
+// Pipeline is one per-basic-window fragment.
+type Pipeline struct {
+	Scan *ScanStream
+	Root Node
+}
+
+// Decompose splits an optimized continuous plan for incremental
+// evaluation. It returns an error describing why the plan must fall back
+// to full re-evaluation when the shape is unsupported; the engine then
+// runs mode 1 (the paper's re-evaluation mode) instead.
+func Decompose(root Node) (*Decomposition, error) {
+	streams := Streams(root)
+	switch len(streams) {
+	case 0:
+		return nil, fmt.Errorf("plan: not a continuous query (no stream scan)")
+	case 1, 2:
+	default:
+		return nil, fmt.Errorf("plan: incremental mode supports at most 2 streams, got %d", len(streams))
+	}
+	for _, s := range streams {
+		if s.Window == nil {
+			return nil, fmt.Errorf("plan: incremental mode requires a window on stream %q", s.Alias)
+		}
+	}
+
+	parents := parentMap(root)
+
+	if len(streams) == 1 {
+		return decomposeSingle(root, streams[0], parents)
+	}
+	return decomposeJoin(root, streams, parents)
+}
+
+func decomposeSingle(root Node, scan *ScanStream, parents map[Node]Node) (*Decomposition, error) {
+	p := pipelineRoot(scan, parents)
+	d := &Decomposition{Pipelines: []*Pipeline{{Scan: scan, Root: p}}}
+
+	boundary := p
+	if agg, ok := parents[p].(*Aggregate); ok {
+		d.Agg = agg
+		boundary = agg
+	}
+	d.MergedLeaf = &Merged{Out: boundary.Schema()}
+	if boundary != root {
+		post, err := clonePath(root, boundary, d.MergedLeaf)
+		if err != nil {
+			return nil, err
+		}
+		d.Post = post
+	}
+	return d, nil
+}
+
+func decomposeJoin(root Node, streams []*ScanStream, parents map[Node]Node) (*Decomposition, error) {
+	if err := windowsCompatible(streams[0].Window, streams[1].Window); err != nil {
+		return nil, err
+	}
+	pl := pipelineRoot(streams[0], parents)
+	pr := pipelineRoot(streams[1], parents)
+	jl, okL := parents[pl].(*Join)
+	jr, okR := parents[pr].(*Join)
+	if !okL || !okR || jl != jr {
+		return nil, fmt.Errorf("plan: stream pipelines do not meet at a single join")
+	}
+	if jl.L != pl || jl.R != pr {
+		return nil, fmt.Errorf("plan: join sides do not align with stream pipelines")
+	}
+	d := &Decomposition{
+		Pipelines: []*Pipeline{{Scan: streams[0], Root: pl}, {Scan: streams[1], Root: pr}},
+		Join:      jl,
+	}
+	d.MergedLeaf = &Merged{Out: jl.Schema()}
+	if jl != root {
+		post, err := clonePath(root, jl, d.MergedLeaf)
+		if err != nil {
+			return nil, err
+		}
+		d.Post = post
+	}
+	return d, nil
+}
+
+// windowsCompatible requires the two stream windows of a join to slide in
+// lockstep, so basic windows pair one-to-one.
+func windowsCompatible(a, b *Window) error {
+	if a.Tuples != b.Tuples {
+		return fmt.Errorf("plan: join mixes tuple and time windows")
+	}
+	if a.Tuples {
+		if a.Size != b.Size || a.Slide != b.Slide {
+			return fmt.Errorf("plan: join windows differ (SIZE %d SLIDE %d vs SIZE %d SLIDE %d)",
+				a.Size, a.Slide, b.Size, b.Slide)
+		}
+		return nil
+	}
+	if a.Range != b.Range || a.SlideDur != b.SlideDur {
+		return fmt.Errorf("plan: join windows differ (RANGE %v SLIDE %v vs RANGE %v SLIDE %v)",
+			a.Range, a.SlideDur, b.Range, b.SlideDur)
+	}
+	return nil
+}
+
+// pipelineRoot ascends from a stream scan through the operators that can
+// run independently per basic window: filters, projections, and joins
+// whose other side is static (tables only). It returns the top of that
+// chain.
+func pipelineRoot(scan *ScanStream, parents map[Node]Node) Node {
+	var cur Node = scan
+	for {
+		p := parents[cur]
+		switch t := p.(type) {
+		case *Filter, *Project:
+			cur = p.(Node)
+			_ = t
+		case *Join:
+			// A join is pipeline-able only if the other side carries no
+			// stream data (a static dimension table).
+			other := t.L
+			if t.L == cur {
+				other = t.R
+			}
+			if len(Streams(other)) == 0 {
+				cur = p
+			} else {
+				return cur
+			}
+		default:
+			return cur
+		}
+	}
+}
+
+// parentMap records each node's parent.
+func parentMap(root Node) map[Node]Node {
+	m := make(map[Node]Node)
+	var walk func(Node)
+	walk = func(n Node) {
+		for _, k := range n.Children() {
+			m[k] = n
+			walk(k)
+		}
+	}
+	walk(root)
+	return m
+}
+
+// clonePath copies the operators from root down to (and excluding)
+// boundary, substituting leaf for boundary. Every node on the path must
+// have a single child on the path; anything else (e.g. a join above the
+// blocking boundary) is unsupported.
+func clonePath(root, boundary Node, leaf Node) (Node, error) {
+	if root == boundary {
+		return leaf, nil
+	}
+	switch t := root.(type) {
+	case *Filter:
+		c, err := clonePath(t.Child, boundary, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return &Filter{Child: c, Pred: t.Pred}, nil
+	case *Project:
+		c, err := clonePath(t.Child, boundary, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return &Project{Child: c, Exprs: t.Exprs, Out: t.Out}, nil
+	case *Sort:
+		c, err := clonePath(t.Child, boundary, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return &Sort{Child: c, Keys: t.Keys}, nil
+	case *Limit:
+		c, err := clonePath(t.Child, boundary, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return &Limit{Child: c, N: t.N}, nil
+	case *Distinct:
+		c, err := clonePath(t.Child, boundary, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return &Distinct{Child: c}, nil
+	case *Aggregate:
+		c, err := clonePath(t.Child, boundary, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return &Aggregate{Child: c, Keys: t.Keys, KeyNames: t.KeyNames, Aggs: t.Aggs, Out: t.Out}, nil
+	default:
+		return nil, fmt.Errorf("plan: operator %T above the blocking boundary is not supported incrementally", root)
+	}
+}
+
+// ContinuousString renders the incremental decomposition the way the demo
+// GUI shows continuous plans: the per-basic-window fragments, the blocking
+// boundary where partials merge, and the post-merge fragment.
+func (d *Decomposition) ContinuousString() string {
+	out := ""
+	for i, p := range d.Pipelines {
+		out += fmt.Sprintf("-- per basic window of %s --\n%s", p.Scan.Alias, String(p.Root))
+		if i < len(d.Pipelines)-1 {
+			out += "\n"
+		}
+	}
+	switch {
+	case d.Join != nil:
+		out += "\n-- per basic-window pair (cached) --\n" + d.Join.Describe() + "\n"
+	case d.Agg != nil:
+		out += "\n-- partial per basic window, merged per slide --\n" + d.Agg.Describe() + "\n"
+	default:
+		out += "\n-- concatenate cached basic windows per slide --\n"
+	}
+	if d.Post != nil {
+		out += "\n-- per slide --\n" + String(d.Post)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+func decompose(t *testing.T, src string) (*Decomposition, error) {
+	t.Helper()
+	cat := testCatalog(t)
+	return Decompose(Optimize(mustBind(t, cat, src)))
+}
+
+func TestDecomposeSingleStreamAggregate(t *testing.T) {
+	d, err := decompose(t, `
+		SELECT room, avg(temp) AS m FROM sensors [SIZE 100 SLIDE 10]
+		WHERE temp > 0.0 GROUP BY room ORDER BY m DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Pipelines) != 1 || d.Agg == nil || d.Join != nil {
+		t.Fatalf("decomposition = %+v", d)
+	}
+	// Pipeline holds the filter; post holds project/sort/limit.
+	if !strings.Contains(String(d.Pipelines[0].Root), "select") {
+		t.Errorf("pipeline missing filter:\n%s", String(d.Pipelines[0].Root))
+	}
+	post := String(d.Post)
+	for _, want := range []string{"limit 5", "order by", "project", "merge basic windows"} {
+		if !strings.Contains(post, want) {
+			t.Errorf("post missing %q:\n%s", want, post)
+		}
+	}
+	if cs := d.ContinuousString(); !strings.Contains(cs, "partial per basic window") {
+		t.Errorf("ContinuousString:\n%s", cs)
+	}
+}
+
+func TestDecomposeSingleStreamNoAggregate(t *testing.T) {
+	d, err := decompose(t,
+		"SELECT room, temp FROM sensors [SIZE 40 SLIDE 20] WHERE temp > 21.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Agg != nil || d.Join != nil {
+		t.Fatalf("decomposition = %+v", d)
+	}
+	// The whole plan is the pipeline: post is nil.
+	if d.Post != nil {
+		t.Errorf("post should be nil, got:\n%s", String(d.Post))
+	}
+	if cs := d.ContinuousString(); !strings.Contains(cs, "concatenate cached basic windows") {
+		t.Errorf("ContinuousString:\n%s", cs)
+	}
+}
+
+func TestDecomposeHavingGoesToPost(t *testing.T) {
+	d, err := decompose(t, `
+		SELECT room FROM sensors [SIZE 100 SLIDE 50]
+		GROUP BY room HAVING count(*) > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Agg == nil {
+		t.Fatal("no aggregate boundary")
+	}
+	if d.Post == nil || !strings.Contains(String(d.Post), "select") {
+		t.Errorf("having filter not in post:\n%v", d.Post)
+	}
+}
+
+func TestDecomposeStreamTableJoinStaysInPipeline(t *testing.T) {
+	d, err := decompose(t, `
+		SELECT r.name, count(*) AS n FROM sensors [SIZE 100 SLIDE 10] s
+		JOIN rooms r ON s.room = r.room GROUP BY r.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Pipelines) != 1 || d.Join != nil {
+		t.Fatalf("want single pipeline with table join inside, got %+v", d)
+	}
+	pipe := String(d.Pipelines[0].Root)
+	if !strings.Contains(pipe, "join (hash)") || !strings.Contains(pipe, "scan table") {
+		t.Errorf("pipeline should contain table join:\n%s", pipe)
+	}
+	if d.Agg == nil {
+		t.Error("aggregate boundary missing")
+	}
+}
+
+func TestDecomposeStreamStreamJoin(t *testing.T) {
+	d, err := decompose(t, `
+		SELECT s.temp, e.code FROM sensors [SIZE 60 SLIDE 20] s, events [SIZE 60 SLIDE 20] e
+		WHERE s.room = e.room`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Join == nil || len(d.Pipelines) != 2 {
+		t.Fatalf("decomposition = %+v", d)
+	}
+	// Project above the join lands in post.
+	if d.Post == nil || !strings.Contains(String(d.Post), "project") {
+		t.Errorf("post = %v", d.Post)
+	}
+	if cs := d.ContinuousString(); !strings.Contains(cs, "per basic-window pair") {
+		t.Errorf("ContinuousString:\n%s", cs)
+	}
+}
+
+func TestDecomposeJoinWithAggregateAbove(t *testing.T) {
+	d, err := decompose(t, `
+		SELECT s.room, count(*) AS n
+		FROM sensors [SIZE 60 SLIDE 20] s, events [SIZE 60 SLIDE 20] e
+		WHERE s.room = e.room GROUP BY s.room`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Join == nil || d.Agg != nil {
+		t.Fatalf("join plan should put aggregate in post, got %+v", d)
+	}
+	if !strings.Contains(String(d.Post), "group by") {
+		t.Errorf("post missing aggregate:\n%s", String(d.Post))
+	}
+}
+
+func TestDecomposeUnsupportedShapes(t *testing.T) {
+	cases := []string{
+		// No window.
+		"SELECT temp FROM sensors WHERE temp > 1.0",
+		// Incompatible join windows.
+		`SELECT s.temp FROM sensors [SIZE 60 SLIDE 20] s, events [SIZE 60 SLIDE 30] e
+		 WHERE s.room = e.room`,
+		// Tuple vs time windows.
+		`SELECT s.temp FROM sensors [SIZE 60 SLIDE 20] s, events [RANGE 5 SECONDS] e
+		 WHERE s.room = e.room`,
+		// No stream at all.
+		"SELECT name FROM rooms",
+	}
+	for _, src := range cases {
+		if _, err := decompose(t, src); err == nil {
+			t.Errorf("Decompose(%q) should fail", src)
+		}
+	}
+}
+
+func TestDecomposeThreeStreamsUnsupported(t *testing.T) {
+	cat := testCatalog(t)
+	n := Optimize(mustBind(t, cat, `
+		SELECT a.temp FROM sensors [SIZE 10] a, events [SIZE 10] b, sensors [SIZE 10] c
+		WHERE a.room = b.room AND b.room = c.room`))
+	if _, err := Decompose(n); err == nil {
+		t.Error("three-stream plan should be rejected")
+	}
+}
+
+func TestDecomposeTimeWindows(t *testing.T) {
+	d, err := decompose(t, `
+		SELECT room, count(*) AS n FROM sensors [RANGE 10 SECONDS SLIDE 2 SECONDS]
+		GROUP BY room`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Pipelines[0].Scan.Window
+	if w.Tuples || w.Parts() != 5 {
+		t.Errorf("window = %+v", w)
+	}
+}

@@ -1,0 +1,97 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// The demo lets the audience watch "how query plans transform from
+// typical DBMS query plans to online query plans". These golden tests pin
+// the three plan stages for a representative query so that the
+// transformation story stays visible and stable.
+
+const goldenSQL = `
+	SELECT r.name, count(*) AS n, avg(s.temp) AS m
+	FROM sensors [SIZE 100 SLIDE 25] s
+	JOIN rooms r ON s.room = r.room
+	WHERE s.temp > 20.0
+	GROUP BY r.name
+	HAVING count(*) > 1
+	ORDER BY n DESC
+	LIMIT 3`
+
+func TestGoldenNaivePlan(t *testing.T) {
+	cat := testCatalog(t)
+	bound := mustBind(t, cat, goldenSQL)
+	got := String(bound)
+	// The naive plan keeps predicates as filters above a keyless join.
+	want := []string{
+		"limit 3",
+		"order by n desc",
+		"project",
+		"select (count(*) > 1)",
+		"group by r.name aggregate count(*), sum(s.temp)",
+		"select (s.temp > 20)",
+		"select (s.room = r.room)",
+		"cross join",
+		"scan stream s [SIZE 100 SLIDE 25]",
+		"scan table r",
+	}
+	checkOrder(t, got, want)
+}
+
+func TestGoldenOptimizedPlan(t *testing.T) {
+	cat := testCatalog(t)
+	opt := Optimize(mustBind(t, cat, goldenSQL))
+	got := String(opt)
+	// The optimizer extracts the hash-join key and pushes the temp filter
+	// onto the stream side.
+	want := []string{
+		"limit 3",
+		"group by r.name",
+		"join (hash) on room=room",
+		"select (s.temp > 20)",
+		"scan stream s [SIZE 100 SLIDE 25]",
+		"scan table r",
+	}
+	checkOrder(t, got, want)
+	if strings.Contains(got, "cross join") {
+		t.Errorf("cross join survived optimization:\n%s", got)
+	}
+}
+
+func TestGoldenContinuousPlan(t *testing.T) {
+	cat := testCatalog(t)
+	opt := Optimize(mustBind(t, cat, goldenSQL))
+	d, err := Decompose(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.ContinuousString()
+	// The continuous plan runs filter+table-join per basic window, keeps
+	// mergeable aggregate partials, and evaluates having/sort/limit per
+	// slide over the merged intermediate.
+	want := []string{
+		"per basic window of s",
+		"join (hash) on room=room",
+		"partial per basic window, merged per slide",
+		"group by r.name",
+		"per slide",
+		"limit 3",
+		"merge basic windows",
+	}
+	checkOrder(t, got, want)
+}
+
+// checkOrder asserts that the wanted substrings appear in order.
+func checkOrder(t *testing.T, got string, want []string) {
+	t.Helper()
+	pos := 0
+	for _, w := range want {
+		idx := strings.Index(got[pos:], w)
+		if idx < 0 {
+			t.Fatalf("missing (or out of order) %q in:\n%s", w, got)
+		}
+		pos += idx + len(w)
+	}
+}

@@ -1,0 +1,226 @@
+package plan
+
+import (
+	"datacell/internal/algebra"
+	"datacell/internal/bat"
+	"datacell/internal/expr"
+)
+
+// Optimize rewrites a bound plan with the rule set the demo inspects:
+// constant folding, filter chains collapsed and pushed below joins, and
+// equi-join keys extracted so joins run as hash joins rather than filtered
+// cross products. The input tree is not mutated; shared leaves are reused.
+func Optimize(n Node) Node {
+	switch t := n.(type) {
+	case *Filter:
+		// Collapse the filter chain, optimize below it, then push the
+		// conjuncts as deep as they can go.
+		var conjuncts []expr.Expr
+		child := n
+		for {
+			f, ok := child.(*Filter)
+			if !ok {
+				break
+			}
+			conjuncts = append(conjuncts, expr.SplitConjuncts(foldExpr(f.Pred))...)
+			child = f.Child
+		}
+		return pushInto(Optimize(child.(Node)), conjuncts)
+	case *Project:
+		exprs := make([]expr.Expr, len(t.Exprs))
+		for i, e := range t.Exprs {
+			exprs[i] = foldExpr(e)
+		}
+		return &Project{Child: Optimize(t.Child), Exprs: exprs, Out: t.Out}
+	case *Join:
+		j := *t
+		j.L, j.R = Optimize(t.L), Optimize(t.R)
+		if t.Residual != nil {
+			return pushInto(&j, expr.SplitConjuncts(foldExpr(t.Residual)))
+		}
+		return &j
+	case *Aggregate:
+		a := *t
+		a.Child = Optimize(t.Child)
+		return &a
+	case *Sort:
+		s := *t
+		s.Child = Optimize(t.Child)
+		return &s
+	case *Limit:
+		l := *t
+		l.Child = Optimize(t.Child)
+		return &l
+	case *Distinct:
+		d := *t
+		d.Child = Optimize(t.Child)
+		return &d
+	default:
+		return n
+	}
+}
+
+// pushInto places conjuncts as low as possible above/below child.
+func pushInto(child Node, conjuncts []expr.Expr) Node {
+	if len(conjuncts) == 0 {
+		return child
+	}
+	switch t := child.(type) {
+	case *Filter:
+		merged := append(expr.SplitConjuncts(t.Pred), conjuncts...)
+		return pushInto(t.Child, merged)
+	case *Join:
+		lw := t.L.Schema().Width()
+		rw := t.R.Schema().Width()
+		j := *t
+		var toLeft, toRight, residual []expr.Expr
+		for _, c := range conjuncts {
+			refs := map[int]bool{}
+			expr.Cols(c, refs)
+			side := sideOf(refs, lw, lw+rw)
+			switch side {
+			case -1: // left only
+				toLeft = append(toLeft, c)
+			case 1: // right only (remap into right's schema)
+				m := make(map[int]int, len(refs))
+				for idx := range refs {
+					m[idx] = idx - lw
+				}
+				toRight = append(toRight, expr.Remap(c, m))
+			default:
+				if lk, rk, ok := equiKey(c, lw); ok {
+					j.LKeys = append(j.LKeys, lk)
+					j.RKeys = append(j.RKeys, rk)
+				} else {
+					residual = append(residual, c)
+				}
+			}
+		}
+		j.L = pushInto(j.L, toLeft)
+		j.R = pushInto(j.R, toRight)
+		res := expr.JoinConjuncts(residual)
+		if j.Residual != nil {
+			if res != nil {
+				res = &expr.Logic{Op: expr.And, L: j.Residual, R: res}
+			} else {
+				res = j.Residual
+			}
+		}
+		j.Residual = res
+		return &j
+	default:
+		return &Filter{Child: child, Pred: expr.JoinConjuncts(conjuncts)}
+	}
+}
+
+// sideOf classifies a referenced-column set against a join's column split:
+// -1 left only, 1 right only, 0 both (or none).
+func sideOf(refs map[int]bool, lw, total int) int {
+	left, right := false, false
+	for idx := range refs {
+		if idx < lw {
+			left = true
+		} else if idx < total {
+			right = true
+		}
+	}
+	switch {
+	case left && !right:
+		return -1
+	case right && !left:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// equiKey recognizes col = col conjuncts spanning the two join sides.
+func equiKey(c expr.Expr, lw int) (lk, rk int, ok bool) {
+	cmp, isCmp := c.(*expr.Cmp)
+	if !isCmp || cmp.Op != algebra.EQ {
+		return 0, 0, false
+	}
+	lcol, lok := cmp.L.(*expr.Col)
+	rcol, rok := cmp.R.(*expr.Col)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	// Hash joins need identical key representations; cross-kind numeric
+	// equality stays residual.
+	if lcol.K != rcol.K {
+		return 0, 0, false
+	}
+	switch {
+	case lcol.Idx < lw && rcol.Idx >= lw:
+		return lcol.Idx, rcol.Idx - lw, true
+	case rcol.Idx < lw && lcol.Idx >= lw:
+		return rcol.Idx, lcol.Idx - lw, true
+	}
+	return 0, 0, false
+}
+
+// foldExpr evaluates constant subtrees at plan time.
+func foldExpr(e expr.Expr) expr.Expr {
+	switch n := e.(type) {
+	case *expr.Arith:
+		l, r := foldExpr(n.L), foldExpr(n.R)
+		out := &expr.Arith{Op: n.Op, L: l, R: r}
+		if isConst(l) && isConst(r) {
+			return &expr.Const{V: evalConst(out)}
+		}
+		return out
+	case *expr.Cmp:
+		l, r := foldExpr(n.L), foldExpr(n.R)
+		out := &expr.Cmp{Op: n.Op, L: l, R: r}
+		if isConst(l) && isConst(r) {
+			return &expr.Const{V: evalConst(out)}
+		}
+		return out
+	case *expr.Logic:
+		l := foldExpr(n.L)
+		var r expr.Expr
+		if n.R != nil {
+			r = foldExpr(n.R)
+		}
+		out := &expr.Logic{Op: n.Op, L: l, R: r}
+		if isConst(l) && (r == nil || isConst(r)) {
+			return &expr.Const{V: evalConst(out)}
+		}
+		return out
+	case *expr.Cast:
+		inner := foldExpr(n.E)
+		out := &expr.Cast{To: n.To, E: inner}
+		if isConst(inner) {
+			return &expr.Const{V: evalConst(out)}
+		}
+		return out
+	case *expr.Func:
+		args := make([]expr.Expr, len(n.Args))
+		all := true
+		for i, a := range n.Args {
+			args[i] = foldExpr(a)
+			all = all && isConst(args[i])
+		}
+		out := &expr.Func{Name: n.Name, Args: args, K: n.K}
+		if all {
+			return &expr.Const{V: evalConst(out)}
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+func isConst(e expr.Expr) bool {
+	_, ok := e.(*expr.Const)
+	return ok
+}
+
+// evalConst evaluates a column-free expression on a one-row dummy chunk.
+func evalConst(e expr.Expr) bat.Value {
+	dummy := &bat.Chunk{
+		Schema: bat.NewSchema([]string{"_"}, []bat.Kind{bat.Int}),
+		Cols:   []bat.Vector{bat.Ints{0}},
+	}
+	return e.Eval(dummy, nil).Get(0)
+}

@@ -1,0 +1,323 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"datacell/internal/bat"
+	"datacell/internal/catalog"
+	"datacell/internal/sql"
+)
+
+// testCatalog: stream sensors(ts TIMESTAMP, room INT, temp FLOAT),
+// stream events(ts TIMESTAMP, room INT, code INT),
+// table rooms(room INT, name STRING, floor INT) with 3 rows.
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	_, err := cat.CreateStream("sensors", bat.NewSchema(
+		[]string{"ts", "room", "temp"},
+		[]bat.Kind{bat.Time, bat.Int, bat.Float},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateStream("events", bat.NewSchema(
+		[]string{"ts", "room", "code"},
+		[]bat.Kind{bat.Time, bat.Int, bat.Int},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	rooms, err := cat.CreateTable("rooms", bat.NewSchema(
+		[]string{"room", "name", "floor"},
+		[]bat.Kind{bat.Int, bat.Str, bat.Int},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bat.NewChunk(rooms.Schema())
+	_ = c.AppendRow(bat.IntValue(1), bat.StrValue("lab"), bat.IntValue(0))
+	_ = c.AppendRow(bat.IntValue(2), bat.StrValue("office"), bat.IntValue(1))
+	_ = c.AppendRow(bat.IntValue(3), bat.StrValue("server"), bat.IntValue(1))
+	if err := rooms.Append(c); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func mustBind(t *testing.T, cat *catalog.Catalog, src string) Node {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	n, err := Bind(cat, stmt.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatalf("bind %q: %v", src, err)
+	}
+	return n
+}
+
+func bindErr(t *testing.T, cat *catalog.Catalog, src string) error {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	_, err = Bind(cat, stmt.(*sql.SelectStmt))
+	if err == nil {
+		t.Fatalf("bind %q should fail", src)
+	}
+	return err
+}
+
+func TestBindSimpleProject(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat, "SELECT room, temp FROM sensors WHERE temp > 20.0")
+	p, ok := n.(*Project)
+	if !ok {
+		t.Fatalf("root = %T, want Project", n)
+	}
+	if p.Out.Names[0] != "room" || p.Out.Kinds[1] != bat.Float {
+		t.Errorf("schema = %v", p.Out)
+	}
+	if _, ok := p.Child.(*Filter); !ok {
+		t.Errorf("child = %T, want Filter", p.Child)
+	}
+}
+
+func TestBindStar(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat, "SELECT * FROM sensors")
+	if got := n.Schema().Width(); got != 3 {
+		t.Errorf("star width = %d", got)
+	}
+}
+
+func TestBindWindow(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat, "SELECT temp FROM sensors [SIZE 100 SLIDE 25]")
+	scans := Streams(n)
+	if len(scans) != 1 || scans[0].Window == nil {
+		t.Fatalf("scans = %v", scans)
+	}
+	w := scans[0].Window
+	if !w.Tuples || w.Size != 100 || w.Slide != 25 || w.Parts() != 4 {
+		t.Errorf("window = %+v", w)
+	}
+}
+
+func TestBindTimeWindowDefaultsToFirstTimestamp(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat, "SELECT temp FROM sensors [RANGE 10 SECONDS SLIDE 5 SECONDS]")
+	w := Streams(n)[0].Window
+	if w.Tuples || w.TimeIdx != 0 || w.Parts() != 2 {
+		t.Errorf("time window = %+v", w)
+	}
+}
+
+func TestBindWindowErrors(t *testing.T) {
+	cat := testCatalog(t)
+	bindErr(t, cat, "SELECT name FROM rooms [SIZE 10]")                   // window on table
+	bindErr(t, cat, "SELECT temp FROM sensors [RANGE 5 SECONDS ON room]") // not a timestamp
+	bindErr(t, cat, "SELECT temp FROM sensors [RANGE 5 SECONDS ON nope]") // unknown col
+}
+
+func TestBindNameResolution(t *testing.T) {
+	cat := testCatalog(t)
+	bindErr(t, cat, "SELECT nosuch FROM sensors")
+	bindErr(t, cat, "SELECT room FROM sensors, events") // ambiguous
+	mustBind(t, cat, "SELECT sensors.room FROM sensors, events")
+	bindErr(t, cat, "SELECT x.room FROM sensors")             // unknown qualifier
+	bindErr(t, cat, "SELECT room FROM nosuch")                // unknown relation
+	bindErr(t, cat, "SELECT a.room FROM sensors a, events a") // dup alias
+}
+
+func TestBindTypeErrors(t *testing.T) {
+	cat := testCatalog(t)
+	bindErr(t, cat, "SELECT temp + name FROM sensors, rooms WHERE sensors.room = rooms.room")
+	bindErr(t, cat, "SELECT room FROM sensors WHERE temp")          // non-bool where
+	bindErr(t, cat, "SELECT room FROM sensors WHERE name AND true") // unknown + non-bool
+	bindErr(t, cat, "SELECT NOT temp FROM sensors")
+	bindErr(t, cat, "SELECT temp FROM sensors WHERE temp > 'hot'")
+	bindErr(t, cat, "SELECT CAST(temp AS VARCHAR) FROM sensors")
+	bindErr(t, cat, "SELECT sum(temp) FROM sensors WHERE sum(temp) > 1") // agg in where
+}
+
+func TestBindAggregates(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat,
+		"SELECT room, count(*) AS n, avg(temp) AS mean FROM sensors GROUP BY room")
+	p := n.(*Project)
+	agg, ok := p.Child.(*Aggregate)
+	if !ok {
+		t.Fatalf("child = %T, want Aggregate", p.Child)
+	}
+	if len(agg.Keys) != 1 || len(agg.Aggs) != 2 {
+		t.Fatalf("agg = keys %d aggs %d", len(agg.Keys), len(agg.Aggs))
+	}
+	// avg rewrites to sum + count; count deduplicates with the explicit
+	// count(*).
+	names := []string{agg.Aggs[0].Name, agg.Aggs[1].Name}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "count(*)") || !strings.Contains(joined, "sum(temp)") {
+		t.Errorf("agg specs = %v", names)
+	}
+	if p.Out.Names[1] != "n" || p.Out.Names[2] != "mean" {
+		t.Errorf("out names = %v", p.Out.Names)
+	}
+	if p.Out.Kinds[2] != bat.Float {
+		t.Errorf("avg kind = %s", p.Out.Kinds[2])
+	}
+}
+
+func TestBindAggregateErrors(t *testing.T) {
+	cat := testCatalog(t)
+	bindErr(t, cat, "SELECT temp FROM sensors GROUP BY room")                 // non-grouped col
+	bindErr(t, cat, "SELECT * FROM sensors GROUP BY room")                    // star with group
+	bindErr(t, cat, "SELECT sum(name) FROM rooms")                            // sum of string
+	bindErr(t, cat, "SELECT avg(name) FROM rooms")                            // avg of string
+	bindErr(t, cat, "SELECT avg(temp, room) FROM sensors")                    // arity
+	bindErr(t, cat, "SELECT min(temp > 1.0) FROM sensors")                    // min of bool
+	bindErr(t, cat, "SELECT room FROM sensors GROUP BY room HAVING temp > 1") // having non-grouped
+	bindErr(t, cat, "SELECT room FROM sensors GROUP BY room HAVING room + 1") // having non-bool
+}
+
+func TestBindHavingAndOrder(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat, `
+		SELECT room, max(temp) AS hi FROM sensors
+		GROUP BY room HAVING count(*) > 3 ORDER BY hi DESC LIMIT 2`)
+	lim, ok := n.(*Limit)
+	if !ok {
+		t.Fatalf("root = %T", n)
+	}
+	srt := lim.Child.(*Sort)
+	if len(srt.Keys) != 1 || !srt.Keys[0].Desc || srt.Keys[0].Col != 1 {
+		t.Errorf("sort keys = %+v", srt.Keys)
+	}
+	proj := srt.Child.(*Project)
+	if _, ok := proj.Child.(*Filter); !ok {
+		t.Errorf("having filter missing, got %T", proj.Child)
+	}
+}
+
+func TestBindOrderByProjectedExpr(t *testing.T) {
+	cat := testCatalog(t)
+	// ORDER BY names the underlying column of a projected item.
+	n := mustBind(t, cat, "SELECT temp FROM sensors ORDER BY temp")
+	if _, ok := n.(*Sort); !ok {
+		t.Fatalf("root = %T", n)
+	}
+	bindErr(t, cat, "SELECT temp FROM sensors ORDER BY room") // not projected
+}
+
+func TestBindDistinct(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat, "SELECT DISTINCT room FROM sensors")
+	if _, ok := n.(*Distinct); !ok {
+		t.Fatalf("root = %T, want Distinct", n)
+	}
+}
+
+func TestOptimizePushdownAndEquiJoin(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat, `
+		SELECT s.temp, r.name FROM sensors s, rooms r
+		WHERE s.room = r.room AND s.temp > 25.0 AND r.floor = 1`)
+	opt := Optimize(n)
+	s := String(opt)
+	if !strings.Contains(s, "join (hash) on") {
+		t.Errorf("no hash join in:\n%s", s)
+	}
+	// The temp filter must sit below the join, directly over the stream
+	// scan.
+	join := findJoin(opt)
+	if join == nil {
+		t.Fatalf("no join node in optimized plan:\n%s", s)
+	}
+	lf, ok := join.L.(*Filter)
+	if !ok || !strings.Contains(lf.Pred.String(), "temp") {
+		t.Errorf("left side of join = %T (%s), want temp filter", join.L, s)
+	}
+	rf, ok := join.R.(*Filter)
+	if !ok || !strings.Contains(rf.Pred.String(), "floor") {
+		t.Errorf("right side of join = %T (%s), want floor filter", join.R, s)
+	}
+	if join.Residual != nil {
+		t.Errorf("residual should be empty, got %s", join.Residual)
+	}
+}
+
+func findJoin(n Node) *Join {
+	if j, ok := n.(*Join); ok {
+		return j
+	}
+	for _, c := range n.Children() {
+		if j := findJoin(c); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+func TestOptimizeJoinOnClause(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat,
+		"SELECT s.temp FROM sensors s JOIN rooms r ON s.room = r.room")
+	opt := Optimize(n)
+	j := findJoin(opt)
+	if j == nil || len(j.LKeys) != 1 {
+		t.Fatalf("equi keys not extracted:\n%s", String(opt))
+	}
+}
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat, "SELECT temp FROM sensors WHERE temp > 10.0 + 15.0")
+	opt := Optimize(n)
+	s := String(opt)
+	if !strings.Contains(s, "25") || strings.Contains(s, "10 + 15") {
+		t.Errorf("constant not folded:\n%s", s)
+	}
+}
+
+func TestOptimizeKeepsCrossKindEqualityResidual(t *testing.T) {
+	cat := testCatalog(t)
+	// temp (FLOAT) = code (INT): equality across kinds must not become a
+	// hash-join key.
+	n := mustBind(t, cat,
+		"SELECT s.temp FROM sensors s, events e WHERE s.temp = e.code")
+	opt := Optimize(n)
+	j := findJoin(opt)
+	if j == nil {
+		t.Fatal("no join")
+	}
+	if len(j.LKeys) != 0 || j.Residual == nil {
+		t.Errorf("cross-kind equality should stay residual: keys=%v residual=%v",
+			j.LKeys, j.Residual)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat, `
+		SELECT room, count(*) AS n FROM sensors [SIZE 100 SLIDE 10]
+		WHERE temp > 20.0 GROUP BY room ORDER BY n DESC LIMIT 3`)
+	opt := Optimize(n)
+	s := String(opt)
+	for _, want := range []string{"limit 3", "order by n desc", "project", "group by room", "select", "scan stream sensors [SIZE 100 SLIDE 10]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStreamsAndTables(t *testing.T) {
+	cat := testCatalog(t)
+	n := mustBind(t, cat,
+		"SELECT s.temp FROM sensors s JOIN rooms r ON s.room = r.room")
+	if len(Streams(n)) != 1 || len(Tables(n)) != 1 {
+		t.Errorf("streams/tables = %d/%d", len(Streams(n)), len(Tables(n)))
+	}
+}

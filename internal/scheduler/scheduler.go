@@ -1,0 +1,267 @@
+// Package scheduler implements the DataCell scheduler: a Petri-net model
+// (paper §3) in which baskets are the places and factories the
+// transitions. "The firing condition is aligned to arrival of events; once
+// there are tuples that may be relevant to a waiting query, we trigger its
+// evaluation." Basket appends raise notifications; a worker pool fires
+// enabled, unpaused transitions, each at most once in flight at a time.
+// The scheduler also carries the demo's pause/resume control for
+// individual queries and the time constraints that force idle time windows
+// shut.
+package scheduler
+
+import (
+	"sync"
+	"time"
+)
+
+// Transition is one Petri-net transition: a factory step.
+type Transition struct {
+	// Name identifies the transition (the query name).
+	Name string
+	// Ready reports whether the input places hold tokens (the factory has
+	// pending tuples).
+	Ready func() bool
+	// Fire performs one step; it is never invoked concurrently with
+	// itself.
+	Fire func()
+
+	// state guarded by the scheduler's mutex:
+	queued   bool // waiting in the ready queue
+	running  bool // a worker is inside Fire
+	renotify bool // notified while running → requeue after Fire
+	paused   bool
+	pending  bool // notified while paused → requeue on resume
+	firings  int64
+}
+
+// Scheduler drives a set of transitions with a fixed worker pool.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Transition
+	all    map[string]*Transition
+	closed bool
+	wg     sync.WaitGroup
+	active int        // queued + running transitions
+	idleC  *sync.Cond // broadcast when active drops to zero
+}
+
+// New starts a scheduler with the given number of worker goroutines
+// (minimum 1).
+func New(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{all: make(map[string]*Transition)}
+	s.cond = sync.NewCond(&s.mu)
+	s.idleC = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Add registers a transition. Names must be unique.
+func (s *Scheduler) Add(t *Transition) {
+	s.mu.Lock()
+	s.all[t.Name] = t
+	s.mu.Unlock()
+}
+
+// Remove deletes a transition; an in-flight firing completes first.
+func (s *Scheduler) Remove(name string) {
+	s.mu.Lock()
+	if t, ok := s.all[name]; ok {
+		delete(s.all, name)
+		if t.queued {
+			// Leave it in the queue; workers skip transitions that have
+			// been removed.
+			t.queued = false
+			s.decActiveLocked()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Notify signals that a transition's input places gained tokens. It is
+// the callback wired to basket appends.
+func (s *Scheduler) Notify(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.all[name]
+	if !ok || s.closed {
+		return
+	}
+	if t.paused {
+		t.pending = true
+		return
+	}
+	if t.running {
+		t.renotify = true
+		return
+	}
+	s.enqueueLocked(t)
+}
+
+func (s *Scheduler) enqueueLocked(t *Transition) {
+	if t.queued {
+		return
+	}
+	t.queued = true
+	s.active++
+	s.queue = append(s.queue, t)
+	s.cond.Signal()
+}
+
+// Pause stops a transition from firing; notifications received while
+// paused are remembered (demo §4, Pause and Resume).
+func (s *Scheduler) Pause(name string) {
+	s.mu.Lock()
+	if t, ok := s.all[name]; ok {
+		t.paused = true
+	}
+	s.mu.Unlock()
+}
+
+// Resume re-enables a paused transition, firing it if events arrived in
+// the meantime.
+func (s *Scheduler) Resume(name string) {
+	s.mu.Lock()
+	if t, ok := s.all[name]; ok && t.paused {
+		t.paused = false
+		if t.pending {
+			t.pending = false
+			if t.running {
+				t.renotify = true
+			} else {
+				s.enqueueLocked(t)
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Paused reports whether the named transition is paused.
+func (s *Scheduler) Paused(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.all[name]; ok {
+		return t.paused
+	}
+	return false
+}
+
+// Firings reports how many times the named transition has fired.
+func (s *Scheduler) Firings(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.all[name]; ok {
+		return t.firings
+	}
+	return 0
+}
+
+// Drain blocks until no transition is queued or running. Combined with
+// quiescent receptors it means the query network has fully processed all
+// input — the synchronization point used by tests and benchmarks.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	for s.active > 0 {
+		s.idleC.Wait()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) decActiveLocked() {
+	s.active--
+	if s.active == 0 {
+		s.idleC.Broadcast()
+	}
+}
+
+// Stop shuts the workers down after in-flight firings complete.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed && len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		if !t.queued {
+			// Removed while queued.
+			s.mu.Unlock()
+			continue
+		}
+		t.queued = false
+		t.running = true
+		t.firings++
+		s.mu.Unlock()
+
+		t.Fire()
+
+		s.mu.Lock()
+		t.running = false
+		again := t.renotify || (t.Ready != nil && t.Ready())
+		t.renotify = false
+		if again && !t.paused {
+			if _, live := s.all[t.Name]; live && !s.closed {
+				s.enqueueLocked(t)
+			}
+		}
+		s.decActiveLocked()
+		s.mu.Unlock()
+	}
+}
+
+// Ticker runs a heartbeat callback at a fixed interval until Stop — the
+// scheduler's handle on time constraints ("the scheduler manages the time
+// constraints attached to event handling"). The engine uses it to advance
+// time-window watermarks while streams are idle.
+type Ticker struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTicker starts a heartbeat.
+func NewTicker(interval time.Duration, f func(now time.Time)) *Ticker {
+	t := &Ticker{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(t.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case now := <-tick.C:
+				f(now)
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+	return t
+}
+
+// Stop halts the heartbeat and waits for the callback goroutine to exit.
+func (t *Ticker) Stop() {
+	close(t.stop)
+	<-t.done
+}

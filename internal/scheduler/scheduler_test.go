@@ -1,0 +1,244 @@
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testTransition builds a transition that counts fires and whose readiness
+// follows an atomic token counter (one token consumed per fire).
+func testTransition(name string) (*Transition, *atomic.Int64, *atomic.Int64) {
+	var tokens, fires atomic.Int64
+	t := &Transition{
+		Name:  name,
+		Ready: func() bool { return tokens.Load() > 0 },
+		Fire: func() {
+			if tokens.Load() > 0 {
+				tokens.Add(-1)
+			}
+			fires.Add(1)
+		},
+	}
+	return t, &tokens, &fires
+}
+
+func TestFireOnNotify(t *testing.T) {
+	s := New(2)
+	defer s.Stop()
+	tr, tokens, fires := testTransition("q")
+	s.Add(tr)
+	tokens.Add(1)
+	s.Notify("q")
+	s.Drain()
+	if fires.Load() != 1 {
+		t.Errorf("fires = %d", fires.Load())
+	}
+	if s.Firings("q") != 1 {
+		t.Errorf("Firings = %d", s.Firings("q"))
+	}
+}
+
+func TestRefireWhileReady(t *testing.T) {
+	s := New(1)
+	defer s.Stop()
+	tr, tokens, fires := testTransition("q")
+	s.Add(tr)
+	tokens.Add(5)
+	s.Notify("q")
+	s.Drain()
+	// The worker refires as long as Ready reports tokens.
+	if fires.Load() != 5 {
+		t.Errorf("fires = %d, want 5", fires.Load())
+	}
+}
+
+func TestNotifyUnknownOrClosed(t *testing.T) {
+	s := New(1)
+	s.Notify("ghost") // no panic
+	s.Stop()
+	s.Notify("late") // after close, no panic
+}
+
+func TestPauseResume(t *testing.T) {
+	s := New(2)
+	defer s.Stop()
+	tr, tokens, fires := testTransition("q")
+	s.Add(tr)
+	s.Pause("q")
+	if !s.Paused("q") {
+		t.Fatal("not paused")
+	}
+	tokens.Add(1)
+	s.Notify("q")
+	time.Sleep(20 * time.Millisecond)
+	if fires.Load() != 0 {
+		t.Fatalf("paused transition fired %d times", fires.Load())
+	}
+	s.Resume("q")
+	s.Drain()
+	if fires.Load() != 1 {
+		t.Errorf("fires after resume = %d", fires.Load())
+	}
+	if s.Paused("q") {
+		t.Error("still paused after resume")
+	}
+	// Resume of unpaused and unknown names are no-ops.
+	s.Resume("q")
+	s.Resume("ghost")
+	if s.Paused("ghost") {
+		t.Error("ghost paused")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := New(1)
+	defer s.Stop()
+	tr, tokens, fires := testTransition("q")
+	s.Add(tr)
+	s.Remove("q")
+	tokens.Add(1)
+	s.Notify("q")
+	time.Sleep(20 * time.Millisecond)
+	if fires.Load() != 0 {
+		t.Errorf("removed transition fired %d times", fires.Load())
+	}
+}
+
+func TestRemoveWhileQueued(t *testing.T) {
+	s := New(1)
+	defer s.Stop()
+	block := make(chan struct{})
+	slow := &Transition{
+		Name:  "slow",
+		Ready: func() bool { return false },
+		Fire:  func() { <-block },
+	}
+	tr, tokens, fires := testTransition("q")
+	s.Add(slow)
+	s.Add(tr)
+	s.Notify("slow") // occupies the single worker
+	time.Sleep(10 * time.Millisecond)
+	tokens.Add(1)
+	s.Notify("q") // queued behind slow
+	s.Remove("q")
+	close(block)
+	s.Drain()
+	if fires.Load() != 0 {
+		t.Errorf("removed-but-queued transition fired %d times", fires.Load())
+	}
+}
+
+func TestNoConcurrentFiresOfSameTransition(t *testing.T) {
+	s := New(4)
+	defer s.Stop()
+	var inFlight, maxFlight, tokens atomic.Int64
+	tr := &Transition{
+		Name:  "q",
+		Ready: func() bool { return tokens.Load() > 0 },
+		Fire: func() {
+			cur := inFlight.Add(1)
+			for {
+				m := maxFlight.Load()
+				if cur <= m || maxFlight.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			if tokens.Load() > 0 {
+				tokens.Add(-1)
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+		},
+	}
+	s.Add(tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				tokens.Add(1)
+				s.Notify("q")
+			}
+		}()
+	}
+	wg.Wait()
+	s.Drain()
+	if maxFlight.Load() > 1 {
+		t.Errorf("transition fired concurrently: max in flight %d", maxFlight.Load())
+	}
+	if tokens.Load() != 0 {
+		t.Errorf("tokens left: %d", tokens.Load())
+	}
+}
+
+func TestManyTransitionsParallel(t *testing.T) {
+	s := New(4)
+	defer s.Stop()
+	const n = 16
+	var fires [n]atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		s.Add(&Transition{
+			Name:  string(rune('a' + i)),
+			Ready: func() bool { return false },
+			Fire:  func() { fires[i].Add(1) },
+		})
+	}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < n; i++ {
+			s.Notify(string(rune('a' + i)))
+		}
+	}
+	s.Drain()
+	var total int64
+	for i := range fires {
+		if fires[i].Load() == 0 {
+			t.Errorf("transition %d never fired", i)
+		}
+		total += fires[i].Load()
+	}
+	if total == 0 {
+		t.Fatal("nothing fired")
+	}
+}
+
+func TestDrainIdempotentAndReusable(t *testing.T) {
+	s := New(2)
+	defer s.Stop()
+	tr, tokens, fires := testTransition("q")
+	s.Add(tr)
+	s.Drain() // nothing running: returns immediately
+	tokens.Add(1)
+	s.Notify("q")
+	s.Drain()
+	tokens.Add(1)
+	s.Notify("q")
+	s.Drain()
+	if fires.Load() != 2 {
+		t.Errorf("fires = %d", fires.Load())
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	s := New(2)
+	s.Stop()
+	s.Stop()
+}
+
+func TestTicker(t *testing.T) {
+	var ticks atomic.Int64
+	tk := NewTicker(5*time.Millisecond, func(time.Time) { ticks.Add(1) })
+	time.Sleep(40 * time.Millisecond)
+	tk.Stop()
+	got := ticks.Load()
+	if got == 0 {
+		t.Error("ticker never fired")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if ticks.Load() != got {
+		t.Error("ticker fired after Stop")
+	}
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"datacell"
+)
+
+func newEngine(t *testing.T) *datacell.Engine {
+	t.Helper()
+	e := datacell.New(&datacell.Options{Workers: 2})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestSessionSQLAndErrors(t *testing.T) {
+	s := NewSession(newEngine(t))
+	out, quit := s.Dispatch("CREATE STREAM s (ts TIMESTAMP, v INT);")
+	if quit || !strings.Contains(out, "stream s created") {
+		t.Fatalf("create: %q", out)
+	}
+	out, _ = s.Dispatch("INSERT INTO s VALUES (1, 5)")
+	if !strings.Contains(out, "1 row(s)") {
+		t.Errorf("insert: %q", out)
+	}
+	out, _ = s.Dispatch("SELECT v FROM s")
+	if !strings.Contains(out, "5") {
+		t.Errorf("select: %q", out)
+	}
+	out, _ = s.Dispatch("SELEC nonsense")
+	if !strings.Contains(out, "error:") {
+		t.Errorf("bad sql: %q", out)
+	}
+	if out, _ := s.Dispatch(""); out != "" {
+		t.Errorf("empty input: %q", out)
+	}
+}
+
+func TestSessionQueryLifecycle(t *testing.T) {
+	s := NewSession(newEngine(t))
+	s.Dispatch("CREATE STREAM s (ts TIMESTAMP, v INT)")
+	out, _ := s.Dispatch("REGISTER QUERY q AS SELECT sum(v) AS t FROM s [SIZE 2 SLIDE 2]")
+	if !strings.Contains(out, "registered (incremental)") {
+		t.Fatalf("register: %q", out)
+	}
+	if out, _ := s.Dispatch(`\queries`); out != "q" {
+		t.Errorf("queries: %q", out)
+	}
+	if out, _ := s.Dispatch(`\plan q`); !strings.Contains(out, "scan stream") {
+		t.Errorf("plan: %q", out)
+	}
+	if out, _ := s.Dispatch(`\cplan q`); !strings.Contains(out, "basic window") {
+		t.Errorf("cplan: %q", out)
+	}
+	s.Dispatch("INSERT INTO s VALUES (1, 3), (2, 4)")
+	s.eng.Drain()
+	out, _ = s.Dispatch(`\results q 5`)
+	if !strings.Contains(out, "7") {
+		t.Errorf("results: %q", out)
+	}
+	if out, _ := s.Dispatch(`\results q`); !strings.Contains(out, "no pending") {
+		t.Errorf("drained results: %q", out)
+	}
+	if out, _ := s.Dispatch(`\stats q`); !strings.Contains(out, "evals=1") {
+		t.Errorf("stats: %q", out)
+	}
+	if out, _ := s.Dispatch(`\pause q`); out != "paused" {
+		t.Errorf("pause: %q", out)
+	}
+	if out, _ := s.Dispatch(`\resume q`); out != "resumed" {
+		t.Errorf("resume: %q", out)
+	}
+	if out, _ := s.Dispatch(`\plan ghost`); !strings.Contains(out, "error") {
+		t.Errorf("ghost plan: %q", out)
+	}
+}
+
+func TestSessionControlCommands(t *testing.T) {
+	s := NewSession(newEngine(t))
+	s.Dispatch("CREATE STREAM s (ts TIMESTAMP, v INT)")
+	if out, _ := s.Dispatch(`\catalog`); !strings.Contains(out, "stream s") {
+		t.Errorf("catalog: %q", out)
+	}
+	if out, _ := s.Dispatch(`\network`); !strings.Contains(out, "baskets:") {
+		t.Errorf("network: %q", out)
+	}
+	if out, _ := s.Dispatch(`\queries`); out != "(none)" {
+		t.Errorf("queries: %q", out)
+	}
+	if out, _ := s.Dispatch(`\pause-stream s`); out != "stream paused" {
+		t.Errorf("pause-stream: %q", out)
+	}
+	if out, _ := s.Dispatch(`\resume-stream s`); out != "stream resumed" {
+		t.Errorf("resume-stream: %q", out)
+	}
+	if out, _ := s.Dispatch(`\pause-stream ghost`); !strings.Contains(out, "error") {
+		t.Errorf("ghost stream: %q", out)
+	}
+	if out, _ := s.Dispatch(`\advance 1000000`); out != "advanced" {
+		t.Errorf("advance: %q", out)
+	}
+	if out, _ := s.Dispatch(`\advance nope`); !strings.Contains(out, "error") {
+		t.Errorf("bad advance: %q", out)
+	}
+	if out, _ := s.Dispatch(`\bogus`); !strings.Contains(out, "unknown command") {
+		t.Errorf("bogus: %q", out)
+	}
+	if out, _ := s.Dispatch(`\help`); !strings.Contains(out, "commands:") {
+		t.Errorf("help: %q", out)
+	}
+	out, quit := s.Dispatch(`\quit`)
+	if !quit || out != "bye" {
+		t.Errorf("quit: %q %v", out, quit)
+	}
+	if got := SortedCommands(); len(got) != 14 {
+		t.Errorf("commands = %d", len(got))
+	}
+}
+
+func TestServerOverTCP(t *testing.T) {
+	e := newEngine(t)
+	srv, err := Listen(e, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	out, err := c.Call("CREATE STREAM s (ts TIMESTAMP, v INT)")
+	if err != nil || !strings.Contains(out, "created") {
+		t.Fatalf("create over tcp: %q %v", out, err)
+	}
+	out, err = c.Call("REGISTER QUERY q AS SELECT v FROM s")
+	if err != nil || !strings.Contains(out, "registered") {
+		t.Fatalf("register: %q %v", out, err)
+	}
+	if out, _ = c.Call("INSERT INTO s VALUES (1, 9)"); !strings.Contains(out, "1 row") {
+		t.Fatalf("insert: %q", out)
+	}
+	e.Drain()
+	out, err = c.Call(`\results q`)
+	if err != nil || !strings.Contains(out, "9") {
+		t.Fatalf("results: %q %v", out, err)
+	}
+	// Second client shares the engine.
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	out, err = c2.Call(`\network`)
+	if err != nil || !strings.Contains(out, "q") {
+		t.Fatalf("second client network: %q %v", out, err)
+	}
+	// \quit closes the session.
+	if out, err := c.Call(`\quit`); err != nil || out != "bye" {
+		t.Fatalf("quit: %q %v", out, err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+}

@@ -1,0 +1,160 @@
+// Package sql implements the SQL front-end of DataCell-Go: a lexer, an
+// AST, and a recursive-descent parser for the SQL subset the DataCell demo
+// exercises, extended with the paper's "few orthogonal language constructs"
+// for continuous queries: CREATE STREAM, REGISTER QUERY, and window
+// specifications on stream references.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// The token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased, identifiers lower-cased
+	Pos  int
+}
+
+// keywords is the reserved-word set. Window-spec words (SIZE, RANGE,
+// SLIDE, ON) are contextual but reserving them keeps the grammar simple.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "TRUE": true,
+	"FALSE": true, "CREATE": true, "TABLE": true, "STREAM": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "DROP": true,
+	"REGISTER": true, "QUERY": true, "INCREMENTAL": true, "REEVAL": true,
+	"SIZE": true, "RANGE": true, "SLIDE": true, "ON": true, "JOIN": true,
+	"INNER": true, "DISTINCT": true, "COPY": true, "DELETE": true,
+	"MICROSECONDS": true, "MILLISECONDS": true, "SECONDS": true,
+	"MINUTES": true, "HOURS": true,
+	"SECOND": true, "MINUTE": true, "HOUR": true, "MILLISECOND": true,
+	"MICROSECOND": true, "CAST": true,
+}
+
+// Lex tokenizes a SQL string. It returns a descriptive error with the
+// byte offset of the first bad character.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // line comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{TokKeyword, up, start})
+			} else {
+				toks = append(toks, Token{TokIdent, strings.ToLower(word), start})
+			}
+		case c >= '0' && c <= '9':
+			start := i
+			isFloat := false
+			for i < n && (src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			if i < n && src[i] == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' {
+				isFloat = true
+				i++
+				for i < n && (src[i] >= '0' && src[i] <= '9') {
+					i++
+				}
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				isFloat = true
+				i++
+				if i < n && (src[i] == '+' || src[i] == '-') {
+					i++
+				}
+				for i < n && (src[i] >= '0' && src[i] <= '9') {
+					i++
+				}
+			}
+			k := TokInt
+			if isFloat {
+				k = TokFloat
+			}
+			toks = append(toks, Token{k, src[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // '' escape
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		default:
+			// Two-char operators first.
+			if i+1 < n {
+				two := src[i : i+2]
+				switch two {
+				case "<>", "<=", ">=", "!=":
+					toks = append(toks, Token{TokSymbol, two, i})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '.', ';', '*', '+', '-', '/', '%', '=', '<', '>', '[', ']':
+				toks = append(toks, Token{TokSymbol, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

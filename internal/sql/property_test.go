@@ -1,0 +1,177 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// renderSelect turns a parsed SelectStmt back into SQL text. It is used
+// only by the round-trip property test, so it emits the grammar's
+// canonical spelling.
+func renderSelect(s *SelectStmt) string {
+	out := "SELECT "
+	if s.Distinct {
+		out += "DISTINCT "
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			out += ", "
+		}
+		if it.Star {
+			out += "*"
+			continue
+		}
+		out += it.Expr.String()
+		if it.Alias != "" {
+			out += " AS " + it.Alias
+		}
+	}
+	out += " FROM "
+	for i, f := range s.From {
+		if i > 0 {
+			out += ", "
+		}
+		out += renderFrom(f)
+	}
+	for _, j := range s.Joins {
+		out += " JOIN " + renderFrom(j.Right) + " ON " + j.On.String()
+	}
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	if len(s.GroupBy) > 0 {
+		out += " GROUP BY "
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				out += ", "
+			}
+			out += g.String()
+		}
+	}
+	if s.Having != nil {
+		out += " HAVING " + s.Having.String()
+	}
+	if len(s.OrderBy) > 0 {
+		out += " ORDER BY "
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				out += ", "
+			}
+			out += o.Expr.String()
+			if o.Desc {
+				out += " DESC"
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		out += fmt.Sprintf(" LIMIT %d", s.Limit)
+	}
+	return out
+}
+
+func renderFrom(f FromItem) string {
+	out := f.Name
+	if f.Window != nil {
+		out += " " + f.Window.String()
+	}
+	if f.Alias != "" {
+		out += " AS " + f.Alias
+	}
+	return out
+}
+
+// randExpr builds a random expression tree of bounded depth.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &Ident{Name: fmt.Sprintf("c%d", rng.Intn(4))}
+		case 1:
+			return &Lit{Kind: 'i', I: int64(rng.Intn(100))}
+		case 2:
+			return &Lit{Kind: 'f', F: float64(rng.Intn(100)) + 0.5}
+		default:
+			return &Lit{Kind: 's', S: fmt.Sprintf("v%d", rng.Intn(10))}
+		}
+	}
+	ops := []string{"+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"}
+	return &BinExpr{
+		Op: ops[rng.Intn(len(ops))],
+		L:  randExpr(rng, depth-1),
+		R:  randExpr(rng, depth-1),
+	}
+}
+
+// Property: parsing a rendered statement reproduces the same rendering —
+// parse∘render is a fixpoint (rendering is canonical, so one round trip
+// must be stable).
+func TestQuickParseRenderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 300; iter++ {
+		s := &SelectStmt{Limit: -1}
+		s.Distinct = rng.Intn(4) == 0
+		nItems := 1 + rng.Intn(3)
+		for i := 0; i < nItems; i++ {
+			it := SelectItem{Expr: randExpr(rng, 2)}
+			if rng.Intn(2) == 0 {
+				it.Alias = fmt.Sprintf("a%d", i)
+			}
+			s.Items = append(s.Items, it)
+		}
+		fi := FromItem{Name: "t0"}
+		if rng.Intn(2) == 0 {
+			fi.Window = &WindowSpec{Tuples: true, Size: 8, Slide: 4}
+		}
+		if rng.Intn(2) == 0 {
+			fi.Alias = "x"
+		}
+		s.From = []FromItem{fi}
+		if rng.Intn(2) == 0 {
+			s.Where = randExpr(rng, 2)
+		}
+		if rng.Intn(3) == 0 {
+			s.GroupBy = []Expr{&Ident{Name: "c0"}}
+			s.Having = &BinExpr{Op: ">", L: &CallExpr{Name: "count", Star: true}, R: &Lit{Kind: 'i', I: 1}}
+		}
+		if rng.Intn(3) == 0 {
+			s.OrderBy = []OrderItem{{Expr: &Ident{Name: "c1"}, Desc: rng.Intn(2) == 0}}
+		}
+		if rng.Intn(3) == 0 {
+			s.Limit = int64(rng.Intn(50))
+		}
+
+		text := renderSelect(s)
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("iter %d: parse(%q): %v", iter, text, err)
+		}
+		again := renderSelect(parsed.(*SelectStmt))
+		if again != text {
+			t.Fatalf("iter %d: round trip unstable:\n1: %s\n2: %s", iter, text, again)
+		}
+	}
+}
+
+// Property: the lexer never loses or invents token content for valid
+// statements — re-lexing the rendered form yields identical token streams.
+func TestQuickLexStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 200; iter++ {
+		e := randExpr(rng, 3)
+		src := "SELECT " + e.String() + " FROM t"
+		t1, err := Lex(src)
+		if err != nil {
+			t.Fatalf("lex(%q): %v", src, err)
+		}
+		t2, err := Lex(src)
+		if err != nil || len(t1) != len(t2) {
+			t.Fatalf("lex unstable for %q", src)
+		}
+		for i := range t1 {
+			if t1[i].Kind != t2[i].Kind || t1[i].Text != t2[i].Text {
+				t.Fatalf("token %d differs for %q", i, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package window
+
+import (
+	"datacell/internal/bat"
+	"datacell/internal/plan"
+)
+
+// JoinCache caches stream⋈stream join results at basic-window-pair
+// granularity. When a new basic window arrives on either side it is joined
+// once against every live basic window of the other side; a slide then
+// evicts a whole row/column of pairs along with the expired basic window.
+// The merged join output per slide is the concatenation of the live pair
+// results — no join work is ever repeated for surviving pairs, which is
+// where the incremental benefit for complex (join) queries comes from
+// (demo §4, Complex Queries).
+type JoinCache struct {
+	join  *plan.Join
+	pairs map[[2]int64]*bat.Chunk // (leftGen, rightGen) → join output
+}
+
+// NewJoinCache builds a pair cache for the given join node (whose L/R
+// schemas must match the cached pipeline outputs fed to Add).
+func NewJoinCache(join *plan.Join) *JoinCache {
+	return &JoinCache{join: join, pairs: make(map[[2]int64]*bat.Chunk)}
+}
+
+// AddLeft joins a new left basic window against all live right basic
+// windows and caches the pair results.
+func (jc *JoinCache) AddLeft(l *BW, rights []*BW) {
+	for _, r := range rights {
+		jc.ensure(l, r)
+	}
+}
+
+// AddRight joins a new right basic window against all live left basic
+// windows and caches the pair results.
+func (jc *JoinCache) AddRight(r *BW, lefts []*BW) {
+	for _, l := range lefts {
+		jc.ensure(l, r)
+	}
+}
+
+func (jc *JoinCache) ensure(l, r *BW) {
+	key := [2]int64{l.Gen, r.Gen}
+	if _, ok := jc.pairs[key]; ok {
+		return
+	}
+	jc.pairs[key] = plan.JoinChunks(jc.join, l.Out, r.Out)
+}
+
+// EvictLeft drops all pairs involving an expired left basic window.
+func (jc *JoinCache) EvictLeft(gen int64) {
+	for k := range jc.pairs {
+		if k[0] == gen {
+			delete(jc.pairs, k)
+		}
+	}
+}
+
+// EvictRight drops all pairs involving an expired right basic window.
+func (jc *JoinCache) EvictRight(gen int64) {
+	for k := range jc.pairs {
+		if k[1] == gen {
+			delete(jc.pairs, k)
+		}
+	}
+}
+
+// Merged concatenates the cached results of the live pair set, in
+// (leftGen, rightGen) order for determinism.
+func (jc *JoinCache) Merged(lefts, rights []*BW) *bat.Chunk {
+	out := bat.NewChunk(jc.join.Out)
+	for _, l := range lefts {
+		for _, r := range rights {
+			if c, ok := jc.pairs[[2]int64{l.Gen, r.Gen}]; ok {
+				out.AppendChunk(c)
+			}
+		}
+	}
+	return out
+}
+
+// Pairs reports the number of cached pair results (for the analysis pane).
+func (jc *JoinCache) Pairs() int { return len(jc.pairs) }

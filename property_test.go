@@ -1,0 +1,134 @@
+package datacell
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"datacell/internal/emitter"
+)
+
+// Property: two identical continuous queries registered on the same
+// stream receive identical result sequences — basket cursors isolate
+// consumers, so sharing never changes semantics.
+func TestQuickIdenticalQueriesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 10; iter++ {
+		e, _ := newTestEngine(t)
+		mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+		sql := fmt.Sprintf(
+			"SELECT k, sum(v) AS t FROM s [SIZE %d SLIDE %d] GROUP BY k",
+			4*(1+rng.Intn(4)), 1+rng.Intn(4))
+		// Mixed modes on purpose: the two modes are proven equivalent, so
+		// identical queries must agree regardless of mode.
+		qa, err := e.Register("qa", sql, &RegisterOptions{Mode: ModeReeval})
+		if err != nil {
+			// Random geometry may be invalid (slide not dividing size).
+			e.Close()
+			continue
+		}
+		qb, err := e.Register("qb", sql, &RegisterOptions{Mode: ModeAuto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 10 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			if err := e.Append("s", []any{
+				time.UnixMicro(int64(i)), rng.Intn(3), float64(rng.Intn(50)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ra := normalized(collect(e, qa))
+		rb := normalized(collect(e, qb))
+		if len(ra) != len(rb) {
+			t.Fatalf("iter %d: %d vs %d results", iter, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("iter %d result %d:\nqa: %s\nqb: %s", iter, i, ra[i], rb[i])
+			}
+		}
+		e.Close()
+	}
+}
+
+// Property: a query registered mid-stream sees only tuples appended after
+// registration (the paper's continuous-query semantics), and its results
+// form a suffix-aligned view of an identical query registered earlier.
+func TestLateRegistrationSeesOnlyNewTuples(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v INT)")
+	early, _ := e.Register("early", "SELECT v FROM s", nil)
+	for i := 0; i < 5; i++ {
+		_ = e.Append("s", []any{time.UnixMicro(int64(i)), i})
+	}
+	e.Drain()
+	late, _ := e.Register("late", "SELECT v FROM s", nil)
+	for i := 5; i < 8; i++ {
+		_ = e.Append("s", []any{time.UnixMicro(int64(i)), i})
+	}
+	eRows := rowsOf(collect(e, early))
+	lRows := rowsOf(collect(e, late))
+	if len(eRows) != 8 {
+		t.Fatalf("early saw %d rows", len(eRows))
+	}
+	if len(lRows) != 3 || lRows[0] != "5" {
+		t.Fatalf("late saw %v", lRows)
+	}
+}
+
+// Property: appending in different batch splits never changes windowed
+// results (slicing is batch-agnostic).
+func TestQuickBatchSplitInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rows := make([][]any, 40)
+	for i := range rows {
+		rows[i] = []any{time.UnixMicro(int64(i)), rng.Intn(4), float64(rng.Intn(100))}
+	}
+	sql := "SELECT k, count(*) AS n FROM s [SIZE 8 SLIDE 4] GROUP BY k"
+
+	var want []string
+	for trial := 0; trial < 8; trial++ {
+		e, _ := newTestEngine(t)
+		mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+		q, err := e.Register("q", sql, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := 0; pos < len(rows); {
+			take := 1 + rng.Intn(7)
+			if pos+take > len(rows) {
+				take = len(rows) - pos
+			}
+			if err := e.Append("s", rows[pos:pos+take]...); err != nil {
+				t.Fatal(err)
+			}
+			pos += take
+		}
+		got := normalized(collect(e, q))
+		if trial == 0 {
+			want = got
+		} else if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d differs:\nwant %v\ngot  %v", trial, want, got)
+		}
+		e.Close()
+	}
+}
+
+// normalized renders each result as its sorted row multiset, so group
+// emission order (which legitimately differs between modes) is ignored.
+func normalized(rs []emitter.Result) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		rows := make([]string, r.Chunk.Rows())
+		for j := range rows {
+			rows[j] = fmt.Sprint(r.Chunk.Row(j))
+		}
+		sort.Strings(rows)
+		out[i] = fmt.Sprint(rows)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package datacell
+
+import (
+	"fmt"
+
+	"datacell/internal/basket"
+	"datacell/internal/emitter"
+	"datacell/internal/factory"
+	"datacell/internal/plan"
+	"datacell/internal/scheduler"
+	"datacell/internal/sql"
+)
+
+// Mode selects how a continuous query is executed.
+type Mode uint8
+
+// The execution modes. ModeAuto picks incremental when the plan
+// decomposes (windowed, at most two streams) and falls back to full
+// re-evaluation otherwise — the optimizer choice the demo exposes as a
+// knob.
+const (
+	ModeAuto Mode = iota
+	ModeReeval
+	ModeIncremental
+)
+
+// RegisterOptions tunes query registration.
+type RegisterOptions struct {
+	// Mode selects the execution strategy (default ModeAuto).
+	Mode Mode
+	// Emitter receives results in addition to the query's Out channel.
+	Emitter emitter.Emitter
+	// NoChannel suppresses the Out channel entirely (benchmarks that only
+	// want an emitter callback or none at all).
+	NoChannel bool
+}
+
+// Query is a registered continuous query handle.
+type Query struct {
+	name string
+	eng  *Engine
+	fac  *factory.Factory
+	out  *emitter.Channel // nil with NoChannel
+	mode factory.Mode
+}
+
+// Register compiles and registers a continuous query from SQL text:
+//
+//	q, err := eng.Register("hot", "SELECT ... FROM s [SIZE 100 SLIDE 10] ...", nil)
+//
+// The query starts consuming stream data immediately.
+func (e *Engine) Register(name, selectSQL string, opts *RegisterOptions) (*Query, error) {
+	stmt, err := sql.Parse(selectSQL)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("datacell: Register expects a SELECT, got %T", stmt)
+	}
+	o := RegisterOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	return e.register(name, sel, o.Mode, &o)
+}
+
+func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *RegisterOptions) (*Query, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("datacell: engine closed")
+	}
+	if _, dup := e.queries[name]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("datacell: query %q already registered", name)
+	}
+	e.mu.Unlock()
+
+	bound, err := plan.Bind(e.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	opt := plan.Optimize(bound)
+	streams := plan.Streams(opt)
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("datacell: %q reads no stream; use Exec for one-time queries", name)
+	}
+
+	// Resolve the execution mode: the paper's mode 2 (incremental) when
+	// the plan decomposes, mode 1 (re-evaluation) otherwise.
+	var decomp *plan.Decomposition
+	fmode := factory.Reeval
+	switch mode {
+	case ModeIncremental:
+		d, err := plan.Decompose(opt)
+		if err != nil {
+			return nil, fmt.Errorf("datacell: incremental mode: %w", err)
+		}
+		decomp, fmode = d, factory.Incremental
+	case ModeAuto:
+		if d, err := plan.Decompose(opt); err == nil {
+			decomp, fmode = d, factory.Incremental
+		}
+	}
+
+	var emitters emitter.Multi
+	var outCh *emitter.Channel
+	if opts == nil || !opts.NoChannel {
+		outCh = emitter.NewChannel(e.buf)
+		emitters = append(emitters, outCh)
+	}
+	if opts != nil && opts.Emitter != nil {
+		emitters = append(emitters, opts.Emitter)
+	}
+	var emit emitter.Emitter = emitters
+	if len(emitters) == 0 {
+		emit = emitter.Null{}
+	}
+
+	bind := map[*plan.ScanStream]*basket.Basket{}
+	scans := streams
+	if decomp != nil {
+		scans = nil
+		for _, p := range decomp.Pipelines {
+			scans = append(scans, p.Scan)
+		}
+	}
+	for _, sc := range scans {
+		bind[sc] = sc.Stream.Basket
+	}
+
+	fac, err := factory.New(factory.Config{
+		Name:   name,
+		Full:   opt,
+		Decomp: decomp,
+		Mode:   fmode,
+		Emit:   emit,
+		Now:    e.now,
+	}, bind)
+	if err != nil {
+		return nil, err
+	}
+
+	q := &Query{name: name, eng: e, fac: fac, out: outCh, mode: fmode}
+	e.mu.Lock()
+	if _, dup := e.queries[name]; dup {
+		e.mu.Unlock()
+		fac.Stop()
+		return nil, fmt.Errorf("datacell: query %q already registered", name)
+	}
+	e.queries[name] = q
+	e.mu.Unlock()
+
+	e.sched.Add(&scheduler.Transition{
+		Name:  name,
+		Ready: fac.Ready,
+		Fire:  func() { fac.Step() },
+	})
+	// Wire the Petri net: appends on any input basket enable this
+	// transition.
+	for _, sc := range scans {
+		sc.Stream.Basket.OnAppend(func() { e.sched.Notify(name) })
+	}
+	return q, nil
+}
+
+// Name reports the query name.
+func (q *Query) Name() string { return q.name }
+
+// Mode reports the resolved execution mode ("incremental" or "reeval").
+func (q *Query) Mode() string { return q.mode.String() }
+
+// Out is the result channel (nil when registered with NoChannel). Each
+// element is one evaluation's result set with metadata.
+func (q *Query) Out() <-chan emitter.Result {
+	if q.out == nil {
+		return nil
+	}
+	return q.out.Out()
+}
+
+// Dropped reports results discarded because the Out channel was full.
+func (q *Query) Dropped() int64 {
+	if q.out == nil {
+		return 0
+	}
+	return q.out.Dropped()
+}
+
+// Pause suspends the query: events keep accumulating in its baskets and
+// are processed on Resume (demo §4, Pause and Resume).
+func (q *Query) Pause() { q.eng.sched.Pause(q.name) }
+
+// Resume reactivates a paused query.
+func (q *Query) Resume() { q.eng.sched.Resume(q.name) }
+
+// Paused reports whether the query is paused.
+func (q *Query) Paused() bool { return q.eng.sched.Paused(q.name) }
+
+// Stop removes the query from the network, releasing its basket cursors
+// (pending tuples it alone was holding get dropped) and closing its
+// emitters.
+func (q *Query) Stop() {
+	q.eng.sched.Remove(q.name)
+	q.eng.mu.Lock()
+	delete(q.eng.queries, q.name)
+	q.eng.mu.Unlock()
+	q.fac.Stop()
+}
+
+// Stats returns the query's counters (firings, tuples, latencies).
+func (q *Query) Stats() factory.Stats { return q.fac.Stats() }
+
+// PlanString renders the optimized one-time plan — the "normal" plan shape
+// of the demo's plan inspection.
+func (q *Query) PlanString() string { return q.fac.PlanString() }
+
+// ContinuousPlanString renders the continuous plan: the split/merge
+// decomposition for incremental queries, or the re-evaluation wrapper.
+func (q *Query) ContinuousPlanString() string { return q.fac.ContinuousPlanString() }

@@ -1,0 +1,113 @@
+package datacell
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datacell/internal/basket"
+	"datacell/internal/factory"
+)
+
+// Stats is an engine-wide snapshot: the observable quantities of the
+// demo's monitoring panes (basket occupancy and rates, per-query firings
+// and latencies).
+type Stats struct {
+	Baskets []basket.Stats
+	Queries []factory.Stats
+}
+
+// Stats snapshots every basket and query counter.
+func (e *Engine) Stats() Stats {
+	var out Stats
+	for _, n := range e.cat.StreamNames() {
+		s, _ := e.cat.Stream(n)
+		out.Baskets = append(out.Baskets, s.Basket.Stats())
+	}
+	e.mu.Lock()
+	names := make([]string, 0, len(e.queries))
+	for n := range e.queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	qs := make([]*Query, 0, len(names))
+	for _, n := range names {
+		qs = append(qs, e.queries[n])
+	}
+	e.mu.Unlock()
+	for _, q := range qs {
+		out.Queries = append(out.Queries, q.Stats())
+	}
+	return out
+}
+
+// QueryStats returns one query's counters.
+func (e *Engine) QueryStats(name string) (factory.Stats, error) {
+	e.mu.Lock()
+	q, ok := e.queries[name]
+	e.mu.Unlock()
+	if !ok {
+		return factory.Stats{}, fmt.Errorf("datacell: no query %q", name)
+	}
+	return q.Stats(), nil
+}
+
+// Query looks up a registered continuous query by name.
+func (e *Engine) Query(name string) (*Query, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	return q, ok
+}
+
+// QueryNames lists registered continuous queries, sorted.
+func (e *Engine) QueryNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.queries))
+	for n := range e.queries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NetworkString renders the continuous query network: which query binds
+// which baskets, each side annotated with its live counters. It is the
+// terminal equivalent of the demo GUI's network pane (Figure 3).
+func (e *Engine) NetworkString() string {
+	st := e.Stats()
+	var b strings.Builder
+	b.WriteString("baskets:\n")
+	for _, bs := range st.Baskets {
+		state := ""
+		if bs.Paused {
+			state = " [paused]"
+		}
+		fmt.Fprintf(&b, "  %-16s len=%-8d in=%-10d dropped=%-10d consumers=%d%s\n",
+			bs.Name, bs.Len, bs.TotalIn, bs.TotalDrop, bs.Consumers, state)
+	}
+	b.WriteString("queries:\n")
+	e.mu.Lock()
+	qs := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		qs = append(qs, q)
+	}
+	e.mu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].name < qs[j].name })
+	for _, q := range qs {
+		s := q.Stats()
+		paused := ""
+		if q.Paused() {
+			paused = " [paused]"
+		}
+		avgLat := int64(0)
+		if s.Evals > 0 {
+			avgLat = s.SumLatency / s.Evals
+		}
+		fmt.Fprintf(&b, "  %-16s <- %-24s mode=%-12s evals=%-8d in=%-10d out=%-10d avg_lat=%dµs%s\n",
+			s.Name, strings.Join(q.fac.Baskets(), ","), s.Mode,
+			s.Evals, s.TuplesIn, s.RowsOut, avgLat, paused)
+	}
+	return b.String()
+}
