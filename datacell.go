@@ -54,6 +54,11 @@ type Options struct {
 	// Use it when stream timestamps follow the engine clock; leave zero
 	// for event-time replay and drive AdvanceTime explicitly.
 	Heartbeat time.Duration
+	// DefaultShards is the shard count for streams created without an
+	// explicit SHARD clause (default 1: one mutex-guarded basket per
+	// stream, the classic DataCell layout). Streams with more than one
+	// shard ingest and fire factories in parallel per shard.
+	DefaultShards int
 }
 
 // Engine is a DataCell instance: catalog, baskets, factories, scheduler.
@@ -62,6 +67,7 @@ type Engine struct {
 	sched     *scheduler.Scheduler
 	now       func() int64
 	buf       int
+	shards    int
 	heartbeat *scheduler.Ticker
 
 	mu      sync.Mutex
@@ -84,11 +90,15 @@ func New(opts *Options) *Engine {
 	if o.ResultBuffer <= 0 {
 		o.ResultBuffer = 1024
 	}
+	if o.DefaultShards <= 0 {
+		o.DefaultShards = 1
+	}
 	e := &Engine{
 		cat:     catalog.New(),
 		sched:   scheduler.New(o.Workers),
 		now:     o.Now,
 		buf:     o.ResultBuffer,
+		shards:  o.DefaultShards,
 		queries: make(map[string]*Query),
 	}
 	if o.Heartbeat > 0 {
@@ -174,8 +184,21 @@ func (e *Engine) execStmt(stmt sql.Stmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := e.cat.CreateStream(s.Name, sch); err != nil {
+		shards := s.Shards
+		if shards <= 0 {
+			shards = e.shards
+		}
+		keyIdx := -1
+		if s.Key != "" {
+			if keyIdx = sch.Index(s.Key); keyIdx < 0 {
+				return nil, fmt.Errorf("datacell: SHARD KEY %q is not a column of stream %s", s.Key, s.Name)
+			}
+		}
+		if _, err := e.cat.CreateStreamSharded(s.Name, sch, shards, keyIdx); err != nil {
 			return nil, err
+		}
+		if shards > 1 {
+			return &Result{Msg: fmt.Sprintf("stream %s created (%d shards)", s.Name, shards)}, nil
 		}
 		return &Result{Msg: fmt.Sprintf("stream %s created", s.Name)}, nil
 
@@ -412,8 +435,9 @@ func (e *Engine) AppendChunk(stream string, c *bat.Chunk) error {
 	return st.Basket.Append(c, e.now())
 }
 
-// Basket exposes a stream's basket (receptors append to it directly).
-func (e *Engine) Basket(stream string) (*basket.Basket, error) {
+// Basket exposes a stream's sharded basket container (receptors append to
+// it directly; the container routes rows to shards).
+func (e *Engine) Basket(stream string) (*basket.Sharded, error) {
 	st, ok := e.cat.Stream(stream)
 	if !ok {
 		return nil, fmt.Errorf("datacell: unknown stream %q", stream)

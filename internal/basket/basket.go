@@ -7,6 +7,16 @@
 //
 // In the Petri-net scheduler, baskets are the places: appends raise tokens
 // that enable the factory transitions reading from them.
+//
+// Every stream is fronted by a Sharded container that partitions the
+// basket into N independently locked shards (hash on a declared key,
+// round-robin otherwise) so producers and factory firings scale across
+// cores; at the default N=1 it degenerates to the classic single basket.
+// The container assigns each row a global sequence number and maintains a
+// settled watermark — the contiguous prefix of sequences fully visible in
+// their shards — which is the epoch-sealing clock that lets per-shard
+// consumers cut globally consistent basic windows (see ARCHITECTURE.md,
+// "shard-merge invariant").
 package basket
 
 import (
@@ -18,6 +28,12 @@ import (
 
 // Basket buffers stream tuples between a receptor and the factories of the
 // continuous queries bound to the stream. It is safe for concurrent use.
+//
+// Every row carries a sequence stamp. A standalone basket assigns its own
+// dense sequence (0, 1, 2, ...); a basket serving as one shard of a
+// Sharded container receives globally assigned stamps via AppendSeqs, so
+// shard-local consumers can reconstruct global epoch (basic-window)
+// boundaries.
 type Basket struct {
 	name   string
 	schema bat.Schema
@@ -25,6 +41,8 @@ type Basket struct {
 	mu        sync.Mutex
 	cols      []bat.Vector
 	arrivals  bat.Ints // per-row arrival stamp, microseconds
+	seqs      bat.Ints // per-row sequence stamp (global in a shard)
+	nextSeq   int64    // auto-assigned sequence for plain Append
 	base      int64    // absolute row id of cols[*][0]
 	consumers map[int]int64
 	nextID    int
@@ -34,6 +52,7 @@ type Basket struct {
 	paused    bool
 	pending   []*bat.Chunk // appends buffered while paused
 	pendStamp []int64
+	pendSeqs  []bat.Ints
 }
 
 // New creates an empty basket for the given stream schema.
@@ -92,8 +111,16 @@ func (b *Basket) Consumers() int {
 // Append adds a chunk of stream tuples, all stamped with the same arrival
 // time (microseconds; receptors pass the wall clock, benchmarks may pass
 // logical time). The chunk's columns must match the basket schema by kind
-// and arity.
+// and arity. Rows receive the basket's own dense sequence stamps.
 func (b *Basket) Append(c *bat.Chunk, arrival int64) error {
+	return b.AppendSeqs(c, arrival, nil)
+}
+
+// AppendSeqs is Append with caller-assigned per-row sequence stamps (one
+// per row, strictly increasing within the call). A Sharded container uses
+// it to stamp each shard's rows with their global stream positions; nil
+// seqs fall back to the basket's own dense counter.
+func (b *Basket) AppendSeqs(c *bat.Chunk, arrival int64, seqs bat.Ints) error {
 	if len(c.Cols) != len(b.schema.Kinds) {
 		return fmt.Errorf("basket %s: append of %d columns, want %d",
 			b.name, len(c.Cols), len(b.schema.Kinds))
@@ -104,16 +131,20 @@ func (b *Basket) Append(c *bat.Chunk, arrival int64) error {
 				b.name, i, col.Kind(), b.schema.Kinds[i])
 		}
 	}
+	if seqs != nil && int(seqs.Len()) != c.Rows() {
+		return fmt.Errorf("basket %s: %d seqs for %d rows", b.name, seqs.Len(), c.Rows())
+	}
 	b.mu.Lock()
 	if b.paused {
 		// Paused streams hold arrivals back; they flow in on Resume,
 		// which is how the demo's per-stream pause behaves.
 		b.pending = append(b.pending, c)
 		b.pendStamp = append(b.pendStamp, arrival)
+		b.pendSeqs = append(b.pendSeqs, seqs)
 		b.mu.Unlock()
 		return nil
 	}
-	b.appendLocked(c, arrival)
+	b.appendLocked(c, arrival, seqs)
 	subs := b.onAppend
 	b.mu.Unlock()
 	for _, f := range subs {
@@ -122,13 +153,64 @@ func (b *Basket) Append(c *bat.Chunk, arrival int64) error {
 	return nil
 }
 
-func (b *Basket) appendLocked(c *bat.Chunk, arrival int64) {
+// AppendFetchSeqs appends only the rows of c at the sel positions,
+// stamped with the given arrival time and sequence numbers (one per
+// selected row). It is the sharded routing path: the container partitions
+// a chunk by key and each shard copies its rows exactly once, straight
+// into its columns. The caller guarantees the chunk matches the schema.
+func (b *Basket) AppendFetchSeqs(c *bat.Chunk, sel []int32, arrival int64, seqs bat.Ints) error {
+	if len(sel) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	if b.paused {
+		sub := bat.NewChunk(b.schema)
+		for i, col := range c.Cols {
+			sub.Cols[i] = bat.AppendFetch(sub.Cols[i], col, sel)
+		}
+		b.pending = append(b.pending, sub)
+		b.pendStamp = append(b.pendStamp, arrival)
+		b.pendSeqs = append(b.pendSeqs, seqs)
+		b.mu.Unlock()
+		return nil
+	}
+	for i := range b.cols {
+		b.cols[i] = bat.AppendFetch(b.cols[i], c.Cols[i], sel)
+	}
+	for range sel {
+		b.arrivals = append(b.arrivals, arrival)
+	}
+	b.seqs = append(b.seqs, seqs...)
+	if n := seqs[len(seqs)-1] + 1; n > b.nextSeq {
+		b.nextSeq = n
+	}
+	b.totalIn += int64(len(sel))
+	subs := b.onAppend
+	b.mu.Unlock()
+	for _, f := range subs {
+		f()
+	}
+	return nil
+}
+
+func (b *Basket) appendLocked(c *bat.Chunk, arrival int64, seqs bat.Ints) {
 	rows := c.Rows()
 	for i := range b.cols {
 		b.cols[i] = b.cols[i].AppendVector(c.Cols[i])
 	}
 	for i := 0; i < rows; i++ {
 		b.arrivals = append(b.arrivals, arrival)
+	}
+	if seqs == nil {
+		for i := 0; i < rows; i++ {
+			b.seqs = append(b.seqs, b.nextSeq)
+			b.nextSeq++
+		}
+	} else if rows > 0 {
+		b.seqs = append(b.seqs, seqs...)
+		if n := seqs[rows-1] + 1; n > b.nextSeq {
+			b.nextSeq = n
+		}
 	}
 	b.totalIn += int64(rows)
 }
@@ -148,9 +230,9 @@ func (b *Basket) Resume() {
 	b.paused = false
 	flushed := len(b.pending) > 0
 	for i, c := range b.pending {
-		b.appendLocked(c, b.pendStamp[i])
+		b.appendLocked(c, b.pendStamp[i], b.pendSeqs[i])
 	}
-	b.pending, b.pendStamp = nil, nil
+	b.pending, b.pendStamp, b.pendSeqs = nil, nil, nil
 	subs := b.onAppend
 	b.mu.Unlock()
 	if flushed {
@@ -174,6 +256,15 @@ func (b *Basket) len() int {
 	return b.cols[0].Len()
 }
 
+// TotalIn reports the number of tuples ever appended. For a single-shard
+// container it doubles as the settled sequence watermark: rows become
+// visible and counted under the same lock.
+func (b *Basket) TotalIn() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.totalIn
+}
+
 // Available reports how many tuples are pending for the given consumer.
 func (b *Basket) Available(id int) int64 {
 	b.mu.Lock()
@@ -190,11 +281,19 @@ func (b *Basket) Available(id int) int64 {
 // valid after concurrent appends and vacuums (vacuum reallocates, old
 // views keep the old arrays). It returns nil when nothing is pending.
 func (b *Basket) Peek(id int, n int) (*bat.Chunk, bat.Ints) {
+	c, arr, _ := b.PeekSeqs(id, n)
+	return c, arr
+}
+
+// PeekSeqs is Peek returning the rows' sequence stamps as well — the
+// shard-aware read path, which needs global positions to reconstruct epoch
+// boundaries.
+func (b *Basket) PeekSeqs(id int, n int) (*bat.Chunk, bat.Ints, bat.Ints) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	cur, ok := b.consumers[id]
 	if !ok {
-		return nil, nil
+		return nil, nil, nil
 	}
 	lo := int(cur - b.base)
 	hi := b.len()
@@ -202,14 +301,14 @@ func (b *Basket) Peek(id int, n int) (*bat.Chunk, bat.Ints) {
 		hi = lo + n
 	}
 	if hi <= lo {
-		return nil, nil
+		return nil, nil, nil
 	}
 	cols := make([]bat.Vector, len(b.cols))
 	for i, col := range b.cols {
 		cols[i] = col.Slice(lo, hi)
 	}
 	return &bat.Chunk{Schema: b.schema, Cols: cols},
-		b.arrivals[lo:hi:hi]
+		b.arrivals[lo:hi:hi], b.seqs[lo:hi:hi]
 }
 
 // Snapshot returns a copy of everything currently buffered in the basket,
@@ -217,13 +316,22 @@ func (b *Basket) Peek(id int, n int) (*bat.Chunk, bat.Ints) {
 // as if it were a table — the paper's integration of baskets and tables in
 // one processing fabric.
 func (b *Basket) Snapshot() *bat.Chunk {
+	c, _ := b.SnapshotSeqs()
+	return c
+}
+
+// SnapshotSeqs is Snapshot returning the rows' sequence stamps as well,
+// letting a Sharded container reassemble its shards' snapshots in global
+// arrival order.
+func (b *Basket) SnapshotSeqs() (*bat.Chunk, bat.Ints) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	cols := make([]bat.Vector, len(b.cols))
 	for i, col := range b.cols {
 		cols[i] = col.Slice(0, b.len())
 	}
-	return &bat.Chunk{Schema: b.schema, Cols: cols}
+	n := b.len()
+	return &bat.Chunk{Schema: b.schema, Cols: cols}, b.seqs[0:n:n]
 }
 
 // Consume advances the consumer's cursor by n tuples and vacuums tuples
@@ -276,6 +384,7 @@ func (b *Basket) dropPrefixLocked(n int) {
 		b.cols[i] = col.CopyRange(n, hi)
 	}
 	b.arrivals = b.arrivals.CopyRange(n, int(b.arrivals.Len())).(bat.Ints)
+	b.seqs = b.seqs.CopyRange(n, int(b.seqs.Len())).(bat.Ints)
 	b.base += int64(n)
 	b.totalDrop += int64(n)
 }
@@ -289,6 +398,7 @@ type Stats struct {
 	TotalDrop int64 // tuples dropped after full consumption
 	Consumers int
 	Paused    bool
+	Shards    int // 1 for a plain basket, N for a sharded container
 }
 
 // Stats returns a snapshot of the basket's counters.
@@ -302,5 +412,6 @@ func (b *Basket) Stats() Stats {
 		TotalDrop: b.totalDrop,
 		Consumers: len(b.consumers),
 		Paused:    b.paused,
+		Shards:    1,
 	}
 }

@@ -1,0 +1,483 @@
+package basket
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sort"
+	"sync"
+
+	"datacell/internal/algebra"
+	"datacell/internal/bat"
+)
+
+// Appender is the write side of a basket shared by receptors and the
+// engine: both a plain Basket and a Sharded container satisfy it, so the
+// receptor layer is agnostic of the partitioning behind a stream.
+type Appender interface {
+	Name() string
+	Schema() bat.Schema
+	Append(c *bat.Chunk, arrival int64) error
+}
+
+var (
+	_ Appender = (*Basket)(nil)
+	_ Appender = (*Sharded)(nil)
+)
+
+// Sharded partitions one stream's basket into N shards so receptors can
+// append and factories can fire without contending on a single mutex. Rows
+// are routed by hash of a user-declared key column, or round-robin per
+// chunk when no key is declared.
+//
+// Epoch sealing: every appended row is assigned a global sequence number.
+// The container tracks the settled watermark — the largest n such that
+// every row with sequence < n has been fully appended to its shard. Tuple
+// windows with slide S seal epoch g (rows [g·S, (g+1)·S)) exactly when the
+// watermark passes (g+1)·S, which is what lets per-shard factory instances
+// cut globally consistent basic windows without any cross-shard locking:
+// the union of the shards' epoch-g slices is precisely the basic window g
+// of the single-basket engine.
+type Sharded struct {
+	name   string
+	schema bat.Schema
+	shards []*Basket
+	keyIdx int // hash column index; <0 = round-robin per chunk
+	seed   maphash.Seed
+
+	// pauseMu gates appends against Pause: producers hold the read side
+	// for the whole append, so once Pause (the write side) returns, no
+	// in-flight append can still make tuples visible — the atomicity the
+	// single basket got from doing both under one mutex.
+	pauseMu sync.RWMutex
+	paused  bool // guarded by pauseMu
+
+	mu       sync.Mutex
+	claimed  int64 // sequence numbers handed out
+	settled  int64 // all sequences < settled are appended to shards
+	done     []seqRange
+	rr       int64        // round-robin chunk counter
+	pending  []*bat.Chunk // appends buffered while paused (pre-sequencing)
+	pendArr  []int64
+	onAppend []func()
+}
+
+// seqRange is a completed append's sequence interval [lo, hi), recorded
+// out of order and merged into the settled watermark.
+type seqRange struct{ lo, hi int64 }
+
+// NewSharded creates a sharded basket with n shards (minimum 1). keyIdx is
+// the schema index of the partitioning key, or -1 for round-robin.
+func NewSharded(name string, schema bat.Schema, n, keyIdx int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	if keyIdx >= schema.Width() {
+		keyIdx = -1
+	}
+	s := &Sharded{
+		name:   name,
+		schema: schema,
+		keyIdx: keyIdx,
+		seed:   maphash.MakeSeed(),
+	}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, New(fmt.Sprintf("%s/%d", name, i), schema))
+	}
+	return s
+}
+
+// Name reports the stream the container belongs to.
+func (s *Sharded) Name() string { return s.name }
+
+// Schema reports the column layout.
+func (s *Sharded) Schema() bat.Schema { return s.schema }
+
+// NumShards reports the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes shard i; factories register consumers on each shard
+// directly.
+func (s *Sharded) Shard(i int) *Basket { return s.shards[i] }
+
+// KeyIndex reports the partitioning column index (-1 for round-robin).
+func (s *Sharded) KeyIndex() int { return s.keyIdx }
+
+// Consumers reports the number of registered consumers (queries register
+// on every shard, so the first shard's count is the container's).
+func (s *Sharded) Consumers() int { return s.shards[0].Consumers() }
+
+// Settled reports the sequence watermark: every row with sequence below it
+// is visible in its shard. It is the epoch-sealing clock of the sharded
+// engine. A single-shard container derives it from the shard's own append
+// counter — the fast path never touches the container's range tracking.
+func (s *Sharded) Settled() int64 {
+	if len(s.shards) == 1 {
+		return s.shards[0].TotalIn()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.settled
+}
+
+// OnAppend registers a callback invoked after every container append has
+// settled. The scheduler uses it to notify every shard transition of every
+// consumer query — shards that received no rows still need to learn that
+// the epoch clock advanced.
+func (s *Sharded) OnAppend(f func()) {
+	s.mu.Lock()
+	s.onAppend = append(s.onAppend, f)
+	s.mu.Unlock()
+}
+
+// Append partitions a chunk across the shards, stamping each row with its
+// global sequence number. The container lock is held only to claim the
+// sequence range and settle it afterwards; the columnar copies run under
+// the individual shard locks, so concurrent producers only contend when
+// their rows land on the same shard.
+func (s *Sharded) Append(c *bat.Chunk, arrival int64) error {
+	rows := c.Rows()
+	if rows == 0 {
+		return nil
+	}
+	// Validate before the pause check: a malformed chunk must fail here,
+	// not buffer while paused and blow up inside the Resume replay.
+	if err := s.checkSchema(c); err != nil {
+		return err
+	}
+
+	s.pauseMu.RLock()
+	defer s.pauseMu.RUnlock()
+	if s.paused {
+		s.mu.Lock()
+		s.pending = append(s.pending, c)
+		s.pendArr = append(s.pendArr, arrival)
+		s.mu.Unlock()
+		return nil
+	}
+	if len(s.shards) == 1 {
+		// Fast path: the shard's own dense counter yields the identical
+		// sequence stamps, so skip range claiming and settling entirely
+		// (Settled reads the shard's append counter instead).
+		s.mu.Lock()
+		subs := s.onAppend
+		s.mu.Unlock()
+		if err := s.shards[0].AppendSeqs(c, arrival, nil); err != nil {
+			return err
+		}
+		for _, f := range subs {
+			f()
+		}
+		return nil
+	}
+	s.mu.Lock()
+	base, target := s.claimLocked(rows)
+	s.mu.Unlock()
+
+	return s.appendClaimed(c, arrival, base, target)
+}
+
+// claimLocked reserves the next sequence range (and, for round-robin
+// routing, the destination shard) for a chunk of the given row count.
+func (s *Sharded) claimLocked(rows int) (base int64, target int) {
+	base = s.claimed
+	s.claimed += int64(rows)
+	if s.keyIdx < 0 {
+		target = int(s.rr % int64(len(s.shards)))
+		s.rr++
+	}
+	return base, target
+}
+
+// appendClaimed routes a chunk whose sequence range was already claimed,
+// settles the range, and fires the append notifications.
+func (s *Sharded) appendClaimed(c *bat.Chunk, arrival, base int64, target int) error {
+	rows := c.Rows()
+	var err error
+	if s.keyIdx < 0 {
+		err = s.shards[target].AppendSeqs(c, arrival, denseSeqs(base, rows))
+	} else {
+		err = s.appendHashed(c, arrival, base)
+	}
+
+	s.mu.Lock()
+	s.settleLocked(base, base+int64(rows))
+	subs := s.onAppend
+	s.mu.Unlock()
+	for _, f := range subs {
+		f()
+	}
+	return err
+}
+
+func (s *Sharded) checkSchema(c *bat.Chunk) error {
+	if len(c.Cols) != len(s.schema.Kinds) {
+		return fmt.Errorf("basket %s: append of %d columns, want %d",
+			s.name, len(c.Cols), len(s.schema.Kinds))
+	}
+	for i, col := range c.Cols {
+		if col.Kind() != s.schema.Kinds[i] {
+			return fmt.Errorf("basket %s: column %d is %s, want %s",
+				s.name, i, col.Kind(), s.schema.Kinds[i])
+		}
+	}
+	return nil
+}
+
+// appendHashed splits the chunk by key hash and appends each shard's rows
+// (with their global sequence stamps) to that shard, one copy per row —
+// the fused gather+append path.
+func (s *Sharded) appendHashed(c *bat.Chunk, arrival, base int64) error {
+	n := len(s.shards)
+	rows := c.Rows()
+	sels := make([]algebra.Sel, n)
+	per := rows/n + 1
+	for i := range sels {
+		sels[i] = make(algebra.Sel, 0, per)
+	}
+	s.hashRows(c.Cols[s.keyIdx], sels)
+	var firstErr error
+	for sh, sel := range sels {
+		if len(sel) == 0 {
+			continue
+		}
+		seqs := make(bat.Ints, len(sel))
+		for k, i := range sel {
+			seqs[k] = base + int64(i)
+		}
+		if err := s.shards[sh].AppendFetchSeqs(c, sel, arrival, seqs); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// hashRows assigns each row of the key column to a shard's selection
+// list. The typed bulk loops keep the router off the boxed Value path —
+// routing runs in the producer's append, so it is ingestion-critical.
+func (s *Sharded) hashRows(key bat.Vector, sels []algebra.Sel) {
+	n := uint64(len(sels))
+	route := func(h uint64, i int) {
+		sh := h % n
+		sels[sh] = append(sels[sh], int32(i))
+	}
+	switch ks := key.(type) {
+	case bat.Ints:
+		for i, k := range ks {
+			route(mix64(uint64(k)), i)
+		}
+	case bat.Times:
+		for i, k := range ks {
+			route(mix64(uint64(k)), i)
+		}
+	case bat.Floats:
+		for i, k := range ks {
+			// Hash the bit pattern: truncating to int64 would collapse
+			// every key in [n, n+1) onto one shard.
+			route(mix64(math.Float64bits(k)), i)
+		}
+	case bat.Strs:
+		for i, k := range ks {
+			route(maphash.String(s.seed, k), i)
+		}
+	case bat.Bools:
+		for i, k := range ks {
+			h := mix64(0)
+			if k {
+				h = mix64(1)
+			}
+			route(h, i)
+		}
+	default:
+		for i := 0; i < key.Len(); i++ {
+			route(mix64(uint64(key.Get(i).I)), i)
+		}
+	}
+}
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed integer hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func denseSeqs(base int64, rows int) bat.Ints {
+	seqs := make(bat.Ints, rows)
+	for i := range seqs {
+		seqs[i] = base + int64(i)
+	}
+	return seqs
+}
+
+// settleLocked records a completed append's sequence range and advances
+// the settled watermark over any contiguous prefix. Appends may complete
+// out of order under concurrent producers; the watermark only moves once
+// every earlier row is visible in its shard, which is what makes it a safe
+// epoch-sealing clock.
+func (s *Sharded) settleLocked(lo, hi int64) {
+	if lo == s.settled {
+		s.settled = hi
+		// Absorb any previously recorded ranges that are now contiguous.
+		for {
+			advanced := false
+			for i, r := range s.done {
+				if r.lo == s.settled {
+					s.settled = r.hi
+					s.done = append(s.done[:i], s.done[i+1:]...)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				return
+			}
+		}
+	}
+	s.done = append(s.done, seqRange{lo, hi})
+}
+
+// Pause holds subsequent appends back at the container level — they are
+// neither sequenced nor routed until Resume, so epoch sealing is unaffected
+// by a paused stream. Pause waits for in-flight appends to finish: once it
+// returns, no tuple can become visible until Resume.
+func (s *Sharded) Pause() {
+	s.pauseMu.Lock()
+	s.paused = true
+	s.pauseMu.Unlock()
+}
+
+// Resume releases a paused container, replaying held appends through the
+// normal partitioned path. The held chunks claim their sequence ranges
+// under the same lock acquisition that clears the pause flag, so a
+// concurrent producer cannot be sequenced ahead of them — resume order
+// matches the single-basket engine.
+func (s *Sharded) Resume() {
+	s.pauseMu.Lock()
+	s.paused = false
+	s.mu.Lock()
+	pending, arr := s.pending, s.pendArr
+	s.pending, s.pendArr = nil, nil
+	s.mu.Unlock()
+	if len(s.shards) == 1 {
+		// Replay while still holding the pause gate: producers block on
+		// its read side, so held rows keep their arrival-order sequences.
+		for i, c := range pending {
+			_ = s.shards[0].AppendSeqs(c, arr[i], nil)
+		}
+		s.mu.Lock()
+		subs := s.onAppend
+		s.mu.Unlock()
+		s.pauseMu.Unlock()
+		if len(pending) > 0 {
+			for _, f := range subs {
+				f()
+			}
+		}
+		return
+	}
+	// Claim the held chunks' sequence ranges before releasing the gate:
+	// a producer unblocked by the release cannot be sequenced ahead of
+	// them, matching the single-basket engine's resume order.
+	type claim struct {
+		base   int64
+		target int
+	}
+	claims := make([]claim, len(pending))
+	s.mu.Lock()
+	for i, c := range pending {
+		claims[i].base, claims[i].target = s.claimLocked(c.Rows())
+	}
+	s.mu.Unlock()
+	s.pauseMu.Unlock()
+	for i, c := range pending {
+		_ = s.appendClaimed(c, arr[i], claims[i].base, claims[i].target)
+	}
+}
+
+// Paused reports whether the container is holding arrivals back.
+func (s *Sharded) Paused() bool {
+	s.pauseMu.RLock()
+	defer s.pauseMu.RUnlock()
+	return s.paused
+}
+
+// Snapshot returns a copy of everything currently buffered across all
+// shards, reassembled in global arrival (sequence) order — one-time
+// queries over the stream see the same row order as the single-basket
+// engine.
+func (s *Sharded) Snapshot() *bat.Chunk {
+	if len(s.shards) == 1 {
+		return s.shards[0].Snapshot()
+	}
+	type part struct {
+		c    *bat.Chunk
+		seqs bat.Ints
+	}
+	var parts []part
+	total := 0
+	for _, sh := range s.shards {
+		c, seqs := sh.SnapshotSeqs()
+		parts = append(parts, part{c, seqs})
+		total += c.Rows()
+	}
+	out := bat.NewChunk(s.schema)
+	if total == 0 {
+		return out
+	}
+	// Global sort by sequence stamp, then run-wise columnar appends.
+	// In-shard sequences are NOT necessarily ascending: concurrent
+	// producers may win a shard's mutex in a different order than they
+	// claimed their ranges, so a plain k-way merge would misorder rows.
+	// Producers route whole ranges to one shard, so sorted neighbors
+	// usually form long same-shard runs and the bulk appends stay cheap.
+	type ref struct {
+		shard, row int
+		seq        int64
+	}
+	refs := make([]ref, 0, total)
+	for i, p := range parts {
+		for j, sq := range p.seqs {
+			refs = append(refs, ref{shard: i, row: j, seq: sq})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool { return refs[a].seq < refs[b].seq })
+	for pos := 0; pos < total; {
+		end := pos + 1
+		for end < total && refs[end].shard == refs[pos].shard && refs[end].row == refs[end-1].row+1 {
+			end++
+		}
+		p := parts[refs[pos].shard]
+		out.AppendChunk(p.c.Slice(refs[pos].row, refs[pos].row+(end-pos)))
+		pos = end
+	}
+	return out
+}
+
+// Stats aggregates the shard counters into one basket-level snapshot.
+func (s *Sharded) Stats() Stats {
+	out := Stats{Name: s.name, Shards: len(s.shards)}
+	for i, sh := range s.shards {
+		st := sh.Stats()
+		out.Len += st.Len
+		out.TotalIn += st.TotalIn
+		out.TotalDrop += st.TotalDrop
+		if i == 0 {
+			out.Consumers = st.Consumers
+		}
+	}
+	out.Paused = s.Paused()
+	return out
+}
+
+// ShardStats returns each shard's individual counters (monitoring).
+func (s *Sharded) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}

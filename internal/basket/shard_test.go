@@ -1,0 +1,274 @@
+package basket
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"datacell/internal/bat"
+)
+
+func shardSchema() bat.Schema {
+	return bat.NewSchema([]string{"k", "v"}, []bat.Kind{bat.Int, bat.Int})
+}
+
+func shardRows(ks ...int64) *bat.Chunk {
+	c := bat.NewChunk(shardSchema())
+	for _, k := range ks {
+		_ = c.AppendRow(bat.IntValue(k), bat.IntValue(k*10))
+	}
+	return c
+}
+
+func TestShardedHashRoutingIsStable(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 4, 0)
+	if err := s.Append(shardRows(1, 2, 3, 4, 1, 2, 3, 4), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Same key always lands on the same shard: each shard holds an even
+	// number of rows (every key appears twice).
+	total := 0
+	for i := 0; i < s.NumShards(); i++ {
+		n := s.Shard(i).Stats().Len
+		if n%2 != 0 {
+			t.Errorf("shard %d holds %d rows; same key split across shards", i, n)
+		}
+		total += n
+	}
+	if total != 8 {
+		t.Errorf("total rows = %d", total)
+	}
+	if s.Settled() != 8 {
+		t.Errorf("settled = %d", s.Settled())
+	}
+}
+
+func TestShardedRoundRobinSpreadsChunks(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 3, -1)
+	for i := 0; i < 6; i++ {
+		if err := s.Append(shardRows(int64(i)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if n := s.Shard(i).Stats().Len; n != 2 {
+			t.Errorf("shard %d rows = %d, want 2", i, n)
+		}
+	}
+}
+
+// TestShardedSeqStampsGlobalOrder checks every row carries its global
+// arrival position, regardless of which shard it landed on.
+func TestShardedSeqStampsGlobalOrder(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 4, 0)
+	cids := make([]int, 4)
+	for i := range cids {
+		cids[i] = s.Shard(i).Register()
+	}
+	_ = s.Append(shardRows(5, 6, 7, 8, 9), 1)
+	seen := map[int64]bool{}
+	for i := 0; i < 4; i++ {
+		c, _, seqs := s.Shard(i).PeekSeqs(cids[i], 100)
+		if c == nil {
+			continue
+		}
+		for j := 0; j < c.Rows(); j++ {
+			if seen[seqs[j]] {
+				t.Fatalf("sequence %d appears twice", seqs[j])
+			}
+			seen[seqs[j]] = true
+			// Row k=5+g carries sequence g.
+			if want := c.Cols[0].Get(j).I - 5; seqs[j] != want {
+				t.Errorf("row k=%d has seq %d, want %d", c.Cols[0].Get(j).I, seqs[j], want)
+			}
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("recovered %d sequences, want 5", len(seen))
+	}
+}
+
+// TestShardedSettledUnderConcurrency: the watermark only ever covers fully
+// appended prefixes, and ends at the exact total.
+func TestShardedSettledUnderConcurrency(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 4, 0)
+	const producers = 8
+	const chunks = 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < chunks; i++ {
+				_ = s.Append(shardRows(int64(p), int64(i), int64(p+i)), 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	want := int64(producers * chunks * 3)
+	if got := s.Settled(); got != want {
+		t.Errorf("settled = %d, want %d", got, want)
+	}
+	if got := s.Stats().TotalIn; got != want {
+		t.Errorf("TotalIn = %d, want %d", got, want)
+	}
+}
+
+func TestShardedOnAppendFiresAfterSettle(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 2, 0)
+	var calls int
+	s.OnAppend(func() {
+		if s.Settled() == 0 {
+			t.Error("callback before settle")
+		}
+		calls++
+	})
+	_ = s.Append(shardRows(1, 2), 1)
+	_ = s.Append(shardRows(3), 1)
+	if calls != 2 {
+		t.Errorf("calls = %d", calls)
+	}
+}
+
+func TestShardedPauseHoldsSequencing(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 2, 0)
+	s.Pause()
+	_ = s.Append(shardRows(1, 2, 3), 1)
+	if s.Settled() != 0 {
+		t.Error("paused append advanced the watermark")
+	}
+	if got := s.Stats().Len; got != 0 {
+		t.Errorf("paused rows visible: %d", got)
+	}
+	s.Resume()
+	if s.Settled() != 3 {
+		t.Errorf("settled after resume = %d", s.Settled())
+	}
+}
+
+func TestShardedSchemaMismatch(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 2, 0)
+	bad := bat.NewChunk(bat.NewSchema([]string{"x"}, []bat.Kind{bat.Str}))
+	_ = bad.AppendRow(bat.StrValue("no"))
+	if err := s.Append(bad, 1); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestShardedStatsAggregate(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 4, 0)
+	_ = s.Append(shardRows(1, 2, 3, 4, 5, 6), 1)
+	st := s.Stats()
+	if st.Name != "s" || st.Shards != 4 || st.Len != 6 || st.TotalIn != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := len(s.ShardStats()); got != 4 {
+		t.Errorf("ShardStats len = %d", got)
+	}
+	if s.Shard(0).Name() != "s/0" {
+		t.Errorf("shard name = %q", s.Shard(0).Name())
+	}
+}
+
+func TestShardedSingleDegeneratesToBasket(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 1, -1)
+	cid := s.Shard(0).Register()
+	for i := 0; i < 3; i++ {
+		_ = s.Append(shardRows(int64(i)), int64(i+1))
+	}
+	c, _, seqs := s.Shard(0).PeekSeqs(cid, 10)
+	if c.Rows() != 3 {
+		t.Fatalf("rows = %d", c.Rows())
+	}
+	for i := 0; i < 3; i++ {
+		if seqs[i] != int64(i) {
+			t.Errorf("seq[%d] = %d", i, seqs[i])
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Rows() != 3 {
+		t.Errorf("snapshot rows = %d", snap.Rows())
+	}
+	if fmt.Sprint(snap.Row(0)) != fmt.Sprint(c.Row(0)) {
+		t.Errorf("snapshot diverges from shard content")
+	}
+}
+
+// TestShardedPausedAppendValidates: malformed chunks must be rejected at
+// Append time even while paused — not buffered and exploded on Resume.
+func TestShardedPausedAppendValidates(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 2, 0)
+	s.Pause()
+	bad := bat.NewChunk(bat.NewSchema([]string{"x"}, []bat.Kind{bat.Str}))
+	_ = bad.AppendRow(bat.StrValue("no"))
+	if err := s.Append(bad, 1); err == nil {
+		t.Fatal("paused append accepted a malformed chunk")
+	}
+	s.Resume() // must not panic and must replay nothing
+	if got := s.Stats().TotalIn; got != 0 {
+		t.Errorf("TotalIn = %d after rejected append", got)
+	}
+}
+
+// TestShardedSnapshotOutOfOrderSeqs: producers can win a shard's mutex in
+// a different order than they claimed sequence ranges, so in-shard
+// sequences are not ascending; Snapshot must still return global order.
+func TestShardedSnapshotOutOfOrderSeqs(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 2, 0)
+	// Simulate the race: the later range lands in shard 0 first.
+	if err := s.Shard(0).AppendSeqs(shardRows(2, 3), 1, seqInts(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shard(0).AppendSeqs(shardRows(0, 1), 1, seqInts(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shard(1).AppendSeqs(shardRows(4), 1, seqInts(4)); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Rows() != 5 {
+		t.Fatalf("rows = %d", snap.Rows())
+	}
+	for i := 0; i < 5; i++ {
+		if got := snap.Cols[0].Get(i).I; got != int64(i) {
+			t.Fatalf("row %d = k%d, want k%d (global order lost)", i, got, i)
+		}
+	}
+}
+
+func seqInts(vals ...int64) bat.Ints { return bat.Ints(vals) }
+
+// TestShardedPauseIsAtomic: once Pause returns, no in-flight append may
+// make tuples visible — the guarantee the single basket got from holding
+// one mutex across the pause check and the append.
+func TestShardedPauseIsAtomic(t *testing.T) {
+	s := NewSharded("s", shardSchema(), 4, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.Append(shardRows(int64(p), int64(i)), 1)
+			}
+		}(p)
+	}
+	for round := 0; round < 20; round++ {
+		s.Pause()
+		before := s.Stats().TotalIn
+		for spin := 0; spin < 100; spin++ {
+			if got := s.Stats().TotalIn; got != before {
+				t.Fatalf("round %d: %d tuples became visible after Pause returned", round, got-before)
+			}
+		}
+		s.Resume()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -241,3 +241,30 @@ func VectorString(v Vector) string {
 	b.WriteByte(']')
 	return b.String()
 }
+
+// AppendFetch appends src's elements at the sel positions onto dst,
+// returning the (possibly reallocated) destination — a fused
+// gather+append that lets a sharded basket route rows into its shards
+// with a single copy. dst and src must share a kind.
+func AppendFetch(dst, src Vector, sel []int32) Vector {
+	switch d := dst.(type) {
+	case Ints:
+		return Ints(appendFetch(d, src.(Ints), sel))
+	case Times:
+		return Times(appendFetch(d, src.(Times), sel))
+	case Floats:
+		return Floats(appendFetch(d, src.(Floats), sel))
+	case Strs:
+		return Strs(appendFetch(d, src.(Strs), sel))
+	case Bools:
+		return Bools(appendFetch(d, src.(Bools), sel))
+	}
+	panic(fmt.Sprintf("bat: AppendFetch on unknown vector %T", dst))
+}
+
+func appendFetch[T any](dst, src []T, sel []int32) []T {
+	for _, i := range sel {
+		dst = append(dst, src[i])
+	}
+	return dst
+}

@@ -72,11 +72,13 @@ func (t *Table) Rows() int {
 	return t.cols[0].Len()
 }
 
-// Stream couples a stream schema with its input basket.
+// Stream couples a stream schema with its input basket — a Sharded
+// container, which degenerates to a single mutex-guarded basket at shard
+// count 1 (the default).
 type Stream struct {
 	Name   string
 	schema bat.Schema
-	Basket *basket.Basket
+	Basket *basket.Sharded
 }
 
 // Schema reports the column layout.
@@ -121,14 +123,22 @@ func (c *Catalog) CreateTable(name string, schema bat.Schema) (*Table, error) {
 	return t, nil
 }
 
-// CreateStream registers a new stream and allocates its basket.
+// CreateStream registers a new stream and allocates its basket (a single
+// shard).
 func (c *Catalog) CreateStream(name string, schema bat.Schema) (*Stream, error) {
+	return c.CreateStreamSharded(name, schema, 1, -1)
+}
+
+// CreateStreamSharded registers a new stream whose basket is partitioned
+// into shards: rows route by hash of the key column keyIdx, or round-robin
+// when keyIdx < 0.
+func (c *Catalog) CreateStreamSharded(name string, schema bat.Schema, shards, keyIdx int) (*Stream, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.freeLocked(name); err != nil {
 		return nil, err
 	}
-	s := &Stream{Name: name, schema: schema, Basket: basket.New(name, schema)}
+	s := &Stream{Name: name, schema: schema, Basket: basket.NewSharded(name, schema, shards, keyIdx)}
 	c.streams[name] = s
 	return s, nil
 }

@@ -14,11 +14,25 @@
 //   - Incremental (mode 2): per-basic-window intermediates are computed
 //     once, cached in columnar form, and merged per slide according to the
 //     plan decomposition.
+//
+// Sharded execution: every input stream is a basket.Sharded container, and
+// the factory exposes one independently schedulable firing per (input,
+// shard) — FireShard. A shard firing drains only its shard, cuts the rows
+// into globally consistent epochs (window.ShardSlicer), runs the
+// incremental per-basic-window pipeline on its fragments in parallel with
+// the other shards, and hands the fragments to a per-input merger
+// (window.ShardMerge). When an epoch is sealed across all shards, the
+// firing that completed it assembles the merged basic window and runs the
+// blocking tail — ring maintenance, partial-aggregate merging, join
+// caching, post-merge fragment — exactly as the single-basket engine
+// would, so results are identical (up to row order within a window).
 package factory
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datacell/internal/basket"
@@ -63,15 +77,44 @@ type Config struct {
 	// Now supplies the wall clock in microseconds; defaults to the system
 	// clock. Benchmarks inject logical clocks.
 	Now func() int64
+	// OnWatermark, when set, is invoked after a shard firing raises an
+	// input's event-time watermark. The engine wires it to re-notify the
+	// query's shard transitions: sibling shards that fired before the
+	// watermark-raising row was drained hold sealed-but-unflushed buckets
+	// and would otherwise wait for the next append or heartbeat.
+	OnWatermark func()
 }
 
-// input wires one stream scan to its basket.
+// shardIn is the factory's cursor into one shard of an input basket. Its
+// mutex guards the slicer; the scheduler never fires the same shard
+// concurrently with itself, but Advance (the engine's time-watermark path)
+// may race a firing.
+type shardIn struct {
+	idx int // shard index within the input
+	bk  *basket.Basket
+	cid int
+	mu  sync.Mutex
+	sl  *window.ShardSlicer // nil for non-windowed scans
+	// wm mirrors sl.Watermark() so ShardReady — called by scheduler
+	// workers holding the global scheduler mutex — never waits on a
+	// shard mutex held across a firing or an Advance.
+	wm atomic.Int64
+}
+
+// input wires one stream scan to its sharded basket.
 type input struct {
 	scan   *plan.ScanStream
-	bk     *basket.Basket
-	cid    int
-	slicer *window.Slicer
-	ring   *window.Ring
+	shb    *basket.Sharded
+	shards []*shardIn
+
+	// Windowed state. ring holds merged basic windows; merge assembles
+	// them from per-shard fragments at epoch boundaries; maxTs is the
+	// shared event-time watermark across shards (math.MinInt64 until the
+	// first row).
+	ring    *window.Ring
+	merge   *window.ShardMerge
+	mergeMu sync.Mutex
+	maxTs   atomic.Int64
 }
 
 // Stats is a snapshot of a factory's counters, feeding the demo's analysis
@@ -79,36 +122,39 @@ type input struct {
 type Stats struct {
 	Name        string
 	Mode        string
-	Firings     int64 // scheduler activations
+	Firings     int64 // scheduler activations (per shard under sharding)
 	Evals       int64 // window/batch evaluations (results emitted)
 	TuplesIn    int64
 	RowsOut     int64
-	BusyUsec    int64 // total time spent inside Step
+	BusyUsec    int64 // total time spent inside shard firings
 	LastLatency int64 // response time of the newest result (µs)
 	MaxLatency  int64
 	SumLatency  int64 // across evals, for averaging
 	CachedPairs int   // live join-pair cache entries (join plans)
 }
 
-// Factory executes one continuous query. Step is not reentrant: the
-// scheduler guarantees a single in-flight firing per factory.
+// Factory executes one continuous query. FireShard is not reentrant per
+// shard: the scheduler guarantees a single in-flight firing per (input,
+// shard) transition.
 type Factory struct {
 	cfg    Config
 	inputs []*input
 	jc     *window.JoinCache
-	seq    int64
 
-	// stepMu serializes Step (scheduler-driven) with Advance
-	// (engine-driven watermarks); both mutate window state.
+	// stepMu serializes the blocking tail — ring pushes, join cache and
+	// window evaluation — across shard firings and Advance, keeping
+	// merged basic windows in generation order.
 	stepMu sync.Mutex
 
 	mu    sync.Mutex
+	seq   int64
 	stats Stats
 }
 
-// New builds a factory and registers it as a consumer on every input
-// basket. bind maps each stream scan of the plan to its basket.
-func New(cfg Config, bind map[*plan.ScanStream]*basket.Basket) (*Factory, error) {
+// New builds a factory and registers it as a consumer on every shard of
+// every input basket. bind maps each stream scan of the plan to its
+// sharded basket.
+func New(cfg Config, bind map[*plan.ScanStream]*basket.Sharded) (*Factory, error) {
 	if cfg.Now == nil {
 		cfg.Now = func() int64 { return time.Now().UnixMicro() }
 	}
@@ -133,15 +179,38 @@ func New(cfg Config, bind map[*plan.ScanStream]*basket.Basket) (*Factory, error)
 	if len(scans) == 0 {
 		return nil, fmt.Errorf("factory %s: plan reads no stream", cfg.Name)
 	}
-	for _, s := range scans {
-		bk, ok := bind[s]
+	for idx, s := range scans {
+		shb, ok := bind[s]
 		if !ok {
 			return nil, fmt.Errorf("factory %s: no basket bound for stream %q", cfg.Name, s.Alias)
 		}
-		in := &input{scan: s, bk: bk, cid: bk.Register()}
+		in := &input{scan: s, shb: shb}
+		in.maxTs.Store(math.MinInt64)
+		for i := 0; i < shb.NumShards(); i++ {
+			b := shb.Shard(i)
+			si := &shardIn{idx: i, bk: b, cid: b.Register()}
+			if s.Window != nil {
+				si.sl = window.NewShardSlicer(s.Window, s.Out)
+				si.wm.Store(si.sl.Watermark())
+			}
+			in.shards = append(in.shards, si)
+		}
 		if s.Window != nil {
-			in.slicer = window.NewSlicer(s.Window, s.Out)
 			in.ring = window.NewRing(s.Window.Parts())
+			mc := window.MergeConfig{
+				Shards:   shb.NumShards(),
+				Data:     s.Out,
+				KeepData: cfg.Mode == Reeval,
+			}
+			if cfg.Mode == Incremental {
+				outSch := cfg.Decomp.Pipelines[idx].Root.Schema()
+				mc.Out = &outSch
+				if cfg.Decomp.Agg != nil {
+					pSch := cfg.Decomp.Agg.Out
+					mc.Partial = &pSch
+				}
+			}
+			in.merge = window.NewShardMerge(mc)
 		}
 		f.inputs = append(f.inputs, in)
 	}
@@ -154,15 +223,58 @@ func (f *Factory) Name() string { return f.cfg.Name }
 // Mode reports the execution mode.
 func (f *Factory) Mode() Mode { return f.cfg.Mode }
 
-// Ready reports whether any input basket has pending tuples — the
-// factory's Petri-net firing condition.
+// Inputs reports the number of input streams.
+func (f *Factory) Inputs() int { return len(f.inputs) }
+
+// Shards reports the shard count of input idx — the engine registers one
+// scheduler transition per (input, shard).
+func (f *Factory) Shards(idx int) int { return len(f.inputs[idx].shards) }
+
+// Ready reports whether any shard of any input has work — the factory's
+// Petri-net firing condition.
 func (f *Factory) Ready() bool {
-	for _, in := range f.inputs {
-		if in.bk.Available(in.cid) > 0 {
-			return true
+	for idx, in := range f.inputs {
+		for sh := range in.shards {
+			if f.ShardReady(idx, sh) {
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// ShardReady reports whether shard sh of input idx has pending tuples or
+// sealed epochs awaiting flush — the per-shard firing condition.
+func (f *Factory) ShardReady(idx, sh int) bool {
+	in := f.inputs[idx]
+	si := in.shards[sh]
+	if si.bk.Available(si.cid) > 0 {
+		return true
+	}
+	if si.sl == nil {
+		return false
+	}
+	wmGen, ok := f.watermarkGen(in, si)
+	if !ok {
+		return false
+	}
+	return si.wm.Load() < wmGen
+}
+
+// watermarkGen computes the current epoch-sealing watermark for an input:
+// tuple windows seal by the sharded basket's settled sequence, time
+// windows by the shared event-time high mark. ok is false while no
+// watermark exists yet (time window before the first row).
+func (f *Factory) watermarkGen(in *input, si *shardIn) (int64, bool) {
+	w := in.scan.Window
+	if w.Tuples {
+		return in.shb.Settled() / w.Slide, true
+	}
+	mts := in.maxTs.Load()
+	if mts == math.MinInt64 {
+		return 0, false
+	}
+	return si.sl.TimeGen(mts), true
 }
 
 // Baskets lists the names of the factory's input baskets (for the query
@@ -170,7 +282,7 @@ func (f *Factory) Ready() bool {
 func (f *Factory) Baskets() []string {
 	out := make([]string, len(f.inputs))
 	for i, in := range f.inputs {
-		out[i] = in.bk.Name()
+		out[i] = in.shb.Name()
 	}
 	return out
 }
@@ -188,10 +300,13 @@ func (f *Factory) ContinuousPlanString() string {
 	return "-- re-evaluate per firing --\n" + plan.String(f.cfg.Full)
 }
 
-// Stop unregisters the factory from its baskets and closes its emitter.
+// Stop unregisters the factory from its basket shards and closes its
+// emitter.
 func (f *Factory) Stop() {
 	for _, in := range f.inputs {
-		in.bk.Unregister(in.cid)
+		for _, si := range in.shards {
+			si.bk.Unregister(si.cid)
+		}
 	}
 	f.cfg.Emit.Close()
 }
@@ -207,58 +322,186 @@ func (f *Factory) Stats() Stats {
 	return s
 }
 
-// Step is one Petri-net transition firing: drain the input baskets,
-// advance window state, and evaluate whatever became complete. It returns
+// Step fires every shard of every input once, in order — the synchronous
+// whole-factory firing used by tests and the single-threaded paths. When
+// a firing raises an input's event-time watermark, the input's shards get
+// a second flush pass so earlier-fired shards release their sealed
+// buckets (the scheduler path handles this via OnWatermark). It returns
 // the number of result sets emitted.
 func (f *Factory) Step() int {
-	f.stepMu.Lock()
-	defer f.stepMu.Unlock()
-	start := f.cfg.Now()
 	emitted := 0
+	for idx, in := range f.inputs {
+		raisedAny := false
+		for sh := range in.shards {
+			e, raised := f.fireShard(idx, sh)
+			emitted += e
+			raisedAny = raisedAny || raised
+		}
+		if raisedAny {
+			for sh := range in.shards {
+				e, _ := f.fireShard(idx, sh)
+				emitted += e
+			}
+		}
+	}
+	return emitted
+}
+
+// FireShard is one Petri-net transition firing for shard sh of input idx:
+// drain the shard, cut sealed epochs, evaluate per-fragment pipelines, and
+// merge-complete any basic windows this shard sealed last. It returns the
+// number of result sets emitted.
+func (f *Factory) FireShard(idx, sh int) int {
+	emitted, raised := f.fireShard(idx, sh)
+	if raised && f.cfg.OnWatermark != nil {
+		f.cfg.OnWatermark()
+	}
+	return emitted
+}
+
+// fireShard reports, besides the emitted count, whether the firing raised
+// the input's event-time watermark (other shards may now hold sealed
+// buckets).
+func (f *Factory) fireShard(idx, sh int) (int, bool) {
+	in := f.inputs[idx]
+	si := in.shards[sh]
+	start := f.cfg.Now()
 	f.mu.Lock()
 	f.stats.Firings++
 	f.mu.Unlock()
 
-	windowed := f.inputs[0].slicer != nil
-	for idx, in := range f.inputs {
-		c, arrivals := in.bk.Peek(in.cid, int(in.bk.Available(in.cid)))
-		if c == nil {
-			continue
-		}
-		rows := c.Rows()
-		in.bk.Consume(in.cid, int64(rows))
-		f.mu.Lock()
-		f.stats.TuplesIn += int64(rows)
-		f.mu.Unlock()
-
-		if !windowed {
-			emitted += f.evalBatch(in.scan, c, arrivals)
-			continue
-		}
-		for _, bw := range in.slicer.Push(c, arrivals) {
-			emitted += f.onBasicWindow(idx, bw)
-		}
-	}
+	si.mu.Lock()
+	emitted, raised := f.fireShardLocked(idx, in, si)
+	si.mu.Unlock()
 
 	f.mu.Lock()
 	f.stats.BusyUsec += f.cfg.Now() - start
 	f.mu.Unlock()
+	return emitted, raised
+}
+
+func (f *Factory) fireShardLocked(idx int, in *input, si *shardIn) (int, bool) {
+	// For tuple windows the sealing watermark must be read BEFORE the
+	// drain: every row of an epoch sealed by this watermark was appended
+	// to its shard before the watermark advanced, so the drain below is
+	// guaranteed to include it. Reading after the drain could seal an
+	// epoch whose rows arrived between the two steps.
+	var wmSeq int64
+	tuples := si.sl != nil && in.scan.Window.Tuples
+	if tuples {
+		wmSeq = in.shb.Settled()
+	}
+
+	c, arrivals, seqs := si.bk.PeekSeqs(si.cid, int(si.bk.Available(si.cid)))
+	if c != nil {
+		rows := c.Rows()
+		si.bk.Consume(si.cid, int64(rows))
+		f.mu.Lock()
+		f.stats.TuplesIn += int64(rows)
+		f.mu.Unlock()
+	}
+
+	if si.sl == nil {
+		// Non-windowed continuous query: the paper's mode 1 applied per
+		// arriving batch, independently per shard.
+		if c == nil {
+			return 0, false
+		}
+		return f.evalBatch(in.scan, c, arrivals), false
+	}
+
+	raised := false
+	if c != nil {
+		si.sl.Push(c, arrivals, seqs)
+		if !in.scan.Window.Tuples {
+			ts := bat.AsInts(c.Cols[in.scan.Window.TimeIdx])
+			mx := int64(math.MinInt64)
+			for _, t := range ts {
+				if t > mx {
+					mx = t
+				}
+			}
+			raised = atomicMax(&in.maxTs, mx)
+		}
+	}
+
+	var frags []*window.Frag
+	if tuples {
+		frags = si.sl.Flush(wmSeq / in.scan.Window.Slide)
+	} else if mts := in.maxTs.Load(); mts != math.MinInt64 {
+		frags = si.sl.Flush(si.sl.TimeGen(mts))
+	}
+	si.wm.Store(si.sl.Watermark())
+	return f.deliver(idx, in, si, frags), raised
+}
+
+// deliver runs the per-fragment pipeline (the parallel half of incremental
+// mode), then offers the fragments and this shard's watermark to the
+// input's merger; any basic windows completed by this delivery run the
+// blocking tail under stepMu, in generation order.
+func (f *Factory) deliver(idx int, in *input, si *shardIn, frags []*window.Frag) int {
+	if f.cfg.Mode == Incremental {
+		d := f.cfg.Decomp
+		pipe := d.Pipelines[idx]
+		for _, fr := range frags {
+			ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: fr.Data}}
+			out, err := ex.Run(pipe.Root)
+			if err != nil {
+				out = bat.NewChunk(pipe.Root.Schema())
+			}
+			fr.Out = out
+			if d.Agg != nil {
+				fr.Partial = plan.RunAggregate(d.Agg, out)
+			}
+		}
+	}
+	in.mergeMu.Lock()
+	ready := in.merge.Offer(si.idx, frags, si.sl.Watermark())
+	emitted := 0
+	if len(ready) > 0 {
+		f.stepMu.Lock()
+		for _, bw := range ready {
+			emitted += f.onBasicWindow(idx, bw)
+		}
+		f.stepMu.Unlock()
+	}
+	in.mergeMu.Unlock()
 	return emitted
+}
+
+// atomicMax raises a to v and reports whether it advanced.
+func atomicMax(a *atomic.Int64, v int64) bool {
+	for {
+		cur := a.Load()
+		if v <= cur {
+			return false
+		}
+		if a.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
 }
 
 // Advance closes time-window buckets up to the watermark (microsecond
 // timestamp) on every time-windowed input — the scheduler's time
 // constraint / heartbeat path for idle streams.
 func (f *Factory) Advance(watermark int64) int {
-	f.stepMu.Lock()
-	defer f.stepMu.Unlock()
 	emitted := 0
 	for idx, in := range f.inputs {
-		if in.slicer == nil {
+		if in.scan.Window == nil || in.scan.Window.Tuples {
 			continue
 		}
-		for _, bw := range in.slicer.AdvanceTime(watermark) {
-			emitted += f.onBasicWindow(idx, bw)
+		if in.maxTs.Load() == math.MinInt64 {
+			continue // no rows yet: nothing to force shut
+		}
+		atomicMax(&in.maxTs, watermark)
+		mts := in.maxTs.Load()
+		for _, si := range in.shards {
+			si.mu.Lock()
+			frags := si.sl.Flush(si.sl.TimeGen(mts))
+			si.wm.Store(si.sl.Watermark())
+			emitted += f.deliver(idx, in, si, frags)
+			si.mu.Unlock()
 		}
 	}
 	return emitted
@@ -280,12 +523,18 @@ func (f *Factory) evalBatch(scan *plan.ScanStream, c *bat.Chunk, arrivals bat.In
 	if err != nil {
 		return 0
 	}
-	f.emit(out, maxArr, f.seq)
+	f.emit(out, maxArr, genIsSeq)
 	return 1
 }
 
-// onBasicWindow advances the window state of input idx with a completed
-// basic window and evaluates if a slide completed.
+// genIsSeq asks emit to use the emission sequence number as TriggerGen —
+// the batch generation of non-windowed queries (emitter.Meta documents
+// TriggerGen as "the basic window (or batch) sequence number").
+const genIsSeq = int64(-1)
+
+// onBasicWindow advances the window state of input idx with a merged,
+// completed basic window and evaluates if a slide completed. Callers hold
+// stepMu.
 func (f *Factory) onBasicWindow(idx int, bw *window.BW) int {
 	in := f.inputs[idx]
 	if f.cfg.Mode == Reeval {
@@ -309,7 +558,7 @@ func (f *Factory) onBasicWindow(idx int, bw *window.BW) int {
 
 func (f *Factory) ringsFull() bool {
 	for _, in := range f.inputs {
-		if !in.ring.Full() {
+		if in.ring != nil && !in.ring.Full() {
 			return false
 		}
 	}
@@ -334,23 +583,26 @@ func (f *Factory) triggerArrival(bw *window.BW) int64 {
 	return m
 }
 
-// incrementalStep is the paper's mode 2: evaluate the per-basic-window
-// pipeline once, cache the intermediate, and merge cached intermediates
-// when a slide completes.
+// incrementalStep is the paper's mode 2: the per-basic-window intermediates
+// were already computed per fragment by the firing shards; here the merged
+// basic window enters the ring and cached intermediates merge when a slide
+// completes.
 func (f *Factory) incrementalStep(idx int, bw *window.BW) int {
 	d := f.cfg.Decomp
 	in := f.inputs[idx]
-	pipe := d.Pipelines[idx]
 
-	// Run the per-basic-window fragment.
-	ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: bw.Data}}
-	out, err := ex.Run(pipe.Root)
-	if err != nil {
-		return 0
-	}
-	bw.Out = out
-	if d.Agg != nil {
-		bw.Partial = plan.RunAggregate(d.Agg, out)
+	if bw.Out == nil {
+		// Fallback for basic windows that bypassed the fragment path.
+		pipe := d.Pipelines[idx]
+		ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: bw.Data}}
+		out, err := ex.Run(pipe.Root)
+		if err != nil {
+			return 0
+		}
+		bw.Out = out
+		if d.Agg != nil {
+			bw.Partial = plan.RunAggregate(d.Agg, out)
+		}
 	}
 
 	evicted := in.ring.Push(bw)
@@ -404,15 +656,12 @@ func (f *Factory) emit(c *bat.Chunk, maxArrival, gen int64) {
 	if maxArrival > 0 && now > maxArrival {
 		lat = now - maxArrival
 	}
-	m := emitter.Meta{
-		Query:       f.cfg.Name,
-		Seq:         f.seq,
-		FiredAt:     now,
-		LatencyUsec: lat,
-		TriggerGen:  gen,
-	}
-	f.seq++
 	f.mu.Lock()
+	seq := f.seq
+	f.seq++
+	if gen == genIsSeq {
+		gen = seq
+	}
 	f.stats.Evals++
 	f.stats.RowsOut += int64(c.Rows())
 	f.stats.LastLatency = lat
@@ -421,5 +670,11 @@ func (f *Factory) emit(c *bat.Chunk, maxArrival, gen int64) {
 		f.stats.MaxLatency = lat
 	}
 	f.mu.Unlock()
-	f.cfg.Emit.Emit(c, m)
+	f.cfg.Emit.Emit(c, emitter.Meta{
+		Query:       f.cfg.Name,
+		Seq:         seq,
+		FiredAt:     now,
+		LatencyUsec: lat,
+		TriggerGen:  gen,
+	})
 }

@@ -21,8 +21,8 @@ type harness struct {
 	cat  *catalog.Catalog
 	fac  *Factory
 	out  *emitter.Channel
-	sb   *basket.Basket
-	rb   *basket.Basket
+	sb   *basket.Sharded
+	rb   *basket.Sharded
 	now  int64
 	dimN int
 }
@@ -78,7 +78,7 @@ func newHarness(t *testing.T, src string, mode Mode) *harness {
 	h.out = emitter.NewChannel(4096)
 	cfg.Emit = h.out
 
-	bind := map[*plan.ScanStream]*basket.Basket{}
+	bind := map[*plan.ScanStream]*basket.Sharded{}
 	for _, sc := range plan.Streams(opt) {
 		switch sc.Stream.Name {
 		case "s":
@@ -313,7 +313,7 @@ func TestFactoryErrors(t *testing.T) {
 	}
 	// Missing basket binding.
 	_, err = New(Config{Name: "x", Full: h.fac.cfg.Full, Mode: Reeval, Emit: emitter.Null{}},
-		map[*plan.ScanStream]*basket.Basket{})
+		map[*plan.ScanStream]*basket.Sharded{})
 	if err == nil {
 		t.Error("missing binding should fail")
 	}

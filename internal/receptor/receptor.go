@@ -6,6 +6,14 @@
 // rate-controlled replayer used by the benchmarks to emulate sensors at a
 // configurable event rate (the demo's "rates which are configurable by the
 // interface").
+//
+// Receptors write through basket.Appender, so they are agnostic of the
+// partitioning behind a stream: appending to a sharded stream routes each
+// row to its shard (hash of the declared key, round-robin otherwise)
+// without the receptor holding any global lock — the partitioned append
+// path of the sharded engine. Run one receptor per producer to exploit
+// it; concurrent receptors only contend when their rows land on the same
+// shard.
 package receptor
 
 import (
@@ -46,7 +54,7 @@ func ParseLine(sch bat.Schema, line string) ([]bat.Value, error) {
 // Lines starting with '#' are skipped. It returns the number of tuples
 // appended; a malformed line aborts with an error identifying the line
 // number.
-func ReplayCSV(r io.Reader, bk *basket.Basket, batchSize int, now func() int64) (int64, error) {
+func ReplayCSV(r io.Reader, bk basket.Appender, batchSize int, now func() int64) (int64, error) {
 	if batchSize <= 0 {
 		batchSize = 256
 	}
@@ -96,7 +104,7 @@ func ReplayCSV(r io.Reader, bk *basket.Basket, batchSize int, now func() int64) 
 // line to the basket. Malformed lines are counted and skipped so one bad
 // sensor cannot stall a stream.
 type TCP struct {
-	bk      *basket.Basket
+	bk      basket.Appender
 	ln      net.Listener
 	now     func() int64
 	wg      sync.WaitGroup
@@ -108,7 +116,7 @@ type TCP struct {
 }
 
 // ListenTCP starts a receptor on addr (e.g. "127.0.0.1:0").
-func ListenTCP(addr string, bk *basket.Basket, now func() int64) (*TCP, error) {
+func ListenTCP(addr string, bk basket.Appender, now func() int64) (*TCP, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -200,7 +208,7 @@ func (r *TCP) handle(conn net.Conn) {
 // tuples per second, in batches. It blocks until done or until stop is
 // closed, and returns the tuples pushed and the elapsed wall time —
 // emulating the demo's configurable-rate stream driver.
-func RatedReplay(bk *basket.Basket, src []*bat.Chunk, tuplesPerSec int, stop <-chan struct{}, now func() int64) (int64, time.Duration) {
+func RatedReplay(bk basket.Appender, src []*bat.Chunk, tuplesPerSec int, stop <-chan struct{}, now func() int64) (int64, time.Duration) {
 	if now == nil {
 		now = func() int64 { return time.Now().UnixMicro() }
 	}

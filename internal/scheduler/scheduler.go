@@ -4,7 +4,14 @@
 // there are tuples that may be relevant to a waiting query, we trigger its
 // evaluation." Basket appends raise notifications; a worker pool fires
 // enabled, unpaused transitions, each at most once in flight at a time.
-// The scheduler also carries the demo's pause/resume control for
+//
+// With sharded baskets a single continuous query contributes one
+// transition per (input, shard); the transitions share a Group (the query
+// name) so pause/resume/remove act on the whole query, while firing is
+// independent per shard. Each transition carries an Affinity hint — its
+// shard index — used to place it on a preferred worker's local queue;
+// idle workers steal from their peers, so skewed shards never leave cores
+// idle. The scheduler also carries the demo's pause/resume control for
 // individual queries and the time constraints that force idle time windows
 // shut.
 package scheduler
@@ -14,10 +21,19 @@ import (
 	"time"
 )
 
-// Transition is one Petri-net transition: a factory step.
+// Transition is one Petri-net transition: a factory step, or — under
+// sharding — one shard's slice of a factory step.
 type Transition struct {
-	// Name identifies the transition (the query name).
+	// Name identifies the transition (unique; the query name, or
+	// "query/input.shard" under sharding).
 	Name string
+	// Group names the query the transition belongs to; empty means the
+	// transition is its own group. Pause, Resume, Remove and Firings
+	// operate on groups.
+	Group string
+	// Affinity is the preferred worker (shard index); it is reduced
+	// modulo the pool size. Work stealing keeps it a hint, not a pin.
+	Affinity int
 	// Ready reports whether the input places hold tokens (the factory has
 	// pending tuples).
 	Ready func() bool
@@ -26,7 +42,7 @@ type Transition struct {
 	Fire func()
 
 	// state guarded by the scheduler's mutex:
-	queued   bool // waiting in the ready queue
+	queued   bool // waiting in a ready queue
 	running  bool // a worker is inside Fire
 	renotify bool // notified while running → requeue after Fire
 	paused   bool
@@ -34,12 +50,22 @@ type Transition struct {
 	firings  int64
 }
 
-// Scheduler drives a set of transitions with a fixed worker pool.
+func (t *Transition) group() string {
+	if t.Group == "" {
+		return t.Name
+	}
+	return t.Group
+}
+
+// Scheduler drives a set of transitions with a fixed worker pool. Each
+// worker owns a local ready queue; enqueues go to the transition's
+// affinity worker and idle workers steal from their peers.
 type Scheduler struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*Transition
+	locals [][]*Transition // per-worker ready queues
 	all    map[string]*Transition
+	groups map[string][]*Transition
 	closed bool
 	wg     sync.WaitGroup
 	active int        // queued + running transitions
@@ -52,12 +78,16 @@ func New(workers int) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Scheduler{all: make(map[string]*Transition)}
+	s := &Scheduler{
+		all:    make(map[string]*Transition),
+		groups: make(map[string][]*Transition),
+		locals: make([][]*Transition, workers),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.idleC = sync.NewCond(&s.mu)
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -66,21 +96,45 @@ func New(workers int) *Scheduler {
 func (s *Scheduler) Add(t *Transition) {
 	s.mu.Lock()
 	s.all[t.Name] = t
+	g := t.group()
+	s.groups[g] = append(s.groups[g], t)
 	s.mu.Unlock()
 }
 
-// Remove deletes a transition; an in-flight firing completes first.
+// Remove deletes a group's transitions (or a single transition when the
+// name matches no group); in-flight firings complete first.
 func (s *Scheduler) Remove(name string) {
 	s.mu.Lock()
-	if t, ok := s.all[name]; ok {
-		delete(s.all, name)
+	ts := s.groups[name]
+	if ts == nil {
+		if t, ok := s.all[name]; ok {
+			ts = []*Transition{t}
+			// Removing a single member of a larger group: drop it from
+			// the group list too, so group pause/resume/firings no
+			// longer touch it.
+			g := t.group()
+			members := s.groups[g]
+			for i, m := range members {
+				if m == t {
+					s.groups[g] = append(members[:i], members[i+1:]...)
+					break
+				}
+			}
+			if len(s.groups[g]) == 0 {
+				delete(s.groups, g)
+			}
+		}
+	}
+	for _, t := range ts {
+		delete(s.all, t.Name)
 		if t.queued {
-			// Leave it in the queue; workers skip transitions that have
+			// Leave it in its queue; workers skip transitions that have
 			// been removed.
 			t.queued = false
 			s.decActiveLocked()
 		}
 	}
+	delete(s.groups, name)
 	s.mu.Unlock()
 }
 
@@ -89,8 +143,26 @@ func (s *Scheduler) Remove(name string) {
 func (s *Scheduler) Notify(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.all[name]
-	if !ok || s.closed {
+	if t, ok := s.all[name]; ok {
+		s.notifyLocked(t)
+	}
+}
+
+// NotifyGroup notifies every transition in a group. A sharded basket
+// append raises it so that shards that received no rows still observe the
+// advanced epoch watermark and flush their sealed basic windows.
+func (s *Scheduler) NotifyGroup(group string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.groups[group] {
+		if _, live := s.all[t.Name]; live {
+			s.notifyLocked(t)
+		}
+	}
+}
+
+func (s *Scheduler) notifyLocked(t *Transition) {
+	if s.closed {
 		return
 	}
 	if t.paused {
@@ -110,25 +182,45 @@ func (s *Scheduler) enqueueLocked(t *Transition) {
 	}
 	t.queued = true
 	s.active++
-	s.queue = append(s.queue, t)
+	w := t.Affinity
+	if w < 0 {
+		w = 0
+	}
+	w %= len(s.locals)
+	s.locals[w] = append(s.locals[w], t)
 	s.cond.Signal()
 }
 
-// Pause stops a transition from firing; notifications received while
-// paused are remembered (demo §4, Pause and Resume).
+// forEachInGroup applies f to the named group's transitions, falling back
+// to the single transition of that name.
+func (s *Scheduler) forEachInGroup(name string, f func(*Transition)) {
+	if ts := s.groups[name]; ts != nil {
+		for _, t := range ts {
+			f(t)
+		}
+		return
+	}
+	if t, ok := s.all[name]; ok {
+		f(t)
+	}
+}
+
+// Pause stops a group's transitions from firing; notifications received
+// while paused are remembered (demo §4, Pause and Resume).
 func (s *Scheduler) Pause(name string) {
 	s.mu.Lock()
-	if t, ok := s.all[name]; ok {
-		t.paused = true
-	}
+	s.forEachInGroup(name, func(t *Transition) { t.paused = true })
 	s.mu.Unlock()
 }
 
-// Resume re-enables a paused transition, firing it if events arrived in
+// Resume re-enables a paused group, firing any member that was notified in
 // the meantime.
 func (s *Scheduler) Resume(name string) {
 	s.mu.Lock()
-	if t, ok := s.all[name]; ok && t.paused {
+	s.forEachInGroup(name, func(t *Transition) {
+		if !t.paused {
+			return
+		}
 		t.paused = false
 		if t.pending {
 			t.pending = false
@@ -138,28 +230,32 @@ func (s *Scheduler) Resume(name string) {
 				s.enqueueLocked(t)
 			}
 		}
-	}
+	})
 	s.mu.Unlock()
 }
 
-// Paused reports whether the named transition is paused.
+// Paused reports whether the named group is paused (true when every
+// member transition is paused).
 func (s *Scheduler) Paused(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if t, ok := s.all[name]; ok {
-		return t.paused
-	}
-	return false
+	any := false
+	all := true
+	s.forEachInGroup(name, func(t *Transition) {
+		any = true
+		all = all && t.paused
+	})
+	return any && all
 }
 
-// Firings reports how many times the named transition has fired.
+// Firings reports how many times the named group's transitions have fired
+// in total.
 func (s *Scheduler) Firings(name string) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if t, ok := s.all[name]; ok {
-		return t.firings
-	}
-	return 0
+	var n int64
+	s.forEachInGroup(name, func(t *Transition) { n += t.firings })
+	return n
 }
 
 // Drain blocks until no transition is queued or running. Combined with
@@ -193,19 +289,37 @@ func (s *Scheduler) Stop() {
 	s.wg.Wait()
 }
 
-func (s *Scheduler) worker() {
+// popLocked takes the next transition for worker w: its own queue first,
+// then a steal sweep over its peers' queues.
+func (s *Scheduler) popLocked(w int) *Transition {
+	n := len(s.locals)
+	for off := 0; off < n; off++ {
+		v := (w + off) % n
+		if len(s.locals[v]) > 0 {
+			t := s.locals[v][0]
+			s.locals[v] = s.locals[v][1:]
+			return t
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) worker(id int) {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
+		var t *Transition
+		for {
+			t = s.popLocked(id)
+			if t != nil || s.closed {
+				break
+			}
 			s.cond.Wait()
 		}
-		if s.closed && len(s.queue) == 0 {
+		if t == nil {
 			s.mu.Unlock()
 			return
 		}
-		t := s.queue[0]
-		s.queue = s.queue[1:]
 		if !t.queued {
 			// Removed while queued.
 			s.mu.Unlock()

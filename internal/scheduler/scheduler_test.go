@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -241,4 +242,154 @@ func TestTicker(t *testing.T) {
 	if ticks.Load() != got {
 		t.Error("ticker fired after Stop")
 	}
+}
+
+// --- Regression tests: drain/idle semantics under sharding -------------
+
+// TestStopWaitsForInFlight pins the shutdown contract: Stop must not
+// return while a shard firing is inside Fire, and queued work is drained
+// before the workers exit.
+func TestStopWaitsForInFlight(t *testing.T) {
+	s := New(2)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var done atomic.Bool
+	s.Add(&Transition{
+		Name: "slow",
+		Fire: func() {
+			close(entered)
+			<-release
+			done.Store(true)
+		},
+	})
+	s.Notify("slow")
+	<-entered
+	stopped := make(chan struct{})
+	go func() {
+		s.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+		t.Fatal("Stop returned while a firing was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-stopped
+	if !done.Load() {
+		t.Error("in-flight firing did not complete before Stop returned")
+	}
+}
+
+// TestIdleBroadcastWakesAllWaiters pins the quiescence contract: when the
+// last shard firing completes, every concurrent Drain call wakes up.
+func TestIdleBroadcastWakesAllWaiters(t *testing.T) {
+	s := New(4)
+	defer s.Stop()
+	release := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		name := string(rune('a' + i))
+		s.Add(&Transition{Name: name, Group: "q", Affinity: i,
+			Fire: func() { <-release }})
+	}
+	s.NotifyGroup("q")
+	const waiters = 8
+	var wg sync.WaitGroup
+	drained := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Drain()
+			drained <- struct{}{}
+		}()
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while shard firings were in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	wg.Wait()
+	if len(drained) != waiters {
+		t.Errorf("only %d/%d drain waiters woke", len(drained), waiters)
+	}
+	s.Drain() // idle scheduler: returns immediately
+}
+
+// TestGroupOperations covers the sharded-transition group surface: a
+// query's shard transitions pause, resume, fire-count and remove as one.
+func TestGroupOperations(t *testing.T) {
+	s := New(4)
+	defer s.Stop()
+	var fires [3]atomic.Int64
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Add(&Transition{
+			Name: fmt.Sprintf("q/%d", i), Group: "q", Affinity: i,
+			Fire: func() { fires[i].Add(1) },
+		})
+	}
+	s.Pause("q")
+	if !s.Paused("q") {
+		t.Fatal("group not paused")
+	}
+	s.NotifyGroup("q")
+	time.Sleep(20 * time.Millisecond)
+	for i := range fires {
+		if fires[i].Load() != 0 {
+			t.Fatalf("paused shard %d fired", i)
+		}
+	}
+	s.Resume("q")
+	s.Drain()
+	var total int64
+	for i := range fires {
+		if fires[i].Load() != 1 {
+			t.Errorf("shard %d fires = %d, want 1", i, fires[i].Load())
+		}
+		total += fires[i].Load()
+	}
+	if got := s.Firings("q"); got != total {
+		t.Errorf("group Firings = %d, want %d", got, total)
+	}
+	s.Remove("q")
+	s.NotifyGroup("q")
+	s.Drain()
+	for i := range fires {
+		if fires[i].Load() != 1 {
+			t.Errorf("removed shard %d fired again", i)
+		}
+	}
+}
+
+// TestWorkStealing pins that transitions pinned to one worker's affinity
+// still execute when that worker is busy: idle peers steal them.
+func TestWorkStealing(t *testing.T) {
+	s := New(4)
+	defer s.Stop()
+	block := make(chan struct{})
+	s.Add(&Transition{Name: "hog", Affinity: 0, Fire: func() { <-block }})
+	var fired atomic.Int64
+	for i := 0; i < 8; i++ {
+		s.Add(&Transition{
+			Name: fmt.Sprintf("t%d", i), Affinity: 0, // all pinned to worker 0
+			Fire: func() { fired.Add(1) },
+		})
+	}
+	s.Notify("hog")
+	for i := 0; i < 8; i++ {
+		s.Notify(fmt.Sprintf("t%d", i))
+	}
+	// Worker 0 is blocked inside hog; the others must steal its queue.
+	deadline := time.After(2 * time.Second)
+	for fired.Load() < 8 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/8 pinned transitions fired while worker 0 was busy", fired.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(block)
+	s.Drain()
 }

@@ -43,6 +43,7 @@ const Help = `commands:
   \results <query> [n]   drain up to n pending results (default 1)
   \pause <query>         suspend a query          \resume <query>  reactivate
   \pause-stream <s>      hold a stream's arrivals \resume-stream <s> release
+  \shards <s>            per-shard occupancy of a sharded stream
   \advance <usec>        close time windows up to a watermark
   \quit                  close the connection`
 
@@ -131,6 +132,23 @@ func (s *Session) Dispatch(line string) (string, bool) {
 			return "error: " + err.Error(), false
 		}
 		return "stream resumed", false
+	case `\shards`:
+		bk, err := s.eng.Basket(arg(1))
+		if err != nil {
+			return "error: " + err.Error(), false
+		}
+		var b strings.Builder
+		route := "round-robin"
+		if bk.KeyIndex() >= 0 {
+			route = fmt.Sprintf("hash(%s)", bk.Schema().Names[bk.KeyIndex()])
+		}
+		fmt.Fprintf(&b, "stream %s shards=%d route=%s settled=%d\n",
+			bk.Name(), bk.NumShards(), route, bk.Settled())
+		for _, st := range bk.ShardStats() {
+			fmt.Fprintf(&b, "  %-16s len=%-8d in=%-10d dropped=%d\n",
+				st.Name, st.Len, st.TotalIn, st.TotalDrop)
+		}
+		return strings.TrimRight(b.String(), "\n"), false
 	case `\advance`:
 		v, err := strconv.ParseInt(arg(1), 10, 64)
 		if err != nil {
@@ -303,7 +321,7 @@ func SortedCommands() []string {
 	cmds := []string{
 		`\help`, `\catalog`, `\network`, `\queries`, `\plan`, `\cplan`,
 		`\stats`, `\results`, `\pause`, `\resume`, `\pause-stream`,
-		`\resume-stream`, `\advance`, `\quit`,
+		`\resume-stream`, `\shards`, `\advance`, `\quit`,
 	}
 	sort.Strings(cmds)
 	return cmds

@@ -113,7 +113,7 @@ func TestSessionControlCommands(t *testing.T) {
 	if !quit || out != "bye" {
 		t.Errorf("quit: %q %v", out, quit)
 	}
-	if got := SortedCommands(); len(got) != 14 {
+	if got := SortedCommands(); len(got) != 15 {
 		t.Errorf("commands = %d", len(got))
 	}
 }
@@ -164,4 +164,20 @@ func TestServerOverTCP(t *testing.T) {
 	}
 	srv.Close()
 	srv.Close() // idempotent
+}
+
+func TestShardsCommand(t *testing.T) {
+	eng := datacell.New(nil)
+	defer eng.Close()
+	s := NewSession(eng)
+	s.Dispatch("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k")
+	s.Dispatch("INSERT INTO s VALUES (1, 1, 1.0), (2, 2, 2.0), (3, 3, 3.0)")
+	out, _ := s.Dispatch(`\shards s`)
+	if !strings.Contains(out, "shards=4") || !strings.Contains(out, "route=hash(k)") ||
+		!strings.Contains(out, "settled=3") || !strings.Contains(out, "s/0") {
+		t.Errorf("\\shards output:\n%s", out)
+	}
+	if out, _ := s.Dispatch(`\shards ghost`); !strings.HasPrefix(out, "error:") {
+		t.Errorf("unknown stream: %q", out)
+	}
 }

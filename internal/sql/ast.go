@@ -23,11 +23,16 @@ type CreateTable struct {
 
 func (*CreateTable) stmt() {}
 
-// CreateStream is CREATE STREAM name (cols) — the DataCell DDL extension
-// that declares a stream and its input basket.
+// CreateStream is CREATE STREAM name (cols) [SHARD n [KEY col]] — the
+// DataCell DDL extension that declares a stream and its input basket.
+// SHARD partitions the basket into n shards for parallel ingestion and
+// factory execution; KEY names the hash-partitioning column (round-robin
+// without it).
 type CreateStream struct {
-	Name string
-	Cols []ColumnDef
+	Name   string
+	Cols   []ColumnDef
+	Shards int    // 0 = engine default
+	Key    string // partitioning column; "" = round-robin
 }
 
 func (*CreateStream) stmt() {}

@@ -143,7 +143,28 @@ func (p *parser) parseCreate() (Stmt, error) {
 		return nil, err
 	}
 	if isStream {
-		return &CreateStream{Name: name.Text, Cols: cols}, nil
+		st := &CreateStream{Name: name.Text, Cols: cols}
+		// Optional SHARD n [KEY col]. SHARD and KEY are contextual (they
+		// lex as identifiers), so columns of those names stay legal.
+		if p.accept(TokIdent, "shard") {
+			t, err := p.expect(TokInt, "")
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseInt(t.Text, 10, 32)
+			if err != nil || v < 1 {
+				return nil, p.errf("SHARD count must be a positive integer, got %q", t.Text)
+			}
+			st.Shards = int(v)
+			if p.accept(TokIdent, "key") {
+				kc, err := p.expect(TokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				st.Key = kc.Text
+			}
+		}
+		return st, nil
 	}
 	return &CreateTable{Name: name.Text, Cols: cols}, nil
 }

@@ -5,6 +5,17 @@
 // and merged per slide. Because whole basic windows expire at once, all
 // cached partials stay valid until their basic window leaves the ring; no
 // per-tuple invertibility is needed.
+//
+// Two slicing paths exist. Slicer is the single-stream reference
+// implementation: it cuts one ordered tuple stream into basic windows in
+// arrival order. ShardSlicer + ShardMerge form the sharded path: each
+// shard cuts its own rows into globally consistent epochs (by global
+// sequence stamp for tuple windows, by absolute slide bucket for time
+// windows) and a per-query merger assembles complete basic windows once
+// every shard's flush watermark has passed an epoch. The union of the
+// shards' epoch fragments is exactly the basic window the single-stream
+// slicer would produce, so everything downstream of the merge — Ring,
+// JoinCache, partial-aggregate merging — is oblivious to sharding.
 package window
 
 import (

@@ -118,7 +118,7 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 		emit = emitter.Null{}
 	}
 
-	bind := map[*plan.ScanStream]*basket.Basket{}
+	bind := map[*plan.ScanStream]*basket.Sharded{}
 	scans := streams
 	if decomp != nil {
 		scans = nil
@@ -137,6 +137,10 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 		Mode:   fmode,
 		Emit:   emit,
 		Now:    e.now,
+		// A firing that raises an input's event-time watermark re-enables
+		// the whole query: sibling shards that fired earlier may now hold
+		// sealed buckets awaiting flush.
+		OnWatermark: func() { e.sched.NotifyGroup(name) },
 	}, bind)
 	if err != nil {
 		return nil, err
@@ -152,15 +156,27 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 	e.queries[name] = q
 	e.mu.Unlock()
 
-	e.sched.Add(&scheduler.Transition{
-		Name:  name,
-		Ready: fac.Ready,
-		Fire:  func() { fac.Step() },
-	})
-	// Wire the Petri net: appends on any input basket enable this
-	// transition.
+	// One scheduler transition per (input, shard): shards of one query
+	// fire concurrently, sharing the query name as their group so
+	// pause/resume/remove act on the whole query. The shard index is the
+	// worker-affinity hint; idle workers steal across shards.
+	for idx := 0; idx < fac.Inputs(); idx++ {
+		for sh := 0; sh < fac.Shards(idx); sh++ {
+			idx, sh := idx, sh
+			e.sched.Add(&scheduler.Transition{
+				Name:     fmt.Sprintf("%s/%d.%d", name, idx, sh),
+				Group:    name,
+				Affinity: sh,
+				Ready:    func() bool { return fac.ShardReady(idx, sh) },
+				Fire:     func() { fac.FireShard(idx, sh) },
+			})
+		}
+	}
+	// Wire the Petri net: an append on any input basket enables every
+	// shard transition of this query — shards that received no rows must
+	// still observe the advanced epoch watermark to seal basic windows.
 	for _, sc := range scans {
-		sc.Stream.Basket.OnAppend(func() { e.sched.Notify(name) })
+		sc.Stream.Basket.OnAppend(func() { e.sched.NotifyGroup(name) })
 	}
 	return q, nil
 }
