@@ -448,3 +448,66 @@ func BenchmarkShardedIngestFire(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkQueryGroupFanout is the shared multi-query scaling benchmark:
+// Q ∈ {1, 4, 16} continuous queries over one stream, once through the
+// shared execution group (the stream is drained and sliced once, member
+// tails fan out) and once isolated (every query keeps its own cursors and
+// slicers — the pre-group engine). Grouped cost should be sub-linear in
+// Q: at Q=16 on a multi-core host, grouped throughput should be ≥3× the
+// isolated baseline. The equivalence tests in group_test.go pin that both
+// paths produce identical results.
+func BenchmarkQueryGroupFanout(b *testing.B) {
+	const (
+		n     = 1 << 16
+		batch = 2048
+		nkeys = 256
+	)
+	chunks := feedSensor(n, batch, nkeys)
+	for _, qn := range []int{1, 4, 16} {
+		for _, isolated := range []bool{false, true} {
+			label := "grouped"
+			if isolated {
+				label = "isolated"
+			}
+			b.Run(fmt.Sprintf("%s/q_%d", label, qn), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					// Setup (engine, registrations) and teardown stay outside
+					// the timed region — like the dcbench harness — so the
+					// tuples/s reflects ingest+fire only and stays comparable
+					// across Q.
+					b.StopTimer()
+					eng := New(&Options{Workers: 4})
+					if _, err := eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)"); err != nil {
+						b.Fatal(err)
+					}
+					for j := 0; j < qn; j++ {
+						// An alert-style standing query per member: selective
+						// filter + count, thresholds varying per query. The
+						// tails are cheap, so the benchmark isolates what
+						// grouping amortizes — the per-query drain/slice/merge
+						// front end.
+						sql := fmt.Sprintf(
+							"SELECT count(*) AS n FROM s [SIZE 8192 SLIDE 2048] WHERE v > %d.0",
+							400+(j%8)*12)
+						if _, err := eng.Register(fmt.Sprintf("q%02d", j), sql,
+							&RegisterOptions{Mode: ModeIncremental, NoChannel: true, Isolated: isolated}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+					for _, c := range chunks {
+						_ = eng.AppendChunk("s", c)
+					}
+					eng.Drain()
+					b.StopTimer()
+					eng.Close()
+					b.StartTimer()
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+				b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(n)/float64(qn)*1e9, "ns/tuple/query")
+			})
+		}
+	}
+}

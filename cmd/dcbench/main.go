@@ -1,18 +1,24 @@
 // Command dcbench regenerates the paper's experiments (DESIGN.md §5,
 // E1–E7) and prints one table per experiment — the reproduction harness
-// behind EXPERIMENTS.md.
+// behind EXPERIMENTS.md. It doubles as the CI benchmark harness: -bench
+// runs the sharded-ingest and query-group-fanout scaling benchmarks,
+// emits a BENCH_N.json report for the bench trajectory, and can compare
+// against a previous report or assert the shard-scaling floor.
 //
 // Usage:
 //
-//	dcbench                 # run everything at default scale
+//	dcbench                 # run every experiment at default scale
 //	dcbench -exp e1,e3      # selected experiments
 //	dcbench -quick          # small inputs (CI-sized)
+//	dcbench -bench -bench-out BENCH_2.json [-assert-shard-scaling]
+//	dcbench -compare BENCH_1.json -against BENCH_2.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"datacell/internal/experiments"
@@ -21,7 +27,56 @@ import (
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiments: e1..e7 or all")
 	quick := flag.Bool("quick", false, "reduced input sizes")
+	bench := flag.Bool("bench", false, "run the CI scaling benchmarks instead of the experiments")
+	benchOut := flag.String("bench-out", "", "with -bench: write the JSON report to this file")
+	assertShards := flag.Bool("assert-shard-scaling", false,
+		"with -bench: fail if 4-shard ingest is >10% slower than 1-shard (multi-core hosts only)")
+	compare := flag.String("compare", "", "previous BENCH_*.json to compare -against")
+	against := flag.String("against", "", "current BENCH_*.json for -compare")
 	flag.Parse()
+
+	if *compare != "" {
+		prev, err := experiments.ReadBenchReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cur, err := experiments.ReadBenchReport(*against)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.CompareBenchReports(prev, cur))
+		return
+	}
+
+	if *bench {
+		rep := experiments.CIBench(*quick)
+		fmt.Println(rep)
+		if *benchOut != "" {
+			if err := rep.WriteJSON(*benchOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+		if *assertShards {
+			ratio := rep.Derived["shard4_vs_shard1"]
+			switch {
+			case runtime.NumCPU() < 4:
+				fmt.Printf("shard-scaling assertion skipped: %d CPU(s); 4-shard/1-shard = %.2fx\n",
+					runtime.NumCPU(), ratio)
+			case ratio < 0.9:
+				fmt.Fprintf(os.Stderr,
+					"FAIL: 4-shard ingest at %.2fx of 1-shard (floor 0.90x) on %d CPUs\n",
+					ratio, runtime.NumCPU())
+				os.Exit(1)
+			default:
+				fmt.Printf("shard-scaling assertion passed: 4-shard/1-shard = %.2fx\n", ratio)
+			}
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {

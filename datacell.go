@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datacell/internal/basket"
@@ -69,6 +70,10 @@ type Engine struct {
 	buf       int
 	shards    int
 	heartbeat *scheduler.Ticker
+
+	// groupSeq numbers shared execution groups so scheduler group names
+	// stay unique across teardown/re-create cycles of the same key.
+	groupSeq atomic.Int64
 
 	mu      sync.Mutex
 	queries map[string]*Query
@@ -223,7 +228,7 @@ func (e *Engine) execStmt(stmt sql.Stmt) (*Result, error) {
 		case "REEVAL":
 			mode = ModeReeval
 		}
-		q, err := e.register(s.Name, s.Select, mode, nil)
+		q, err := e.register(s.Name, s.Select, mode, &RegisterOptions{Isolated: s.Isolated})
 		if err != nil {
 			return nil, err
 		}
@@ -479,8 +484,13 @@ func (e *Engine) ResumeStream(stream string) error {
 
 // AdvanceTime closes time-window buckets up to the watermark (microsecond
 // timestamp) across all continuous queries — the scheduler's time
-// constraint for idle streams. Tuple windows are unaffected.
+// constraint for idle streams. Shared execution groups advance once for
+// all their members; isolated factories advance individually. Tuple
+// windows are unaffected.
 func (e *Engine) AdvanceTime(watermark int64) {
+	for _, g := range e.factoryGroups() {
+		g.Advance(watermark)
+	}
 	e.mu.Lock()
 	qs := make([]*Query, 0, len(e.queries))
 	for _, q := range e.queries {

@@ -48,7 +48,8 @@ type Basket struct {
 	nextID    int
 	totalIn   int64
 	totalDrop int64
-	onAppend  []func()
+	onAppend  []appendSub
+	nextSubID int
 	paused    bool
 	pending   []*bat.Chunk // appends buffered while paused
 	pendStamp []int64
@@ -71,12 +72,54 @@ func (b *Basket) Name() string { return b.name }
 // Schema reports the column layout.
 func (b *Basket) Schema() bat.Schema { return b.schema }
 
+// appendSub is one OnAppend subscription. The subscriber lists are
+// copy-on-write: firing snapshots the slice under the lock and invokes the
+// callbacks outside it, and cancellation rebuilds the slice, so a snapshot
+// taken by a concurrent append stays valid.
+type appendSub struct {
+	id int
+	f  func()
+}
+
+func fireSubs(subs []appendSub) {
+	for _, s := range subs {
+		s.f()
+	}
+}
+
+func cancelSub(subs []appendSub, id int) []appendSub {
+	out := make([]appendSub, 0, len(subs))
+	for _, s := range subs {
+		if s.id != id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // OnAppend registers a callback invoked (outside the basket lock) after
 // every append. The scheduler uses it as the Petri-net token notification.
-func (b *Basket) OnAppend(f func()) {
+// The returned cancel removes the subscription — a query that unbinds from
+// the stream must call it, or every later append keeps paying for (and
+// waking) a dead query.
+func (b *Basket) OnAppend(f func()) (cancel func()) {
 	b.mu.Lock()
-	b.onAppend = append(b.onAppend, f)
+	id := b.nextSubID
+	b.nextSubID++
+	b.onAppend = append(b.onAppend, appendSub{id: id, f: f})
 	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		b.onAppend = cancelSub(b.onAppend, id)
+		b.mu.Unlock()
+	}
+}
+
+// Subscribers reports the number of live OnAppend subscriptions.
+func (b *Basket) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.onAppend)
 }
 
 // Register adds a consumer whose cursor starts at the current end of the
@@ -147,9 +190,7 @@ func (b *Basket) AppendSeqs(c *bat.Chunk, arrival int64, seqs bat.Ints) error {
 	b.appendLocked(c, arrival, seqs)
 	subs := b.onAppend
 	b.mu.Unlock()
-	for _, f := range subs {
-		f()
-	}
+	fireSubs(subs)
 	return nil
 }
 
@@ -187,9 +228,7 @@ func (b *Basket) AppendFetchSeqs(c *bat.Chunk, sel []int32, arrival int64, seqs 
 	b.totalIn += int64(len(sel))
 	subs := b.onAppend
 	b.mu.Unlock()
-	for _, f := range subs {
-		f()
-	}
+	fireSubs(subs)
 	return nil
 }
 
@@ -236,9 +275,7 @@ func (b *Basket) Resume() {
 	subs := b.onAppend
 	b.mu.Unlock()
 	if flushed {
-		for _, f := range subs {
-			f()
-		}
+		fireSubs(subs)
 	}
 }
 

@@ -52,14 +52,15 @@ type Sharded struct {
 	pauseMu sync.RWMutex
 	paused  bool // guarded by pauseMu
 
-	mu       sync.Mutex
-	claimed  int64 // sequence numbers handed out
-	settled  int64 // all sequences < settled are appended to shards
-	done     []seqRange
-	rr       int64        // round-robin chunk counter
-	pending  []*bat.Chunk // appends buffered while paused (pre-sequencing)
-	pendArr  []int64
-	onAppend []func()
+	mu        sync.Mutex
+	claimed   int64 // sequence numbers handed out
+	settled   int64 // all sequences < settled are appended to shards
+	done      []seqRange
+	rr        int64        // round-robin chunk counter
+	pending   []*bat.Chunk // appends buffered while paused (pre-sequencing)
+	pendArr   []int64
+	onAppend  []appendSub
+	nextSubID int
 }
 
 // seqRange is a completed append's sequence interval [lo, hi), recorded
@@ -122,12 +123,29 @@ func (s *Sharded) Settled() int64 {
 
 // OnAppend registers a callback invoked after every container append has
 // settled. The scheduler uses it to notify every shard transition of every
-// consumer query — shards that received no rows still need to learn that
-// the epoch clock advanced.
-func (s *Sharded) OnAppend(f func()) {
+// consumer query (or query group) — shards that received no rows still
+// need to learn that the epoch clock advanced. The returned cancel removes
+// the subscription; a query (or group) leaving the stream must call it, or
+// dropped queries keep taxing and waking on every later append.
+func (s *Sharded) OnAppend(f func()) (cancel func()) {
 	s.mu.Lock()
-	s.onAppend = append(s.onAppend, f)
+	id := s.nextSubID
+	s.nextSubID++
+	s.onAppend = append(s.onAppend, appendSub{id: id, f: f})
 	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.onAppend = cancelSub(s.onAppend, id)
+		s.mu.Unlock()
+	}
+}
+
+// Subscribers reports the number of live OnAppend subscriptions — the
+// regression gauge for the drop-leaves-subscription-registered leak.
+func (s *Sharded) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.onAppend)
 }
 
 // Append partitions a chunk across the shards, stamping each row with its
@@ -165,9 +183,7 @@ func (s *Sharded) Append(c *bat.Chunk, arrival int64) error {
 		if err := s.shards[0].AppendSeqs(c, arrival, nil); err != nil {
 			return err
 		}
-		for _, f := range subs {
-			f()
-		}
+		fireSubs(subs)
 		return nil
 	}
 	s.mu.Lock()
@@ -204,9 +220,7 @@ func (s *Sharded) appendClaimed(c *bat.Chunk, arrival, base int64, target int) e
 	s.settleLocked(base, base+int64(rows))
 	subs := s.onAppend
 	s.mu.Unlock()
-	for _, f := range subs {
-		f()
-	}
+	fireSubs(subs)
 	return err
 }
 
@@ -373,9 +387,7 @@ func (s *Sharded) Resume() {
 		s.mu.Unlock()
 		s.pauseMu.Unlock()
 		if len(pending) > 0 {
-			for _, f := range subs {
-				f()
-			}
+			fireSubs(subs)
 		}
 		return
 	}

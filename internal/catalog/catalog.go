@@ -101,6 +101,12 @@ type Catalog struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	streams map[string]*Stream
+
+	// gmu guards the shared-execution group registry (groups.go). It is
+	// separate from mu so group join/leave — which may construct a group
+	// under the lock — never interleaves with schema lookups.
+	gmu    sync.Mutex
+	groups map[string]*groupSlot
 }
 
 // New returns an empty catalog.

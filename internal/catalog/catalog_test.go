@@ -142,3 +142,42 @@ func TestSchemaFromDefs(t *testing.T) {
 		t.Error("duplicate column should fail")
 	}
 }
+
+// TestGroupRegistry exercises the shared-execution group registry: create
+// on first join, reuse on later joins, teardown handoff on last leave.
+func TestGroupRegistry(t *testing.T) {
+	c := New()
+	created := 0
+	make1 := func() any { created++; return created }
+	if v, n := c.JoinGroup("k", make1); v.(int) != 1 || n != 1 {
+		t.Fatalf("first join = (%v, %d)", v, n)
+	}
+	if v, n := c.JoinGroup("k", make1); v.(int) != 1 || n != 2 {
+		t.Fatalf("second join = (%v, %d), want same group", v, n)
+	}
+	if created != 1 {
+		t.Fatalf("create ran %d times", created)
+	}
+	if n := c.GroupMembers("k"); n != 2 {
+		t.Fatalf("members = %d", n)
+	}
+	if v, rem := c.LeaveGroup("k"); v.(int) != 1 || rem != 1 {
+		t.Fatalf("first leave = (%v, %d)", v, rem)
+	}
+	if v, rem := c.LeaveGroup("k"); v.(int) != 1 || rem != 0 {
+		t.Fatalf("last leave = (%v, %d), want teardown handoff", v, rem)
+	}
+	if _, ok := c.Group("k"); ok {
+		t.Fatal("group survives last leave")
+	}
+	if _, rem := c.LeaveGroup("k"); rem != -1 {
+		t.Fatal("leaving an unknown key should report -1")
+	}
+	// A fresh join after teardown creates a new group.
+	if v, n := c.JoinGroup("k", make1); v.(int) != 2 || n != 1 {
+		t.Fatalf("rejoin = (%v, %d), want fresh group", v, n)
+	}
+	if keys := c.GroupKeys(); len(keys) != 1 || keys[0] != "k" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

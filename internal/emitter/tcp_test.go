@@ -1,0 +1,168 @@
+package emitter
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"datacell/internal/bat"
+)
+
+func tcpChunk(vals ...int64) *bat.Chunk {
+	sch := bat.NewSchema([]string{"k", "n"}, []bat.Kind{bat.Int, bat.Int})
+	c := bat.NewChunk(sch)
+	for i, v := range vals {
+		_ = c.AppendRow(bat.IntValue(int64(i)), bat.IntValue(v))
+	}
+	return c
+}
+
+func waitClients(t *testing.T, s *TCPServer, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Clients() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("clients = %d, want %d", s.Clients(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTCPFramedDelivery checks the wire format: every emitted window is a
+// '#' metadata line followed by one CSV line per row, so a line-oriented
+// client can reframe result sets without ambiguity.
+func TestTCPFramedDelivery(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitClients(t, s, 1)
+
+	s.Emit(tcpChunk(10, 20), Meta{Query: "q", Seq: 0, LatencyUsec: 5})
+	s.Emit(tcpChunk(30), Meta{Query: "q", Seq: 1, LatencyUsec: 7})
+
+	r := bufio.NewReader(conn)
+	readLine := func() string {
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return strings.TrimRight(line, "\n")
+	}
+	if got := readLine(); got != "# q seq=0 rows=2 latency=5us" {
+		t.Fatalf("frame 0 header = %q", got)
+	}
+	if got := readLine(); got != "0,10" {
+		t.Fatalf("frame 0 row 0 = %q", got)
+	}
+	if got := readLine(); got != "1,20" {
+		t.Fatalf("frame 0 row 1 = %q", got)
+	}
+	if got := readLine(); got != "# q seq=1 rows=1 latency=7us" {
+		t.Fatalf("frame 1 header = %q", got)
+	}
+	if got := readLine(); got != "0,30" {
+		t.Fatalf("frame 1 row = %q", got)
+	}
+}
+
+// TestTCPClientDisconnectMidWindow checks that a client vanishing between
+// windows is dropped from the broadcast set instead of stalling or
+// wedging the emitter, and that a healthy client keeps receiving.
+func TestTCPClientDisconnectMidWindow(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	healthy, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	flaky, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitClients(t, s, 2)
+
+	s.Emit(tcpChunk(1), Meta{Query: "q", Seq: 0})
+	_ = flaky.Close() // disconnect mid-stream
+
+	// Keep emitting until the server notices the dead peer (the first
+	// write after a close may still land in the kernel buffer).
+	deadline := time.Now().Add(5 * time.Second)
+	seq := int64(1)
+	for s.Clients() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead client never dropped: clients = %d", s.Clients())
+		}
+		s.Emit(tcpChunk(2), Meta{Query: "q", Seq: seq})
+		seq++
+		time.Sleep(time.Millisecond)
+	}
+
+	// The healthy client still gets every frame, starting from seq 0.
+	r := bufio.NewReader(healthy)
+	_ = healthy.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "# q seq=0") {
+		t.Fatalf("healthy client frame = %q, err %v", line, err)
+	}
+}
+
+// TestTCPReconnect checks that a client can drop and reconnect: the new
+// connection receives everything emitted after it attached.
+func TestTCPReconnect(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	first, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitClients(t, s, 1)
+	_ = first.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Clients() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("closed client still counted: %d", s.Clients())
+		}
+		s.Emit(tcpChunk(9), Meta{Query: "q", Seq: 100})
+		time.Sleep(time.Millisecond)
+	}
+
+	second, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	waitClients(t, s, 1)
+	s.Emit(tcpChunk(42), Meta{Query: "q", Seq: 200, LatencyUsec: 1})
+
+	r := bufio.NewReader(second)
+	_ = second.SetReadDeadline(time.Now().Add(2 * time.Second))
+	header, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(header, "# q seq=200") {
+		t.Fatalf("reconnected client header = %q", header)
+	}
+	row, err := r.ReadString('\n')
+	if err != nil || strings.TrimRight(row, "\n") != "0,42" {
+		t.Fatalf("reconnected client row = %q, err %v", row, err)
+	}
+}

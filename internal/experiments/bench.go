@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datacell"
+)
+
+// BenchResult is one measured benchmark configuration — the JSON unit of
+// the CI bench trajectory (BENCH_N.json artifacts).
+type BenchResult struct {
+	Name         string  `json:"name"`
+	Tuples       int     `json:"tuples"`
+	WallSec      float64 `json:"wall_sec"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+}
+
+// BenchReport is the dcbench -bench output: the environment, every
+// configuration's throughput, and the derived headline ratios.
+type BenchReport struct {
+	SchemaVersion int                `json:"schema_version"`
+	NumCPU        int                `json:"num_cpu"`
+	GoMaxProcs    int                `json:"gomaxprocs"`
+	Quick         bool               `json:"quick"`
+	Results       []BenchResult      `json:"results"`
+	Derived       map[string]float64 `json:"derived"`
+}
+
+// ShardedIngestFire measures the PR-1 scaling benchmark outside the
+// testing harness: parallel producers feeding a filtered grouped
+// sliding-window aggregate through an n-tuple stream with the given shard
+// count. It mirrors BenchmarkShardedIngestFire in bench_test.go.
+func ShardedIngestFire(shards, producers, n, batch, nkeys int) BenchResult {
+	ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)"
+	if shards > 1 {
+		ddl += fmt.Sprintf(" SHARD %d KEY k", shards)
+	}
+	sql := "SELECT k, sum(v) AS s, count(*) AS c FROM s [SIZE 16384 SLIDE 4096] WHERE v > 50.0 GROUP BY k"
+	perProd := sensorChunks(n/producers, batch, nkeys)
+
+	eng := datacell.New(&datacell.Options{Workers: 4})
+	defer eng.Close()
+	if _, err := eng.Exec(ddl); err != nil {
+		panic(err)
+	}
+	if _, err := eng.Register("q", sql,
+		&datacell.RegisterOptions{Mode: datacell.ModeIncremental, NoChannel: true}); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, c := range perProd {
+				_ = eng.AppendChunk("s", c)
+			}
+		}()
+	}
+	wg.Wait()
+	eng.Drain()
+	wall := time.Since(start)
+	return BenchResult{
+		Name:         fmt.Sprintf("sharded_ingest_fire/shards_%d", shards),
+		Tuples:       n,
+		WallSec:      wall.Seconds(),
+		TuplesPerSec: float64(n) / wall.Seconds(),
+	}
+}
+
+// QueryGroupFanout measures the PR-2 scaling benchmark: Q alert-style
+// standing queries (selective filter + count, per-query thresholds) over
+// one stream, grouped (one shared drain/slice/merge, per-query tails) or
+// isolated (every query its own cursors and slicers). It mirrors
+// BenchmarkQueryGroupFanout in bench_test.go.
+func QueryGroupFanout(queries int, isolated bool, n, batch, nkeys int) BenchResult {
+	chunks := sensorChunks(n, batch, nkeys)
+	eng := datacell.New(&datacell.Options{Workers: 4})
+	defer eng.Close()
+	if _, err := eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)"); err != nil {
+		panic(err)
+	}
+	for j := 0; j < queries; j++ {
+		sql := fmt.Sprintf(
+			"SELECT count(*) AS n FROM s [SIZE 8192 SLIDE 2048] WHERE v > %d.0", 400+(j%8)*12)
+		if _, err := eng.Register(fmt.Sprintf("q%02d", j), sql,
+			&datacell.RegisterOptions{Mode: datacell.ModeIncremental, NoChannel: true, Isolated: isolated}); err != nil {
+			panic(err)
+		}
+	}
+	start := time.Now()
+	for _, c := range chunks {
+		_ = eng.AppendChunk("s", c)
+	}
+	eng.Drain()
+	wall := time.Since(start)
+	label := "grouped"
+	if isolated {
+		label = "isolated"
+	}
+	return BenchResult{
+		Name:         fmt.Sprintf("query_group_fanout/%s/q_%d", label, queries),
+		Tuples:       n,
+		WallSec:      wall.Seconds(),
+		TuplesPerSec: float64(n) / wall.Seconds(),
+	}
+}
+
+// CIBench runs the CI benchmark suite — sharded ingest at 1 and 4 shards,
+// query-group fan-out at Q ∈ {1,4,16} grouped and isolated — and derives
+// the headline ratios the bench trajectory tracks:
+//
+//	shard4_vs_shard1:       4-shard ingest throughput / 1-shard (≥0.9
+//	                        asserted on multi-core CI runners)
+//	grouped16_vs_isolated16: shared-group throughput at Q=16 / isolated
+//	                        baseline (target ≥3 on multi-core hosts)
+func CIBench(quick bool) *BenchReport {
+	n, batch, nkeys := 1<<17, 2048, 512
+	fanN := 1 << 16
+	if quick {
+		n, fanN = 1<<16, 1<<15
+	}
+	rep := &BenchReport{
+		SchemaVersion: 1,
+		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Quick:         quick,
+		Derived:       map[string]float64{},
+	}
+	byName := map[string]BenchResult{}
+	add := func(r BenchResult) {
+		rep.Results = append(rep.Results, r)
+		byName[r.Name] = r
+	}
+	// The ingest pair feeds a CI gate (-assert-shard-scaling), so take the
+	// best of three samples per configuration: a single run on a shared
+	// runner is too noisy to fail a build on.
+	for _, shards := range []int{1, 4} {
+		best := ShardedIngestFire(shards, 4, n, batch, nkeys)
+		for i := 0; i < 2; i++ {
+			if r := ShardedIngestFire(shards, 4, n, batch, nkeys); r.TuplesPerSec > best.TuplesPerSec {
+				best = r
+			}
+		}
+		add(best)
+	}
+	for _, q := range []int{1, 4, 16} {
+		for _, isolated := range []bool{false, true} {
+			add(QueryGroupFanout(q, isolated, fanN, batch, 256))
+		}
+	}
+	ratio := func(num, den string) float64 {
+		d := byName[den].TuplesPerSec
+		if d == 0 {
+			return 0
+		}
+		return byName[num].TuplesPerSec / d
+	}
+	rep.Derived["shard4_vs_shard1"] = ratio(
+		"sharded_ingest_fire/shards_4", "sharded_ingest_fire/shards_1")
+	rep.Derived["grouped16_vs_isolated16"] = ratio(
+		"query_group_fanout/grouped/q_16", "query_group_fanout/isolated/q_16")
+	rep.Derived["grouped4_vs_isolated4"] = ratio(
+		"query_group_fanout/grouped/q_4", "query_group_fanout/isolated/q_4")
+	return rep
+}
+
+// String renders the report as an aligned table with the derived ratios.
+func (r *BenchReport) String() string {
+	t := &Table{
+		Title:  fmt.Sprintf("CI bench (cpus=%d quick=%v)", r.NumCPU, r.Quick),
+		Header: []string{"benchmark", "tuples", "wall", "ktuples/s"},
+	}
+	for _, res := range r.Results {
+		t.Rows = append(t.Rows, []string{
+			res.Name, fmt.Sprint(res.Tuples),
+			fmt.Sprintf("%.3fs", res.WallSec),
+			fmt.Sprintf("%.0f", res.TuplesPerSec/1e3),
+		})
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	keys := make([]string, 0, len(r.Derived))
+	for k := range r.Derived {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "derived %-26s = %.2fx\n", k, r.Derived[k])
+	}
+	return b.String()
+}
+
+// WriteJSON writes the report to path.
+func (r *BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchReport loads a BENCH_*.json report.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BenchReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareBenchReports renders a previous-vs-current comparison table —
+// the report-only trajectory step of the CI bench job. Ratios above 1
+// mean the current run is faster.
+func CompareBenchReports(prev, cur *BenchReport) string {
+	t := &Table{
+		Title:  "bench trajectory: current vs previous",
+		Header: []string{"benchmark", "prev ktuples/s", "cur ktuples/s", "ratio"},
+	}
+	prevBy := map[string]BenchResult{}
+	for _, r := range prev.Results {
+		prevBy[r.Name] = r
+	}
+	for _, r := range cur.Results {
+		p, ok := prevBy[r.Name]
+		if !ok {
+			t.Rows = append(t.Rows, []string{r.Name, "(new)",
+				fmt.Sprintf("%.0f", r.TuplesPerSec/1e3), "-"})
+			continue
+		}
+		ratio := 0.0
+		if p.TuplesPerSec > 0 {
+			ratio = r.TuplesPerSec / p.TuplesPerSec
+		}
+		t.Rows = append(t.Rows, []string{r.Name,
+			fmt.Sprintf("%.0f", p.TuplesPerSec/1e3),
+			fmt.Sprintf("%.0f", r.TuplesPerSec/1e3),
+			fmt.Sprintf("%.2fx", ratio)})
+	}
+	return t.String()
+}

@@ -72,6 +72,13 @@ type Config struct {
 	Decomp *plan.Decomposition
 	// Mode selects the execution strategy.
 	Mode Mode
+	// Shared marks a query-group member: the factory's single windowed
+	// stream input is fed externally with merged basic windows (SharedFire)
+	// by the group that drains and slices the stream once for all members.
+	// The factory then runs only the private tail — per-basic-window
+	// pipeline, ring, merge, emit — and registers no basket consumers of
+	// its own.
+	Shared bool
 	// Emit receives every evaluation's result set.
 	Emit emitter.Emitter
 	// Now supplies the wall clock in microseconds; defaults to the system
@@ -179,6 +186,14 @@ func New(cfg Config, bind map[*plan.ScanStream]*basket.Sharded) (*Factory, error
 	if len(scans) == 0 {
 		return nil, fmt.Errorf("factory %s: plan reads no stream", cfg.Name)
 	}
+	if cfg.Shared {
+		if len(scans) != 1 {
+			return nil, fmt.Errorf("factory %s: shared execution requires exactly one stream input, got %d", cfg.Name, len(scans))
+		}
+		if scans[0].Window == nil {
+			return nil, fmt.Errorf("factory %s: shared execution requires a windowed stream scan", cfg.Name)
+		}
+	}
 	for idx, s := range scans {
 		shb, ok := bind[s]
 		if !ok {
@@ -186,6 +201,13 @@ func New(cfg Config, bind map[*plan.ScanStream]*basket.Sharded) (*Factory, error
 		}
 		in := &input{scan: s, shb: shb}
 		in.maxTs.Store(math.MinInt64)
+		if cfg.Shared {
+			// The group owns the basket cursors, slicers and merger; the
+			// member keeps only its private window ring.
+			in.ring = window.NewRing(s.Window.Parts())
+			f.inputs = append(f.inputs, in)
+			continue
+		}
 		for i := 0; i < shb.NumShards(); i++ {
 			b := shb.Shard(i)
 			si := &shardIn{idx: i, bk: b, cid: b.Register()}
@@ -300,15 +322,55 @@ func (f *Factory) ContinuousPlanString() string {
 	return "-- re-evaluate per firing --\n" + plan.String(f.cfg.Full)
 }
 
-// Stop unregisters the factory from its basket shards and closes its
-// emitter.
+// Stop unregisters the factory from its basket shards, releases any
+// shared basic-window buffers its rings still hold, and closes its
+// emitter. The caller must ensure no firing is in flight (the engine uses
+// scheduler.RemoveWait).
 func (f *Factory) Stop() {
 	for _, in := range f.inputs {
 		for _, si := range in.shards {
 			si.bk.Unregister(si.cid)
 		}
+		if in.ring != nil {
+			for _, bw := range in.ring.Live() {
+				bw.ReleaseData()
+			}
+		}
 	}
 	f.cfg.Emit.Close()
+}
+
+// SharedFire runs the member tail over a batch of merged basic windows
+// handed over by the factory's query group, in generation order. It is the
+// grouped counterpart of FireShard: one scheduler activation of the
+// member's tail transition. It returns the number of result sets emitted.
+func (f *Factory) SharedFire(bws []*window.BW) int {
+	if len(bws) == 0 {
+		return 0
+	}
+	start := f.cfg.Now()
+	var tuples int64
+	for _, bw := range bws {
+		if bw.Data != nil {
+			tuples += int64(bw.Data.Rows())
+		}
+	}
+	f.mu.Lock()
+	f.stats.Firings++
+	f.stats.TuplesIn += tuples
+	f.mu.Unlock()
+
+	emitted := 0
+	f.stepMu.Lock()
+	for _, bw := range bws {
+		emitted += f.onBasicWindow(0, bw)
+	}
+	f.stepMu.Unlock()
+
+	f.mu.Lock()
+	f.stats.BusyUsec += f.cfg.Now() - start
+	f.mu.Unlock()
+	return emitted
 }
 
 // Stats returns a snapshot of the factory's counters.
@@ -410,29 +472,41 @@ func (f *Factory) fireShardLocked(idx int, in *input, si *shardIn) (int, bool) {
 		return f.evalBatch(in.scan, c, arrivals), false
 	}
 
+	frags, raised := sliceFlush(si.sl, in.scan.Window, c, arrivals, seqs, wmSeq, &in.maxTs)
+	si.wm.Store(si.sl.Watermark())
+	return f.deliver(idx, in, si, frags), raised
+}
+
+// sliceFlush is the drain step shared by isolated factories and query
+// groups: push freshly drained rows into a shard slicer, raise the
+// input's shared event-time watermark (time windows), and flush every
+// epoch the current watermark seals. For tuple windows the caller must
+// have captured wmSeq (the container's settled sequence) BEFORE the
+// drain — see fireShardLocked for why the order is load-bearing. raised
+// reports whether the event-time watermark advanced (sibling shards may
+// now hold sealed buckets and need a re-notify).
+func sliceFlush(sl *window.ShardSlicer, w *plan.Window, c *bat.Chunk, arrivals, seqs bat.Ints, wmSeq int64, maxTs *atomic.Int64) ([]*window.Frag, bool) {
 	raised := false
 	if c != nil {
-		si.sl.Push(c, arrivals, seqs)
-		if !in.scan.Window.Tuples {
-			ts := bat.AsInts(c.Cols[in.scan.Window.TimeIdx])
+		sl.Push(c, arrivals, seqs)
+		if !w.Tuples {
+			ts := bat.AsInts(c.Cols[w.TimeIdx])
 			mx := int64(math.MinInt64)
 			for _, t := range ts {
 				if t > mx {
 					mx = t
 				}
 			}
-			raised = atomicMax(&in.maxTs, mx)
+			raised = atomicMax(maxTs, mx)
 		}
 	}
-
 	var frags []*window.Frag
-	if tuples {
-		frags = si.sl.Flush(wmSeq / in.scan.Window.Slide)
-	} else if mts := in.maxTs.Load(); mts != math.MinInt64 {
-		frags = si.sl.Flush(si.sl.TimeGen(mts))
+	if w.Tuples {
+		frags = sl.Flush(wmSeq / w.Slide)
+	} else if mts := maxTs.Load(); mts != math.MinInt64 {
+		frags = sl.Flush(sl.TimeGen(mts))
 	}
-	si.wm.Store(si.sl.Watermark())
-	return f.deliver(idx, in, si, frags), raised
+	return frags, raised
 }
 
 // deliver runs the per-fragment pipeline (the parallel half of incremental
@@ -488,7 +562,9 @@ func atomicMax(a *atomic.Int64, v int64) bool {
 func (f *Factory) Advance(watermark int64) int {
 	emitted := 0
 	for idx, in := range f.inputs {
-		if in.scan.Window == nil || in.scan.Window.Tuples {
+		if in.scan.Window == nil || in.scan.Window.Tuples || len(in.shards) == 0 {
+			// Tuple windows never time out; shared inputs are advanced by
+			// their query group, which owns the slicers.
 			continue
 		}
 		if in.maxTs.Load() == math.MinInt64 {
@@ -538,7 +614,9 @@ const genIsSeq = int64(-1)
 func (f *Factory) onBasicWindow(idx int, bw *window.BW) int {
 	in := f.inputs[idx]
 	if f.cfg.Mode == Reeval {
-		in.ring.Push(bw)
+		if evicted := in.ring.Push(bw); evicted != nil {
+			evicted.ReleaseData()
+		}
 		if !f.ringsFull() {
 			return 0
 		}
@@ -592,20 +670,34 @@ func (f *Factory) incrementalStep(idx int, bw *window.BW) int {
 	in := f.inputs[idx]
 
 	if bw.Out == nil {
-		// Fallback for basic windows that bypassed the fragment path.
+		// Per-basic-window pipeline over the raw tuples: the main path for
+		// query-group members (the shared merger computes no Out), and the
+		// fallback for basic windows that bypassed the fragment path. A
+		// pipeline error substitutes an empty intermediate — like the
+		// fragment path — so the ring stays window-aligned and the shared
+		// buffer is still released below.
 		pipe := d.Pipelines[idx]
 		ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: bw.Data}}
 		out, err := ex.Run(pipe.Root)
 		if err != nil {
-			return 0
+			out = bat.NewChunk(pipe.Root.Schema())
 		}
 		bw.Out = out
 		if d.Agg != nil {
 			bw.Partial = plan.RunAggregate(d.Agg, out)
 		}
+		if bw.Free != nil {
+			// Group member: the cached intermediates replace the raw
+			// tuples, so the shared buffer can be released now rather than
+			// at ring eviction.
+			bw.ReleaseData()
+		}
 	}
 
 	evicted := in.ring.Push(bw)
+	if evicted != nil {
+		evicted.ReleaseData()
+	}
 	if f.jc != nil {
 		if evicted != nil {
 			if idx == 0 {

@@ -1,0 +1,370 @@
+package factory
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/plan"
+	"datacell/internal/window"
+)
+
+// Group is a shared execution group: the front half of the dataflow —
+// basket cursors, epoch slicing, shard merging — run once per stream and
+// slide granularity, no matter how many continuous queries consume it.
+// Queries whose windowed scans agree on a plan.GroupKey join as members;
+// each sealed basic window is fanned out to every member as a refcounted
+// immutable columnar view, and the members' private tails (per-basic-window
+// pipelines, rings, partial merges, emitters) run as independent scheduler
+// transitions — in parallel with each other and with the group's shard
+// firings. Without grouping, Q queries over one stream drain, sequence and
+// slice every tuple Q times; with it, that cost is paid once and only the
+// per-query tail scales with Q.
+//
+// Locking mirrors Factory: each shard's slicer is guarded by its own
+// mutex, the merger by mergeMu, and the member list by mu. Fan-out runs
+// under mergeMu, which is what keeps every member's basic-window sequence
+// in generation order. Scheduler Ready callbacks (ShardReady, Member.Ready)
+// read only atomics and basket counters — never a mutex held across a
+// firing — because the scheduler invokes them under its own lock.
+type Group struct {
+	cfg    GroupConfig
+	shards []*groupShard
+
+	merge   *window.ShardMerge
+	mergeMu sync.Mutex
+	maxTs   atomic.Int64 // shared event-time watermark (time windows)
+
+	liveBufs     atomic.Int64 // sealed shared buffers not yet released by all members
+	windowsOut   atomic.Int64 // basic windows fanned out
+	cancelAppend func()
+
+	mu      sync.Mutex
+	members []*Member
+}
+
+// GroupConfig assembles a shared execution group.
+type GroupConfig struct {
+	// Key is the plan.GroupKey the members agreed on.
+	Key string
+	// SchedGroup is the scheduler group name of the shard transitions.
+	// It must be unique per group INSTANCE (the engine appends a nonce to
+	// the key): a torn-down group's RemoveWait must never sweep up the
+	// same-keyed successor's freshly added transitions.
+	SchedGroup string
+	// Basket is the stream's sharded container.
+	Basket *basket.Sharded
+	// Window carries the slicing granularity (slide / time bucket +
+	// ordering attribute). The SIZE of any particular member is irrelevant
+	// here: basic windows are cut at slide granularity and each member
+	// keeps its own ring extent.
+	Window *plan.Window
+	// Schema is the scan output layout (the stream schema).
+	Schema bat.Schema
+	// Now supplies the clock in microseconds (defaults to the system
+	// clock).
+	Now func() int64
+	// NotifyMember re-enables a member query's tail transition; the engine
+	// wires it to the scheduler.
+	NotifyMember func(query string)
+	// NotifyShards re-enables the group's shard transitions (wired to
+	// basket appends and event-time watermark raises).
+	NotifyShards func()
+}
+
+// groupShard is the group's cursor into one shard of the stream basket —
+// the shared counterpart of the factory's shardIn.
+type groupShard struct {
+	idx int
+	bk  *basket.Basket
+	cid int
+	mu  sync.Mutex
+	sl  *window.ShardSlicer
+	wm  atomic.Int64 // mirrors sl.Watermark() for lock-free ShardReady
+}
+
+// Member is one continuous query's membership in a group: a queue of
+// sealed basic windows awaiting the query's private tail, drained by the
+// member's scheduler transition.
+type Member struct {
+	g     *Group
+	query string
+	fac   *Factory
+
+	mu       sync.Mutex
+	pending  []*window.BW
+	closed   bool
+	nextGen  int64
+	pendingN atomic.Int64 // mirrors len(pending) for lock-free Ready
+}
+
+// NewGroup builds a group over a stream basket. It registers consumers on
+// every shard but does not yet subscribe to append notifications — the
+// engine first joins the creating member and registers the shard
+// transitions, then calls SubscribeAppend, so no basic window can seal
+// while the group has no members.
+func NewGroup(cfg GroupConfig) *Group {
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixMicro() }
+	}
+	g := &Group{cfg: cfg}
+	g.maxTs.Store(math.MinInt64)
+	for i := 0; i < cfg.Basket.NumShards(); i++ {
+		b := cfg.Basket.Shard(i)
+		gs := &groupShard{idx: i, bk: b, cid: b.Register(),
+			sl: window.NewShardSlicer(cfg.Window, cfg.Schema)}
+		gs.wm.Store(gs.sl.Watermark())
+		g.shards = append(g.shards, gs)
+	}
+	g.merge = window.NewShardMerge(window.MergeConfig{
+		Shards: cfg.Basket.NumShards(),
+		Data:   cfg.Schema,
+		// Members run divergent tails (re-evaluation needs raw windows,
+		// incremental pipelines read raw basic windows), so the shared
+		// level always keeps the raw tuples; per-query intermediates are
+		// private to each member.
+		KeepData: true,
+	})
+	return g
+}
+
+// SubscribeAppend wires the group's shard transitions to the basket's
+// append notifications. Call after the first member joined and the shard
+// transitions are registered.
+func (g *Group) SubscribeAppend() {
+	if g.cfg.NotifyShards != nil {
+		g.cancelAppend = g.cfg.Basket.OnAppend(g.cfg.NotifyShards)
+	}
+}
+
+// Key reports the group key.
+func (g *Group) Key() string { return g.cfg.Key }
+
+// SchedGroup reports the instance-unique scheduler group name of the
+// shard transitions.
+func (g *Group) SchedGroup() string { return g.cfg.SchedGroup }
+
+// NumShards reports the stream's shard count (one group transition each).
+func (g *Group) NumShards() int { return len(g.shards) }
+
+// Members reports the current member count.
+func (g *Group) Members() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// LiveBufs reports how many sealed basic-window buffers are still
+// referenced by at least one member — the refcount gauge tests pin to
+// prove buffers are released when the last member finishes with them.
+func (g *Group) LiveBufs() int64 { return g.liveBufs.Load() }
+
+// WindowsOut reports how many basic windows the group has fanned out.
+func (g *Group) WindowsOut() int64 { return g.windowsOut.Load() }
+
+// Join adds a query as a member. The member starts at the next sealed
+// basic window; tuples already buffered in the group's open epochs are
+// included in it.
+func (g *Group) Join(query string, fac *Factory) *Member {
+	m := &Member{g: g, query: query, fac: fac}
+	g.mu.Lock()
+	g.members = append(g.members, m)
+	g.mu.Unlock()
+	return m
+}
+
+// Leave removes a member, releasing any sealed basic windows still queued
+// for it. The caller must have removed the member's scheduler transition
+// first (RemoveWait) so no tail firing is in flight.
+func (g *Group) Leave(m *Member) {
+	g.mu.Lock()
+	for i, x := range g.members {
+		if x == m {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	g.mu.Unlock()
+	m.mu.Lock()
+	m.closed = true
+	pend := m.pending
+	m.pending = nil
+	m.pendingN.Store(0)
+	m.mu.Unlock()
+	for _, bw := range pend {
+		bw.ReleaseData()
+	}
+}
+
+// Close tears the group down after the last member left: cancels the
+// append subscription and releases the basket cursors. The caller must
+// have removed the group's shard transitions first (RemoveWait).
+func (g *Group) Close() {
+	if g.cancelAppend != nil {
+		g.cancelAppend()
+		g.cancelAppend = nil
+	}
+	for _, gs := range g.shards {
+		gs.mu.Lock()
+		gs.bk.Unregister(gs.cid)
+		gs.mu.Unlock()
+	}
+}
+
+// ShardReady reports whether shard sh has pending tuples or sealed epochs
+// awaiting flush — the group's per-shard firing condition (the shared
+// analogue of Factory.ShardReady).
+func (g *Group) ShardReady(sh int) bool {
+	gs := g.shards[sh]
+	if gs.bk.Available(gs.cid) > 0 {
+		return true
+	}
+	wmGen, ok := g.watermarkGen(gs)
+	if !ok {
+		return false
+	}
+	return gs.wm.Load() < wmGen
+}
+
+func (g *Group) watermarkGen(gs *groupShard) (int64, bool) {
+	w := g.cfg.Window
+	if w.Tuples {
+		return g.cfg.Basket.Settled() / w.Slide, true
+	}
+	mts := g.maxTs.Load()
+	if mts == math.MinInt64 {
+		return 0, false
+	}
+	return gs.sl.TimeGen(mts), true
+}
+
+// FireShard is one firing of the group's shard sh: drain, slice, and
+// merge-complete any basic windows this shard sealed last, fanning them
+// out to every member's queue. Sealed windows wake the members' tail
+// transitions; a raised event-time watermark re-notifies the sibling
+// shards (they may now hold sealed buckets).
+func (g *Group) FireShard(sh int) {
+	gs := g.shards[sh]
+	gs.mu.Lock()
+	raised := g.fireShardLocked(gs)
+	gs.mu.Unlock()
+	if raised && g.cfg.NotifyShards != nil {
+		g.cfg.NotifyShards()
+	}
+}
+
+func (g *Group) fireShardLocked(gs *groupShard) bool {
+	w := g.cfg.Window
+	// Tuple windows: read the sealing watermark BEFORE the drain (see
+	// Factory.fireShardLocked for why the order matters).
+	var wmSeq int64
+	if w.Tuples {
+		wmSeq = g.cfg.Basket.Settled()
+	}
+	c, arrivals, seqs := gs.bk.PeekSeqs(gs.cid, int(gs.bk.Available(gs.cid)))
+	if c != nil {
+		gs.bk.Consume(gs.cid, int64(c.Rows()))
+	}
+	frags, raised := sliceFlush(gs.sl, w, c, arrivals, seqs, wmSeq, &g.maxTs)
+	gs.wm.Store(gs.sl.Watermark())
+	g.deliver(gs, frags)
+	return raised
+}
+
+// deliver offers a shard's flushed fragments to the merger and fans any
+// completed basic windows out to the members. Callers hold gs.mu. Member
+// notifications run after the merge lock is released so scheduler Ready
+// callbacks never contend with a fan-out in progress.
+func (g *Group) deliver(gs *groupShard, frags []*window.Frag) {
+	g.mergeMu.Lock()
+	ready := g.merge.Offer(gs.idx, frags, gs.sl.Watermark())
+	var notify map[string]bool
+	if len(ready) > 0 {
+		notify = g.fanout(ready)
+	}
+	g.mergeMu.Unlock()
+	for q := range notify {
+		g.cfg.NotifyMember(q)
+	}
+}
+
+// fanout hands each sealed basic window to every member as a refcounted
+// shared view. Callers hold mergeMu, which keeps per-member generations in
+// order. It returns the queries whose tail transitions need a wake-up.
+func (g *Group) fanout(ready []*window.BW) map[string]bool {
+	g.mu.Lock()
+	members := make([]*Member, len(g.members))
+	copy(members, g.members)
+	g.mu.Unlock()
+
+	notify := make(map[string]bool, len(members))
+	for _, bw := range ready {
+		g.windowsOut.Add(1)
+		if len(members) == 0 {
+			continue
+		}
+		g.liveBufs.Add(1)
+		buf := window.NewSharedBuf(bw.Data, len(members), func() { g.liveBufs.Add(-1) })
+		for _, m := range members {
+			mbw := &window.BW{Data: buf.Data(), MaxArrival: bw.MaxArrival, Free: buf.Release}
+			m.mu.Lock()
+			if m.closed {
+				m.mu.Unlock()
+				mbw.ReleaseData()
+				continue
+			}
+			mbw.Gen = m.nextGen
+			m.nextGen++
+			m.pending = append(m.pending, mbw)
+			m.pendingN.Add(1)
+			m.mu.Unlock()
+			notify[m.query] = true
+		}
+	}
+	return notify
+}
+
+// Advance closes time-window buckets up to the watermark (microsecond
+// timestamp) on every shard — the group-level counterpart of
+// Factory.Advance for the scheduler's time constraints. Tuple-window
+// groups are unaffected.
+func (g *Group) Advance(watermark int64) {
+	if g.cfg.Window.Tuples {
+		return
+	}
+	if g.maxTs.Load() == math.MinInt64 {
+		return // no rows yet: nothing to force shut
+	}
+	atomicMax(&g.maxTs, watermark)
+	mts := g.maxTs.Load()
+	for _, gs := range g.shards {
+		gs.mu.Lock()
+		frags := gs.sl.Flush(gs.sl.TimeGen(mts))
+		gs.wm.Store(gs.sl.Watermark())
+		g.deliver(gs, frags)
+		gs.mu.Unlock()
+	}
+}
+
+// Query reports the member's query name.
+func (m *Member) Query() string { return m.query }
+
+// Ready reports whether sealed basic windows await the member's tail —
+// the firing condition of the member's scheduler transition. It reads an
+// atomic mirror only (the scheduler calls it under its own lock).
+func (m *Member) Ready() bool { return m.pendingN.Load() > 0 }
+
+// Fire drains the member's queue and runs its private tail over the
+// batch, in generation order. The scheduler guarantees a single in-flight
+// Fire per member. It returns the number of result sets emitted.
+func (m *Member) Fire() int {
+	m.mu.Lock()
+	bws := m.pending
+	m.pending = nil
+	m.pendingN.Store(0)
+	m.mu.Unlock()
+	return m.fac.SharedFire(bws)
+}

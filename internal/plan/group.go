@@ -1,0 +1,41 @@
+package plan
+
+import (
+	"fmt"
+)
+
+// SharedScan reports whether a continuous plan is eligible for shared
+// multi-query execution: exactly one windowed stream scan. Such plans can
+// join a query group that drains, sequences and slices the stream once and
+// fans each sealed basic window out to the member queries' private
+// operator tails (selections, projections, aggregations, joins against
+// static tables). Plans over two streams keep their own factory: their
+// basic windows pair across inputs, which the shared slice layer does not
+// model.
+func SharedScan(root Node) (*ScanStream, bool) {
+	streams := Streams(root)
+	if len(streams) != 1 || streams[0].Window == nil {
+		return nil, false
+	}
+	return streams[0], true
+}
+
+// GroupKey is the shared-execution group key of a windowed stream scan:
+// queries whose scans agree on it consume identical basic windows and can
+// share one slice of the stream. The key is the slicing granularity —
+// stream, window kind, and slide (tuple count or time bucket plus ordering
+// attribute) — together with the scan schema. The window SIZE is
+// deliberately absent: basic windows are cut at slide granularity, so
+// members may keep rings of different extents over the same shared
+// basic-window sequence.
+func GroupKey(sc *ScanStream) string {
+	w := sc.Window
+	if w == nil {
+		return ""
+	}
+	if w.Tuples {
+		return fmt.Sprintf("%s|tuple|slide=%d|%s", sc.Stream.Name, w.Slide, sc.Out)
+	}
+	return fmt.Sprintf("%s|time|slide=%dus|ts=%d|%s",
+		sc.Stream.Name, w.SlideDur.Microseconds(), w.TimeIdx, sc.Out)
+}

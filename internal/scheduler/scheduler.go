@@ -70,6 +70,7 @@ type Scheduler struct {
 	wg     sync.WaitGroup
 	active int        // queued + running transitions
 	idleC  *sync.Cond // broadcast when active drops to zero
+	doneC  *sync.Cond // broadcast when a removed transition leaves Fire
 }
 
 // New starts a scheduler with the given number of worker goroutines
@@ -85,6 +86,7 @@ func New(workers int) *Scheduler {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.idleC = sync.NewCond(&s.mu)
+	s.doneC = sync.NewCond(&s.mu)
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go s.worker(i)
@@ -102,9 +104,40 @@ func (s *Scheduler) Add(t *Transition) {
 }
 
 // Remove deletes a group's transitions (or a single transition when the
-// name matches no group); in-flight firings complete first.
+// name matches no group). A firing already in flight finishes on its own
+// time; use RemoveWait when the caller is about to invalidate state the
+// firing may touch.
 func (s *Scheduler) Remove(name string) {
 	s.mu.Lock()
+	s.removeLocked(name)
+	s.mu.Unlock()
+}
+
+// RemoveWait removes like Remove and then blocks until no removed
+// transition is still inside Fire. On return the caller may safely tear
+// down whatever the transitions' callbacks reference — a factory, a query
+// group membership — with no firing left to race. It must not be called
+// from inside a Fire of the same group (the firing would wait on itself).
+func (s *Scheduler) RemoveWait(name string) {
+	s.mu.Lock()
+	ts := s.removeLocked(name)
+	for {
+		busy := false
+		for _, t := range ts {
+			if t.running {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		s.doneC.Wait()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) removeLocked(name string) []*Transition {
 	ts := s.groups[name]
 	if ts == nil {
 		if t, ok := s.all[name]; ok {
@@ -135,7 +168,7 @@ func (s *Scheduler) Remove(name string) {
 		}
 	}
 	delete(s.groups, name)
-	s.mu.Unlock()
+	return ts
 }
 
 // Notify signals that a transition's input places gained tokens. It is
@@ -155,7 +188,7 @@ func (s *Scheduler) NotifyGroup(group string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, t := range s.groups[group] {
-		if _, live := s.all[t.Name]; live {
+		if s.all[t.Name] == t {
 			s.notifyLocked(t)
 		}
 	}
@@ -325,6 +358,15 @@ func (s *Scheduler) worker(id int) {
 			s.mu.Unlock()
 			continue
 		}
+		if t.paused {
+			// Paused after being enqueued: hold the notification until
+			// Resume instead of firing a paused transition.
+			t.queued = false
+			t.pending = true
+			s.decActiveLocked()
+			s.mu.Unlock()
+			continue
+		}
 		t.queued = false
 		t.running = true
 		t.firings++
@@ -334,12 +376,18 @@ func (s *Scheduler) worker(id int) {
 
 		s.mu.Lock()
 		t.running = false
-		again := t.renotify || (t.Ready != nil && t.Ready())
+		// Liveness is by identity, not name: a same-named transition may
+		// have been re-added while this one was firing (drop + re-register
+		// race), and the stale one must neither suppress the RemoveWait
+		// wake-up nor re-enqueue itself.
+		live := s.all[t.Name] == t
+		if !live {
+			s.doneC.Broadcast() // a RemoveWait may be waiting on this firing
+		}
+		again := t.renotify || (live && t.Ready != nil && t.Ready())
 		t.renotify = false
-		if again && !t.paused {
-			if _, live := s.all[t.Name]; live && !s.closed {
-				s.enqueueLocked(t)
-			}
+		if again && !t.paused && live && !s.closed {
+			s.enqueueLocked(t)
 		}
 		s.decActiveLocked()
 		s.mu.Unlock()

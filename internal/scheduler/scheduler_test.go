@@ -393,3 +393,68 @@ func TestWorkStealing(t *testing.T) {
 	close(block)
 	s.Drain()
 }
+
+// TestRemoveWait pins that RemoveWait blocks until an in-flight firing of
+// the removed group completes — the guarantee query-group teardown relies
+// on before invalidating member state.
+func TestRemoveWait(t *testing.T) {
+	s := New(2)
+	defer s.Stop()
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	s.Add(&Transition{Name: "slow", Fire: func() {
+		close(entered)
+		<-block
+	}})
+	s.Notify("slow")
+	<-entered
+	done := make(chan struct{})
+	go func() {
+		s.RemoveWait("slow")
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("RemoveWait returned while the firing was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RemoveWait never returned after the firing completed")
+	}
+	// Removing an absent name is a no-op and must not block.
+	s.RemoveWait("slow")
+}
+
+// TestPauseWhileQueued pins that pausing a transition that is already
+// sitting in a ready queue holds the notification until Resume instead of
+// letting a worker fire it paused.
+func TestPauseWhileQueued(t *testing.T) {
+	s := New(1)
+	defer s.Stop()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	s.Add(&Transition{Name: "hog", Fire: func() {
+		close(started)
+		<-block
+	}})
+	var fired atomic.Int64
+	s.Add(&Transition{Name: "t", Group: "g", Fire: func() { fired.Add(1) }})
+	s.Notify("hog")
+	<-started
+	// The single worker is busy: "t" stays queued.
+	s.Notify("t")
+	s.Pause("g")
+	close(block)
+	s.Drain()
+	if fired.Load() != 0 {
+		t.Fatalf("paused transition fired %d times", fired.Load())
+	}
+	s.Resume("g")
+	s.Drain()
+	if fired.Load() != 1 {
+		t.Fatalf("resumed transition fired %d times, want 1", fired.Load())
+	}
+}

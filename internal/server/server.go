@@ -37,6 +37,7 @@ const Help = `commands:
   \catalog               list tables and streams
   \network               query network: baskets and queries (Figure 3)
   \queries               list registered continuous queries
+  \groups                shared execution groups (members, live buffers)
   \plan <query>          optimized one-time plan shape
   \cplan <query>         continuous (split/merge) plan shape
   \stats <query>         one query's counters
@@ -93,6 +94,17 @@ func (s *Session) Dispatch(line string) (string, bool) {
 			return "(none)", false
 		}
 		return strings.Join(names, "\n"), false
+	case `\groups`:
+		groups := s.eng.Groups()
+		if len(groups) == 0 {
+			return "(none)", false
+		}
+		var b strings.Builder
+		for _, g := range groups {
+			fmt.Fprintf(&b, "%s members=%d shards=%d windows=%d livebufs=%d\n",
+				g.Key, g.Members, g.Shards, g.WindowsOut, g.LiveBufs)
+		}
+		return strings.TrimRight(b.String(), "\n"), false
 	case `\plan`, `\cplan`, `\stats`, `\pause`, `\resume`, `\results`:
 		q, ok := s.eng.Query(arg(1))
 		if !ok {
@@ -319,9 +331,9 @@ func (c *Client) Close() { _ = c.conn.Close() }
 // SortedCommands lists the control commands (for cmd completion/docs).
 func SortedCommands() []string {
 	cmds := []string{
-		`\help`, `\catalog`, `\network`, `\queries`, `\plan`, `\cplan`,
-		`\stats`, `\results`, `\pause`, `\resume`, `\pause-stream`,
-		`\resume-stream`, `\shards`, `\advance`, `\quit`,
+		`\help`, `\catalog`, `\network`, `\queries`, `\groups`, `\plan`,
+		`\cplan`, `\stats`, `\results`, `\pause`, `\resume`,
+		`\pause-stream`, `\resume-stream`, `\shards`, `\advance`, `\quit`,
 	}
 	sort.Strings(cmds)
 	return cmds

@@ -113,7 +113,7 @@ func TestSessionControlCommands(t *testing.T) {
 	if !quit || out != "bye" {
 		t.Errorf("quit: %q %v", out, quit)
 	}
-	if got := SortedCommands(); len(got) != 15 {
+	if got := SortedCommands(); len(got) != 16 {
 		t.Errorf("commands = %d", len(got))
 	}
 }

@@ -55,14 +55,19 @@ func (*Insert) stmt() {}
 
 // RegisterQuery is the DataCell continuous-query registration:
 //
-//	REGISTER [INCREMENTAL|REEVAL] QUERY name AS SELECT ...
+//	REGISTER [INCREMENTAL|REEVAL] [ISOLATED] QUERY name AS SELECT ...
 //
 // Mode selects between the paper's two execution modes; empty means let
-// the optimizer choose (incremental when the plan supports it).
+// the optimizer choose (incremental when the plan supports it). ISOLATED
+// (contextual, like SHARD/KEY in CREATE STREAM) opts the query out of
+// shared multi-query execution: it keeps its own basket cursors and
+// slicers instead of joining the stream's query group — the knob behind
+// the grouped-vs-isolated fan-out benchmarks.
 type RegisterQuery struct {
-	Name   string
-	Mode   string // "", "INCREMENTAL" or "REEVAL"
-	Select *SelectStmt
+	Name     string
+	Mode     string // "", "INCREMENTAL" or "REEVAL"
+	Isolated bool
+	Select   *SelectStmt
 }
 
 func (*RegisterQuery) stmt() {}

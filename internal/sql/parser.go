@@ -239,6 +239,9 @@ func (p *parser) parseRegister() (Stmt, error) {
 	case p.accept(TokKeyword, "REEVAL"):
 		mode = "REEVAL"
 	}
+	// ISOLATED is contextual (not reserved), so columns named "isolated"
+	// stay legal elsewhere.
+	isolated := p.accept(TokIdent, "isolated")
 	if _, err := p.expect(TokKeyword, "QUERY"); err != nil {
 		return nil, err
 	}
@@ -253,7 +256,7 @@ func (p *parser) parseRegister() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RegisterQuery{Name: name.Text, Mode: mode, Select: sel.(*SelectStmt)}, nil
+	return &RegisterQuery{Name: name.Text, Mode: mode, Isolated: isolated, Select: sel.(*SelectStmt)}, nil
 }
 
 func (p *parser) parseSelect() (Stmt, error) {

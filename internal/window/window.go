@@ -42,6 +42,23 @@ type BW struct {
 	// Partial caches the per-basic-window partial aggregate (incremental
 	// mode, aggregate path).
 	Partial *bat.Chunk
+	// Free, when non-nil, releases the basic window's share of a group's
+	// refcounted data buffer. Query-group members set it; standalone
+	// factories leave it nil.
+	Free func()
+}
+
+// ReleaseData drops the basic window's raw tuples and fires the Free hook
+// exactly once. Callers use it when the raw data is no longer needed: an
+// incremental tail after caching its intermediates, or any tail when the
+// basic window leaves its ring.
+func (bw *BW) ReleaseData() {
+	bw.Data = nil
+	if bw.Free != nil {
+		f := bw.Free
+		bw.Free = nil
+		f()
+	}
 }
 
 // Slicer cuts a stream's arriving tuples into basic windows. Tuple windows

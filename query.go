@@ -33,6 +33,12 @@ type RegisterOptions struct {
 	// NoChannel suppresses the Out channel entirely (benchmarks that only
 	// want an emitter callback or none at all).
 	NoChannel bool
+	// Isolated opts the query out of shared multi-query execution: it
+	// keeps its own basket cursors and slicers instead of joining the
+	// stream's query group (SQL: REGISTER ISOLATED QUERY). The default is
+	// shared execution for every eligible plan — a single windowed stream
+	// scan.
+	Isolated bool
 }
 
 // Query is a registered continuous query handle.
@@ -42,13 +48,27 @@ type Query struct {
 	fac  *factory.Factory
 	out  *emitter.Channel // nil with NoChannel
 	mode factory.Mode
+
+	// Shared-execution state: nil/"" for isolated and ineligible queries.
+	member     *factory.Member
+	groupKey   string
+	groupSched string // instance-unique scheduler group of the shard transitions
+	// cancels removes the basket append subscriptions this query (or, for
+	// classic queries, its factory wiring) registered; Stop must run them
+	// or dropped queries keep taxing every later append.
+	cancels []func()
+	stopped bool // guarded by eng.mu
 }
 
 // Register compiles and registers a continuous query from SQL text:
 //
 //	q, err := eng.Register("hot", "SELECT ... FROM s [SIZE 100 SLIDE 10] ...", nil)
 //
-// The query starts consuming stream data immediately.
+// The query starts consuming stream data immediately. Queries over a
+// single windowed stream join the stream's shared execution group (see
+// ARCHITECTURE.md, "Query groups"): the stream is drained and sliced once
+// for all member queries and only each query's private operator tail runs
+// per member.
 func (e *Engine) Register(name, selectSQL string, opts *RegisterOptions) (*Query, error) {
 	stmt, err := sql.Parse(selectSQL)
 	if err != nil {
@@ -104,6 +124,15 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 		}
 	}
 
+	// Shared multi-query execution: a single windowed stream scan joins
+	// the stream's query group unless the caller opted out.
+	var groupScan *plan.ScanStream
+	if opts == nil || !opts.Isolated {
+		if sc, ok := plan.SharedScan(opt); ok {
+			groupScan = sc
+		}
+	}
+
 	var emitters emitter.Multi
 	var outCh *emitter.Channel
 	if opts == nil || !opts.NoChannel {
@@ -135,6 +164,7 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 		Full:   opt,
 		Decomp: decomp,
 		Mode:   fmode,
+		Shared: groupScan != nil,
 		Emit:   emit,
 		Now:    e.now,
 		// A firing that raises an input's event-time watermark re-enables
@@ -156,10 +186,16 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 	e.queries[name] = q
 	e.mu.Unlock()
 
-	// One scheduler transition per (input, shard): shards of one query
-	// fire concurrently, sharing the query name as their group so
-	// pause/resume/remove act on the whole query. The shard index is the
-	// worker-affinity hint; idle workers steal across shards.
+	if groupScan != nil {
+		e.joinGroup(q, groupScan)
+		return q, nil
+	}
+
+	// Isolated / multi-stream path: one scheduler transition per (input,
+	// shard). Shards of one query fire concurrently, sharing the query
+	// name as their group so pause/resume/remove act on the whole query.
+	// The shard index is the worker-affinity hint; idle workers steal
+	// across shards.
 	for idx := 0; idx < fac.Inputs(); idx++ {
 		for sh := 0; sh < fac.Shards(idx); sh++ {
 			idx, sh := idx, sh
@@ -176,9 +212,73 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 	// shard transition of this query — shards that received no rows must
 	// still observe the advanced epoch watermark to seal basic windows.
 	for _, sc := range scans {
-		sc.Stream.Basket.OnAppend(func() { e.sched.NotifyGroup(name) })
+		q.cancels = append(q.cancels,
+			sc.Stream.Basket.OnAppend(func() { e.sched.NotifyGroup(name) }))
 	}
+	// Cover anything that arrived between consumer registration and the
+	// subscription above.
+	e.sched.NotifyGroup(name)
 	return q, nil
+}
+
+// joinGroup registers q as a member of its stream's shared execution
+// group, creating the group — shard cursors, slicers, merger, and one
+// scheduler transition per shard — when q is the first consumer with this
+// group key. The member's private tail runs as its own transition under
+// the query's name, so pause/resume/drop of one member never stalls its
+// siblings or the shared shard firings.
+func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) {
+	key := plan.GroupKey(sc)
+	var mem *factory.Member
+	gv, n := e.cat.JoinGroup(key, func() any {
+		// The scheduler group name carries a nonce: a new group created
+		// while a same-keyed predecessor is still tearing down must not
+		// share transition names with it.
+		gname := fmt.Sprintf("group:%s#%d", key, e.groupSeq.Add(1))
+		g := factory.NewGroup(factory.GroupConfig{
+			Key:          key,
+			SchedGroup:   gname,
+			Basket:       sc.Stream.Basket,
+			Window:       sc.Window,
+			Schema:       sc.Out,
+			Now:          e.now,
+			NotifyMember: func(query string) { e.sched.NotifyGroup(query) },
+			NotifyShards: func() { e.sched.NotifyGroup(gname) },
+		})
+		// Join the creating member before the shard transitions go live so
+		// no basic window can seal against an empty member list.
+		mem = g.Join(q.name, q.fac)
+		for sh := 0; sh < g.NumShards(); sh++ {
+			sh := sh
+			e.sched.Add(&scheduler.Transition{
+				Name:     fmt.Sprintf("%s/%d", gname, sh),
+				Group:    gname,
+				Affinity: sh,
+				Ready:    func() bool { return g.ShardReady(sh) },
+				Fire:     func() { g.FireShard(sh) },
+			})
+		}
+		g.SubscribeAppend()
+		return g
+	})
+	g := gv.(*factory.Group)
+	if mem == nil {
+		mem = g.Join(q.name, q.fac)
+	}
+	q.member, q.groupKey, q.groupSched = mem, key, g.SchedGroup()
+
+	// The member's private tail: one transition, grouped under the query
+	// name. Affinity n spreads sibling tails across workers.
+	e.sched.Add(&scheduler.Transition{
+		Name:     q.name + "/tail",
+		Group:    q.name,
+		Affinity: n,
+		Ready:    mem.Ready,
+		Fire:     func() { mem.Fire() },
+	})
+	// Cover anything sealed (or appended) during setup.
+	e.sched.NotifyGroup(q.groupSched)
+	e.sched.NotifyGroup(q.name)
 }
 
 // Name reports the query name.
@@ -186,6 +286,14 @@ func (q *Query) Name() string { return q.name }
 
 // Mode reports the resolved execution mode ("incremental" or "reeval").
 func (q *Query) Mode() string { return q.mode.String() }
+
+// Grouped reports whether the query runs as a member of a shared
+// execution group.
+func (q *Query) Grouped() bool { return q.member != nil }
+
+// GroupKey reports the shared execution group the query belongs to ("" if
+// isolated).
+func (q *Query) GroupKey() string { return q.groupKey }
 
 // Out is the result channel (nil when registered with NoChannel). Each
 // element is one evaluation's result set with metadata.
@@ -204,8 +312,11 @@ func (q *Query) Dropped() int64 {
 	return q.out.Dropped()
 }
 
-// Pause suspends the query: events keep accumulating in its baskets and
-// are processed on Resume (demo §4, Pause and Resume).
+// Pause suspends the query: events keep accumulating in its baskets (or,
+// for a grouped query, sealed basic windows in its member queue) and are
+// processed on Resume (demo §4, Pause and Resume). Pausing one member of
+// a shared group does not stall its siblings: the group keeps slicing and
+// fanning out.
 func (q *Query) Pause() { q.eng.sched.Pause(q.name) }
 
 // Resume reactivates a paused query.
@@ -214,15 +325,48 @@ func (q *Query) Resume() { q.eng.sched.Resume(q.name) }
 // Paused reports whether the query is paused.
 func (q *Query) Paused() bool { return q.eng.sched.Paused(q.name) }
 
-// Stop removes the query from the network, releasing its basket cursors
-// (pending tuples it alone was holding get dropped) and closing its
-// emitters.
+// Stop removes the query from the network: its scheduler transitions are
+// removed (waiting out any in-flight firing), its basket subscriptions
+// and cursors are released, and — for a grouped query — it leaves its
+// execution group, tearing the group down when it was the last member.
+// Pending tuples or sealed windows it alone was holding get dropped, and
+// its emitters close.
 func (q *Query) Stop() {
-	q.eng.sched.Remove(q.name)
-	q.eng.mu.Lock()
-	delete(q.eng.queries, q.name)
-	q.eng.mu.Unlock()
+	e := q.eng
+	e.mu.Lock()
+	if q.stopped {
+		e.mu.Unlock()
+		return
+	}
+	q.stopped = true
+	e.mu.Unlock()
+
+	e.sched.RemoveWait(q.name)
+	for _, cancel := range q.cancels {
+		cancel()
+	}
+	if q.member != nil {
+		gv, remaining := e.cat.LeaveGroup(q.groupKey)
+		if g, ok := gv.(*factory.Group); ok {
+			if remaining == 0 {
+				// Last member: retire the shared shard transitions, then
+				// release the group's cursors and subscription.
+				e.sched.RemoveWait(q.groupSched)
+				g.Leave(q.member)
+				g.Close()
+			} else {
+				g.Leave(q.member)
+			}
+		}
+	}
 	q.fac.Stop()
+	// The name is released only now: a concurrent Register of the same
+	// name during teardown fails as a duplicate instead of racing this
+	// removal (its same-named transitions would be swept by the
+	// RemoveWait above).
+	e.mu.Lock()
+	delete(e.queries, q.name)
+	e.mu.Unlock()
 }
 
 // Stats returns the query's counters (firings, tuples, latencies).

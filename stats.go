@@ -17,6 +17,50 @@ type Stats struct {
 	Queries []factory.Stats
 }
 
+// GroupInfo is one shared execution group's observable state.
+type GroupInfo struct {
+	// Key is the group key (stream | window kind | slide | schema).
+	Key string
+	// Members is the number of member queries sharing the slice.
+	Members int
+	// Shards is the stream's shard count (one shared firing each).
+	Shards int
+	// WindowsOut counts basic windows fanned out to members.
+	WindowsOut int64
+	// LiveBufs counts sealed window buffers still referenced by a member.
+	LiveBufs int64
+}
+
+// factoryGroups resolves the catalog's opaque group registry entries to
+// their runtime type, sorted by key — the one place the any-typed
+// catalog boundary is crossed.
+func (e *Engine) factoryGroups() []*factory.Group {
+	var out []*factory.Group
+	for _, key := range e.cat.GroupKeys() {
+		if gv, ok := e.cat.Group(key); ok {
+			if g, ok := gv.(*factory.Group); ok {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// Groups snapshots the shared execution groups, sorted by key.
+func (e *Engine) Groups() []GroupInfo {
+	var out []GroupInfo
+	for _, g := range e.factoryGroups() {
+		out = append(out, GroupInfo{
+			Key:        g.Key(),
+			Members:    g.Members(),
+			Shards:     g.NumShards(),
+			WindowsOut: g.WindowsOut(),
+			LiveBufs:   g.LiveBufs(),
+		})
+	}
+	return out
+}
+
 // Stats snapshots every basket and query counter.
 func (e *Engine) Stats() Stats {
 	var out Stats
@@ -105,9 +149,20 @@ func (e *Engine) NetworkString() string {
 		if s.Evals > 0 {
 			avgLat = s.SumLatency / s.Evals
 		}
-		fmt.Fprintf(&b, "  %-16s <- %-24s mode=%-12s evals=%-8d in=%-10d out=%-10d avg_lat=%dµs%s\n",
+		shared := ""
+		if q.Grouped() {
+			shared = " [grouped]"
+		}
+		fmt.Fprintf(&b, "  %-16s <- %-24s mode=%-12s evals=%-8d in=%-10d out=%-10d avg_lat=%dµs%s%s\n",
 			s.Name, strings.Join(q.fac.Baskets(), ","), s.Mode,
-			s.Evals, s.TuplesIn, s.RowsOut, avgLat, paused)
+			s.Evals, s.TuplesIn, s.RowsOut, avgLat, shared, paused)
+	}
+	if groups := e.Groups(); len(groups) > 0 {
+		b.WriteString("groups:\n")
+		for _, g := range groups {
+			fmt.Fprintf(&b, "  %-48s members=%-4d shards=%-3d windows=%-8d livebufs=%d\n",
+				g.Key, g.Members, g.Shards, g.WindowsOut, g.LiveBufs)
+		}
 	}
 	return b.String()
 }
