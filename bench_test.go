@@ -449,6 +449,72 @@ func BenchmarkShardedIngestFire(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedSubtail is the shared-operator-DAG scaling benchmark:
+// Q=16 standing queries over one stream whose pipelines share a heavy
+// common prefix — a selective filter plus a grouped partial aggregate —
+// and diverge only in their post-merge HAVING thresholds. The "memo" run
+// resolves the prefix through the group's shared DAG (one evaluation per
+// sealed basic window for all 16 members); "nomemo" makes every member
+// evaluate it privately, which is exactly the PR-2 grouped baseline. The
+// acceptance floor is memo ≥ 1.5× nomemo tuples/s — the DAG removes
+// 15/16ths of the per-basic-window pipeline work, so the win holds even
+// on a single core. TestSharedSubtailEquivalence pins that both paths
+// produce byte-identical results.
+func BenchmarkSharedSubtail(b *testing.B) {
+	const (
+		n     = 1 << 16
+		batch = 2048
+		nkeys = 16
+		qn    = 16
+	)
+	chunks := feedSensor(n, batch, nkeys)
+	for _, noMemo := range []bool{false, true} {
+		label := "memo"
+		if noMemo {
+			label = "nomemo"
+		}
+		b.Run(fmt.Sprintf("%s/q_%d", label, qn), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := New(&Options{Workers: 4})
+				if _, err := eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)"); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < qn; j++ {
+					sql := fmt.Sprintf(
+						"SELECT k, sum(v) AS s, count(*) AS c FROM s [SIZE 8192 SLIDE 2048] WHERE v > 100.0 GROUP BY k HAVING count(*) > %d", j%7)
+					if _, err := eng.Register(fmt.Sprintf("q%02d", j), sql,
+						&RegisterOptions{Mode: ModeIncremental, NoChannel: true, NoMemo: noMemo}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				for _, c := range chunks {
+					_ = eng.AppendChunk("s", c)
+				}
+				eng.Drain()
+				b.StopTimer()
+				if i == 0 {
+					if g := eng.Groups(); len(g) == 1 {
+						hits, misses := g[0].MemoHits, g[0].MemoMisses
+						if noMemo && (hits != 0 || misses != 0) {
+							b.Fatalf("nomemo run used the DAG: hits=%d misses=%d", hits, misses)
+						}
+						if !noMemo && hits == 0 {
+							b.Fatal("memo run recorded no hits")
+						}
+						b.ReportMetric(100*g[0].MemoHitRate(), "memo_hit_%")
+					}
+				}
+				eng.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
 // BenchmarkQueryGroupFanout is the shared multi-query scaling benchmark:
 // Q ∈ {1, 4, 16} continuous queries over one stream, once through the
 // shared execution group (the stream is drained and sliced once, member

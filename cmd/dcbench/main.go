@@ -1,23 +1,26 @@
 // Command dcbench regenerates the paper's experiments (DESIGN.md §5,
 // E1–E7) and prints one table per experiment — the reproduction harness
 // behind EXPERIMENTS.md. It doubles as the CI benchmark harness: -bench
-// runs the sharded-ingest and query-group-fanout scaling benchmarks,
-// emits a BENCH_N.json report for the bench trajectory, and can compare
-// against a previous report or assert the shard-scaling floor.
+// runs the sharded-ingest, query-group-fanout and shared-sub-tail scaling
+// benchmarks (filter with -bench-match), emits a BENCH_N.json report for
+// the bench trajectory, compares against a previous report (report-only,
+// or as a ±tolerance regression gate with -gate), and asserts the scaling
+// floors CI tracks.
 //
 // Usage:
 //
 //	dcbench                 # run every experiment at default scale
 //	dcbench -exp e1,e3      # selected experiments
 //	dcbench -quick          # small inputs (CI-sized)
-//	dcbench -bench -bench-out BENCH_2.json [-assert-shard-scaling]
-//	dcbench -compare BENCH_1.json -against BENCH_2.json
+//	dcbench -bench -bench-out BENCH_3.json [-bench-match 'shared_subtail'] [-assert-floors]
+//	dcbench -compare BENCH_2.json -against BENCH_3.json [-gate] [-tol 0.10]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strings"
 
@@ -29,10 +32,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced input sizes")
 	bench := flag.Bool("bench", false, "run the CI scaling benchmarks instead of the experiments")
 	benchOut := flag.String("bench-out", "", "with -bench: write the JSON report to this file")
+	benchMatch := flag.String("bench-match", "",
+		"with -bench: regexp selecting benchmark configurations by name (default all)")
 	assertShards := flag.Bool("assert-shard-scaling", false,
 		"with -bench: fail if 4-shard ingest is >10% slower than 1-shard (multi-core hosts only)")
+	assertFloors := flag.Bool("assert-floors", false,
+		"with -bench: assert the tracked scaling floors (shard4_vs_shard1 ≥ 0.9 on multi-core, grouped16_vs_isolated16 ≥ 1.5, memo16_vs_nomemo16 ≥ 1.5)")
 	compare := flag.String("compare", "", "previous BENCH_*.json to compare -against")
 	against := flag.String("against", "", "current BENCH_*.json for -compare")
+	gate := flag.Bool("gate", false,
+		"with -compare: fail if a tracked derived ratio regressed beyond the tolerance band")
+	tol := flag.Float64("tol", 0.10, "with -gate: relative tolerance band")
 	flag.Parse()
 
 	if *compare != "" {
@@ -47,11 +57,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.CompareBenchReports(prev, cur))
+		if *gate {
+			report, ok := experiments.GateBenchReports(prev, cur, *tol)
+			fmt.Println(report)
+			if !ok {
+				fmt.Fprintln(os.Stderr, "FAIL: bench regression gate")
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
 	if *bench {
-		rep := experiments.CIBench(*quick)
+		if _, err := regexp.Compile(*benchMatch); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -bench-match: %v\n", err)
+			os.Exit(1)
+		}
+		rep := experiments.CIBench(*quick, *benchMatch)
 		fmt.Println(rep)
 		if *benchOut != "" {
 			if err := rep.WriteJSON(*benchOut); err != nil {
@@ -60,20 +82,32 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *benchOut)
 		}
-		if *assertShards {
-			ratio := rep.Derived["shard4_vs_shard1"]
+		fail := false
+		assertFloor := func(key string, floor float64, multiCoreOnly bool) {
+			ratio, ok := rep.Derived[key]
 			switch {
-			case runtime.NumCPU() < 4:
-				fmt.Printf("shard-scaling assertion skipped: %d CPU(s); 4-shard/1-shard = %.2fx\n",
-					runtime.NumCPU(), ratio)
-			case ratio < 0.9:
-				fmt.Fprintf(os.Stderr,
-					"FAIL: 4-shard ingest at %.2fx of 1-shard (floor 0.90x) on %d CPUs\n",
-					ratio, runtime.NumCPU())
-				os.Exit(1)
+			case !ok:
+				fmt.Printf("floor %s skipped: not measured this run\n", key)
+			case multiCoreOnly && runtime.NumCPU() < 4:
+				fmt.Printf("floor %s skipped: %d CPU(s); measured %.2fx\n",
+					key, runtime.NumCPU(), ratio)
+			case ratio < floor:
+				fmt.Fprintf(os.Stderr, "FAIL: %s = %.2fx (floor %.2fx) on %d CPUs\n",
+					key, ratio, floor, runtime.NumCPU())
+				fail = true
 			default:
-				fmt.Printf("shard-scaling assertion passed: 4-shard/1-shard = %.2fx\n", ratio)
+				fmt.Printf("floor %s passed: %.2fx (floor %.2fx)\n", key, ratio, floor)
 			}
+		}
+		if *assertShards || *assertFloors {
+			assertFloor("shard4_vs_shard1", 0.9, true)
+		}
+		if *assertFloors {
+			assertFloor("grouped16_vs_isolated16", 1.5, false)
+			assertFloor("memo16_vs_nomemo16", 1.5, false)
+		}
+		if fail {
+			os.Exit(1)
 		}
 		return
 	}

@@ -146,6 +146,131 @@ func TestGroupEquivalence16(t *testing.T) {
 	}
 }
 
+// TestSharedSubtailEquivalence is the shared-operator-DAG acceptance
+// invariant: members whose pipelines share a common filter + partial-
+// aggregate prefix (diverging only in their merge stages) produce
+// byte-identical results to the same queries registered alone, while the
+// group evaluates the common prefix once per basic window — visible as
+// DAG nodes and a high memo hit rate in the group stats.
+func TestSharedSubtailEquivalence(t *testing.T) {
+	chunks := shardTestChunks(400, 20, 6)
+	const members = 8
+	// A common prefix (filter + grouped partial aggregate) with divergent
+	// HAVING thresholds: the post-merge fragments differ per member, the
+	// per-basic-window work is identical.
+	sql := func(i int) string {
+		return fmt.Sprintf(
+			"SELECT k, sum(v) AS s, count(*) AS n FROM s [SIZE 40 SLIDE 10] WHERE v < 80.0 GROUP BY k HAVING count(*) > %d", i%4)
+	}
+	alone := make([][]string, members)
+	for i := 0; i < members; i++ {
+		eng := New(&Options{Workers: 1})
+		mustExecG(t, eng, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+		q, err := eng.Register("q", sql(i), &RegisterOptions{Mode: ModeIncremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range chunks {
+			if err := eng.AppendChunk("s", c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Drain()
+		alone[i] = collectRendered(q)
+		eng.Close()
+	}
+
+	eng := New(&Options{Workers: 1})
+	defer eng.Close()
+	mustExecG(t, eng, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	qs := make([]*Query, members)
+	for i := 0; i < members; i++ {
+		q, err := eng.Register(fmt.Sprintf("q%02d", i), sql(i),
+			&RegisterOptions{Mode: ModeIncremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	for _, c := range chunks {
+		if err := eng.AppendChunk("s", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	for i, q := range qs {
+		got := collectRendered(q)
+		if len(got) == 0 || len(got) != len(alone[i]) {
+			t.Fatalf("member %d: evals=%d, alone=%d", i, len(got), len(alone[i]))
+		}
+		for j := range got {
+			if got[j] != alone[i][j] {
+				t.Fatalf("member %d eval %d diverges:\ngrouped:\n%s\nalone:\n%s",
+					i, j, got[j], alone[i][j])
+			}
+		}
+	}
+	g := eng.Groups()
+	if len(g) != 1 {
+		t.Fatalf("groups = %+v", g)
+	}
+	// One shared filter node + one shared partial-aggregate node.
+	if g[0].DagNodes != 2 {
+		t.Errorf("DAG nodes = %d, want 2 (filter + partial aggregate)", g[0].DagNodes)
+	}
+	if g[0].MemoMisses == 0 || g[0].MemoHits == 0 {
+		t.Fatalf("memo counters: hits=%d misses=%d", g[0].MemoHits, g[0].MemoMisses)
+	}
+	// 8 members share one prefix: at least 3/4 of operator evaluations
+	// must be memo hits (exact rate: first member misses twice per window,
+	// siblings hit).
+	if rate := g[0].MemoHitRate(); rate < 0.75 {
+		t.Errorf("memo hit rate = %.2f, want ≥ 0.75", rate)
+	}
+}
+
+// TestSharedSubtailNoMemo pins the NoMemo escape hatch: members opting
+// out of the DAG still share the front end and produce identical results,
+// with zero memo traffic.
+func TestSharedSubtailNoMemo(t *testing.T) {
+	chunks := shardTestChunks(200, 10, 4)
+	sql := "SELECT k, sum(v) AS s FROM s [SIZE 20 SLIDE 10] WHERE v < 90.0 GROUP BY k"
+	run := func(noMemo bool) ([][]string, GroupInfo) {
+		eng := New(&Options{Workers: 1})
+		defer eng.Close()
+		mustExecG(t, eng, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+		var qs []*Query
+		for i := 0; i < 4; i++ {
+			q, err := eng.Register(fmt.Sprintf("q%d", i), sql,
+				&RegisterOptions{Mode: ModeIncremental, NoMemo: noMemo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs = append(qs, q)
+		}
+		for _, c := range chunks {
+			_ = eng.AppendChunk("s", c)
+		}
+		eng.Drain()
+		var all [][]string
+		for _, q := range qs {
+			all = append(all, collectRendered(q))
+		}
+		return all, eng.Groups()[0]
+	}
+	memo, gm := run(false)
+	plain, gp := run(true)
+	if fmt.Sprint(memo) != fmt.Sprint(plain) {
+		t.Fatal("NoMemo changed results")
+	}
+	if gm.MemoHits == 0 {
+		t.Error("memoized run recorded no hits")
+	}
+	if gp.MemoHits != 0 || gp.MemoMisses != 0 || gp.DagNodes != 0 {
+		t.Errorf("NoMemo run touched the DAG: %+v", gp)
+	}
+}
+
 // TestGroupMatchesIsolated pins the new shared dataflow against the
 // pre-existing per-query dataflow: a grouped query and an ISOLATED one
 // (own cursors and slicers) see identical windows, order-insensitive
@@ -217,11 +342,39 @@ func TestGroupKeyRules(t *testing.T) {
 	if iso.Grouped() {
 		t.Error("REGISTER ISOLATED QUERY joined a group")
 	}
-	// Join queries over two streams stay isolated (no shared slice model).
+	// Incremental join queries over two streams join the stream pair's
+	// join group; the key pairs both sides' slicing granularities.
 	mustExecG(t, eng, "CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)")
 	j := reg("j", "SELECT s.v, r.v FROM s [SIZE 16 SLIDE 16], r [SIZE 16 SLIDE 16] WHERE s.k = r.k")
-	if j.Grouped() {
-		t.Error("two-stream join must not join a group")
+	if !j.Grouped() {
+		t.Error("incremental two-stream join should join a join group")
+	}
+	if !strings.Contains(j.GroupKey(), "⋈") {
+		t.Errorf("join group key = %q, want a paired key", j.GroupKey())
+	}
+	j2 := reg("j2", "SELECT s.v, r.v FROM s [SIZE 16 SLIDE 16], r [SIZE 16 SLIDE 16] WHERE s.k = r.k AND s.v > 1.0")
+	if j2.GroupKey() != j.GroupKey() {
+		t.Errorf("same stream pair and slide must share a join group: %q vs %q", j2.GroupKey(), j.GroupKey())
+	}
+	// A re-evaluation join has no pair cache to share; it stays isolated.
+	jr, err := eng.Register("jr",
+		"SELECT s.v, r.v FROM s [SIZE 16 SLIDE 16], r [SIZE 16 SLIDE 16] WHERE s.k = r.k",
+		&RegisterOptions{Mode: ModeReeval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Grouped() {
+		t.Error("re-evaluation join must stay isolated")
+	}
+	// REGISTER ISOLATED opts joins out too.
+	ji, err := eng.Register("ji",
+		"SELECT s.v, r.v FROM s [SIZE 16 SLIDE 16], r [SIZE 16 SLIDE 16] WHERE s.k = r.k",
+		&RegisterOptions{Isolated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.Grouped() {
+		t.Error("isolated join joined a group")
 	}
 }
 

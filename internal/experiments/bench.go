@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strings"
@@ -114,18 +115,75 @@ func QueryGroupFanout(queries int, isolated bool, n, batch, nkeys int) BenchResu
 	}
 }
 
+// SharedSubtail measures the PR-3 shared-operator-DAG benchmark: Q
+// standing queries over one stream sharing a heavy common prefix — a
+// selective filter plus a grouped partial aggregate — and diverging only
+// in their post-merge HAVING thresholds. With the memo (the default) the
+// group evaluates the prefix once per sealed basic window; with noMemo
+// every member evaluates it privately, which is exactly the PR-2 grouped
+// baseline. It mirrors BenchmarkSharedSubtail in bench_test.go.
+func SharedSubtail(queries int, noMemo bool, n, batch, nkeys int) BenchResult {
+	chunks := sensorChunks(n, batch, nkeys)
+	eng := datacell.New(&datacell.Options{Workers: 4})
+	defer eng.Close()
+	if _, err := eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)"); err != nil {
+		panic(err)
+	}
+	for j := 0; j < queries; j++ {
+		sql := fmt.Sprintf(
+			"SELECT k, sum(v) AS s, count(*) AS c FROM s [SIZE 8192 SLIDE 2048] WHERE v > 100.0 GROUP BY k HAVING count(*) > %d", j%7)
+		if _, err := eng.Register(fmt.Sprintf("q%02d", j), sql,
+			&datacell.RegisterOptions{Mode: datacell.ModeIncremental, NoChannel: true, NoMemo: noMemo}); err != nil {
+			panic(err)
+		}
+	}
+	start := time.Now()
+	for _, c := range chunks {
+		_ = eng.AppendChunk("s", c)
+	}
+	eng.Drain()
+	wall := time.Since(start)
+	label := "memo"
+	if noMemo {
+		label = "nomemo"
+	}
+	return BenchResult{
+		Name:         fmt.Sprintf("shared_subtail/%s/q_%d", label, queries),
+		Tuples:       n,
+		WallSec:      wall.Seconds(),
+		TuplesPerSec: float64(n) / wall.Seconds(),
+	}
+}
+
 // CIBench runs the CI benchmark suite — sharded ingest at 1 and 4 shards,
-// query-group fan-out at Q ∈ {1,4,16} grouped and isolated — and derives
-// the headline ratios the bench trajectory tracks:
+// query-group fan-out at Q ∈ {1,4,16} grouped and isolated, and the
+// shared-sub-tail memo ablation at Q=16 — and derives the headline ratios
+// the bench trajectory tracks:
 //
-//	shard4_vs_shard1:       4-shard ingest throughput / 1-shard (≥0.9
-//	                        asserted on multi-core CI runners)
+//	shard4_vs_shard1:        4-shard ingest throughput / 1-shard (≥0.9
+//	                         asserted on multi-core CI runners)
 //	grouped16_vs_isolated16: shared-group throughput at Q=16 / isolated
-//	                        baseline (target ≥3 on multi-core hosts)
-func CIBench(quick bool) *BenchReport {
+//	                         baseline (floor 1.5; target ≥3 multi-core)
+//	memo16_vs_nomemo16:      shared-sub-tail throughput at Q=16 with the
+//	                         operator DAG / without (floor 1.5)
+//
+// match, when non-empty, is a regular expression selecting the benchmark
+// configurations to run by name; derived ratios whose inputs were skipped
+// are omitted.
+func CIBench(quick bool, match string) *BenchReport {
+	var matchRe *regexp.Regexp
+	if match != "" {
+		matchRe = regexp.MustCompile(match)
+	}
+	want := func(name string) bool {
+		return matchRe == nil || matchRe.MatchString(name)
+	}
 	n, batch, nkeys := 1<<17, 2048, 512
 	fanN := 1 << 16
+	subN := 1 << 16
 	if quick {
+		// The sub-tail pair stays at full size: it is cheap (tens of ms)
+		// and feeds a floor assertion, so the extra windows buy stability.
 		n, fanN = 1<<16, 1<<15
 	}
 	rep := &BenchReport{
@@ -140,10 +198,13 @@ func CIBench(quick bool) *BenchReport {
 		rep.Results = append(rep.Results, r)
 		byName[r.Name] = r
 	}
-	// The ingest pair feeds a CI gate (-assert-shard-scaling), so take the
-	// best of three samples per configuration: a single run on a shared
-	// runner is too noisy to fail a build on.
+	// The ingest pair feeds a CI gate (-assert-floors), so take the best
+	// of three samples per configuration: a single run on a shared runner
+	// is too noisy to fail a build on.
 	for _, shards := range []int{1, 4} {
+		if !want(fmt.Sprintf("sharded_ingest_fire/shards_%d", shards)) {
+			continue
+		}
 		best := ShardedIngestFire(shards, 4, n, batch, nkeys)
 		for i := 0; i < 2; i++ {
 			if r := ShardedIngestFire(shards, 4, n, batch, nkeys); r.TuplesPerSec > best.TuplesPerSec {
@@ -154,22 +215,49 @@ func CIBench(quick bool) *BenchReport {
 	}
 	for _, q := range []int{1, 4, 16} {
 		for _, isolated := range []bool{false, true} {
-			add(QueryGroupFanout(q, isolated, fanN, batch, 256))
+			label := "grouped"
+			if isolated {
+				label = "isolated"
+			}
+			if want(fmt.Sprintf("query_group_fanout/%s/q_%d", label, q)) {
+				add(QueryGroupFanout(q, isolated, fanN, batch, 256))
+			}
 		}
 	}
-	ratio := func(num, den string) float64 {
-		d := byName[den].TuplesPerSec
-		if d == 0 {
-			return 0
+	for _, noMemo := range []bool{false, true} {
+		label := "memo"
+		if noMemo {
+			label = "nomemo"
 		}
-		return byName[num].TuplesPerSec / d
+		name := fmt.Sprintf("shared_subtail/%s/q_16", label)
+		if !want(name) {
+			continue
+		}
+		// Few groups: the shared prefix (filter + per-window aggregation)
+		// dominates and the per-member merge stays cheap — the workload
+		// shape the memo is for.
+		best := SharedSubtail(16, noMemo, subN, batch, 16)
+		if r := SharedSubtail(16, noMemo, subN, batch, 16); r.TuplesPerSec > best.TuplesPerSec {
+			best = r
+		}
+		add(best)
 	}
-	rep.Derived["shard4_vs_shard1"] = ratio(
+	ratio := func(key, num, den string) {
+		d, okD := byName[den]
+		n, okN := byName[num]
+		if !okD || !okN || d.TuplesPerSec == 0 {
+			return
+		}
+		rep.Derived[key] = n.TuplesPerSec / d.TuplesPerSec
+	}
+	ratio("shard4_vs_shard1",
 		"sharded_ingest_fire/shards_4", "sharded_ingest_fire/shards_1")
-	rep.Derived["grouped16_vs_isolated16"] = ratio(
+	ratio("grouped16_vs_isolated16",
 		"query_group_fanout/grouped/q_16", "query_group_fanout/isolated/q_16")
-	rep.Derived["grouped4_vs_isolated4"] = ratio(
+	ratio("grouped4_vs_isolated4",
 		"query_group_fanout/grouped/q_4", "query_group_fanout/isolated/q_4")
+	ratio("memo16_vs_nomemo16",
+		"shared_subtail/memo/q_16", "shared_subtail/nomemo/q_16")
 	return rep
 }
 
@@ -219,6 +307,55 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return rep, nil
+}
+
+// trackedDerived are the headline ratios the regression gate protects:
+// machine-relative, so comparable across runner generations (absolute
+// tuples/s are not).
+var trackedDerived = []string{"shard4_vs_shard1", "grouped16_vs_isolated16", "memo16_vs_nomemo16"}
+
+// GateBenchReports is the regression gate over the bench trajectory: the
+// tracked derived ratios of the current report must stay within the
+// tolerance band of the previous report's (a ratio dropping more than tol
+// fails; rises and new metrics never do). It gates on derived ratios
+// rather than raw throughput because BENCH_*.json points come from
+// different machines — a committed dev-container seed vs a CI runner —
+// where absolute tuples/s differ wildly. The ratios themselves still
+// shift with core count (parallel baselines speed up), so when the two
+// reports disagree on NumCPU the gate degrades to report-only: the
+// ±tol band is only meaningful within one machine class. ok reports
+// whether the gate passed; the string explains per metric.
+func GateBenchReports(prev, cur *BenchReport, tol float64) (string, bool) {
+	var b strings.Builder
+	ok := true
+	enforced := prev.NumCPU == cur.NumCPU
+	fmt.Fprintf(&b, "bench gate (tolerance ±%.0f%%):\n", tol*100)
+	if !enforced {
+		fmt.Fprintf(&b, "  report-only: machine class changed (prev %d CPUs, cur %d) — ratios are not comparable within ±%.0f%%\n",
+			prev.NumCPU, cur.NumCPU, tol*100)
+	}
+	for _, key := range trackedDerived {
+		p, havePrev := prev.Derived[key]
+		c, haveCur := cur.Derived[key]
+		switch {
+		case !havePrev && !haveCur:
+			continue
+		case !havePrev:
+			fmt.Fprintf(&b, "  %-26s new        = %.2fx\n", key, c)
+		case !haveCur:
+			fmt.Fprintf(&b, "  %-26s MISSING    (prev %.2fx)\n", key, p)
+			ok = ok && !enforced
+		case p <= 0:
+			fmt.Fprintf(&b, "  %-26s prev empty (cur %.2fx)\n", key, c)
+		case c < p*(1-tol):
+			fmt.Fprintf(&b, "  %-26s REGRESSED  %.2fx -> %.2fx (floor %.2fx)\n",
+				key, p, c, p*(1-tol))
+			ok = ok && !enforced
+		default:
+			fmt.Fprintf(&b, "  %-26s ok         %.2fx -> %.2fx\n", key, p, c)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n"), ok
 }
 
 // CompareBenchReports renders a previous-vs-current comparison table —

@@ -72,13 +72,19 @@ type Config struct {
 	Decomp *plan.Decomposition
 	// Mode selects the execution strategy.
 	Mode Mode
-	// Shared marks a query-group member: the factory's single windowed
-	// stream input is fed externally with merged basic windows (SharedFire)
-	// by the group that drains and slices the stream once for all members.
-	// The factory then runs only the private tail — per-basic-window
-	// pipeline, ring, merge, emit — and registers no basket consumers of
-	// its own.
+	// Shared marks a query-group member: the factory's windowed stream
+	// input(s) are fed externally with merged basic windows (SharedFire)
+	// by the group that drains and slices the stream(s) once for all
+	// members. The factory then runs only the private tail — per-basic-
+	// window pipeline, ring, merge, emit — and registers no basket
+	// consumers of its own. A single windowed scan joins a Group; an
+	// incremental stream⋈stream join joins a JoinGroup.
 	Shared bool
+	// NoMemo opts a shared member out of the group's operator DAG: its
+	// per-basic-window pipeline always evaluates privately, as if no
+	// sibling shared a prefix. Benchmarks use it to measure what the memo
+	// buys; it never changes results.
+	NoMemo bool
 	// Emit receives every evaluation's result set.
 	Emit emitter.Emitter
 	// Now supplies the wall clock in microseconds; defaults to the system
@@ -146,7 +152,7 @@ type Stats struct {
 type Factory struct {
 	cfg    Config
 	inputs []*input
-	jc     *window.JoinCache
+	jc     window.PairCache
 
 	// stepMu serializes the blocking tail — ring pushes, join cache and
 	// window evaluation — across shard firings and Advance, keeping
@@ -180,6 +186,8 @@ func New(cfg Config, bind map[*plan.ScanStream]*basket.Sharded) (*Factory, error
 			scans = append(scans, p.Scan)
 		}
 		if cfg.Decomp.Join != nil {
+			// Private by default; a join group replaces it with its shared
+			// fingerprint-keyed cache (SetPairCache) at member join.
 			f.jc = window.NewJoinCache(cfg.Decomp.Join)
 		}
 	}
@@ -187,11 +195,14 @@ func New(cfg Config, bind map[*plan.ScanStream]*basket.Sharded) (*Factory, error
 		return nil, fmt.Errorf("factory %s: plan reads no stream", cfg.Name)
 	}
 	if cfg.Shared {
-		if len(scans) != 1 {
-			return nil, fmt.Errorf("factory %s: shared execution requires exactly one stream input, got %d", cfg.Name, len(scans))
+		joined := cfg.Decomp != nil && cfg.Decomp.Join != nil
+		if len(scans) != 1 && !(joined && len(scans) == 2) {
+			return nil, fmt.Errorf("factory %s: shared execution requires one stream input (or an incremental stream join), got %d", cfg.Name, len(scans))
 		}
-		if scans[0].Window == nil {
-			return nil, fmt.Errorf("factory %s: shared execution requires a windowed stream scan", cfg.Name)
+		for _, s := range scans {
+			if s.Window == nil {
+				return nil, fmt.Errorf("factory %s: shared execution requires windowed stream scans", cfg.Name)
+			}
 		}
 	}
 	for idx, s := range scans {
@@ -340,19 +351,32 @@ func (f *Factory) Stop() {
 	f.cfg.Emit.Close()
 }
 
+// SharedBW is one merged basic window handed to a shared member's tail:
+// the window plus the factory input (join side) it belongs to. Single-
+// stream groups always deliver input 0; join groups interleave inputs 0
+// and 1 in the group's global pairing order.
+type SharedBW struct {
+	Input int
+	BW    *window.BW
+}
+
 // SharedFire runs the member tail over a batch of merged basic windows
-// handed over by the factory's query group, in generation order. It is the
-// grouped counterpart of FireShard: one scheduler activation of the
-// member's tail transition. It returns the number of result sets emitted.
-func (f *Factory) SharedFire(bws []*window.BW) int {
-	if len(bws) == 0 {
+// handed over by the factory's execution group, in delivery order. It is
+// the grouped counterpart of FireShard: one scheduler activation of the
+// member's tail transition. Windows whose Out was already resolved
+// through the group's operator DAG skip the private pipeline. It returns
+// the number of result sets emitted.
+func (f *Factory) SharedFire(evs []SharedBW) int {
+	if len(evs) == 0 {
 		return 0
 	}
 	start := f.cfg.Now()
 	var tuples int64
-	for _, bw := range bws {
-		if bw.Data != nil {
-			tuples += int64(bw.Data.Rows())
+	for _, ev := range evs {
+		if ev.BW.Data != nil {
+			tuples += int64(ev.BW.Data.Rows())
+		} else if ev.BW.Out != nil {
+			tuples += int64(ev.BW.Out.Rows())
 		}
 	}
 	f.mu.Lock()
@@ -362,8 +386,8 @@ func (f *Factory) SharedFire(bws []*window.BW) int {
 
 	emitted := 0
 	f.stepMu.Lock()
-	for _, bw := range bws {
-		emitted += f.onBasicWindow(0, bw)
+	for _, ev := range evs {
+		emitted += f.onBasicWindow(ev.Input, ev.BW)
 	}
 	f.stepMu.Unlock()
 
@@ -372,6 +396,11 @@ func (f *Factory) SharedFire(bws []*window.BW) int {
 	f.mu.Unlock()
 	return emitted
 }
+
+// SetPairCache replaces the factory's join-pair cache with a group-shared
+// one. Call before the member's tail transition is registered (no firing
+// may be in flight).
+func (f *Factory) SetPairCache(pc window.PairCache) { f.jc = pc }
 
 // Stats returns a snapshot of the factory's counters.
 func (f *Factory) Stats() Stats {
@@ -670,12 +699,13 @@ func (f *Factory) incrementalStep(idx int, bw *window.BW) int {
 	in := f.inputs[idx]
 
 	if bw.Out == nil {
-		// Per-basic-window pipeline over the raw tuples: the main path for
-		// query-group members (the shared merger computes no Out), and the
-		// fallback for basic windows that bypassed the fragment path. A
-		// pipeline error substitutes an empty intermediate — like the
-		// fragment path — so the ring stays window-aligned and the shared
-		// buffer is still released below.
+		// Per-basic-window pipeline over the raw tuples: the path for
+		// query-group members whose pipeline is not in the shared DAG (the
+		// DAG resolves Out/Partial before the tail runs), and the fallback
+		// for basic windows that bypassed the fragment path. A pipeline
+		// error substitutes an empty intermediate — like the fragment path
+		// — so the ring stays window-aligned and the shared buffer is
+		// still released below.
 		pipe := d.Pipelines[idx]
 		ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: bw.Data}}
 		out, err := ex.Run(pipe.Root)
@@ -686,12 +716,12 @@ func (f *Factory) incrementalStep(idx int, bw *window.BW) int {
 		if d.Agg != nil {
 			bw.Partial = plan.RunAggregate(d.Agg, out)
 		}
-		if bw.Free != nil {
-			// Group member: the cached intermediates replace the raw
-			// tuples, so the shared buffer can be released now rather than
-			// at ring eviction.
-			bw.ReleaseData()
-		}
+	}
+	if bw.Free != nil {
+		// Group member: the cached intermediates replace the raw tuples,
+		// so the shared buffer can be released now rather than at ring
+		// eviction.
+		bw.ReleaseData()
 	}
 
 	evicted := in.ring.Push(bw)

@@ -12,34 +12,215 @@ import (
 	"datacell/internal/window"
 )
 
-// Group is a shared execution group: the front half of the dataflow —
-// basket cursors, epoch slicing, shard merging — run once per stream and
-// slide granularity, no matter how many continuous queries consume it.
-// Queries whose windowed scans agree on a plan.GroupKey join as members;
-// each sealed basic window is fanned out to every member as a refcounted
-// immutable columnar view, and the members' private tails (per-basic-window
-// pipelines, rings, partial merges, emitters) run as independent scheduler
-// transitions — in parallel with each other and with the group's shard
-// firings. Without grouping, Q queries over one stream drain, sequence and
-// slice every tuple Q times; with it, that cost is paid once and only the
-// per-query tail scales with Q.
+// SharedGroup is the engine-facing contract of a shared execution group —
+// the single-stream Group and the two-stream JoinGroup. Both drain,
+// sequence and slice their stream(s) once for all member queries, fan
+// sealed basic windows out as refcounted immutable views, and evaluate
+// common member sub-tails once per window through a shared operator DAG.
+type SharedGroup interface {
+	// Key is the group key (plan.GroupKey / plan.JoinGroupKey).
+	Key() string
+	// Kind is "scan" for single-stream groups, "join" for stream pairs.
+	Kind() string
+	// SchedGroup is the instance-unique scheduler group of the shared
+	// shard transitions.
+	SchedGroup() string
+	// Members reports the current member count.
+	Members() int
+	// Shards reports the total shared shard transitions (across sides).
+	Shards() int
+	// WindowsOut counts basic windows fanned out (across sides).
+	WindowsOut() int64
+	// LiveBufs counts sealed window buffers still referenced by a member.
+	LiveBufs() int64
+	// DagNodes reports distinct operator nodes in the shared DAG(s).
+	DagNodes() int
+	// MemoHits / MemoMisses are the DAG memo counters: hits are operator
+	// evaluations served from a sibling's memoized output.
+	MemoHits() int64
+	MemoMisses() int64
+	// PairStats reports the group-level join pair caches: distinct caches
+	// (one per join fingerprint), live cached pairs, and pair evaluations
+	// ever computed. Zero for single-stream groups.
+	PairStats() (caches, pairs int, computed int64)
+	// Advance closes time-window buckets up to the watermark (µs) on every
+	// shard of every side.
+	Advance(watermark int64)
+}
+
+// frontEnd is the shared per-stream half of an execution group: basket
+// cursors on every shard, per-shard slicers, and the merger that seals
+// globally consistent basic windows — the machinery that, without
+// grouping, every query would duplicate. A Group owns one; a JoinGroup
+// owns two (one per join side).
 //
 // Locking mirrors Factory: each shard's slicer is guarded by its own
-// mutex, the merger by mergeMu, and the member list by mu. Fan-out runs
-// under mergeMu, which is what keeps every member's basic-window sequence
-// in generation order. Scheduler Ready callbacks (ShardReady, Member.Ready)
-// read only atomics and basket counters — never a mutex held across a
-// firing — because the scheduler invokes them under its own lock.
-type Group struct {
-	cfg    GroupConfig
+// mutex, the merger by mergeMu. The owner's sink runs under mergeMu,
+// which is what keeps the fanned-out basic-window sequence in generation
+// order; the returned wake-up set is delivered after mergeMu is released
+// so scheduler Ready callbacks never contend with a fan-out in progress.
+type frontEnd struct {
+	basket *basket.Sharded
+	win    *plan.Window
+	schema bat.Schema
 	shards []*groupShard
 
 	merge   *window.ShardMerge
 	mergeMu sync.Mutex
 	maxTs   atomic.Int64 // shared event-time watermark (time windows)
 
-	liveBufs     atomic.Int64 // sealed shared buffers not yet released by all members
-	windowsOut   atomic.Int64 // basic windows fanned out
+	// sink consumes sealed basic windows under mergeMu and returns the
+	// queries whose tail transitions need a wake-up.
+	sink func(ready []*window.BW) map[string]bool
+}
+
+// groupShard is a front end's cursor into one shard of the stream basket —
+// the shared counterpart of the factory's shardIn.
+type groupShard struct {
+	idx int
+	bk  *basket.Basket
+	cid int
+	mu  sync.Mutex
+	sl  *window.ShardSlicer
+	wm  atomic.Int64 // mirrors sl.Watermark() for lock-free shardReady
+}
+
+// newFrontEnd registers consumers on every shard of the stream basket and
+// builds the shared slicing pipeline. Members run divergent tails
+// (re-evaluation needs raw windows, incremental pipelines and the shared
+// DAG read raw basic windows), so the merger always keeps the raw tuples.
+func newFrontEnd(bk *basket.Sharded, win *plan.Window, schema bat.Schema) *frontEnd {
+	fe := &frontEnd{basket: bk, win: win, schema: schema}
+	fe.maxTs.Store(math.MinInt64)
+	for i := 0; i < bk.NumShards(); i++ {
+		b := bk.Shard(i)
+		gs := &groupShard{idx: i, bk: b, cid: b.Register(),
+			sl: window.NewShardSlicer(win, schema)}
+		gs.wm.Store(gs.sl.Watermark())
+		fe.shards = append(fe.shards, gs)
+	}
+	fe.merge = window.NewShardMerge(window.MergeConfig{
+		Shards:   bk.NumShards(),
+		Data:     schema,
+		KeepData: true,
+	})
+	return fe
+}
+
+// close releases the basket cursors. The owner must have removed the
+// shard transitions first (RemoveWait) so no firing is in flight.
+func (fe *frontEnd) close() {
+	for _, gs := range fe.shards {
+		gs.mu.Lock()
+		gs.bk.Unregister(gs.cid)
+		gs.mu.Unlock()
+	}
+}
+
+// shardReady reports whether shard sh has pending tuples or sealed epochs
+// awaiting flush — the shared per-shard firing condition. It reads only
+// atomics and basket counters (the scheduler calls it under its own lock).
+func (fe *frontEnd) shardReady(sh int) bool {
+	gs := fe.shards[sh]
+	if gs.bk.Available(gs.cid) > 0 {
+		return true
+	}
+	wmGen, ok := fe.watermarkGen(gs)
+	if !ok {
+		return false
+	}
+	return gs.wm.Load() < wmGen
+}
+
+func (fe *frontEnd) watermarkGen(gs *groupShard) (int64, bool) {
+	if fe.win.Tuples {
+		return fe.basket.Settled() / fe.win.Slide, true
+	}
+	mts := fe.maxTs.Load()
+	if mts == math.MinInt64 {
+		return 0, false
+	}
+	return gs.sl.TimeGen(mts), true
+}
+
+// fireShard is one firing of shard sh: drain, slice, and merge-complete
+// any basic windows this shard sealed last, feeding them to the owner's
+// sink. raised reports whether the event-time watermark advanced (sibling
+// shards may now hold sealed buckets and need a re-notify); notify is the
+// sink's wake-up set.
+func (fe *frontEnd) fireShard(sh int) (notify map[string]bool, raised bool) {
+	gs := fe.shards[sh]
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	// Tuple windows: read the sealing watermark BEFORE the drain (see
+	// Factory.fireShardLocked for why the order matters).
+	var wmSeq int64
+	if fe.win.Tuples {
+		wmSeq = fe.basket.Settled()
+	}
+	c, arrivals, seqs := gs.bk.PeekSeqs(gs.cid, int(gs.bk.Available(gs.cid)))
+	if c != nil {
+		gs.bk.Consume(gs.cid, int64(c.Rows()))
+	}
+	frags, raised := sliceFlush(gs.sl, fe.win, c, arrivals, seqs, wmSeq, &fe.maxTs)
+	gs.wm.Store(gs.sl.Watermark())
+	return fe.deliver(gs, frags), raised
+}
+
+// deliver offers a shard's flushed fragments to the merger and sinks any
+// completed basic windows. Callers hold gs.mu.
+func (fe *frontEnd) deliver(gs *groupShard, frags []*window.Frag) map[string]bool {
+	fe.mergeMu.Lock()
+	defer fe.mergeMu.Unlock()
+	ready := fe.merge.Offer(gs.idx, frags, gs.sl.Watermark())
+	if len(ready) == 0 {
+		return nil
+	}
+	return fe.sink(ready)
+}
+
+// advance closes time-window buckets up to the watermark (µs) on every
+// shard. Tuple-window front ends are unaffected.
+func (fe *frontEnd) advance(watermark int64) map[string]bool {
+	if fe.win.Tuples || fe.maxTs.Load() == math.MinInt64 {
+		return nil // tuple windows never time out; no rows yet: nothing to shut
+	}
+	atomicMax(&fe.maxTs, watermark)
+	mts := fe.maxTs.Load()
+	notify := map[string]bool{}
+	for _, gs := range fe.shards {
+		gs.mu.Lock()
+		frags := gs.sl.Flush(gs.sl.TimeGen(mts))
+		gs.wm.Store(gs.sl.Watermark())
+		for q := range fe.deliver(gs, frags) {
+			notify[q] = true
+		}
+		gs.mu.Unlock()
+	}
+	return notify
+}
+
+// Group is a shared execution group over one stream: the front half of the
+// dataflow — basket cursors, epoch slicing, shard merging — runs once per
+// stream and slide granularity, no matter how many continuous queries
+// consume it. Queries whose windowed scans agree on a plan.GroupKey join
+// as members; each sealed basic window is fanned out to every member as a
+// refcounted immutable columnar view, and the members' private tails run
+// as independent scheduler transitions. On top of the shared slice, the
+// group's operator DAG memoizes common member sub-tails: identical
+// filter/project/partial-aggregate prefixes (by plan.Fingerprint) are
+// evaluated once per basic window and the member tails diverge only where
+// their plans do.
+type Group struct {
+	cfg GroupConfig
+	fe  *frontEnd
+	dag *dag
+
+	liveBufs   atomic.Int64 // sealed shared buffers not yet released by all members
+	windowsOut atomic.Int64 // basic windows fanned out
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
+
 	cancelAppend func()
 
 	mu      sync.Mutex
@@ -75,30 +256,29 @@ type GroupConfig struct {
 	NotifyShards func()
 }
 
-// groupShard is the group's cursor into one shard of the stream basket —
-// the shared counterpart of the factory's shardIn.
-type groupShard struct {
-	idx int
-	bk  *basket.Basket
-	cid int
-	mu  sync.Mutex
-	sl  *window.ShardSlicer
-	wm  atomic.Int64 // mirrors sl.Watermark() for lock-free ShardReady
-}
-
 // Member is one continuous query's membership in a group: a queue of
 // sealed basic windows awaiting the query's private tail, drained by the
-// member's scheduler transition.
+// member's scheduler transition. Members whose incremental pipeline
+// registered in the group DAG carry their leaf nodes; their tails resolve
+// Out/Partial through the shared memo before the private merge stage.
 type Member struct {
 	g     *Group
 	query string
 	fac   *Factory
 
-	mu       sync.Mutex
-	pending  []*window.BW
-	closed   bool
-	nextGen  int64
-	pendingN atomic.Int64 // mirrors len(pending) for lock-free Ready
+	leaf    *dagNode // pipeline leaf (nil: evaluate privately)
+	aggLeaf *dagNode // partial-aggregate node (nil: no shared partial)
+
+	// nextGen is touched only by fanout, which the front end's mergeMu
+	// serializes.
+	nextGen int64
+	q       memberQueue[memberBW]
+}
+
+// memberBW is one queued basic window plus the window's shared memo table.
+type memberBW struct {
+	bw *window.BW
+	dw *dagWin
 }
 
 // NewGroup builds a group over a stream basket. It registers consumers on
@@ -110,24 +290,9 @@ func NewGroup(cfg GroupConfig) *Group {
 	if cfg.Now == nil {
 		cfg.Now = func() int64 { return time.Now().UnixMicro() }
 	}
-	g := &Group{cfg: cfg}
-	g.maxTs.Store(math.MinInt64)
-	for i := 0; i < cfg.Basket.NumShards(); i++ {
-		b := cfg.Basket.Shard(i)
-		gs := &groupShard{idx: i, bk: b, cid: b.Register(),
-			sl: window.NewShardSlicer(cfg.Window, cfg.Schema)}
-		gs.wm.Store(gs.sl.Watermark())
-		g.shards = append(g.shards, gs)
-	}
-	g.merge = window.NewShardMerge(window.MergeConfig{
-		Shards: cfg.Basket.NumShards(),
-		Data:   cfg.Schema,
-		// Members run divergent tails (re-evaluation needs raw windows,
-		// incremental pipelines read raw basic windows), so the shared
-		// level always keeps the raw tuples; per-query intermediates are
-		// private to each member.
-		KeepData: true,
-	})
+	g := &Group{cfg: cfg, dag: newDAG()}
+	g.fe = newFrontEnd(cfg.Basket, cfg.Window, cfg.Schema)
+	g.fe.sink = g.fanout
 	return g
 }
 
@@ -143,12 +308,18 @@ func (g *Group) SubscribeAppend() {
 // Key reports the group key.
 func (g *Group) Key() string { return g.cfg.Key }
 
+// Kind reports the group kind ("scan").
+func (g *Group) Kind() string { return "scan" }
+
 // SchedGroup reports the instance-unique scheduler group name of the
 // shard transitions.
 func (g *Group) SchedGroup() string { return g.cfg.SchedGroup }
 
 // NumShards reports the stream's shard count (one group transition each).
-func (g *Group) NumShards() int { return len(g.shards) }
+func (g *Group) NumShards() int { return len(g.fe.shards) }
+
+// Shards implements SharedGroup.
+func (g *Group) Shards() int { return g.NumShards() }
 
 // Members reports the current member count.
 func (g *Group) Members() int {
@@ -165,11 +336,32 @@ func (g *Group) LiveBufs() int64 { return g.liveBufs.Load() }
 // WindowsOut reports how many basic windows the group has fanned out.
 func (g *Group) WindowsOut() int64 { return g.windowsOut.Load() }
 
+// DagNodes reports the distinct operator nodes in the shared DAG.
+func (g *Group) DagNodes() int { return g.dag.Nodes() }
+
+// MemoHits reports operator evaluations served from the shared memo.
+func (g *Group) MemoHits() int64 { return g.memoHits.Load() }
+
+// MemoMisses reports actual operator evaluations (memo fills).
+func (g *Group) MemoMisses() int64 { return g.memoMisses.Load() }
+
+// PairStats implements SharedGroup; single-stream groups hold no join
+// pair caches.
+func (g *Group) PairStats() (int, int, int64) { return 0, 0, 0 }
+
 // Join adds a query as a member. The member starts at the next sealed
 // basic window; tuples already buffered in the group's open epochs are
-// included in it.
+// included in it. An incremental member whose per-basic-window pipeline
+// linearizes (plan.PipelineSteps) registers it — and its partial-aggregate
+// stage — in the shared DAG, unless the factory opted out (NoMemo).
 func (g *Group) Join(query string, fac *Factory) *Member {
 	m := &Member{g: g, query: query, fac: fac}
+	if d := fac.cfg.Decomp; d != nil && !fac.cfg.NoMemo &&
+		fac.cfg.Mode == Incremental && d.Join == nil {
+		if steps, ok := plan.PipelineSteps(d.Pipelines[0].Root, d.Pipelines[0].Scan); ok {
+			m.leaf, m.aggLeaf = g.dag.register(steps, d.Agg)
+		}
+	}
 	g.mu.Lock()
 	g.members = append(g.members, m)
 	g.mu.Unlock()
@@ -177,8 +369,9 @@ func (g *Group) Join(query string, fac *Factory) *Member {
 }
 
 // Leave removes a member, releasing any sealed basic windows still queued
-// for it. The caller must have removed the member's scheduler transition
-// first (RemoveWait) so no tail firing is in flight.
+// for it and its DAG path references. The caller must have removed the
+// member's scheduler transition first (RemoveWait) so no tail firing is
+// in flight.
 func (g *Group) Leave(m *Member) {
 	g.mu.Lock()
 	for i, x := range g.members {
@@ -188,14 +381,14 @@ func (g *Group) Leave(m *Member) {
 		}
 	}
 	g.mu.Unlock()
-	m.mu.Lock()
-	m.closed = true
-	pend := m.pending
-	m.pending = nil
-	m.pendingN.Store(0)
-	m.mu.Unlock()
-	for _, bw := range pend {
-		bw.ReleaseData()
+	if m.aggLeaf != nil {
+		g.dag.unregister(m.aggLeaf)
+	}
+	if m.leaf != nil {
+		g.dag.unregister(m.leaf)
+	}
+	for _, it := range m.q.closeDrain() {
+		it.bw.ReleaseData()
 	}
 }
 
@@ -207,39 +400,13 @@ func (g *Group) Close() {
 		g.cancelAppend()
 		g.cancelAppend = nil
 	}
-	for _, gs := range g.shards {
-		gs.mu.Lock()
-		gs.bk.Unregister(gs.cid)
-		gs.mu.Unlock()
-	}
+	g.fe.close()
 }
 
 // ShardReady reports whether shard sh has pending tuples or sealed epochs
 // awaiting flush — the group's per-shard firing condition (the shared
 // analogue of Factory.ShardReady).
-func (g *Group) ShardReady(sh int) bool {
-	gs := g.shards[sh]
-	if gs.bk.Available(gs.cid) > 0 {
-		return true
-	}
-	wmGen, ok := g.watermarkGen(gs)
-	if !ok {
-		return false
-	}
-	return gs.wm.Load() < wmGen
-}
-
-func (g *Group) watermarkGen(gs *groupShard) (int64, bool) {
-	w := g.cfg.Window
-	if w.Tuples {
-		return g.cfg.Basket.Settled() / w.Slide, true
-	}
-	mts := g.maxTs.Load()
-	if mts == math.MinInt64 {
-		return 0, false
-	}
-	return gs.sl.TimeGen(mts), true
-}
+func (g *Group) ShardReady(sh int) bool { return g.fe.shardReady(sh) }
 
 // FireShard is one firing of the group's shard sh: drain, slice, and
 // merge-complete any basic windows this shard sealed last, fanning them
@@ -247,59 +414,26 @@ func (g *Group) watermarkGen(gs *groupShard) (int64, bool) {
 // transitions; a raised event-time watermark re-notifies the sibling
 // shards (they may now hold sealed buckets).
 func (g *Group) FireShard(sh int) {
-	gs := g.shards[sh]
-	gs.mu.Lock()
-	raised := g.fireShardLocked(gs)
-	gs.mu.Unlock()
+	notify, raised := g.fe.fireShard(sh)
+	for q := range notify {
+		g.cfg.NotifyMember(q)
+	}
 	if raised && g.cfg.NotifyShards != nil {
 		g.cfg.NotifyShards()
 	}
 }
 
-func (g *Group) fireShardLocked(gs *groupShard) bool {
-	w := g.cfg.Window
-	// Tuple windows: read the sealing watermark BEFORE the drain (see
-	// Factory.fireShardLocked for why the order matters).
-	var wmSeq int64
-	if w.Tuples {
-		wmSeq = g.cfg.Basket.Settled()
-	}
-	c, arrivals, seqs := gs.bk.PeekSeqs(gs.cid, int(gs.bk.Available(gs.cid)))
-	if c != nil {
-		gs.bk.Consume(gs.cid, int64(c.Rows()))
-	}
-	frags, raised := sliceFlush(gs.sl, w, c, arrivals, seqs, wmSeq, &g.maxTs)
-	gs.wm.Store(gs.sl.Watermark())
-	g.deliver(gs, frags)
-	return raised
-}
-
-// deliver offers a shard's flushed fragments to the merger and fans any
-// completed basic windows out to the members. Callers hold gs.mu. Member
-// notifications run after the merge lock is released so scheduler Ready
-// callbacks never contend with a fan-out in progress.
-func (g *Group) deliver(gs *groupShard, frags []*window.Frag) {
-	g.mergeMu.Lock()
-	ready := g.merge.Offer(gs.idx, frags, gs.sl.Watermark())
-	var notify map[string]bool
-	if len(ready) > 0 {
-		notify = g.fanout(ready)
-	}
-	g.mergeMu.Unlock()
-	for q := range notify {
-		g.cfg.NotifyMember(q)
-	}
-}
-
 // fanout hands each sealed basic window to every member as a refcounted
-// shared view. Callers hold mergeMu, which keeps per-member generations in
-// order. It returns the queries whose tail transitions need a wake-up.
+// shared view, together with the window's DAG memo table. Callers hold
+// the front end's mergeMu, which keeps per-member generations in order.
+// It returns the queries whose tail transitions need a wake-up.
 func (g *Group) fanout(ready []*window.BW) map[string]bool {
 	g.mu.Lock()
 	members := make([]*Member, len(g.members))
 	copy(members, g.members)
 	g.mu.Unlock()
 
+	needDag := g.dag.Nodes() > 0
 	notify := make(map[string]bool, len(members))
 	for _, bw := range ready {
 		g.windowsOut.Add(1)
@@ -308,19 +442,17 @@ func (g *Group) fanout(ready []*window.BW) map[string]bool {
 		}
 		g.liveBufs.Add(1)
 		buf := window.NewSharedBuf(bw.Data, len(members), func() { g.liveBufs.Add(-1) })
+		var dw *dagWin
+		if needDag {
+			dw = newDagWin()
+		}
 		for _, m := range members {
-			mbw := &window.BW{Data: buf.Data(), MaxArrival: bw.MaxArrival, Free: buf.Release}
-			m.mu.Lock()
-			if m.closed {
-				m.mu.Unlock()
-				mbw.ReleaseData()
+			mbw := &window.BW{Gen: m.nextGen, Data: buf.Data(), MaxArrival: bw.MaxArrival, Free: buf.Release}
+			if !m.q.enqueue(memberBW{bw: mbw, dw: dw}) {
+				mbw.ReleaseData() // member left between snapshot and enqueue
 				continue
 			}
-			mbw.Gen = m.nextGen
 			m.nextGen++
-			m.pending = append(m.pending, mbw)
-			m.pendingN.Add(1)
-			m.mu.Unlock()
 			notify[m.query] = true
 		}
 	}
@@ -332,20 +464,8 @@ func (g *Group) fanout(ready []*window.BW) map[string]bool {
 // Factory.Advance for the scheduler's time constraints. Tuple-window
 // groups are unaffected.
 func (g *Group) Advance(watermark int64) {
-	if g.cfg.Window.Tuples {
-		return
-	}
-	if g.maxTs.Load() == math.MinInt64 {
-		return // no rows yet: nothing to force shut
-	}
-	atomicMax(&g.maxTs, watermark)
-	mts := g.maxTs.Load()
-	for _, gs := range g.shards {
-		gs.mu.Lock()
-		frags := gs.sl.Flush(gs.sl.TimeGen(mts))
-		gs.wm.Store(gs.sl.Watermark())
-		g.deliver(gs, frags)
-		gs.mu.Unlock()
+	for q := range g.fe.advance(watermark) {
+		g.cfg.NotifyMember(q)
 	}
 }
 
@@ -355,16 +475,30 @@ func (m *Member) Query() string { return m.query }
 // Ready reports whether sealed basic windows await the member's tail —
 // the firing condition of the member's scheduler transition. It reads an
 // atomic mirror only (the scheduler calls it under its own lock).
-func (m *Member) Ready() bool { return m.pendingN.Load() > 0 }
+func (m *Member) Ready() bool { return m.q.ready() }
 
 // Fire drains the member's queue and runs its private tail over the
-// batch, in generation order. The scheduler guarantees a single in-flight
-// Fire per member. It returns the number of result sets emitted.
+// batch, in generation order. Members registered in the shared DAG
+// resolve their pipeline output (and partial aggregate) through the
+// window's memo first — evaluating each distinct operator once across all
+// members — and release their raw-data reference immediately; the factory
+// tail then merges the cached intermediates. The scheduler guarantees a
+// single in-flight Fire per member. It returns the number of result sets
+// emitted.
 func (m *Member) Fire() int {
-	m.mu.Lock()
-	bws := m.pending
-	m.pending = nil
-	m.pendingN.Store(0)
-	m.mu.Unlock()
-	return m.fac.SharedFire(bws)
+	items := m.q.drain()
+	evs := make([]SharedBW, 0, len(items))
+	for _, it := range items {
+		if it.dw != nil && (m.leaf != nil || m.aggLeaf != nil) {
+			bw := it.bw
+			bw.Out = m.g.dag.eval(it.dw, m.leaf, bw.Data, &m.g.memoHits, &m.g.memoMisses)
+			if m.aggLeaf != nil {
+				bw.Partial = m.g.dag.eval(it.dw, m.aggLeaf, bw.Data, &m.g.memoHits, &m.g.memoMisses)
+			}
+			// The raw-data reference is released by the factory tail after
+			// tuple accounting (incrementalStep).
+		}
+		evs = append(evs, SharedBW{Input: 0, BW: it.bw})
+	}
+	return m.fac.SharedFire(evs)
 }

@@ -1,0 +1,359 @@
+package factory
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datacell/internal/plan"
+	"datacell/internal/window"
+)
+
+// JoinGroup is a shared execution group over a stream pair: the extension
+// of Group to stream⋈stream joins (paper §Complex Queries). Two front
+// ends — one per join side — drain, sequence and slice their streams
+// once, no matter how many join queries consume the pair; sealed basic
+// windows are fanned out to every member in one global interleaving (so
+// all members pair left and right windows identically), each side's
+// member pipelines share an operator DAG, and queries with the same join
+// fingerprint share one pair cache: each (left, right) basic-window pair
+// is joined once for the whole group and survives slides under the
+// watermark eviction protocol of window.SharedPairCache.
+type JoinGroup struct {
+	cfg  JoinGroupConfig
+	fes  [2]*frontEnd
+	dags [2]*dag
+
+	liveBufs   atomic.Int64
+	windowsOut atomic.Int64
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
+
+	cancels []func()
+
+	// seqMu orders fan-outs across the two sides: every member observes
+	// the same left/right interleaving, which is what makes the shared
+	// pair cache and the members' emission sequences line up.
+	seqMu  sync.Mutex
+	genCtr [2]int64 // per-side group-global basic-window generations
+
+	mu      sync.Mutex
+	members []*JoinMember
+	caches  map[string]*jcEntry
+	// retiredComputed accumulates Computed() of pair caches whose last
+	// member left, so the group's PairsComputed stays cumulative instead
+	// of regressing when a fingerprint retires mid-session.
+	retiredComputed int64
+}
+
+// Both group kinds satisfy the engine-facing contract.
+var (
+	_ SharedGroup = (*Group)(nil)
+	_ SharedGroup = (*JoinGroup)(nil)
+)
+
+// jcEntry refcounts one shared pair cache (one per distinct join
+// fingerprint among the members).
+type jcEntry struct {
+	pc   *window.SharedPairCache
+	refs int
+}
+
+// JoinGroupConfig assembles a join group.
+type JoinGroupConfig struct {
+	// Key is the plan.JoinGroupKey the members agreed on.
+	Key string
+	// SchedGroup is the instance-unique scheduler group of the shard
+	// transitions (both sides share it).
+	SchedGroup string
+	// Left and Right are the two windowed stream scans, in plan order.
+	Left, Right *plan.ScanStream
+	// Now supplies the clock in microseconds.
+	Now func() int64
+	// NotifyMember re-enables a member query's tail transition.
+	NotifyMember func(query string)
+	// NotifyShards re-enables the group's shard transitions.
+	NotifyShards func()
+}
+
+// JoinMember is one join query's membership: a queue of (side, basic
+// window) events in the group's global pairing order, drained by the
+// query's tail transition.
+type JoinMember struct {
+	g     *JoinGroup
+	query string
+	fac   *Factory
+
+	leaf  [2]*dagNode // per-side pipeline leaves (nil: evaluate privately)
+	pcKey string
+	pc    *window.SharedPairCache
+
+	q memberQueue[joinEvent]
+}
+
+// joinEvent is one fanned-out basic window: its join side, the member's
+// refcounted view, and the side's shared memo table.
+type joinEvent struct {
+	side int
+	bw   *window.BW
+	dw   *dagWin
+}
+
+// NewJoinGroup builds a join group over the two stream baskets. Like
+// NewGroup it registers basket consumers immediately but subscribes to
+// append notifications only after the first member joined.
+func NewJoinGroup(cfg JoinGroupConfig) *JoinGroup {
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixMicro() }
+	}
+	g := &JoinGroup{cfg: cfg, caches: make(map[string]*jcEntry)}
+	scans := [2]*plan.ScanStream{cfg.Left, cfg.Right}
+	for side, sc := range scans {
+		side := side
+		g.fes[side] = newFrontEnd(sc.Stream.Basket, sc.Window, sc.Out)
+		g.fes[side].sink = func(ready []*window.BW) map[string]bool {
+			return g.fanout(side, ready)
+		}
+		g.dags[side] = newDAG()
+	}
+	return g
+}
+
+// SubscribeAppend wires the shard transitions to both baskets' append
+// notifications.
+func (g *JoinGroup) SubscribeAppend() {
+	if g.cfg.NotifyShards == nil {
+		return
+	}
+	g.cancels = append(g.cancels,
+		g.cfg.Left.Stream.Basket.OnAppend(g.cfg.NotifyShards),
+		g.cfg.Right.Stream.Basket.OnAppend(g.cfg.NotifyShards))
+}
+
+// Key reports the group key.
+func (g *JoinGroup) Key() string { return g.cfg.Key }
+
+// Kind reports the group kind ("join").
+func (g *JoinGroup) Kind() string { return "join" }
+
+// SchedGroup reports the instance-unique scheduler group name.
+func (g *JoinGroup) SchedGroup() string { return g.cfg.SchedGroup }
+
+// NumShards reports one side's shard count (one transition per (side,
+// shard)).
+func (g *JoinGroup) NumShards(side int) int { return len(g.fes[side].shards) }
+
+// Shards implements SharedGroup: total shard transitions across sides.
+func (g *JoinGroup) Shards() int { return len(g.fes[0].shards) + len(g.fes[1].shards) }
+
+// Members reports the current member count.
+func (g *JoinGroup) Members() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// LiveBufs reports sealed window buffers still referenced by a member.
+func (g *JoinGroup) LiveBufs() int64 { return g.liveBufs.Load() }
+
+// WindowsOut reports basic windows fanned out across both sides.
+func (g *JoinGroup) WindowsOut() int64 { return g.windowsOut.Load() }
+
+// DagNodes reports distinct operator nodes across both side DAGs.
+func (g *JoinGroup) DagNodes() int { return g.dags[0].Nodes() + g.dags[1].Nodes() }
+
+// MemoHits reports operator evaluations served from the shared memos.
+func (g *JoinGroup) MemoHits() int64 { return g.memoHits.Load() }
+
+// MemoMisses reports actual operator evaluations (memo fills).
+func (g *JoinGroup) MemoMisses() int64 { return g.memoMisses.Load() }
+
+// PairStats reports the shared pair caches: distinct live caches, live
+// cached pairs, and pair evaluations ever computed (cumulative across
+// retired caches, so the counter never regresses mid-session).
+func (g *JoinGroup) PairStats() (caches, pairs int, computed int64) {
+	g.mu.Lock()
+	entries := make([]*jcEntry, 0, len(g.caches))
+	for _, e := range g.caches {
+		entries = append(entries, e)
+	}
+	computed = g.retiredComputed
+	g.mu.Unlock()
+	for _, e := range entries {
+		caches++
+		pairs += e.pc.Pairs()
+		computed += e.pc.Computed()
+	}
+	return caches, pairs, computed
+}
+
+// Join adds a join query as a member: its side pipelines register in the
+// side DAGs (unless NoMemo), and it acquires the shared pair cache of its
+// join fingerprint — created on first use — which replaces the factory's
+// private cache. The member starts at the next sealed basic window of
+// each side.
+func (g *JoinGroup) Join(query string, fac *Factory) *JoinMember {
+	m := &JoinMember{g: g, query: query, fac: fac}
+	d := fac.cfg.Decomp
+	if !fac.cfg.NoMemo {
+		for side := 0; side < 2; side++ {
+			p := d.Pipelines[side]
+			if steps, ok := plan.PipelineSteps(p.Root, p.Scan); ok {
+				m.leaf[side], _ = g.dags[side].register(steps, nil)
+			}
+		}
+	}
+	m.pcKey = plan.Fingerprint(d.Join)
+	g.mu.Lock()
+	e := g.caches[m.pcKey]
+	if e == nil {
+		e = &jcEntry{pc: window.NewSharedPairCache(d.Join)}
+		g.caches[m.pcKey] = e
+	}
+	e.refs++
+	m.pc = e.pc
+	// Decompose requires the two sides' windows to slide in lockstep, so
+	// their extents agree today — take the max anyway so the retention
+	// horizon stays correct if that invariant ever loosens.
+	parts := d.Pipelines[0].Scan.Window.Parts()
+	if p := d.Pipelines[1].Scan.Window.Parts(); p > parts {
+		parts = p
+	}
+	m.pc.Retain(parts)
+	g.members = append(g.members, m)
+	g.mu.Unlock()
+	fac.SetPairCache(m.pc)
+	return m
+}
+
+// Leave removes a member, releasing queued windows, DAG references and
+// its pair-cache reference. The caller must have removed the member's
+// tail transition first (RemoveWait).
+func (g *JoinGroup) Leave(m *JoinMember) {
+	g.mu.Lock()
+	for i, x := range g.members {
+		if x == m {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	if e := g.caches[m.pcKey]; e != nil {
+		e.refs--
+		if e.refs <= 0 {
+			g.retiredComputed += e.pc.Computed()
+			delete(g.caches, m.pcKey)
+		}
+	}
+	g.mu.Unlock()
+	for side := 0; side < 2; side++ {
+		if m.leaf[side] != nil {
+			g.dags[side].unregister(m.leaf[side])
+		}
+	}
+	for _, ev := range m.q.closeDrain() {
+		ev.bw.ReleaseData()
+	}
+}
+
+// Close tears the group down after the last member left: cancels the
+// append subscriptions and releases both sides' basket cursors. The
+// caller must have removed the shard transitions first (RemoveWait).
+func (g *JoinGroup) Close() {
+	for _, cancel := range g.cancels {
+		cancel()
+	}
+	g.cancels = nil
+	g.fes[0].close()
+	g.fes[1].close()
+}
+
+// ShardReady reports whether shard sh of side has work — the per-(side,
+// shard) firing condition.
+func (g *JoinGroup) ShardReady(side, sh int) bool { return g.fes[side].shardReady(sh) }
+
+// FireShard is one firing of side's shard sh. Sealed windows wake the
+// member tails; a raised event-time watermark re-notifies the group's
+// shard transitions.
+func (g *JoinGroup) FireShard(side, sh int) {
+	notify, raised := g.fes[side].fireShard(sh)
+	for q := range notify {
+		g.cfg.NotifyMember(q)
+	}
+	if raised && g.cfg.NotifyShards != nil {
+		g.cfg.NotifyShards()
+	}
+}
+
+// fanout hands one side's sealed basic windows to every member. Callers
+// hold that side's mergeMu; seqMu additionally serializes the two sides
+// so every member's queue carries the same left/right interleaving, and
+// basic-window generations are group-global per side — the shared pair
+// cache keys pairs by them, so all members must agree.
+func (g *JoinGroup) fanout(side int, ready []*window.BW) map[string]bool {
+	g.mu.Lock()
+	members := make([]*JoinMember, len(g.members))
+	copy(members, g.members)
+	g.mu.Unlock()
+
+	needDag := g.dags[side].Nodes() > 0
+	notify := make(map[string]bool, len(members))
+	g.seqMu.Lock()
+	defer g.seqMu.Unlock()
+	for _, bw := range ready {
+		g.windowsOut.Add(1)
+		gen := g.genCtr[side]
+		g.genCtr[side]++
+		if len(members) == 0 {
+			continue
+		}
+		g.liveBufs.Add(1)
+		buf := window.NewSharedBuf(bw.Data, len(members), func() { g.liveBufs.Add(-1) })
+		var dw *dagWin
+		if needDag {
+			dw = newDagWin()
+		}
+		for _, m := range members {
+			mbw := &window.BW{Gen: gen, Data: buf.Data(), MaxArrival: bw.MaxArrival, Free: buf.Release}
+			if !m.q.enqueue(joinEvent{side: side, bw: mbw, dw: dw}) {
+				mbw.ReleaseData() // member left between snapshot and enqueue
+				continue
+			}
+			notify[m.query] = true
+		}
+	}
+	return notify
+}
+
+// Advance closes time-window buckets up to the watermark on both sides.
+func (g *JoinGroup) Advance(watermark int64) {
+	for _, fe := range g.fes {
+		for q := range fe.advance(watermark) {
+			g.cfg.NotifyMember(q)
+		}
+	}
+}
+
+// Query reports the member's query name.
+func (m *JoinMember) Query() string { return m.query }
+
+// Ready reports whether fanned-out basic windows await the member's tail.
+func (m *JoinMember) Ready() bool { return m.q.ready() }
+
+// Fire drains the member's queue in the group's pairing order: each
+// window's side pipeline resolves through the shared DAG memo (one
+// evaluation per distinct operator across all members), then the
+// factory's join tail pushes it into the side ring and merges the live
+// pair set through the shared pair cache. It returns the number of result
+// sets emitted.
+func (m *JoinMember) Fire() int {
+	items := m.q.drain()
+	evs := make([]SharedBW, 0, len(items))
+	for _, ev := range items {
+		if ev.dw != nil && m.leaf[ev.side] != nil {
+			ev.bw.Out = m.g.dags[ev.side].eval(ev.dw, m.leaf[ev.side], ev.bw.Data,
+				&m.g.memoHits, &m.g.memoMisses)
+		}
+		evs = append(evs, SharedBW{Input: ev.side, BW: ev.bw})
+	}
+	return m.fac.SharedFire(evs)
+}

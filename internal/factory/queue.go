@@ -1,0 +1,60 @@
+package factory
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// memberQueue is the lock-sensitive heart of a group member: sealed
+// basic windows queue here between the group's fan-out and the member's
+// tail firing. enqueue refuses items after close (the fan-out then
+// releases the item's buffers itself), drain empties in order, and
+// ready mirrors the length in an atomic so scheduler Ready callbacks
+// never wait on the mutex. Single-stream members (memberBW items) and
+// join members (joinEvent items) share it, so the closed/pending
+// bookkeeping exists exactly once.
+type memberQueue[T any] struct {
+	mu       sync.Mutex
+	pending  []T
+	closed   bool
+	pendingN atomic.Int64 // mirrors len(pending) for lock-free ready
+}
+
+// enqueue appends an item; false means the member already left and the
+// caller must release the item's resources.
+func (q *memberQueue[T]) enqueue(item T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.pending = append(q.pending, item)
+	q.pendingN.Add(1)
+	return true
+}
+
+// drain removes and returns everything queued, in order.
+func (q *memberQueue[T]) drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := q.pending
+	q.pending = nil
+	q.pendingN.Store(0)
+	return items
+}
+
+// closeDrain marks the queue closed and returns anything still queued
+// for the caller to release.
+func (q *memberQueue[T]) closeDrain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	items := q.pending
+	q.pending = nil
+	q.pendingN.Store(0)
+	return items
+}
+
+// ready reports whether items await the member's tail (atomic read
+// only; the scheduler calls it under its own lock).
+func (q *memberQueue[T]) ready() bool { return q.pendingN.Load() > 0 }

@@ -1,0 +1,239 @@
+// Canonical operator fingerprints for shared-sub-tail execution. Two
+// member queries of an execution group whose per-basic-window pipelines
+// render to the same fingerprint chain perform identical work on identical
+// input, so the group's operator DAG evaluates the chain once per sealed
+// basic window and shares the memoized output. Fingerprints are canonical
+// strings, not hashes: collisions would silently cross-wire two queries'
+// results, so equality must be exact.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"datacell/internal/algebra"
+	"datacell/internal/bat"
+	"datacell/internal/expr"
+)
+
+// Fingerprint renders a pipeline operator's canonical identity: the
+// operator's parameters plus, recursively, its children's fingerprints.
+// Column references render positionally ($idx), never by name, so alias
+// choices ("FROM s" vs "FROM s x") cannot split identical computations —
+// and conversely two same-named columns of different positions cannot
+// merge. Stream scans fingerprint at slide granularity (the group key),
+// deliberately ignoring the window SIZE: basic windows are cut per slide,
+// so members with different extents still consume identical raw chunks.
+// Table scans fingerprint by catalog name — the snapshot both members
+// would read. Operators that cannot appear in a per-basic-window pipeline
+// (Sort, Limit, Distinct, Merged) fingerprint by pointer identity, which
+// makes them shareable with nothing.
+func Fingerprint(n Node) string {
+	switch t := n.(type) {
+	case *ScanStream:
+		return "scan{" + GroupKey(t) + "}"
+	case *ScanTable:
+		return fmt.Sprintf("table{%s|%s}", t.Table.Name, t.Out)
+	case *Filter:
+		return fmt.Sprintf("filter{%s}(%s)", canonExpr(t.Pred), Fingerprint(t.Child))
+	case *Project:
+		exprs := make([]string, len(t.Exprs))
+		for i, e := range t.Exprs {
+			exprs[i] = canonExpr(e)
+		}
+		return fmt.Sprintf("project{%s|%s}(%s)",
+			strings.Join(exprs, ","), t.Out, Fingerprint(t.Child))
+	case *Join:
+		return fmt.Sprintf("join{l=%v,r=%v,res=%s|%s}(%s,%s)",
+			t.LKeys, t.RKeys, canonExpr(t.Residual), t.Out,
+			Fingerprint(t.L), Fingerprint(t.R))
+	case *Aggregate:
+		return FingerprintAggregate(t, Fingerprint(t.Child))
+	default:
+		return fmt.Sprintf("opaque{%p}", n)
+	}
+}
+
+// FingerprintAggregate renders the partial-aggregate stage's canonical
+// identity over an explicit child fingerprint. The group DAG uses it to
+// memoize per-basic-window partials: members sharing keys and aggregate
+// specs over the same pipeline share one partial per basic window, even
+// when their merge stages (HAVING, projections over the merged aggregate)
+// diverge.
+func FingerprintAggregate(a *Aggregate, childFp string) string {
+	keys := make([]string, len(a.Keys))
+	for i, k := range a.Keys {
+		keys[i] = canonExpr(k)
+	}
+	aggs := make([]string, len(a.Aggs))
+	for i, sp := range a.Aggs {
+		arg := "*"
+		if sp.Arg != nil {
+			arg = canonExpr(sp.Arg)
+		}
+		aggs[i] = fmt.Sprintf("%s(%s)", sp.Op, arg)
+	}
+	return fmt.Sprintf("agg{k=%s|a=%s|%s}(%s)",
+		strings.Join(keys, ","), strings.Join(aggs, ","), a.Out, childFp)
+}
+
+// canonExpr renders an expression with positional column references —
+// expr.Expr.String() prints original column names, which vary with stream
+// aliases while the computation does not.
+func canonExpr(e expr.Expr) string {
+	switch t := e.(type) {
+	case nil:
+		return "-"
+	case *expr.Col:
+		return fmt.Sprintf("$%d:%s", t.Idx, t.K)
+	case *expr.Const:
+		if t.V.Kind == bat.Str {
+			// Quoted: a raw render is not injective ("a:str,b" would
+			// collide with two separate arguments) and a collision here
+			// cross-wires two queries' memoized results.
+			return fmt.Sprintf("%q:%s", t.V.S, t.V.Kind)
+		}
+		return fmt.Sprintf("%s:%s", t.V, t.V.Kind)
+	case *expr.Arith:
+		return fmt.Sprintf("(%s%s%s)", canonExpr(t.L), t.Op, canonExpr(t.R))
+	case *expr.Cast:
+		return fmt.Sprintf("cast(%s,%s)", canonExpr(t.E), t.To)
+	case *expr.Cmp:
+		return fmt.Sprintf("(%s cmp%d %s)", canonExpr(t.L), t.Op, canonExpr(t.R))
+	case *expr.Logic:
+		if t.R == nil {
+			return fmt.Sprintf("(not %s)", canonExpr(t.L))
+		}
+		return fmt.Sprintf("(%s log%d %s)", canonExpr(t.L), t.Op, canonExpr(t.R))
+	case *expr.Func:
+		args := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = canonExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", t.Name, strings.Join(args, ","))
+	default:
+		return fmt.Sprintf("opaque{%p}", e)
+	}
+}
+
+// PipelineSteps linearizes a per-basic-window pipeline from its stream
+// scan up to (and including) root: the operator chain the group DAG
+// registers as a trie path. StreamLeft marks, for joins against static
+// tables, which side carries the stream data. It returns false when the
+// chain contains an operator the DAG cannot apply stepwise.
+type PipelineStep struct {
+	// Op is the operator (Filter, Project, or static-table Join).
+	Op Node
+	// StreamLeft is meaningful for Join steps only: the stream side.
+	StreamLeft bool
+	// Fp is the canonical fingerprint of the chain up to this step.
+	Fp string
+}
+
+// PipelineSteps walks root down its stream-side spine to the scan and
+// returns the steps scan-upward. ok is false if the spine contains an
+// unsupported operator (the caller then skips DAG registration and the
+// member evaluates its pipeline privately, as before).
+func PipelineSteps(root Node, scan *ScanStream) (steps []PipelineStep, ok bool) {
+	var chain []PipelineStep
+	cur := root
+	for cur != scan {
+		switch t := cur.(type) {
+		case *Filter:
+			chain = append(chain, PipelineStep{Op: t})
+			cur = t.Child
+		case *Project:
+			chain = append(chain, PipelineStep{Op: t})
+			cur = t.Child
+		case *Join:
+			// Pipeline joins have a static side (tables only) — see
+			// pipelineRoot; descend the stream side.
+			if len(Streams(t.L)) > 0 {
+				chain = append(chain, PipelineStep{Op: t, StreamLeft: true})
+				cur = t.L
+			} else {
+				chain = append(chain, PipelineStep{Op: t})
+				cur = t.R
+			}
+		default:
+			return nil, false
+		}
+	}
+	// Reverse to scan-upward order and compute cumulative fingerprints.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	fp := Fingerprint(scan)
+	for i := range chain {
+		fp = stepFingerprint(chain[i], fp)
+		chain[i].Fp = fp
+	}
+	return chain, true
+}
+
+// ApplyStep runs one pipeline operator over an explicit stream-side input
+// chunk — the evaluation unit of a group's shared operator DAG. Static
+// join sides (tables only) are snapshotted per call, exactly as a private
+// per-member pipeline evaluation would. An evaluation error degrades to an
+// empty chunk of the operator's schema, mirroring the factory's
+// per-basic-window error handling.
+func ApplyStep(s PipelineStep, in *bat.Chunk) *bat.Chunk {
+	switch t := s.Op.(type) {
+	case *Filter:
+		sel := expr.EvalPred(t.Pred, in, nil)
+		return algebra.FetchChunk(in, sel)
+	case *Project:
+		cols := make([]bat.Vector, len(t.Exprs))
+		for i, e := range t.Exprs {
+			cols[i] = e.Eval(in, nil)
+		}
+		return &bat.Chunk{Schema: t.Out, Cols: cols}
+	case *Join:
+		ex := &Exec{}
+		l, r := in, in
+		var other Node
+		if s.StreamLeft {
+			other = t.R
+		} else {
+			other = t.L
+		}
+		o, err := ex.Run(other)
+		if err != nil {
+			return bat.NewChunk(t.Out)
+		}
+		if s.StreamLeft {
+			r = o
+		} else {
+			l = o
+		}
+		return JoinChunks(t, l, r)
+	}
+	return bat.NewChunk(s.Op.Schema())
+}
+
+// stepFingerprint is Fingerprint with the stream-side child replaced by an
+// explicit prefix fingerprint, so chains over distinct (but equivalent)
+// scan nodes compose identically.
+func stepFingerprint(s PipelineStep, childFp string) string {
+	switch t := s.Op.(type) {
+	case *Filter:
+		return fmt.Sprintf("filter{%s}(%s)", canonExpr(t.Pred), childFp)
+	case *Project:
+		exprs := make([]string, len(t.Exprs))
+		for i, e := range t.Exprs {
+			exprs[i] = canonExpr(e)
+		}
+		return fmt.Sprintf("project{%s|%s}(%s)", strings.Join(exprs, ","), t.Out, childFp)
+	case *Join:
+		l, r := Fingerprint(t.L), Fingerprint(t.R)
+		if s.StreamLeft {
+			l = childFp
+		} else {
+			r = childFp
+		}
+		return fmt.Sprintf("join{l=%v,r=%v,res=%s|%s}(%s,%s)",
+			t.LKeys, t.RKeys, canonExpr(t.Residual), t.Out, l, r)
+	default:
+		return fmt.Sprintf("opaque{%p}", s.Op)
+	}
+}

@@ -9,15 +9,28 @@ import (
 // join a query group that drains, sequences and slices the stream once and
 // fans each sealed basic window out to the member queries' private
 // operator tails (selections, projections, aggregations, joins against
-// static tables). Plans over two streams keep their own factory: their
-// basic windows pair across inputs, which the shared slice layer does not
-// model.
+// static tables). Plans over two streams group through SharedJoin instead:
+// their basic windows pair across inputs, which a join group models with
+// two paired front ends.
 func SharedScan(root Node) (*ScanStream, bool) {
 	streams := Streams(root)
 	if len(streams) != 1 || streams[0].Window == nil {
 		return nil, false
 	}
 	return streams[0], true
+}
+
+// SharedJoin reports whether an incremental decomposition is eligible for
+// a shared stream⋈stream join group: exactly two windowed stream scans
+// meeting at a single join (the shape Decompose already certified when it
+// produced a non-nil Join). Members of a join group share two stream front
+// ends — each stream drained, sequenced and sliced once — and one pair
+// cache per distinct join fingerprint.
+func SharedJoin(d *Decomposition) (left, right *ScanStream, ok bool) {
+	if d == nil || d.Join == nil || len(d.Pipelines) != 2 {
+		return nil, nil, false
+	}
+	return d.Pipelines[0].Scan, d.Pipelines[1].Scan, true
 }
 
 // GroupKey is the shared-execution group key of a windowed stream scan:
@@ -38,4 +51,17 @@ func GroupKey(sc *ScanStream) string {
 	}
 	return fmt.Sprintf("%s|time|slide=%dus|ts=%d|%s",
 		sc.Stream.Name, w.SlideDur.Microseconds(), w.TimeIdx, sc.Out)
+}
+
+// JoinGroupKey is the shared-execution group key of a stream⋈stream join:
+// queries whose two windowed scans agree on it consume identical pairs of
+// basic-window sequences, so one join group can drain and slice both
+// streams once for all of them. Like GroupKey it is the slicing
+// granularity of each side — window SIZE stays per-member (rings of
+// different extents over the same shared pair sequence). The two sides
+// are ordered as they appear in the plan: s⋈r and r⋈s slice the same
+// streams but deliver sides in mirrored roles, so they form distinct
+// groups rather than sharing one with swapped semantics.
+func JoinGroupKey(left, right *ScanStream) string {
+	return GroupKey(left) + " ⋈ " + GroupKey(right)
 }

@@ -14,6 +14,15 @@
 // idle. The scheduler also carries the demo's pause/resume control for
 // individual queries and the time constraints that force idle time windows
 // shut.
+//
+// Shared execution groups change the transition topology, not the model:
+// a group's stream front end(s) own the per-shard drain/slice transitions
+// (scheduler group "group:<key>#<nonce>"), and every member query owns
+// one tail transition ("<query>/tail", scheduler group = the query name),
+// so pause/resume/drop stay member-granular. The group's memoized
+// operator DAG adds no transitions of its own: DAG nodes are evaluated by
+// whichever member tail reaches them first and memo-latched for the rest,
+// which keeps a paused member from ever blocking a sibling.
 package scheduler
 
 import (

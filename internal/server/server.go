@@ -101,8 +101,14 @@ func (s *Session) Dispatch(line string) (string, bool) {
 		}
 		var b strings.Builder
 		for _, g := range groups {
-			fmt.Fprintf(&b, "%s members=%d shards=%d windows=%d livebufs=%d\n",
-				g.Key, g.Members, g.Shards, g.WindowsOut, g.LiveBufs)
+			fmt.Fprintf(&b, "%s kind=%s members=%d shards=%d windows=%d livebufs=%d dag_nodes=%d memo_hits=%d memo_misses=%d hit_rate=%.1f%%",
+				g.Key, g.Kind, g.Members, g.Shards, g.WindowsOut, g.LiveBufs,
+				g.DagNodes, g.MemoHits, g.MemoMisses, 100*g.MemoHitRate())
+			if g.Kind == "join" {
+				fmt.Fprintf(&b, " pair_caches=%d cached_pairs=%d pairs_computed=%d",
+					g.PairCaches, g.CachedPairs, g.PairsComputed)
+			}
+			b.WriteByte('\n')
 		}
 		return strings.TrimRight(b.String(), "\n"), false
 	case `\plan`, `\cplan`, `\stats`, `\pause`, `\resume`, `\results`:

@@ -1,0 +1,135 @@
+package window
+
+import (
+	"sync"
+
+	"datacell/internal/bat"
+	"datacell/internal/plan"
+)
+
+// PairCache is the join-pair caching contract a factory's incremental tail
+// drives: new basic windows are joined against the other side's live ring,
+// expired generations are evicted, and a slide merges the live pair set.
+// *JoinCache implements it for a private factory; *SharedPairCache lifts
+// one cache into a join group where every member query over the same
+// stream pair (and join fingerprint) shares the pair results.
+type PairCache interface {
+	AddLeft(l *BW, rights []*BW)
+	AddRight(r *BW, lefts []*BW)
+	EvictLeft(gen int64)
+	EvictRight(gen int64)
+	Merged(lefts, rights []*BW) *bat.Chunk
+	Pairs() int
+	Computed() int64
+}
+
+// SharedPairCache serves one join group's member tails concurrently. Two
+// things change relative to a private cache. Access is serialized by a
+// mutex (member tails are independent scheduler transitions). And eviction
+// is driven by generation watermarks instead of any single member's ring:
+// a pair (l, r) stays cached while l is within MaxParts — the largest
+// member window extent — of the newest left generation, and likewise for
+// r, so the member with the widest window always finds its pairs while
+// per-member EvictLeft/EvictRight calls become no-ops. A member whose
+// ring lags the watermarks (paused, then resumed with a backlog) simply
+// recomputes the expired pairs transiently during its merge — correctness
+// never depends on the cache's contents.
+type SharedPairCache struct {
+	mu       sync.Mutex
+	jc       *JoinCache
+	maxParts int64
+	newest   [2]int64
+	seen     [2]bool
+}
+
+// NewSharedPairCache builds the group-level cache for a join node.
+func NewSharedPairCache(join *plan.Join) *SharedPairCache {
+	return &SharedPairCache{jc: NewJoinCache(join)}
+}
+
+// Retain raises the retention horizon to a joining member's window extent
+// (in basic windows). Retention never shrinks: a departing wide member may
+// leave pairs cached longer than any remaining ring needs, which costs
+// memory for at most one window and self-corrects as generations advance.
+func (s *SharedPairCache) Retain(parts int) {
+	s.mu.Lock()
+	if int64(parts) > s.maxParts {
+		s.maxParts = int64(parts)
+	}
+	s.mu.Unlock()
+}
+
+// threshold reports the eviction watermark of a side: generations ≤ it are
+// expired. Meaningful only once the side has seen a basic window.
+func (s *SharedPairCache) threshold(side int) int64 {
+	return s.newest[side] - s.maxParts
+}
+
+func (s *SharedPairCache) add(side int, bw *BW, others []*BW) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[side] && bw.Gen <= s.threshold(side) {
+		// A member replaying windows the group has moved past (resumed
+		// from pause): caching would resurrect evicted generations that no
+		// watermark will sweep again. Its merge recomputes transiently.
+		return
+	}
+	if bw.Gen > s.newest[side] || !s.seen[side] {
+		s.newest[side], s.seen[side] = bw.Gen, true
+	}
+	for _, o := range others {
+		if s.seen[1-side] && o.Gen <= s.threshold(1-side) {
+			continue
+		}
+		if side == 0 {
+			s.jc.ensure(bw, o)
+		} else {
+			s.jc.ensure(o, bw)
+		}
+	}
+	var lwm, rwm int64 = -1 << 62, -1 << 62
+	if s.seen[0] {
+		lwm = s.threshold(0)
+	}
+	if s.seen[1] {
+		rwm = s.threshold(1)
+	}
+	s.jc.EvictThrough(lwm, rwm)
+}
+
+// AddLeft joins a new left basic window against the member's live right
+// ring, caching pairs that are within the retention horizon.
+func (s *SharedPairCache) AddLeft(l *BW, rights []*BW) { s.add(0, l, rights) }
+
+// AddRight joins a new right basic window against the member's live left
+// ring, caching pairs that are within the retention horizon.
+func (s *SharedPairCache) AddRight(r *BW, lefts []*BW) { s.add(1, r, lefts) }
+
+// EvictLeft is a no-op: shared eviction is watermark-driven, because a
+// generation leaving one member's ring may still be live in a sibling's.
+func (s *SharedPairCache) EvictLeft(int64) {}
+
+// EvictRight is a no-op; see EvictLeft.
+func (s *SharedPairCache) EvictRight(int64) {}
+
+// Merged concatenates the member's live pair set in (leftGen, rightGen)
+// order, recomputing any pair the watermarks already expired.
+func (s *SharedPairCache) Merged(lefts, rights []*BW) *bat.Chunk {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jc.MergedEnsure(lefts, rights)
+}
+
+// Pairs reports the number of cached pair results.
+func (s *SharedPairCache) Pairs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jc.Pairs()
+}
+
+// Computed reports how many pair results were ever evaluated.
+func (s *SharedPairCache) Computed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jc.Computed()
+}

@@ -1,0 +1,317 @@
+package datacell
+
+// Tests for shared stream⋈stream join groups: incremental join queries
+// over the same stream pair and slide granularity share two stream front
+// ends, per-side operator DAGs, and — per join fingerprint — one pair
+// cache. The equivalence invariant matches the single-stream groups: a
+// member of a join group produces byte-identical output to the same query
+// registered ISOLATED, provided both observe the same left/right
+// basic-window interleaving (the tests drain between appends to pin it).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"datacell/internal/bat"
+)
+
+// joinFeed builds paired (s, r) chunk sequences whose key overlap produces
+// non-trivial join output.
+func joinFeed(n, batch, nkeys int) (ls, rs []*bat.Chunk) {
+	sch := bat.NewSchema([]string{"ts", "k", "v"}, []bat.Kind{bat.Time, bat.Int, bat.Float})
+	mk := func(seed int) []*bat.Chunk {
+		var out []*bat.Chunk
+		for pos := 0; pos < n; {
+			take := batch
+			if pos+take > n {
+				take = n - pos
+			}
+			ts := make(bat.Times, take)
+			ks := make(bat.Ints, take)
+			vs := make(bat.Floats, take)
+			for i := 0; i < take; i++ {
+				g := pos + i
+				ts[i] = int64(g) * 1000
+				ks[i] = int64((g*seed + g) % nkeys)
+				vs[i] = float64((g * seed) % 100)
+			}
+			out = append(out, &bat.Chunk{Schema: sch, Cols: []bat.Vector{ts, ks, vs}})
+			pos += take
+		}
+		return out
+	}
+	return mk(3), mk(5)
+}
+
+// joinMemberSQL varies filters, join shapes and post-merge aggregates so
+// the members have genuinely divergent pipelines and pair caches; i%4==0
+// and i%4==3 are identical on purpose (they must share one pair cache).
+func joinMemberSQL(i, size, slide int) string {
+	switch i % 4 {
+	case 0:
+		return fmt.Sprintf(
+			"SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k",
+			size, slide, size, slide)
+	case 1:
+		return fmt.Sprintf(
+			"SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k AND s.v > 20.0",
+			size, slide, size, slide)
+	case 2:
+		return fmt.Sprintf(
+			"SELECT s.k, count(*) AS n FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k GROUP BY s.k",
+			size, slide, size, slide)
+	default:
+		return fmt.Sprintf(
+			"SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k",
+			size, slide, size, slide)
+	}
+}
+
+// feedPairwise appends s and r chunks alternately, draining after each
+// append: every engine observes the canonical L0 R0 L1 R1 … basic-window
+// interleaving, making byte-level comparison meaningful.
+func feedPairwise(t *testing.T, eng *Engine, ls, rs []*bat.Chunk) {
+	t.Helper()
+	for i := range ls {
+		if err := eng.AppendChunk("s", ls[i]); err != nil {
+			t.Fatal(err)
+		}
+		eng.Drain()
+		if err := eng.AppendChunk("r", rs[i]); err != nil {
+			t.Fatal(err)
+		}
+		eng.Drain()
+	}
+}
+
+// TestJoinGroupEquivalenceIsolated is the acceptance invariant: each of N
+// join queries in one join group produces byte-identical results to the
+// same query registered ISOLATED, on 1-shard and 4-shard streams.
+func TestJoinGroupEquivalenceIsolated(t *testing.T) {
+	const members = 6
+	const size, slide = 32, 16
+	ls, rs := joinFeed(192, slide, 11)
+	ddls := [][2]string{
+		{"CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)",
+			"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)"},
+		{"CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k",
+			"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k"},
+	}
+	for _, ddl := range ddls {
+		// Isolated: all N queries on one engine, every one with its own
+		// cursors, slicers and private pair cache.
+		iso := New(&Options{Workers: 1})
+		for _, d := range ddl {
+			mustExecG(t, iso, d)
+		}
+		isoQs := make([]*Query, members)
+		for i := 0; i < members; i++ {
+			q, err := iso.Register(fmt.Sprintf("q%02d", i), joinMemberSQL(i, size, slide),
+				&RegisterOptions{Isolated: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Grouped() {
+				t.Fatalf("isolated member %d joined a group", i)
+			}
+			isoQs[i] = q
+		}
+		feedPairwise(t, iso, ls, rs)
+		want := make([][]string, members)
+		for i, q := range isoQs {
+			want[i] = collectRendered(q)
+			if len(want[i]) == 0 {
+				t.Fatalf("ddl=%q isolated member %d emitted nothing", ddl[0], i)
+			}
+		}
+		iso.Close()
+
+		// Grouped: the same N queries share one join group.
+		eng := New(&Options{Workers: 1})
+		for _, d := range ddl {
+			mustExecG(t, eng, d)
+		}
+		qs := make([]*Query, members)
+		for i := 0; i < members; i++ {
+			q, err := eng.Register(fmt.Sprintf("q%02d", i), joinMemberSQL(i, size, slide), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !q.Grouped() {
+				t.Fatalf("member %d did not join the join group", i)
+			}
+			qs[i] = q
+		}
+		groups := eng.Groups()
+		if len(groups) != 1 || groups[0].Kind != "join" || groups[0].Members != members {
+			t.Fatalf("groups = %+v, want one join group of %d", groups, members)
+		}
+		feedPairwise(t, eng, ls, rs)
+		for i, q := range qs {
+			got := collectRendered(q)
+			if len(got) != len(want[i]) {
+				t.Fatalf("ddl=%q member %d: evals=%d, isolated=%d",
+					ddl[0], i, len(got), len(want[i]))
+			}
+			for j := range got {
+				if got[j] != want[i][j] {
+					t.Fatalf("ddl=%q member %d eval %d diverges:\ngrouped:\n%s\nisolated:\n%s",
+						ddl[0], i, j, got[j], want[i][j])
+				}
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestJoinGroupSharedPairCache pins the sharing economics: N identical
+// join queries in one group compute exactly as many basic-window pairs as
+// one member alone — the pair cache is hit, never recomputed, for the
+// other N-1 — and the group's DAG memoizes their (identical) side
+// pipelines.
+func TestJoinGroupSharedPairCache(t *testing.T) {
+	const size, slide = 32, 16
+	ls, rs := joinFeed(160, slide, 7)
+	sql := fmt.Sprintf(
+		"SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k AND s.v > 10.0",
+		size, slide, size, slide)
+	run := func(members int) GroupInfo {
+		eng := New(&Options{Workers: 1})
+		defer eng.Close()
+		mustExecG(t, eng, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+		mustExecG(t, eng, "CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)")
+		for i := 0; i < members; i++ {
+			if _, err := eng.Register(fmt.Sprintf("q%d", i), sql,
+				&RegisterOptions{NoChannel: true}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		feedPairwise(t, eng, ls, rs)
+		g := eng.Groups()
+		if len(g) != 1 {
+			t.Fatalf("groups = %+v", g)
+		}
+		return g[0]
+	}
+	one := run(1)
+	four := run(4)
+	if one.PairsComputed == 0 {
+		t.Fatal("no pairs computed at all")
+	}
+	if four.PairsComputed != one.PairsComputed {
+		t.Errorf("4 identical members computed %d pairs, 1 member %d — pairs recomputed",
+			four.PairsComputed, one.PairsComputed)
+	}
+	if four.PairCaches != 1 {
+		t.Errorf("identical members should share one pair cache, got %d", four.PairCaches)
+	}
+	if four.MemoHits == 0 {
+		t.Error("identical side pipelines produced no memo hits")
+	}
+	if four.DagNodes == 0 {
+		t.Error("no DAG nodes registered for filtered side pipelines")
+	}
+}
+
+// TestJoinGroupMemberPauseDrop: pausing one join member must not stall
+// siblings or the shared front ends; a resumed member catches up with the
+// same results. Dropping members one by one tears the group down with the
+// last, releasing both baskets' cursors and subscriptions.
+func TestJoinGroupMemberPauseDrop(t *testing.T) {
+	const size, slide = 16, 16
+	ls, rs := joinFeed(96, slide, 5)
+	sql := fmt.Sprintf(
+		"SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k",
+		size, slide, size, slide)
+	eng := New(&Options{Workers: 2})
+	defer eng.Close()
+	mustExecG(t, eng, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	mustExecG(t, eng, "CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)")
+	bkS, _ := eng.Basket("s")
+	bkR, _ := eng.Basket("r")
+	baseSubsS, baseSubsR := bkS.Subscribers(), bkR.Subscribers()
+	baseConsS, baseConsR := bkS.Consumers(), bkR.Consumers()
+
+	qa, err := eng.Register("a", sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := eng.Register("b", sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb.Pause()
+	feedPairwise(t, eng, ls, rs)
+	live := collectSorted(qa)
+	if len(live) == 0 {
+		t.Fatal("live sibling emitted nothing while member paused")
+	}
+	if got := collectSorted(qb); len(got) != 0 {
+		t.Fatalf("paused member emitted %d evals", len(got))
+	}
+	qb.Resume()
+	eng.Drain()
+	caught := collectSorted(qb)
+	if fmt.Sprint(caught) != fmt.Sprint(live) {
+		t.Fatalf("resumed member diverges:\nresumed %v\nlive    %v", caught, live)
+	}
+
+	qa.Stop()
+	if g := eng.Groups(); len(g) != 1 || g[0].Members != 1 {
+		t.Fatalf("after one drop: groups = %+v", g)
+	}
+	qb.Stop()
+	if g := eng.Groups(); len(g) != 0 {
+		t.Fatalf("after last drop: groups = %+v", g)
+	}
+	if got := bkS.Subscribers(); got != baseSubsS {
+		t.Errorf("s append subscriptions leaked: %d, want %d", got, baseSubsS)
+	}
+	if got := bkR.Subscribers(); got != baseSubsR {
+		t.Errorf("r append subscriptions leaked: %d, want %d", got, baseSubsR)
+	}
+	if got := bkS.Consumers(); got != baseConsS {
+		t.Errorf("s basket consumers leaked: %d, want %d", got, baseConsS)
+	}
+	if got := bkR.Consumers(); got != baseConsR {
+		t.Errorf("r basket consumers leaked: %d, want %d", got, baseConsR)
+	}
+	mustExecG(t, eng, "DROP STREAM s")
+	mustExecG(t, eng, "DROP STREAM r")
+}
+
+// TestJoinGroupKeyRules: different slides split join groups; mirrored
+// stream order does not share a group (sides would swap roles); \groups
+// surfaces the join kind.
+func TestJoinGroupKeyRules(t *testing.T) {
+	eng := New(&Options{Workers: 1})
+	defer eng.Close()
+	mustExecG(t, eng, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	mustExecG(t, eng, "CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)")
+	reg := func(name, sql string) *Query {
+		t.Helper()
+		q, err := eng.Register(name, sql, &RegisterOptions{NoChannel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	a := reg("a", "SELECT s.v, r.v FROM s [SIZE 32 SLIDE 16], r [SIZE 32 SLIDE 16] WHERE s.k = r.k")
+	b := reg("b", "SELECT s.v, r.v FROM s [SIZE 32 SLIDE 8], r [SIZE 32 SLIDE 8] WHERE s.k = r.k")
+	c := reg("c", "SELECT r.v, s.v FROM r [SIZE 32 SLIDE 16], s [SIZE 32 SLIDE 16] WHERE s.k = r.k")
+	if a.GroupKey() == b.GroupKey() {
+		t.Errorf("different slides must not share a join group: %q", a.GroupKey())
+	}
+	if a.GroupKey() == c.GroupKey() {
+		t.Errorf("mirrored stream order must not share a join group: %q", a.GroupKey())
+	}
+	if !strings.Contains(a.GroupKey(), "⋈") {
+		t.Errorf("join group key = %q", a.GroupKey())
+	}
+	for _, g := range eng.Groups() {
+		if g.Kind != "join" {
+			t.Errorf("group %q kind = %q, want join", g.Key, g.Kind)
+		}
+	}
+}

@@ -37,8 +37,14 @@ type RegisterOptions struct {
 	// keeps its own basket cursors and slicers instead of joining the
 	// stream's query group (SQL: REGISTER ISOLATED QUERY). The default is
 	// shared execution for every eligible plan — a single windowed stream
-	// scan.
+	// scan, or an incremental stream⋈stream join (which joins the stream
+	// pair's join group).
 	Isolated bool
+	// NoMemo keeps a grouped query out of its group's shared operator
+	// DAG: the per-basic-window pipeline always evaluates privately, as if
+	// no sibling shared a common sub-tail. Results are unaffected;
+	// benchmarks use it to measure what the memo buys.
+	NoMemo bool
 }
 
 // Query is a registered continuous query handle.
@@ -49,10 +55,13 @@ type Query struct {
 	out  *emitter.Channel // nil with NoChannel
 	mode factory.Mode
 
-	// Shared-execution state: nil/"" for isolated and ineligible queries.
-	member     *factory.Member
+	// Shared-execution state: zero for isolated and ineligible queries.
+	// The leave/close closures capture the concrete group (single-stream
+	// Group or JoinGroup) so teardown stays type-agnostic here.
 	groupKey   string
 	groupSched string // instance-unique scheduler group of the shard transitions
+	leaveGroup func()
+	closeGroup func()
 	// cancels removes the basket append subscriptions this query (or, for
 	// classic queries, its factory wiring) registered; Stop must run them
 	// or dropped queries keep taxing every later append.
@@ -125,13 +134,18 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 	}
 
 	// Shared multi-query execution: a single windowed stream scan joins
-	// the stream's query group unless the caller opted out.
+	// the stream's query group, and an incremental stream⋈stream join
+	// joins the stream pair's join group, unless the caller opted out.
 	var groupScan *plan.ScanStream
+	var joinL, joinR *plan.ScanStream
 	if opts == nil || !opts.Isolated {
 		if sc, ok := plan.SharedScan(opt); ok {
 			groupScan = sc
+		} else if fmode == factory.Incremental {
+			joinL, joinR, _ = plan.SharedJoin(decomp)
 		}
 	}
+	shared := groupScan != nil || joinL != nil
 
 	var emitters emitter.Multi
 	var outCh *emitter.Channel
@@ -164,7 +178,8 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 		Full:   opt,
 		Decomp: decomp,
 		Mode:   fmode,
-		Shared: groupScan != nil,
+		Shared: shared,
+		NoMemo: opts != nil && opts.NoMemo,
 		Emit:   emit,
 		Now:    e.now,
 		// A firing that raises an input's event-time watermark re-enables
@@ -188,6 +203,10 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 
 	if groupScan != nil {
 		e.joinGroup(q, groupScan)
+		return q, nil
+	}
+	if joinL != nil {
+		e.joinJoinGroup(q, joinL, joinR)
 		return q, nil
 	}
 
@@ -265,10 +284,71 @@ func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) {
 	if mem == nil {
 		mem = g.Join(q.name, q.fac)
 	}
-	q.member, q.groupKey, q.groupSched = mem, key, g.SchedGroup()
+	q.groupKey, q.groupSched = key, g.SchedGroup()
+	q.leaveGroup = func() { g.Leave(mem) }
+	q.closeGroup = g.Close
 
 	// The member's private tail: one transition, grouped under the query
 	// name. Affinity n spreads sibling tails across workers.
+	e.sched.Add(&scheduler.Transition{
+		Name:     q.name + "/tail",
+		Group:    q.name,
+		Affinity: n,
+		Ready:    mem.Ready,
+		Fire:     func() { mem.Fire() },
+	})
+	// Cover anything sealed (or appended) during setup.
+	e.sched.NotifyGroup(q.groupSched)
+	e.sched.NotifyGroup(q.name)
+}
+
+// joinJoinGroup registers q as a member of its stream pair's shared join
+// group, creating the group — two stream front ends, per-side operator
+// DAGs, shared pair caches, and one scheduler transition per (side,
+// shard) — when q is the first join query with this pair key. As with
+// single-stream groups, the member's private tail runs as its own
+// transition under the query's name, so pause/resume/drop of one join
+// query never stalls its siblings or the shared slicing.
+func (e *Engine) joinJoinGroup(q *Query, left, right *plan.ScanStream) {
+	key := plan.JoinGroupKey(left, right)
+	var mem *factory.JoinMember
+	gv, n := e.cat.JoinGroup(key, func() any {
+		gname := fmt.Sprintf("group:%s#%d", key, e.groupSeq.Add(1))
+		g := factory.NewJoinGroup(factory.JoinGroupConfig{
+			Key:          key,
+			SchedGroup:   gname,
+			Left:         left,
+			Right:        right,
+			Now:          e.now,
+			NotifyMember: func(query string) { e.sched.NotifyGroup(query) },
+			NotifyShards: func() { e.sched.NotifyGroup(gname) },
+		})
+		// Join the creating member before the shard transitions go live so
+		// no basic window can seal against an empty member list.
+		mem = g.Join(q.name, q.fac)
+		for side := 0; side < 2; side++ {
+			for sh := 0; sh < g.NumShards(side); sh++ {
+				side, sh := side, sh
+				e.sched.Add(&scheduler.Transition{
+					Name:     fmt.Sprintf("%s/%d.%d", gname, side, sh),
+					Group:    gname,
+					Affinity: sh,
+					Ready:    func() bool { return g.ShardReady(side, sh) },
+					Fire:     func() { g.FireShard(side, sh) },
+				})
+			}
+		}
+		g.SubscribeAppend()
+		return g
+	})
+	g := gv.(*factory.JoinGroup)
+	if mem == nil {
+		mem = g.Join(q.name, q.fac)
+	}
+	q.groupKey, q.groupSched = key, g.SchedGroup()
+	q.leaveGroup = func() { g.Leave(mem) }
+	q.closeGroup = g.Close
+
 	e.sched.Add(&scheduler.Transition{
 		Name:     q.name + "/tail",
 		Group:    q.name,
@@ -288,8 +368,8 @@ func (q *Query) Name() string { return q.name }
 func (q *Query) Mode() string { return q.mode.String() }
 
 // Grouped reports whether the query runs as a member of a shared
-// execution group.
-func (q *Query) Grouped() bool { return q.member != nil }
+// execution group (single-stream or join).
+func (q *Query) Grouped() bool { return q.groupKey != "" }
 
 // GroupKey reports the shared execution group the query belongs to ("" if
 // isolated).
@@ -345,18 +425,16 @@ func (q *Query) Stop() {
 	for _, cancel := range q.cancels {
 		cancel()
 	}
-	if q.member != nil {
-		gv, remaining := e.cat.LeaveGroup(q.groupKey)
-		if g, ok := gv.(*factory.Group); ok {
-			if remaining == 0 {
-				// Last member: retire the shared shard transitions, then
-				// release the group's cursors and subscription.
-				e.sched.RemoveWait(q.groupSched)
-				g.Leave(q.member)
-				g.Close()
-			} else {
-				g.Leave(q.member)
-			}
+	if q.leaveGroup != nil {
+		_, remaining := e.cat.LeaveGroup(q.groupKey)
+		if remaining == 0 {
+			// Last member: retire the shared shard transitions, then
+			// release the group's cursors and subscriptions.
+			e.sched.RemoveWait(q.groupSched)
+			q.leaveGroup()
+			q.closeGroup()
+		} else {
+			q.leaveGroup()
 		}
 	}
 	q.fac.Stop()

@@ -19,26 +19,52 @@ type Stats struct {
 
 // GroupInfo is one shared execution group's observable state.
 type GroupInfo struct {
-	// Key is the group key (stream | window kind | slide | schema).
+	// Key is the group key (stream | window kind | slide | schema; join
+	// groups pair two of these with ⋈).
 	Key string
+	// Kind is "scan" for single-stream groups, "join" for stream pairs.
+	Kind string
 	// Members is the number of member queries sharing the slice.
 	Members int
-	// Shards is the stream's shard count (one shared firing each).
+	// Shards is the group's shared firing count (both sides for joins).
 	Shards int
 	// WindowsOut counts basic windows fanned out to members.
 	WindowsOut int64
 	// LiveBufs counts sealed window buffers still referenced by a member.
 	LiveBufs int64
+	// DagNodes counts distinct operator nodes in the group's shared
+	// operator DAG(s) — common member sub-tails registered once.
+	DagNodes int
+	// MemoHits / MemoMisses are the DAG memo counters: hits are operator
+	// evaluations served from a sibling's memoized output, misses actual
+	// evaluations. HitRate = hits / (hits + misses).
+	MemoHits   int64
+	MemoMisses int64
+	// PairCaches / CachedPairs / PairsComputed describe a join group's
+	// shared pair caches (one cache per distinct join fingerprint).
+	PairCaches    int
+	CachedPairs   int
+	PairsComputed int64
+}
+
+// MemoHitRate is the group's DAG memo hit rate in [0, 1] (0 when the DAG
+// has never evaluated).
+func (gi GroupInfo) MemoHitRate() float64 {
+	total := gi.MemoHits + gi.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(gi.MemoHits) / float64(total)
 }
 
 // factoryGroups resolves the catalog's opaque group registry entries to
-// their runtime type, sorted by key — the one place the any-typed
+// their runtime contract, sorted by key — the one place the any-typed
 // catalog boundary is crossed.
-func (e *Engine) factoryGroups() []*factory.Group {
-	var out []*factory.Group
+func (e *Engine) factoryGroups() []factory.SharedGroup {
+	var out []factory.SharedGroup
 	for _, key := range e.cat.GroupKeys() {
 		if gv, ok := e.cat.Group(key); ok {
-			if g, ok := gv.(*factory.Group); ok {
+			if g, ok := gv.(factory.SharedGroup); ok {
 				out = append(out, g)
 			}
 		}
@@ -50,12 +76,20 @@ func (e *Engine) factoryGroups() []*factory.Group {
 func (e *Engine) Groups() []GroupInfo {
 	var out []GroupInfo
 	for _, g := range e.factoryGroups() {
+		caches, pairs, computed := g.PairStats()
 		out = append(out, GroupInfo{
-			Key:        g.Key(),
-			Members:    g.Members(),
-			Shards:     g.NumShards(),
-			WindowsOut: g.WindowsOut(),
-			LiveBufs:   g.LiveBufs(),
+			Key:           g.Key(),
+			Kind:          g.Kind(),
+			Members:       g.Members(),
+			Shards:        g.Shards(),
+			WindowsOut:    g.WindowsOut(),
+			LiveBufs:      g.LiveBufs(),
+			DagNodes:      g.DagNodes(),
+			MemoHits:      g.MemoHits(),
+			MemoMisses:    g.MemoMisses(),
+			PairCaches:    caches,
+			CachedPairs:   pairs,
+			PairsComputed: computed,
 		})
 	}
 	return out
@@ -160,8 +194,13 @@ func (e *Engine) NetworkString() string {
 	if groups := e.Groups(); len(groups) > 0 {
 		b.WriteString("groups:\n")
 		for _, g := range groups {
-			fmt.Fprintf(&b, "  %-48s members=%-4d shards=%-3d windows=%-8d livebufs=%d\n",
-				g.Key, g.Members, g.Shards, g.WindowsOut, g.LiveBufs)
+			fmt.Fprintf(&b, "  %-48s kind=%-4s members=%-4d shards=%-3d windows=%-8d livebufs=%-4d dag=%-3d memo=%.0f%%",
+				g.Key, g.Kind, g.Members, g.Shards, g.WindowsOut, g.LiveBufs,
+				g.DagNodes, 100*g.MemoHitRate())
+			if g.Kind == "join" {
+				fmt.Fprintf(&b, " paircaches=%d pairs=%d computed=%d", g.PairCaches, g.CachedPairs, g.PairsComputed)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()
