@@ -515,6 +515,72 @@ func BenchmarkSharedSubtail(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedMerge16 is the shared-merge scaling benchmark: Q=16
+// IDENTICAL sliding-window members — same filter, same grouped partial
+// aggregate, same HAVING — forming one merge class. The "sharedmerge"
+// run evaluates the full-window merge and the post-merge HAVING fragment
+// once per sealed window for all 16 (the other 15 hit the merged-view
+// memo); the "nosharedmerge" ablation keeps the pipeline DAG but merges
+// per member — exactly the PR-3 grouped baseline, where each of the 16
+// re-merges its own ring of shared partials. Many grouping keys make the
+// merge stage heavy, so the win isolates what sharing past the merge
+// boundary buys even on one core. TestSharedMergeOncePerWindow pins that
+// both paths produce byte-identical results and that the class performs
+// exactly one merge per sealed window.
+func BenchmarkSharedMerge16(b *testing.B) {
+	const (
+		n     = 1 << 16
+		batch = 2048
+		nkeys = 2048
+		qn    = 16
+	)
+	chunks := feedSensor(n, batch, nkeys)
+	sql := "SELECT k, sum(v) AS s, count(*) AS c FROM s [SIZE 16384 SLIDE 2048] WHERE v > 50.0 GROUP BY k HAVING count(*) > 2"
+	for _, noSharedMerge := range []bool{false, true} {
+		label := "sharedmerge"
+		if noSharedMerge {
+			label = "nosharedmerge"
+		}
+		b.Run(fmt.Sprintf("%s/q_%d", label, qn), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := New(&Options{Workers: 4})
+				if _, err := eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)"); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < qn; j++ {
+					if _, err := eng.Register(fmt.Sprintf("q%02d", j), sql,
+						&RegisterOptions{Mode: ModeIncremental, NoChannel: true,
+							NoSharedMerge: noSharedMerge}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				for _, c := range chunks {
+					_ = eng.AppendChunk("s", c)
+				}
+				eng.Drain()
+				b.StopTimer()
+				if i == 0 {
+					if g := eng.Groups(); len(g) == 1 {
+						if noSharedMerge && (g[0].MergeHits != 0 || g[0].MergeMisses != 0) {
+							b.Fatalf("ablation run used the merge class: %+v", g[0])
+						}
+						if !noSharedMerge && g[0].MergeHits == 0 {
+							b.Fatal("shared-merge run recorded no merge hits")
+						}
+						b.ReportMetric(100*g[0].MergeHitRate(), "merge_hit_%")
+					}
+				}
+				eng.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
 // BenchmarkQueryGroupFanout is the shared multi-query scaling benchmark:
 // Q ∈ {1, 4, 16} continuous queries over one stream, once through the
 // shared execution group (the stream is drained and sliced once, member

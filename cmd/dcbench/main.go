@@ -37,7 +37,7 @@ func main() {
 	assertShards := flag.Bool("assert-shard-scaling", false,
 		"with -bench: fail if 4-shard ingest is >10% slower than 1-shard (multi-core hosts only)")
 	assertFloors := flag.Bool("assert-floors", false,
-		"with -bench: assert the tracked scaling floors (shard4_vs_shard1 ≥ 0.9 on multi-core, grouped16_vs_isolated16 ≥ 1.5, memo16_vs_nomemo16 ≥ 1.5)")
+		"with -bench: assert the tracked scaling floors (shard4_vs_shard1 ≥ 0.9 on multi-core, grouped16_vs_isolated16 ≥ 1.5, memo16_vs_nomemo16 ≥ 1.5, sharedmerge16_vs_nosharedmerge16 ≥ 1.5)")
 	compare := flag.String("compare", "", "previous BENCH_*.json to compare -against")
 	against := flag.String("against", "", "current BENCH_*.json for -compare")
 	gate := flag.Bool("gate", false,
@@ -105,6 +105,7 @@ func main() {
 		if *assertFloors {
 			assertFloor("grouped16_vs_isolated16", 1.5, false)
 			assertFloor("memo16_vs_nomemo16", 1.5, false)
+			assertFloor("sharedmerge16_vs_nosharedmerge16", 1.5, false)
 		}
 		if fail {
 			os.Exit(1)

@@ -356,15 +356,24 @@ func TestGroupKeyRules(t *testing.T) {
 	if j2.GroupKey() != j.GroupKey() {
 		t.Errorf("same stream pair and slide must share a join group: %q vs %q", j2.GroupKey(), j.GroupKey())
 	}
-	// A re-evaluation join has no pair cache to share; it stays isolated.
+	// A re-evaluation join whose plan decomposes joins the same join
+	// group: its full-window recompute is served by the shared pair cache
+	// (PR 4; before that it stayed isolated).
 	jr, err := eng.Register("jr",
 		"SELECT s.v, r.v FROM s [SIZE 16 SLIDE 16], r [SIZE 16 SLIDE 16] WHERE s.k = r.k",
 		&RegisterOptions{Mode: ModeReeval})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if jr.Grouped() {
-		t.Error("re-evaluation join must stay isolated")
+	if !jr.Grouped() {
+		t.Error("re-evaluation join with a decomposable plan should join the join group")
+	}
+	if jr.GroupKey() != j.GroupKey() {
+		t.Errorf("re-evaluation join key = %q, want %q (shared with incremental members)",
+			jr.GroupKey(), j.GroupKey())
+	}
+	if jr.Mode() != "reeval" {
+		t.Errorf("grouped re-evaluation join reports mode %q, want reeval", jr.Mode())
 	}
 	// REGISTER ISOLATED opts joins out too.
 	ji, err := eng.Register("ji",

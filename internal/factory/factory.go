@@ -26,6 +26,21 @@
 // blocking tail — ring maintenance, partial-aggregate merging, join
 // caching, post-merge fragment — exactly as the single-basket engine
 // would, so results are identical (up to row order within a window).
+//
+// Shared multi-query execution: continuous queries over the same stream
+// and slide granularity run as members of a shared execution group
+// (Group; stream⋈stream joins pair two front ends in a JoinGroup; the
+// engine-facing contract is SharedGroup). The group drains, sequences
+// and slices the stream once for all members and fans sealed basic
+// windows out as refcounted immutable views. On top of the shared
+// slice, common member work deduplicates stage by stage: identical
+// pipeline prefixes and partial aggregates evaluate once per window
+// through a memoizing operator DAG (dag.go), identical full-window
+// merges evaluate once per class through group-owned merge rings
+// (mergeclass.go), identical post-merge fragments evaluate once through
+// a second trie rooted at each merged view, and join groups share one
+// basic-window pair cache per join fingerprint. See DESIGN-SHARING.md
+// at the repository root for the end-to-end narrative and invariants.
 package factory
 
 import (
@@ -83,8 +98,16 @@ type Config struct {
 	// NoMemo opts a shared member out of the group's operator DAG: its
 	// per-basic-window pipeline always evaluates privately, as if no
 	// sibling shared a prefix. Benchmarks use it to measure what the memo
-	// buys; it never changes results.
+	// buys; it never changes results. It implies NoSharedMerge (merge
+	// classes build on the DAG's cached intermediates).
 	NoMemo bool
+	// NoSharedMerge opts a shared member out of its group's merge classes
+	// and post-merge trie: the member keeps resolving its per-basic-window
+	// pipeline through the DAG but merges full windows — and runs its
+	// post-merge fragment — privately, as before PR 4. Benchmarks use it
+	// to measure what sharing past the merge boundary buys; it never
+	// changes results.
+	NoSharedMerge bool
 	// Emit receives every evaluation's result set.
 	Emit emitter.Emitter
 	// Now supplies the wall clock in microseconds; defaults to the system
@@ -153,6 +176,11 @@ type Factory struct {
 	cfg    Config
 	inputs []*input
 	jc     window.PairCache
+	// reevalJoin marks a re-evaluation-mode join-group member: the plan
+	// decomposes, so the full-window recompute is expressed as the merge
+	// of cached basic-window pairs through the (group-shared) pair cache
+	// instead of re-running the whole plan over the concatenated rings.
+	reevalJoin bool
 
 	// stepMu serializes the blocking tail — ring pushes, join cache and
 	// window evaluation — across shard firings and Advance, keeping
@@ -179,8 +207,12 @@ func New(cfg Config, bind map[*plan.ScanStream]*basket.Sharded) (*Factory, error
 	f.stats.Mode = cfg.Mode.String()
 
 	scans := plan.Streams(cfg.Full)
-	if cfg.Mode == Incremental {
-		// Incremental execution reads through the decomposition's scans.
+	f.reevalJoin = cfg.Shared && cfg.Mode == Reeval &&
+		cfg.Decomp != nil && cfg.Decomp.Join != nil
+	if cfg.Mode == Incremental || f.reevalJoin {
+		// Incremental execution — and the re-evaluation join-group tail,
+		// which recomputes full windows through the same pair-cache
+		// machinery — reads through the decomposition's scans.
 		scans = nil
 		for _, p := range cfg.Decomp.Pipelines {
 			scans = append(scans, p.Scan)
@@ -639,10 +671,12 @@ const genIsSeq = int64(-1)
 
 // onBasicWindow advances the window state of input idx with a merged,
 // completed basic window and evaluates if a slide completed. Callers hold
-// stepMu.
+// stepMu. Re-evaluation join-group members run the incremental tail: the
+// decomposition certified their full-window recompute equals the merge of
+// cached basic-window pairs, which the shared pair cache serves.
 func (f *Factory) onBasicWindow(idx int, bw *window.BW) int {
 	in := f.inputs[idx]
-	if f.cfg.Mode == Reeval {
+	if f.cfg.Mode == Reeval && !f.reevalJoin {
 		if evicted := in.ring.Push(bw); evicted != nil {
 			evicted.ReleaseData()
 		}
@@ -727,6 +761,23 @@ func (f *Factory) incrementalStep(idx int, bw *window.BW) int {
 	evicted := in.ring.Push(bw)
 	if evicted != nil {
 		evicted.ReleaseData()
+	}
+	if bw.Final != nil || bw.Merged != nil {
+		// Shared merge: the member's merge class resolved the full-window
+		// merged view (and, for Final, the post-merge fragment) once for
+		// every class member; the ring above only tracks window alignment
+		// for the private fallback path.
+		result := bw.Final
+		if result == nil {
+			ex := &plan.Exec{MergedInputs: map[*plan.Merged]*bat.Chunk{d.MergedLeaf: bw.Merged}}
+			out, err := ex.Run(d.Post)
+			if err != nil {
+				return 0
+			}
+			result = out
+		}
+		f.emit(result, f.triggerArrival(bw), bw.Gen)
+		return 1
 	}
 	if f.jc != nil {
 		if evicted != nil {

@@ -39,6 +39,17 @@ type SharedGroup interface {
 	// evaluations served from a sibling's memoized output.
 	MemoHits() int64
 	MemoMisses() int64
+	// MergeStats reports the group-owned merge rings: active merge
+	// classes (two or more members holding byte-identical full-window
+	// merges), merged-view requests served from a sibling's evaluation
+	// (hits), and actual merge evaluations (misses). Zero for join groups,
+	// which merge through their pair caches instead.
+	MergeStats() (classes int, hits, misses int64)
+	// PostStats reports the post-merge trie: distinct post-merge fragment
+	// nodes (HAVING filters, final aggregates, sorts, limits) registered
+	// across members, and the trie's memo hit/miss counters. Zero for
+	// join groups.
+	PostStats() (nodes int, hits, misses int64)
 	// PairStats reports the group-level join pair caches: distinct caches
 	// (one per join fingerprint), live cached pairs, and pair evaluations
 	// ever computed. Zero for single-stream groups.
@@ -212,19 +223,25 @@ func (fe *frontEnd) advance(watermark int64) map[string]bool {
 // evaluated once per basic window and the member tails diverge only where
 // their plans do.
 type Group struct {
-	cfg GroupConfig
-	fe  *frontEnd
-	dag *dag
+	cfg     GroupConfig
+	fe      *frontEnd
+	dag     *dag // per-basic-window pipeline trie (rooted at the raw scan)
+	postDag *dag // post-merge trie (rooted at each class's merged view)
 
-	liveBufs   atomic.Int64 // sealed shared buffers not yet released by all members
-	windowsOut atomic.Int64 // basic windows fanned out
-	memoHits   atomic.Int64
-	memoMisses atomic.Int64
+	liveBufs    atomic.Int64 // sealed shared buffers not yet released by all members
+	windowsOut  atomic.Int64 // basic windows fanned out
+	memoHits    atomic.Int64
+	memoMisses  atomic.Int64
+	mergeHits   atomic.Int64 // merged views served from a sibling's evaluation
+	mergeMisses atomic.Int64 // actual merge evaluations
+	postHits    atomic.Int64 // post-merge fragments served from the trie memo
+	postMisses  atomic.Int64 // actual post-merge fragment evaluations
 
 	cancelAppend func()
 
 	mu      sync.Mutex
 	members []*Member
+	classes map[string]*mergeClass // merge classes by plan.MergeKey
 }
 
 // GroupConfig assembles a shared execution group.
@@ -260,7 +277,10 @@ type GroupConfig struct {
 // sealed basic windows awaiting the query's private tail, drained by the
 // member's scheduler transition. Members whose incremental pipeline
 // registered in the group DAG carry their leaf nodes; their tails resolve
-// Out/Partial through the shared memo before the private merge stage.
+// Out/Partial through the shared memo before the merge stage. Members in
+// a merge class additionally resolve the merge itself — and, through
+// postLeaf, their post-merge fragment — from the group's shared
+// machinery, so their private tail only emits.
 type Member struct {
 	g     *Group
 	query string
@@ -269,16 +289,28 @@ type Member struct {
 	leaf    *dagNode // pipeline leaf (nil: evaluate privately)
 	aggLeaf *dagNode // partial-aggregate node (nil: no shared partial)
 
+	// Shared-merge state. classKey is the member's plan.MergeKey ("" when
+	// the member merges privately: re-evaluation mode, joins, NoMemo, or
+	// NoSharedMerge). postLeaf is the member's post-merge chain in the
+	// group's post-merge trie (nil when the plan has no post fragment, or
+	// when it did not linearize — hasPost distinguishes the two).
+	classKey string
+	postLeaf *dagNode
+	hasPost  bool
+
 	// nextGen is touched only by fanout, which the front end's mergeMu
 	// serializes.
 	nextGen int64
 	q       memberQueue[memberBW]
 }
 
-// memberBW is one queued basic window plus the window's shared memo table.
+// memberBW is one queued basic window plus the window's shared memo
+// table and — for merge-class members whose window completed a full
+// window — the class's merged-view memo cell.
 type memberBW struct {
-	bw *window.BW
-	dw *dagWin
+	bw    *window.BW
+	dw    *dagWin
+	mcell *mergeCell
 }
 
 // NewGroup builds a group over a stream basket. It registers consumers on
@@ -290,7 +322,8 @@ func NewGroup(cfg GroupConfig) *Group {
 	if cfg.Now == nil {
 		cfg.Now = func() int64 { return time.Now().UnixMicro() }
 	}
-	g := &Group{cfg: cfg, dag: newDAG()}
+	g := &Group{cfg: cfg, dag: newDAG(), postDag: newDAG(),
+		classes: make(map[string]*mergeClass)}
 	g.fe = newFrontEnd(cfg.Basket, cfg.Window, cfg.Schema)
 	g.fe.sink = g.fanout
 	return g
@@ -345,6 +378,28 @@ func (g *Group) MemoHits() int64 { return g.memoHits.Load() }
 // MemoMisses reports actual operator evaluations (memo fills).
 func (g *Group) MemoMisses() int64 { return g.memoMisses.Load() }
 
+// MergeStats reports the active merge classes (group-owned merge rings
+// serving two or more members) and the merged-view memo counters: hits
+// are full-window merges served from a sibling's evaluation, misses
+// actual merge evaluations — for N class members, one miss and N-1 hits
+// per sealed full window.
+func (g *Group) MergeStats() (classes int, hits, misses int64) {
+	g.mu.Lock()
+	for _, mc := range g.classes {
+		if mc.active {
+			classes++
+		}
+	}
+	g.mu.Unlock()
+	return classes, g.mergeHits.Load(), g.mergeMisses.Load()
+}
+
+// PostStats reports the post-merge trie: distinct post-merge fragment
+// nodes registered across members and the trie's memo counters.
+func (g *Group) PostStats() (nodes int, hits, misses int64) {
+	return g.postDag.Nodes(), g.postHits.Load(), g.postMisses.Load()
+}
+
 // PairStats implements SharedGroup; single-stream groups hold no join
 // pair caches.
 func (g *Group) PairStats() (int, int, int64) { return 0, 0, 0 }
@@ -353,26 +408,66 @@ func (g *Group) PairStats() (int, int, int64) { return 0, 0, 0 }
 // basic window; tuples already buffered in the group's open epochs are
 // included in it. An incremental member whose per-basic-window pipeline
 // linearizes (plan.PipelineSteps) registers it — and its partial-aggregate
-// stage — in the shared DAG, unless the factory opted out (NoMemo).
+// stage — in the shared DAG, unless the factory opted out (NoMemo). A
+// DAG-registered member additionally joins the merge class of its
+// plan.MergeKey (unless NoSharedMerge) and registers its post-merge
+// fragment in the post-merge trie, so once a second member with the same
+// key arrives, merge and identical post fragments evaluate once per
+// sealed full window for the whole class.
 func (g *Group) Join(query string, fac *Factory) *Member {
 	m := &Member{g: g, query: query, fac: fac}
-	if d := fac.cfg.Decomp; d != nil && !fac.cfg.NoMemo &&
-		fac.cfg.Mode == Incremental && d.Join == nil {
+	d := fac.cfg.Decomp
+	if d != nil && !fac.cfg.NoMemo && fac.cfg.Mode == Incremental && d.Join == nil {
 		if steps, ok := plan.PipelineSteps(d.Pipelines[0].Root, d.Pipelines[0].Scan); ok {
 			m.leaf, m.aggLeaf = g.dag.register(steps, d.Agg)
+			if !fac.cfg.NoSharedMerge {
+				if key, ok := plan.MergeKey(d, steps); ok {
+					m.classKey = key
+					m.hasPost = d.Post != nil
+					if d.Post != nil {
+						if psteps, ok := plan.PostSteps(d.Post, d.MergedLeaf, key); ok {
+							m.postLeaf, _ = g.postDag.register(psteps, nil)
+						}
+					}
+				}
+			}
 		}
 	}
 	g.mu.Lock()
 	g.members = append(g.members, m)
+	if m.classKey != "" {
+		mc := g.classes[m.classKey]
+		if mc == nil {
+			mc = &mergeClass{
+				key:       m.classKey,
+				parts:     d.Pipelines[0].Scan.Window.Parts(),
+				agg:       d.Agg,
+				leaf:      m.leaf,
+				aggLeaf:   m.aggLeaf,
+				outSchema: d.MergedLeaf.Out,
+			}
+			g.classes[m.classKey] = mc
+		}
+		mc.refs++
+		if mc.refs >= 2 && !mc.active {
+			// The ring starts (or, after a drop back to one member,
+			// restarts) filling from the next sealed window.
+			mc.active = true
+			mc.reopen()
+		}
+	}
 	g.mu.Unlock()
 	return m
 }
 
 // Leave removes a member, releasing any sealed basic windows still queued
-// for it and its DAG path references. The caller must have removed the
-// member's scheduler transition first (RemoveWait) so no tail firing is
-// in flight.
+// for it, its DAG and post-merge trie path references, and its merge-
+// class membership — the class's ring (and its shared-buffer references)
+// is released when the last member with its key leaves. The caller must
+// have removed the member's scheduler transition first (RemoveWait) so no
+// tail firing is in flight.
 func (g *Group) Leave(m *Member) {
+	var closeClass *mergeClass
 	g.mu.Lock()
 	for i, x := range g.members {
 		if x == m {
@@ -380,7 +475,31 @@ func (g *Group) Leave(m *Member) {
 			break
 		}
 	}
+	if m.classKey != "" {
+		if mc := g.classes[m.classKey]; mc != nil {
+			mc.refs--
+			switch {
+			case mc.refs <= 0:
+				delete(g.classes, m.classKey)
+				closeClass = mc
+			case mc.refs == 1 && mc.active:
+				// Sharing is over: release the ring so a lone survivor
+				// stops pinning raw window buffers it would otherwise
+				// never need (its private ring still merges every
+				// window). A later second member reactivates the class
+				// and re-warms the ring.
+				mc.active = false
+				closeClass = mc
+			}
+		}
+	}
 	g.mu.Unlock()
+	if closeClass != nil {
+		closeClass.close()
+	}
+	if m.postLeaf != nil {
+		g.postDag.unregister(m.postLeaf)
+	}
 	if m.aggLeaf != nil {
 		g.dag.unregister(m.aggLeaf)
 	}
@@ -424,13 +543,23 @@ func (g *Group) FireShard(sh int) {
 }
 
 // fanout hands each sealed basic window to every member as a refcounted
-// shared view, together with the window's DAG memo table. Callers hold
-// the front end's mergeMu, which keeps per-member generations in order.
-// It returns the queries whose tail transitions need a wake-up.
+// shared view, together with the window's DAG memo table, and feeds the
+// active merge-class rings — each ring slot holds its own reference on
+// the shared buffer, and once a class ring covers a full window the
+// window's merged-view memo cell rides the class members' queue items.
+// Callers hold the front end's mergeMu, which keeps per-member
+// generations in order. It returns the queries whose tail transitions
+// need a wake-up.
 func (g *Group) fanout(ready []*window.BW) map[string]bool {
 	g.mu.Lock()
 	members := make([]*Member, len(g.members))
 	copy(members, g.members)
+	var classes []*mergeClass
+	for _, mc := range g.classes {
+		if mc.active {
+			classes = append(classes, mc)
+		}
+	}
 	g.mu.Unlock()
 
 	needDag := g.dag.Nodes() > 0
@@ -441,14 +570,27 @@ func (g *Group) fanout(ready []*window.BW) map[string]bool {
 			continue
 		}
 		g.liveBufs.Add(1)
-		buf := window.NewSharedBuf(bw.Data, len(members), func() { g.liveBufs.Add(-1) })
+		buf := window.NewSharedBuf(bw.Data, len(members)+len(classes), func() { g.liveBufs.Add(-1) })
 		var dw *dagWin
 		if needDag {
 			dw = newDagWin()
 		}
+		var cells map[string]*mergeCell
+		if len(classes) > 0 {
+			cells = make(map[string]*mergeCell, len(classes))
+			for _, mc := range classes {
+				if cell := mc.push(dw, buf.Data(), buf.Release); cell != nil {
+					cells[mc.key] = cell
+				}
+			}
+		}
 		for _, m := range members {
 			mbw := &window.BW{Gen: m.nextGen, Data: buf.Data(), MaxArrival: bw.MaxArrival, Free: buf.Release}
-			if !m.q.enqueue(memberBW{bw: mbw, dw: dw}) {
+			item := memberBW{bw: mbw, dw: dw}
+			if m.classKey != "" {
+				item.mcell = cells[m.classKey]
+			}
+			if !m.q.enqueue(item) {
 				mbw.ReleaseData() // member left between snapshot and enqueue
 				continue
 			}
@@ -481,16 +623,19 @@ func (m *Member) Ready() bool { return m.q.ready() }
 // batch, in generation order. Members registered in the shared DAG
 // resolve their pipeline output (and partial aggregate) through the
 // window's memo first — evaluating each distinct operator once across all
-// members — and release their raw-data reference immediately; the factory
-// tail then merges the cached intermediates. The scheduler guarantees a
-// single in-flight Fire per member. It returns the number of result sets
-// emitted.
+// members — and release their raw-data reference immediately. Merge-class
+// members then resolve the full-window merged view through the window's
+// merge cell (one merge evaluation per sealed window across the class)
+// and their post-merge fragment through the post-merge trie, so the
+// factory tail only emits; everyone else merges privately in the tail.
+// The scheduler guarantees a single in-flight Fire per member. It returns
+// the number of result sets emitted.
 func (m *Member) Fire() int {
 	items := m.q.drain()
 	evs := make([]SharedBW, 0, len(items))
 	for _, it := range items {
+		bw := it.bw
 		if it.dw != nil && (m.leaf != nil || m.aggLeaf != nil) {
-			bw := it.bw
 			bw.Out = m.g.dag.eval(it.dw, m.leaf, bw.Data, &m.g.memoHits, &m.g.memoMisses)
 			if m.aggLeaf != nil {
 				bw.Partial = m.g.dag.eval(it.dw, m.aggLeaf, bw.Data, &m.g.memoHits, &m.g.memoMisses)
@@ -498,7 +643,29 @@ func (m *Member) Fire() int {
 			// The raw-data reference is released by the factory tail after
 			// tuple accounting (incrementalStep).
 		}
-		evs = append(evs, SharedBW{Input: 0, BW: it.bw})
+		// The merge cell serves this member only once its own ring is warm
+		// (Gen counts windows since the member joined): a late joiner's
+		// first full window must cover exactly the windows it received, as
+		// it would alone.
+		if it.mcell != nil && bw.Gen >= int64(it.mcell.mc.parts-1) {
+			merged, pdw, computed := it.mcell.eval(m.g)
+			if computed {
+				m.g.mergeMisses.Add(1)
+			} else {
+				m.g.mergeHits.Add(1)
+			}
+			switch {
+			case m.postLeaf != nil:
+				bw.Final = m.g.postDag.eval(pdw, m.postLeaf, merged, &m.g.postHits, &m.g.postMisses)
+			case m.hasPost:
+				// Post fragment exists but did not linearize: the tail runs
+				// it privately over the shared merged view.
+				bw.Merged = merged
+			default:
+				bw.Final = merged
+			}
+		}
+		evs = append(evs, SharedBW{Input: 0, BW: bw})
 	}
 	return m.fac.SharedFire(evs)
 }

@@ -78,7 +78,11 @@ type JoinGroupConfig struct {
 
 // JoinMember is one join query's membership: a queue of (side, basic
 // window) events in the group's global pairing order, drained by the
-// query's tail transition.
+// query's tail transition. Incremental members and re-evaluation members
+// run through the same machinery — the decomposition certifies that a
+// re-evaluation join's full-window recompute equals the merge of cached
+// basic-window pairs, so both modes share the fingerprint-keyed pair
+// cache.
 type JoinMember struct {
 	g     *JoinGroup
 	query string
@@ -87,6 +91,7 @@ type JoinMember struct {
 	leaf  [2]*dagNode // per-side pipeline leaves (nil: evaluate privately)
 	pcKey string
 	pc    *window.SharedPairCache
+	parts int // the member's window extent, released from pc on Leave
 
 	q memberQueue[joinEvent]
 }
@@ -168,6 +173,15 @@ func (g *JoinGroup) MemoHits() int64 { return g.memoHits.Load() }
 // MemoMisses reports actual operator evaluations (memo fills).
 func (g *JoinGroup) MemoMisses() int64 { return g.memoMisses.Load() }
 
+// MergeStats implements SharedGroup; join groups merge through their
+// shared pair caches (see PairStats), not group-owned merge rings.
+func (g *JoinGroup) MergeStats() (int, int64, int64) { return 0, 0, 0 }
+
+// PostStats implements SharedGroup; join groups do not share post-merge
+// fragments yet (each member recomputes aggregates above the join over
+// its merged pair set).
+func (g *JoinGroup) PostStats() (int, int64, int64) { return 0, 0, 0 }
+
 // PairStats reports the shared pair caches: distinct live caches, live
 // cached pairs, and pair evaluations ever computed (cumulative across
 // retired caches, so the counter never regresses mid-session).
@@ -215,11 +229,11 @@ func (g *JoinGroup) Join(query string, fac *Factory) *JoinMember {
 	// Decompose requires the two sides' windows to slide in lockstep, so
 	// their extents agree today — take the max anyway so the retention
 	// horizon stays correct if that invariant ever loosens.
-	parts := d.Pipelines[0].Scan.Window.Parts()
-	if p := d.Pipelines[1].Scan.Window.Parts(); p > parts {
-		parts = p
+	m.parts = d.Pipelines[0].Scan.Window.Parts()
+	if p := d.Pipelines[1].Scan.Window.Parts(); p > m.parts {
+		m.parts = p
 	}
-	m.pc.Retain(parts)
+	m.pc.Retain(m.parts)
 	g.members = append(g.members, m)
 	g.mu.Unlock()
 	fac.SetPairCache(m.pc)
@@ -227,8 +241,11 @@ func (g *JoinGroup) Join(query string, fac *Factory) *JoinMember {
 }
 
 // Leave removes a member, releasing queued windows, DAG references and
-// its pair-cache reference. The caller must have removed the member's
-// tail transition first (RemoveWait).
+// its pair-cache reference. A surviving cache recomputes its retention
+// horizon from the remaining members' extents, so a departing wide
+// member no longer pins pairs beyond the widest surviving ring. The
+// caller must have removed the member's tail transition first
+// (RemoveWait).
 func (g *JoinGroup) Leave(m *JoinMember) {
 	g.mu.Lock()
 	for i, x := range g.members {
@@ -242,6 +259,8 @@ func (g *JoinGroup) Leave(m *JoinMember) {
 		if e.refs <= 0 {
 			g.retiredComputed += e.pc.Computed()
 			delete(g.caches, m.pcKey)
+		} else {
+			e.pc.Release(m.parts)
 		}
 	}
 	g.mu.Unlock()

@@ -1,10 +1,12 @@
-// Canonical operator fingerprints for shared-sub-tail execution. Two
-// member queries of an execution group whose per-basic-window pipelines
-// render to the same fingerprint chain perform identical work on identical
-// input, so the group's operator DAG evaluates the chain once per sealed
-// basic window and shares the memoized output. Fingerprints are canonical
-// strings, not hashes: collisions would silently cross-wire two queries'
-// results, so equality must be exact.
+// This file holds the canonical operator fingerprints for shared
+// multi-query execution. Two member queries of an execution group whose
+// operator chains render to the same fingerprint chain perform identical
+// work on identical input, so the group's shared tries evaluate the
+// chain once per sealed basic window (pipeline DAG) or per merged
+// full-window view (post-merge trie) and share the memoized output.
+// Fingerprints are canonical strings, not hashes: collisions would
+// silently cross-wire two queries' results, so equality must be exact.
+
 package plan
 
 import (
@@ -16,7 +18,7 @@ import (
 	"datacell/internal/expr"
 )
 
-// Fingerprint renders a pipeline operator's canonical identity: the
+// Fingerprint renders a plan operator's canonical identity: the
 // operator's parameters plus, recursively, its children's fingerprints.
 // Column references render positionally ($idx), never by name, so alias
 // choices ("FROM s" vs "FROM s x") cannot split identical computations —
@@ -25,9 +27,13 @@ import (
 // deliberately ignoring the window SIZE: basic windows are cut per slide,
 // so members with different extents still consume identical raw chunks.
 // Table scans fingerprint by catalog name — the snapshot both members
-// would read. Operators that cannot appear in a per-basic-window pipeline
-// (Sort, Limit, Distinct, Merged) fingerprint by pointer identity, which
-// makes them shareable with nothing.
+// would read. Sort, Limit and Distinct render canonically too — they
+// cannot appear inside a per-basic-window pipeline, but post-merge
+// fragments (HAVING filters, final sorts, LIMIT) share through the
+// group's post-merge trie, whose node identities are built from these
+// forms. Merged leaves fingerprint by pointer identity: a merged view's
+// identity is its merge class (plan.MergeKey), which the caller supplies
+// as the explicit root fingerprint of a post-merge chain (PostSteps).
 func Fingerprint(n Node) string {
 	switch t := n.(type) {
 	case *ScanStream:
@@ -49,9 +55,29 @@ func Fingerprint(n Node) string {
 			Fingerprint(t.L), Fingerprint(t.R))
 	case *Aggregate:
 		return FingerprintAggregate(t, Fingerprint(t.Child))
+	case *Sort:
+		return fingerprintSort(t, Fingerprint(t.Child))
+	case *Limit:
+		return fmt.Sprintf("limit{%d}(%s)", t.N, Fingerprint(t.Child))
+	case *Distinct:
+		return fmt.Sprintf("distinct(%s)", Fingerprint(t.Child))
 	default:
 		return fmt.Sprintf("opaque{%p}", n)
 	}
+}
+
+// fingerprintSort renders a Sort's canonical identity over an explicit
+// child fingerprint. Sort keys are already positional (bound output
+// column indexes), so the render is canonical by construction.
+func fingerprintSort(t *Sort, childFp string) string {
+	keys := make([]string, len(t.Keys))
+	for i, k := range t.Keys {
+		keys[i] = fmt.Sprintf("$%d", k.Col)
+		if k.Desc {
+			keys[i] += " desc"
+		}
+	}
+	return fmt.Sprintf("sort{%s}(%s)", strings.Join(keys, ","), childFp)
 }
 
 // FingerprintAggregate renders the partial-aggregate stage's canonical
@@ -116,13 +142,16 @@ func canonExpr(e expr.Expr) string {
 	}
 }
 
-// PipelineSteps linearizes a per-basic-window pipeline from its stream
-// scan up to (and including) root: the operator chain the group DAG
-// registers as a trie path. StreamLeft marks, for joins against static
-// tables, which side carries the stream data. It returns false when the
-// chain contains an operator the DAG cannot apply stepwise.
+// PipelineStep is one operator of a linearized plan chain — the unit a
+// group's shared operator tries register as trie nodes. Two chains exist:
+// per-basic-window pipelines (PipelineSteps, rooted at the stream scan)
+// and post-merge fragments (PostSteps, rooted at a merged full-window
+// view). StreamLeft marks, for joins against static tables, which side
+// carries the stream data.
 type PipelineStep struct {
-	// Op is the operator (Filter, Project, or static-table Join).
+	// Op is the operator: Filter, Project, or static-table Join in a
+	// per-basic-window pipeline; additionally Sort, Limit, Distinct, or
+	// Aggregate in a post-merge fragment.
 	Op Node
 	// StreamLeft is meaningful for Join steps only: the stream side.
 	StreamLeft bool
@@ -171,12 +200,62 @@ func PipelineSteps(root Node, scan *ScanStream) (steps []PipelineStep, ok bool) 
 	return chain, true
 }
 
-// ApplyStep runs one pipeline operator over an explicit stream-side input
-// chunk — the evaluation unit of a group's shared operator DAG. Static
-// join sides (tables only) are snapshotted per call, exactly as a private
-// per-member pipeline evaluation would. An evaluation error degrades to an
-// empty chunk of the operator's schema, mirroring the factory's
-// per-basic-window error handling.
+// PostSteps linearizes a post-merge fragment from its Merged leaf up to
+// (and including) root: the operator chain a group's post-merge trie
+// registers so identical HAVING filters, projections, final aggregates,
+// sorts and LIMITs evaluate once per merged full-window view. rootFp
+// seeds the cumulative fingerprints — callers pass the merge class key
+// (plan.MergeKey), so chains over distinct merged views can never
+// collide in one trie. ok is false when the fragment contains an
+// operator the trie cannot apply stepwise (the member then evaluates its
+// post fragment privately, as before).
+func PostSteps(root Node, leaf *Merged, rootFp string) (steps []PipelineStep, ok bool) {
+	var chain []PipelineStep
+	cur := root
+	for cur != Node(leaf) {
+		switch t := cur.(type) {
+		case *Filter:
+			chain = append(chain, PipelineStep{Op: t})
+			cur = t.Child
+		case *Project:
+			chain = append(chain, PipelineStep{Op: t})
+			cur = t.Child
+		case *Sort:
+			chain = append(chain, PipelineStep{Op: t})
+			cur = t.Child
+		case *Limit:
+			chain = append(chain, PipelineStep{Op: t})
+			cur = t.Child
+		case *Distinct:
+			chain = append(chain, PipelineStep{Op: t})
+			cur = t.Child
+		case *Aggregate:
+			chain = append(chain, PipelineStep{Op: t})
+			cur = t.Child
+		default:
+			return nil, false
+		}
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	fp := rootFp
+	for i := range chain {
+		fp = stepFingerprint(chain[i], fp)
+		chain[i].Fp = fp
+	}
+	return chain, true
+}
+
+// ApplyStep runs one chain operator over an explicit input chunk — the
+// evaluation unit of a group's shared operator tries (the stream-side
+// input of a per-basic-window pipeline step, or the merged view of a
+// post-merge step). Static join sides (tables only) are snapshotted per
+// call, exactly as a private per-member pipeline evaluation would. Each
+// case mirrors Exec.Run's evaluation of the same operator, which is what
+// makes a shared chain byte-identical to a private one. An evaluation
+// error degrades to an empty chunk of the operator's schema, mirroring
+// the factory's per-basic-window error handling.
 func ApplyStep(s PipelineStep, in *bat.Chunk) *bat.Chunk {
 	switch t := s.Op.(type) {
 	case *Filter:
@@ -188,6 +267,18 @@ func ApplyStep(s PipelineStep, in *bat.Chunk) *bat.Chunk {
 			cols[i] = e.Eval(in, nil)
 		}
 		return &bat.Chunk{Schema: t.Out, Cols: cols}
+	case *Sort:
+		return RunSort(t, in)
+	case *Limit:
+		if int64(in.Rows()) <= t.N {
+			return in
+		}
+		return in.Slice(0, int(t.N))
+	case *Distinct:
+		g := algebra.Group(in.Cols, nil, in.Rows())
+		return algebra.FetchChunk(in, g.Repr)
+	case *Aggregate:
+		return RunAggregate(t, in)
 	case *Join:
 		ex := &Exec{}
 		l, r := in, in
@@ -211,9 +302,9 @@ func ApplyStep(s PipelineStep, in *bat.Chunk) *bat.Chunk {
 	return bat.NewChunk(s.Op.Schema())
 }
 
-// stepFingerprint is Fingerprint with the stream-side child replaced by an
+// stepFingerprint is Fingerprint with the chain-side child replaced by an
 // explicit prefix fingerprint, so chains over distinct (but equivalent)
-// scan nodes compose identically.
+// roots — scan nodes, merged views — compose identically.
 func stepFingerprint(s PipelineStep, childFp string) string {
 	switch t := s.Op.(type) {
 	case *Filter:
@@ -224,6 +315,14 @@ func stepFingerprint(s PipelineStep, childFp string) string {
 			exprs[i] = canonExpr(e)
 		}
 		return fmt.Sprintf("project{%s|%s}(%s)", strings.Join(exprs, ","), t.Out, childFp)
+	case *Sort:
+		return fingerprintSort(t, childFp)
+	case *Limit:
+		return fmt.Sprintf("limit{%d}(%s)", t.N, childFp)
+	case *Distinct:
+		return fmt.Sprintf("distinct(%s)", childFp)
+	case *Aggregate:
+		return FingerprintAggregate(t, childFp)
 	case *Join:
 		l, r := Fingerprint(t.L), Fingerprint(t.R)
 		if s.StreamLeft {

@@ -53,6 +53,41 @@ func GroupKey(sc *ScanStream) string {
 		sc.Stream.Name, w.SlideDur.Microseconds(), w.TimeIdx, sc.Out)
 }
 
+// MergeKey is the merge-class key of an incremental single-stream
+// decomposition: members of one execution group whose decompositions
+// agree on it hold byte-identical full-window merged views, so the group
+// can own one merge ring per class and evaluate the merge — partial-
+// aggregate merging, or concatenation of cached pipeline outputs — once
+// per sealed full window for all of them. The key is the window extent
+// in basic windows plus the canonical fingerprint of the merged view's
+// content: the pipeline chain's fingerprint, wrapped in the partial-
+// aggregate fingerprint when the plan aggregates. Post-merge fragments
+// (HAVING, final sort/limit) are deliberately absent — they diverge per
+// member and share separately through the group's post-merge trie,
+// rooted at this key. ok is false for plans the shared merge cannot
+// serve: join decompositions (they merge through pair caches) and
+// pipelines that do not linearize. steps must be the decomposition's
+// already-linearized pipeline chain (PipelineSteps over Pipelines[0]) —
+// the key is derived from the same chain the caller registers in the
+// group DAG, so the two can never drift apart.
+func MergeKey(d *Decomposition, steps []PipelineStep) (string, bool) {
+	if d == nil || d.Join != nil || len(d.Pipelines) != 1 {
+		return "", false
+	}
+	scan := d.Pipelines[0].Scan
+	if scan.Window == nil {
+		return "", false
+	}
+	fp := Fingerprint(scan)
+	if len(steps) > 0 {
+		fp = steps[len(steps)-1].Fp
+	}
+	if d.Agg != nil {
+		fp = FingerprintAggregate(d.Agg, fp)
+	}
+	return fmt.Sprintf("merge{parts=%d}(%s)", scan.Window.Parts(), fp), true
+}
+
 // JoinGroupKey is the shared-execution group key of a stream⋈stream join:
 // queries whose two windowed scans agree on it consume identical pairs of
 // basic-window sequences, so one join group can drain and slice both

@@ -104,6 +104,11 @@ func (s *Session) Dispatch(line string) (string, bool) {
 			fmt.Fprintf(&b, "%s kind=%s members=%d shards=%d windows=%d livebufs=%d dag_nodes=%d memo_hits=%d memo_misses=%d hit_rate=%.1f%%",
 				g.Key, g.Kind, g.Members, g.Shards, g.WindowsOut, g.LiveBufs,
 				g.DagNodes, g.MemoHits, g.MemoMisses, 100*g.MemoHitRate())
+			if g.MergeClasses > 0 || g.PostNodes > 0 {
+				fmt.Fprintf(&b, " merge_classes=%d merge_hits=%d merge_misses=%d merge_rate=%.1f%% post_nodes=%d post_hits=%d post_misses=%d post_rate=%.1f%%",
+					g.MergeClasses, g.MergeHits, g.MergeMisses, 100*g.MergeHitRate(),
+					g.PostNodes, g.PostHits, g.PostMisses, 100*g.PostHitRate())
+			}
 			if g.Kind == "join" {
 				fmt.Fprintf(&b, " pair_caches=%d cached_pairs=%d pairs_computed=%d",
 					g.PairCaches, g.CachedPairs, g.PairsComputed)

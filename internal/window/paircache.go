@@ -37,26 +37,66 @@ type PairCache interface {
 type SharedPairCache struct {
 	mu       sync.Mutex
 	jc       *JoinCache
-	maxParts int64
+	retained map[int]int // member window extents (multiset): extent → count
+	maxParts int64       // current horizon: the widest retained extent
 	newest   [2]int64
 	seen     [2]bool
 }
 
 // NewSharedPairCache builds the group-level cache for a join node.
 func NewSharedPairCache(join *plan.Join) *SharedPairCache {
-	return &SharedPairCache{jc: NewJoinCache(join)}
+	return &SharedPairCache{jc: NewJoinCache(join), retained: make(map[int]int)}
 }
 
-// Retain raises the retention horizon to a joining member's window extent
-// (in basic windows). Retention never shrinks: a departing wide member may
-// leave pairs cached longer than any remaining ring needs, which costs
-// memory for at most one window and self-corrects as generations advance.
+// Retain records a joining member's window extent (in basic windows) and
+// raises the retention horizon to the widest retained extent. Release is
+// its inverse on member Leave.
 func (s *SharedPairCache) Retain(parts int) {
 	s.mu.Lock()
+	s.retained[parts]++
 	if int64(parts) > s.maxParts {
 		s.maxParts = int64(parts)
 	}
 	s.mu.Unlock()
+}
+
+// Release drops one member's window extent from the retention multiset
+// and recomputes the horizon; when the departing member was the widest,
+// pairs beyond the new horizon are evicted immediately rather than
+// lingering for up to one extra window.
+func (s *SharedPairCache) Release(parts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.retained[parts]; n > 1 {
+		s.retained[parts] = n - 1
+	} else {
+		delete(s.retained, parts)
+	}
+	var max int64
+	for p := range s.retained {
+		if int64(p) > max {
+			max = int64(p)
+		}
+	}
+	if max == s.maxParts || max == 0 {
+		s.maxParts = max
+		return
+	}
+	s.maxParts = max
+	s.evictLocked()
+}
+
+// evictLocked sweeps both sides' expired generations under the current
+// horizon. Callers hold s.mu.
+func (s *SharedPairCache) evictLocked() {
+	var lwm, rwm int64 = -1 << 62, -1 << 62
+	if s.seen[0] {
+		lwm = s.threshold(0)
+	}
+	if s.seen[1] {
+		rwm = s.threshold(1)
+	}
+	s.jc.EvictThrough(lwm, rwm)
 }
 
 // threshold reports the eviction watermark of a side: generations ≤ it are
@@ -87,14 +127,7 @@ func (s *SharedPairCache) add(side int, bw *BW, others []*BW) {
 			s.jc.ensure(o, bw)
 		}
 	}
-	var lwm, rwm int64 = -1 << 62, -1 << 62
-	if s.seen[0] {
-		lwm = s.threshold(0)
-	}
-	if s.seen[1] {
-		rwm = s.threshold(1)
-	}
-	s.jc.EvictThrough(lwm, rwm)
+	s.evictLocked()
 }
 
 // AddLeft joins a new left basic window against the member's live right

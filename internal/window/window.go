@@ -42,6 +42,17 @@ type BW struct {
 	// Partial caches the per-basic-window partial aggregate (incremental
 	// mode, aggregate path).
 	Partial *bat.Chunk
+	// Merged, when non-nil, is the group-resolved full-window merged view
+	// this basic window completed: the member's merge class evaluated the
+	// merge once for every member, and the tail only runs its private
+	// post-merge fragment over it. Set by shared-merge group members whose
+	// post fragment did not register in the post-merge trie.
+	Merged *bat.Chunk
+	// Final, when non-nil, is the complete per-slide result for the
+	// window this basic window completed: merge AND post-merge fragment
+	// were resolved through the group's shared machinery, and the tail
+	// only emits. Merged and Final are mutually exclusive.
+	Final *bat.Chunk
 	// Free, when non-nil, releases the basic window's share of a group's
 	// refcounted data buffer. Query-group members set it; standalone
 	// factories leave it nil.

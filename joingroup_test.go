@@ -281,6 +281,134 @@ func TestJoinGroupMemberPauseDrop(t *testing.T) {
 	mustExecG(t, eng, "DROP STREAM r")
 }
 
+// TestReevalJoinGroupEquivalence: a re-evaluation join whose plan
+// decomposes joins the stream pair's join group (PR 4) — its full-window
+// recompute is served by the shared pair cache — and must produce the
+// same per-eval results (order-insensitive: the pair merge concatenates
+// in pair order, a monolithic re-evaluation in hash-join order) as the
+// same query registered ISOLATED, which still re-runs the whole plan.
+// Mixed-mode sharing is pinned too: an incremental and a re-evaluation
+// member with the same join fingerprint share one pair cache, computing
+// no pair twice.
+func TestReevalJoinGroupEquivalence(t *testing.T) {
+	const size, slide = 32, 16
+	ls, rs := joinFeed(192, slide, 9)
+	sql := fmt.Sprintf(
+		"SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k",
+		size, slide, size, slide)
+
+	run := func(opts *RegisterOptions) [][]string {
+		eng := New(&Options{Workers: 1})
+		defer eng.Close()
+		mustExecG(t, eng, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+		mustExecG(t, eng, "CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)")
+		q, err := eng.Register("q", sql, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opts.Isolated == q.Grouped() {
+			t.Fatalf("Isolated=%v but Grouped=%v", opts.Isolated, q.Grouped())
+		}
+		if q.Mode() != "reeval" {
+			t.Fatalf("mode = %q, want reeval", q.Mode())
+		}
+		feedPairwise(t, eng, ls, rs)
+		return collectSorted(q)
+	}
+	grouped := run(&RegisterOptions{Mode: ModeReeval})
+	isolated := run(&RegisterOptions{Mode: ModeReeval, Isolated: true})
+	if len(grouped) == 0 {
+		t.Fatal("grouped re-evaluation join emitted nothing")
+	}
+	if fmt.Sprint(grouped) != fmt.Sprint(isolated) {
+		t.Fatalf("re-evaluation join diverges:\ngrouped  %v\nisolated %v", grouped, isolated)
+	}
+
+	// Mixed modes share the fingerprint-keyed pair cache.
+	mixed := func(modes []Mode) GroupInfo {
+		eng := New(&Options{Workers: 1})
+		defer eng.Close()
+		mustExecG(t, eng, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+		mustExecG(t, eng, "CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)")
+		for i, mode := range modes {
+			if _, err := eng.Register(fmt.Sprintf("q%d", i), sql,
+				&RegisterOptions{Mode: mode, NoChannel: true}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		feedPairwise(t, eng, ls, rs)
+		g := eng.Groups()
+		if len(g) != 1 {
+			t.Fatalf("groups = %+v", g)
+		}
+		return g[0]
+	}
+	alone := mixed([]Mode{ModeIncremental})
+	both := mixed([]Mode{ModeIncremental, ModeReeval})
+	if both.Members != 2 || both.PairCaches != 1 {
+		t.Fatalf("mixed-mode group = %+v, want 2 members sharing 1 pair cache", both)
+	}
+	if alone.PairsComputed == 0 || both.PairsComputed != alone.PairsComputed {
+		t.Errorf("mixed modes computed %d pairs, single member %d — pairs recomputed across modes",
+			both.PairsComputed, alone.PairsComputed)
+	}
+}
+
+// TestPairCacheRetentionOnLeave is the regression test for the retention
+// leak: the shared pair cache's horizon is the widest member extent, and
+// before PR 4 it never shrank on Leave — a departed wide member kept
+// pinning pairs for up to one extra window. Dropping the wide member must
+// now recompute the horizon from the survivors and evict immediately,
+// visible in the \groups pair-cache stats.
+func TestPairCacheRetentionOnLeave(t *testing.T) {
+	const slide = 10
+	ls, rs := joinFeed(160, slide, 7)
+	join := func(size int) string {
+		return fmt.Sprintf(
+			"SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k",
+			size, slide, size, slide)
+	}
+	eng := New(&Options{Workers: 1})
+	defer eng.Close()
+	mustExecG(t, eng, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+	mustExecG(t, eng, "CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)")
+	wide, err := eng.Register("wide", join(6*slide), &RegisterOptions{NoChannel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := eng.Register("narrow", join(2*slide), &RegisterOptions{NoChannel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.GroupKey() != narrow.GroupKey() {
+		t.Fatalf("extents must share a join group: %q vs %q", wide.GroupKey(), narrow.GroupKey())
+	}
+	feedPairwise(t, eng, ls, rs)
+	before := eng.Groups()[0]
+	if before.PairCaches != 1 || before.CachedPairs == 0 {
+		t.Fatalf("before drop: %+v", before)
+	}
+	wide.Stop()
+	after := eng.Groups()[0]
+	// The wide member held 6 generations per side (≈ 6x6 pairs); the
+	// narrow survivor needs only 2 per side. Its Leave must shrink the
+	// horizon and sweep the excess immediately — not after another window.
+	if after.CachedPairs >= before.CachedPairs {
+		t.Fatalf("pairs after wide Leave = %d, before = %d — retention did not shrink",
+			after.CachedPairs, before.CachedPairs)
+	}
+	maxNarrow := (2 + 1) * (2 + 1)
+	if after.CachedPairs > maxNarrow {
+		t.Errorf("pairs after wide Leave = %d, want ≤ %d (narrow horizon)",
+			after.CachedPairs, maxNarrow)
+	}
+	// And the surviving member keeps running off the shrunk cache.
+	feedPairwise(t, eng, ls[:4], rs[:4])
+	if g := eng.Groups()[0]; g.CachedPairs > maxNarrow {
+		t.Errorf("pairs after more windows = %d, want ≤ %d", g.CachedPairs, maxNarrow)
+	}
+}
+
 // TestJoinGroupKeyRules: different slides split join groups; mirrored
 // stream order does not share a group (sides would swap roles); \groups
 // surfaces the join kind.

@@ -43,8 +43,16 @@ type RegisterOptions struct {
 	// NoMemo keeps a grouped query out of its group's shared operator
 	// DAG: the per-basic-window pipeline always evaluates privately, as if
 	// no sibling shared a common sub-tail. Results are unaffected;
-	// benchmarks use it to measure what the memo buys.
+	// benchmarks use it to measure what the memo buys. It implies
+	// NoSharedMerge.
 	NoMemo bool
+	// NoSharedMerge keeps a grouped query out of its group's merge
+	// classes and post-merge trie: the query still resolves its per-basic-
+	// window pipeline through the shared DAG, but merges full windows and
+	// runs its post-merge fragment (HAVING, final sort/limit) privately —
+	// the pre-PR-4 behavior. Results are unaffected; benchmarks use it to
+	// measure what sharing past the merge boundary buys.
+	NoSharedMerge bool
 }
 
 // Query is a registered continuous query handle.
@@ -134,8 +142,12 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 	}
 
 	// Shared multi-query execution: a single windowed stream scan joins
-	// the stream's query group, and an incremental stream⋈stream join
-	// joins the stream pair's join group, unless the caller opted out.
+	// the stream's query group, and a stream⋈stream join joins the stream
+	// pair's join group, unless the caller opted out. Re-evaluation joins
+	// group too when their plan decomposes: the decomposition certifies
+	// that the full-window recompute equals the merge of cached basic-
+	// window pairs, so the member shares the front ends and the
+	// fingerprint-keyed pair cache instead of staying isolated.
 	var groupScan *plan.ScanStream
 	var joinL, joinR *plan.ScanStream
 	if opts == nil || !opts.Isolated {
@@ -143,6 +155,15 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 			groupScan = sc
 		} else if fmode == factory.Incremental {
 			joinL, joinR, _ = plan.SharedJoin(decomp)
+		} else if mode == ModeReeval {
+			// ModeAuto already tried (and failed) to decompose above;
+			// only an explicitly forced REEVAL plan is worth a fresh
+			// attempt here.
+			if d, err := plan.Decompose(opt); err == nil {
+				if l, r, ok := plan.SharedJoin(d); ok {
+					decomp, joinL, joinR = d, l, r
+				}
+			}
 		}
 	}
 	shared := groupScan != nil || joinL != nil
@@ -174,14 +195,15 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 	}
 
 	fac, err := factory.New(factory.Config{
-		Name:   name,
-		Full:   opt,
-		Decomp: decomp,
-		Mode:   fmode,
-		Shared: shared,
-		NoMemo: opts != nil && opts.NoMemo,
-		Emit:   emit,
-		Now:    e.now,
+		Name:          name,
+		Full:          opt,
+		Decomp:        decomp,
+		Mode:          fmode,
+		Shared:        shared,
+		NoMemo:        opts != nil && opts.NoMemo,
+		NoSharedMerge: opts != nil && opts.NoSharedMerge,
+		Emit:          emit,
+		Now:           e.now,
 		// A firing that raises an input's event-time watermark re-enables
 		// the whole query: sibling shards that fired earlier may now hold
 		// sealed buckets awaiting flush.

@@ -40,6 +40,20 @@ type GroupInfo struct {
 	// evaluations. HitRate = hits / (hits + misses).
 	MemoHits   int64
 	MemoMisses int64
+	// MergeClasses counts the group-owned merge rings: classes of two or
+	// more members whose full-window merges are byte-identical
+	// (plan.MergeKey) and therefore evaluate once per sealed window.
+	// MergeHits / MergeMisses are the merged-view memo counters — for an
+	// N-member class, one miss and N-1 hits per full window.
+	MergeClasses int
+	MergeHits    int64
+	MergeMisses  int64
+	// PostNodes counts distinct post-merge fragment operators (HAVING
+	// filters, final aggregates, sorts, limits) in the group's post-merge
+	// trie; PostHits / PostMisses are its memo counters.
+	PostNodes  int
+	PostHits   int64
+	PostMisses int64
 	// PairCaches / CachedPairs / PairsComputed describe a join group's
 	// shared pair caches (one cache per distinct join fingerprint).
 	PairCaches    int
@@ -49,12 +63,21 @@ type GroupInfo struct {
 
 // MemoHitRate is the group's DAG memo hit rate in [0, 1] (0 when the DAG
 // has never evaluated).
-func (gi GroupInfo) MemoHitRate() float64 {
-	total := gi.MemoHits + gi.MemoMisses
+func (gi GroupInfo) MemoHitRate() float64 { return hitRate(gi.MemoHits, gi.MemoMisses) }
+
+// MergeHitRate is the shared-merge hit rate in [0, 1]: the fraction of
+// full-window merge requests served from a class sibling's evaluation.
+func (gi GroupInfo) MergeHitRate() float64 { return hitRate(gi.MergeHits, gi.MergeMisses) }
+
+// PostHitRate is the post-merge trie's memo hit rate in [0, 1].
+func (gi GroupInfo) PostHitRate() float64 { return hitRate(gi.PostHits, gi.PostMisses) }
+
+func hitRate(hits, misses int64) float64 {
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(gi.MemoHits) / float64(total)
+	return float64(hits) / float64(total)
 }
 
 // factoryGroups resolves the catalog's opaque group registry entries to
@@ -77,6 +100,8 @@ func (e *Engine) Groups() []GroupInfo {
 	var out []GroupInfo
 	for _, g := range e.factoryGroups() {
 		caches, pairs, computed := g.PairStats()
+		mClasses, mHits, mMisses := g.MergeStats()
+		pNodes, pHits, pMisses := g.PostStats()
 		out = append(out, GroupInfo{
 			Key:           g.Key(),
 			Kind:          g.Kind(),
@@ -87,6 +112,12 @@ func (e *Engine) Groups() []GroupInfo {
 			DagNodes:      g.DagNodes(),
 			MemoHits:      g.MemoHits(),
 			MemoMisses:    g.MemoMisses(),
+			MergeClasses:  mClasses,
+			MergeHits:     mHits,
+			MergeMisses:   mMisses,
+			PostNodes:     pNodes,
+			PostHits:      pHits,
+			PostMisses:    pMisses,
 			PairCaches:    caches,
 			CachedPairs:   pairs,
 			PairsComputed: computed,
@@ -197,6 +228,10 @@ func (e *Engine) NetworkString() string {
 			fmt.Fprintf(&b, "  %-48s kind=%-4s members=%-4d shards=%-3d windows=%-8d livebufs=%-4d dag=%-3d memo=%.0f%%",
 				g.Key, g.Kind, g.Members, g.Shards, g.WindowsOut, g.LiveBufs,
 				g.DagNodes, 100*g.MemoHitRate())
+			if g.MergeClasses > 0 || g.PostNodes > 0 {
+				fmt.Fprintf(&b, " mergeclasses=%d merge=%.0f%% postnodes=%d post=%.0f%%",
+					g.MergeClasses, 100*g.MergeHitRate(), g.PostNodes, 100*g.PostHitRate())
+			}
 			if g.Kind == "join" {
 				fmt.Fprintf(&b, " paircaches=%d pairs=%d computed=%d", g.PairCaches, g.CachedPairs, g.PairsComputed)
 			}
