@@ -7,6 +7,12 @@
 // Usage:
 //
 //	datacell [-listen addr] [-receptor stream=addr]... [-init file.sql]
+//	         [-fabric-listen addr -fabric-workers n [-fabric-export stream]...]
+//
+// With -fabric-listen the instance doubles as a shard-fabric coordinator:
+// exported streams' shard sets partition across dcworker processes, which
+// run the sharded front ends and ship sealed basic windows back (see
+// ARCHITECTURE.md, "Distributed shard fabric").
 //
 // Example session:
 //
@@ -24,6 +30,7 @@ import (
 	"strings"
 
 	"datacell"
+	"datacell/internal/fabric"
 	"datacell/internal/receptor"
 	"datacell/internal/server"
 )
@@ -40,8 +47,15 @@ func main() {
 	listen := flag.String("listen", "", "also serve the session protocol on this TCP address")
 	initFile := flag.String("init", "", "SQL script to execute at startup")
 	workers := flag.Int("workers", 4, "scheduler worker pool size")
+	fabricListen := flag.String("fabric-listen", "",
+		"run as shard-fabric coordinator: serve dcworker connections on this address")
+	fabricWorkers := flag.Int("fabric-workers", 2,
+		"with -fabric-listen: worker process count the shard ranges partition across")
 	var receptors receptorFlags
 	flag.Var(&receptors, "receptor", "open a CSV receptor: stream=host:port (repeatable)")
+	var fabricExports receptorFlags
+	flag.Var(&fabricExports, "fabric-export",
+		"with -fabric-listen: export a stream's shards to the fabric (repeatable; after -init DDL)")
 	flag.Parse()
 
 	eng := datacell.New(&datacell.Options{Workers: *workers})
@@ -58,6 +72,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("executed %s\n", *initFile)
+	}
+
+	if *fabricListen != "" {
+		coord, err := fabric.NewCoordinator(eng, fabric.Options{
+			Listen:  *fabricListen,
+			Workers: *fabricWorkers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabric:", err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		for _, name := range fabricExports {
+			if err := coord.ExportStream(name); err != nil {
+				fmt.Fprintln(os.Stderr, "fabric:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("fabric: stream %s exported\n", name)
+		}
+		fmt.Printf("fabric coordinator on %s (expecting %d workers; start them with: dcworker -join %s -index <i>)\n",
+			coord.Addr(), *fabricWorkers, coord.Addr())
+	} else if len(fabricExports) > 0 {
+		fmt.Fprintln(os.Stderr, "-fabric-export requires -fabric-listen")
+		os.Exit(1)
 	}
 
 	for _, spec := range receptors {

@@ -40,10 +40,22 @@ func main() {
 		"with -bench: assert the tracked scaling floors (shard4_vs_shard1 ≥ 0.9 on multi-core, grouped16_vs_isolated16 ≥ 1.5, memo16_vs_nomemo16 ≥ 1.5, sharedmerge16_vs_nosharedmerge16 ≥ 1.5)")
 	compare := flag.String("compare", "", "previous BENCH_*.json to compare -against")
 	against := flag.String("against", "", "current BENCH_*.json for -compare")
+	history := flag.String("history", "",
+		"render the bench trajectory in this directory of BENCH json points as markdown (floor breaches highlighted)")
 	gate := flag.Bool("gate", false,
 		"with -compare: fail if a tracked derived ratio regressed beyond the tolerance band")
 	tol := flag.Float64("tol", 0.10, "with -gate: relative tolerance band")
 	flag.Parse()
+
+	if *history != "" {
+		points, skipped, err := experiments.ReadBenchHistory(*history)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.HistoryMarkdown(points, skipped))
+		return
+	}
 
 	if *compare != "" {
 		prev, err := experiments.ReadBenchReport(*compare)

@@ -1,0 +1,55 @@
+// Command dcworker runs one DataCell shard-fabric worker process: it
+// dials a coordinator (cmd/datacell with -fabric-listen, or any embedded
+// fabric.Coordinator), receives its shard-range assignment, runs the
+// sharded front end — per-shard baskets, per-spec ShardSlicers,
+// watermark-driven epoch sealing — for every exported stream, and ships
+// sealed basic-window fragments back over the fabric. Connections are
+// resumable: a dropped link redials and replays from the last
+// acknowledged frame, so no window is lost or duplicated.
+//
+// Usage:
+//
+//	dcworker -join host:port -index 0 [-id name]
+//
+// The worker exits when the coordinator says goodbye (coordinator Close),
+// or on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"datacell/internal/fabric"
+)
+
+func main() {
+	join := flag.String("join", "", "coordinator fabric address (required)")
+	index := flag.Int("index", 0, "worker slot index in the coordinator's partition layout")
+	id := flag.String("id", "", "self-reported worker label (default w<index>)")
+	flag.Parse()
+	if *join == "" {
+		fmt.Fprintln(os.Stderr, "dcworker: -join is required")
+		os.Exit(2)
+	}
+
+	w := fabric.NewWorker(fabric.WorkerOptions{
+		Coordinator: *join,
+		Index:       *index,
+		ID:          *id,
+	})
+	fmt.Println(w.Describe())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("dcworker: signal received, shutting down")
+		w.Close()
+	case <-w.Done():
+		fmt.Println("dcworker: coordinator said goodbye, shutting down")
+		w.Close()
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"datacell/internal/basket"
 	"datacell/internal/bat"
 	"datacell/internal/catalog"
+	"datacell/internal/factory"
 	"datacell/internal/plan"
 	"datacell/internal/scheduler"
 	"datacell/internal/sql"
@@ -77,7 +78,70 @@ type Engine struct {
 
 	mu      sync.Mutex
 	queries map[string]*Query
+	fabric  Fabric // attached scale-out fabric (nil: single-process)
 	closed  bool
+}
+
+// Fabric is the engine-facing contract of a distributed shard fabric
+// (internal/fabric): a coordinator that partitions exported streams' shard
+// sets across worker processes. When a query group forms over an exported
+// stream, the engine asks the fabric for a slicing spec instead of
+// creating local basket cursors; workers slice their shard ranges and ship
+// sealed epoch fragments back into the group's merger.
+type Fabric interface {
+	// AddSpec registers a slicing spec for a new query group over an
+	// exported stream and returns its handle. The window carries the slide
+	// granularity the workers must cut at.
+	AddSpec(stream, key string, win *plan.Window, schema bat.Schema) (*FabricSpec, error)
+	// Describe renders the fabric state for the \fabric introspection
+	// command.
+	Describe() string
+}
+
+// FabricSpec is the handle for one remote slicing spec.
+type FabricSpec struct {
+	// Shards is the stream's total shard count across all workers.
+	Shards int
+	// Attach starts feeding the group: the fabric broadcasts the spec to
+	// its workers and routes their fragments into g.OfferRemote. Call after
+	// the creating member joined, before data must flow.
+	Attach func(g *factory.Group)
+	// Advance forwards a time watermark to the workers.
+	Advance func(watermark int64)
+	// Drop retires the spec on all workers (wired into the group's Close).
+	Drop func()
+}
+
+// AttachFabric connects a scale-out fabric to the engine. Attach before
+// exporting streams or registering queries over them.
+func (e *Engine) AttachFabric(f Fabric) {
+	e.mu.Lock()
+	e.fabric = f
+	e.mu.Unlock()
+}
+
+// FabricStatus renders the attached fabric's state — the backing of the
+// \fabric introspection command.
+func (e *Engine) FabricStatus() string {
+	e.mu.Lock()
+	f := e.fabric
+	e.mu.Unlock()
+	if f == nil {
+		return "(no fabric attached)"
+	}
+	return f.Describe()
+}
+
+func (e *Engine) fabricHandler() Fabric {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fabric
+}
+
+// Stream exposes a stream's catalog entry (the fabric marks exported
+// streams and wires their baskets through it).
+func (e *Engine) Stream(name string) (*catalog.Stream, bool) {
+	return e.cat.Stream(name)
 }
 
 // New starts an engine.

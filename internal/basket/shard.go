@@ -53,19 +53,87 @@ type Sharded struct {
 	paused  bool // guarded by pauseMu
 
 	mu        sync.Mutex
-	claimed   int64 // sequence numbers handed out
-	settled   int64 // all sequences < settled are appended to shards
-	done      []seqRange
+	claimed   int64        // sequence numbers handed out
+	settled   SeqTracker   // contiguous prefix of shard-visible sequences
 	rr        int64        // round-robin chunk counter
 	pending   []*bat.Chunk // appends buffered while paused (pre-sequencing)
 	pendArr   []int64
 	onAppend  []appendSub
 	nextSubID int
+	remote    func(parts []RemotePart, base int64, rows int, arrival int64)
+}
+
+// RemotePart is one shard's slice of a routed append: the rows hashed (or
+// round-robined) to the shard together with their global sequence stamps.
+// The chunk may be a view sharing storage with the appended chunk, so a
+// remote router must consume (serialize) it synchronously.
+type RemotePart struct {
+	Shard int
+	Chunk *bat.Chunk
+	Seqs  bat.Ints
+}
+
+// SetRemote diverts the container to a distributed shard fabric: appends
+// are validated, sequenced and partitioned exactly as for local shards,
+// but each shard's rows are delivered to fn — with base/rows identifying
+// the append's claimed sequence range [base, base+rows) — instead of
+// entering the local shard baskets, whose consumers would never see them.
+// The container keeps settling sequence ranges, so Settled() stays
+// meaningful for introspection; epoch sealing across the fabric is driven
+// by the router's own sent-watermark, which it derives from the base/rows
+// ranges it has forwarded. fn is invoked outside the container mutex;
+// concurrent appends may invoke it out of sequence order, which is why the
+// router must track contiguous ranges itself. Call before any consumer
+// registers or any append flows.
+func (s *Sharded) SetRemote(fn func(parts []RemotePart, base int64, rows int, arrival int64)) {
+	s.mu.Lock()
+	s.remote = fn
+	s.mu.Unlock()
 }
 
 // seqRange is a completed append's sequence interval [lo, hi), recorded
 // out of order and merged into the settled watermark.
 type seqRange struct{ lo, hi int64 }
+
+// SeqTracker derives the contiguous-prefix watermark of completed
+// sequence ranges: ranges may complete out of order (concurrent producers
+// claim, then settle), and the watermark only advances once every earlier
+// sequence is covered — which is what makes it a safe epoch-sealing
+// clock. The sharded container uses it for shard-visible rows; the
+// distributed fabric's coordinator uses the same tracker for rows routed
+// to workers. Callers serialize access (it holds no lock of its own).
+type SeqTracker struct {
+	wm   int64
+	done []seqRange
+}
+
+// Add records the completed range [lo, hi) and advances the watermark
+// over any now-contiguous prefix.
+func (t *SeqTracker) Add(lo, hi int64) {
+	if lo == t.wm {
+		t.wm = hi
+		// Absorb any previously recorded ranges that are now contiguous.
+		for {
+			advanced := false
+			for i, r := range t.done {
+				if r.lo == t.wm {
+					t.wm = r.hi
+					t.done = append(t.done[:i], t.done[i+1:]...)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				return
+			}
+		}
+	}
+	t.done = append(t.done, seqRange{lo, hi})
+}
+
+// Watermark reports the contiguous prefix: every sequence below it has
+// completed.
+func (t *SeqTracker) Watermark() int64 { return t.wm }
 
 // NewSharded creates a sharded basket with n shards (minimum 1). keyIdx is
 // the schema index of the partitioning key, or -1 for round-robin.
@@ -109,16 +177,20 @@ func (s *Sharded) KeyIndex() int { return s.keyIdx }
 func (s *Sharded) Consumers() int { return s.shards[0].Consumers() }
 
 // Settled reports the sequence watermark: every row with sequence below it
-// is visible in its shard. It is the epoch-sealing clock of the sharded
-// engine. A single-shard container derives it from the shard's own append
-// counter — the fast path never touches the container's range tracking.
+// is visible in its shard (or, for a remote container, has been handed to
+// the router). It is the epoch-sealing clock of the sharded engine. A
+// single-shard local container derives it from the shard's own append
+// counter — that fast path never touches the container's range tracking —
+// while remote containers always use the claim/settle machinery.
 func (s *Sharded) Settled() int64 {
-	if len(s.shards) == 1 {
+	s.mu.Lock()
+	remote := s.remote
+	settled := s.settled.Watermark()
+	s.mu.Unlock()
+	if remote == nil && len(s.shards) == 1 {
 		return s.shards[0].TotalIn()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.settled
+	return settled
 }
 
 // OnAppend registers a callback invoked after every container append has
@@ -173,11 +245,11 @@ func (s *Sharded) Append(c *bat.Chunk, arrival int64) error {
 		s.mu.Unlock()
 		return nil
 	}
-	if len(s.shards) == 1 {
+	s.mu.Lock()
+	if s.remote == nil && len(s.shards) == 1 {
 		// Fast path: the shard's own dense counter yields the identical
 		// sequence stamps, so skip range claiming and settling entirely
 		// (Settled reads the shard's append counter instead).
-		s.mu.Lock()
 		subs := s.onAppend
 		s.mu.Unlock()
 		if err := s.shards[0].AppendSeqs(c, arrival, nil); err != nil {
@@ -186,7 +258,6 @@ func (s *Sharded) Append(c *bat.Chunk, arrival int64) error {
 		fireSubs(subs)
 		return nil
 	}
-	s.mu.Lock()
 	base, target := s.claimLocked(rows)
 	s.mu.Unlock()
 
@@ -209,10 +280,16 @@ func (s *Sharded) claimLocked(rows int) (base int64, target int) {
 // settles the range, and fires the append notifications.
 func (s *Sharded) appendClaimed(c *bat.Chunk, arrival, base int64, target int) error {
 	rows := c.Rows()
+	s.mu.Lock()
+	remote := s.remote
+	s.mu.Unlock()
 	var err error
-	if s.keyIdx < 0 {
+	switch {
+	case remote != nil:
+		remote(s.routeParts(c, base, target), base, rows, arrival)
+	case s.keyIdx < 0:
 		err = s.shards[target].AppendSeqs(c, arrival, denseSeqs(base, rows))
-	} else {
+	default:
 		err = s.appendHashed(c, arrival, base)
 	}
 
@@ -264,6 +341,40 @@ func (s *Sharded) appendHashed(c *bat.Chunk, arrival, base int64) error {
 		}
 	}
 	return firstErr
+}
+
+// routeParts partitions a claimed append for remote delivery: one part per
+// destination shard with the rows' global sequence stamps, in ascending
+// row (and therefore sequence) order within each part — the same order the
+// local shard baskets would have received.
+func (s *Sharded) routeParts(c *bat.Chunk, base int64, target int) []RemotePart {
+	rows := c.Rows()
+	if s.keyIdx < 0 {
+		return []RemotePart{{Shard: target, Chunk: c, Seqs: denseSeqs(base, rows)}}
+	}
+	n := len(s.shards)
+	sels := make([]algebra.Sel, n)
+	per := rows/n + 1
+	for i := range sels {
+		sels[i] = make(algebra.Sel, 0, per)
+	}
+	s.hashRows(c.Cols[s.keyIdx], sels)
+	var parts []RemotePart
+	for sh, sel := range sels {
+		if len(sel) == 0 {
+			continue
+		}
+		sub := bat.NewChunk(s.schema)
+		seqs := make(bat.Ints, len(sel))
+		for k, i := range sel {
+			seqs[k] = base + int64(i)
+		}
+		for i, col := range c.Cols {
+			sub.Cols[i] = bat.AppendFetch(sub.Cols[i], col, sel)
+		}
+		parts = append(parts, RemotePart{Shard: sh, Chunk: sub, Seqs: seqs})
+	}
+	return parts
 }
 
 // hashRows assigns each row of the key column to a shard's selection
@@ -327,32 +438,11 @@ func denseSeqs(base int64, rows int) bat.Ints {
 	return seqs
 }
 
-// settleLocked records a completed append's sequence range and advances
-// the settled watermark over any contiguous prefix. Appends may complete
-// out of order under concurrent producers; the watermark only moves once
-// every earlier row is visible in its shard, which is what makes it a safe
-// epoch-sealing clock.
-func (s *Sharded) settleLocked(lo, hi int64) {
-	if lo == s.settled {
-		s.settled = hi
-		// Absorb any previously recorded ranges that are now contiguous.
-		for {
-			advanced := false
-			for i, r := range s.done {
-				if r.lo == s.settled {
-					s.settled = r.hi
-					s.done = append(s.done[:i], s.done[i+1:]...)
-					advanced = true
-					break
-				}
-			}
-			if !advanced {
-				return
-			}
-		}
-	}
-	s.done = append(s.done, seqRange{lo, hi})
-}
+// settleLocked records a completed append's sequence range; the tracker
+// advances the settled watermark only over the contiguous prefix, which
+// is what makes it a safe epoch-sealing clock under concurrent producers
+// completing out of order.
+func (s *Sharded) settleLocked(lo, hi int64) { s.settled.Add(lo, hi) }
 
 // Pause holds subsequent appends back at the container level — they are
 // neither sequenced nor routed until Resume, so epoch sealing is unaffected
@@ -375,8 +465,9 @@ func (s *Sharded) Resume() {
 	s.mu.Lock()
 	pending, arr := s.pending, s.pendArr
 	s.pending, s.pendArr = nil, nil
+	remote := s.remote
 	s.mu.Unlock()
-	if len(s.shards) == 1 {
+	if len(s.shards) == 1 && remote == nil {
 		// Replay while still holding the pause gate: producers block on
 		// its read side, so held rows keep their arrival-order sequences.
 		for i, c := range pending {

@@ -1,0 +1,214 @@
+package bat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Canonical wire encoding of schemas and chunks, used by the distributed
+// shard fabric to ship sealed basic windows between processes. The format
+// is columnar and self-describing:
+//
+//	schema := uvarint ncols, then per column: string name, byte kind
+//	chunk  := schema, uvarint nrows, then per column the packed values
+//
+// Ints and Times are fixed 8-byte little-endian payloads, Floats their
+// IEEE-754 bit patterns, Bools one byte each, and Strs uvarint-length-
+// prefixed UTF-8. Decoding always allocates fresh vectors — a decoded
+// chunk shares no storage with the wire buffer, so ownership transfers
+// cleanly across the process boundary.
+
+// MarshalSchema appends the wire encoding of s to dst.
+func MarshalSchema(dst []byte, s Schema) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.Width()))
+	for i, n := range s.Names {
+		dst = AppendString(dst, n)
+		dst = append(dst, byte(s.Kinds[i]))
+	}
+	return dst
+}
+
+// UnmarshalSchema decodes a schema from src, returning the remainder.
+func UnmarshalSchema(src []byte) (Schema, []byte, error) {
+	n, src, err := ReadUvarint(src)
+	if err != nil {
+		return Schema{}, nil, fmt.Errorf("bat: schema width: %w", err)
+	}
+	if n > uint64(len(src)) { // every column needs ≥2 bytes
+		return Schema{}, nil, fmt.Errorf("bat: schema claims %d columns in %d bytes", n, len(src))
+	}
+	names := make([]string, n)
+	kinds := make([]Kind, n)
+	for i := range names {
+		var s string
+		s, src, err = ReadString(src)
+		if err != nil {
+			return Schema{}, nil, fmt.Errorf("bat: schema name %d: %w", i, err)
+		}
+		if len(src) == 0 {
+			return Schema{}, nil, fmt.Errorf("bat: schema kind %d: short buffer", i)
+		}
+		names[i], kinds[i] = s, Kind(src[0])
+		if kinds[i] > Time {
+			return Schema{}, nil, fmt.Errorf("bat: schema kind %d: unknown kind %d", i, src[0])
+		}
+		src = src[1:]
+	}
+	return NewSchema(names, kinds), src, nil
+}
+
+// MarshalChunk appends the wire encoding of c (schema + columns) to dst.
+func MarshalChunk(dst []byte, c *Chunk) []byte {
+	dst = MarshalSchema(dst, c.Schema)
+	rows := c.Rows()
+	dst = binary.AppendUvarint(dst, uint64(rows))
+	for _, col := range c.Cols {
+		switch v := col.(type) {
+		case Ints:
+			dst = appendInt64s(dst, v)
+		case Times:
+			dst = appendInt64s(dst, v)
+		case Floats:
+			for _, f := range v {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+			}
+		case Bools:
+			for _, b := range v {
+				if b {
+					dst = append(dst, 1)
+				} else {
+					dst = append(dst, 0)
+				}
+			}
+		case Strs:
+			for _, s := range v {
+				dst = AppendString(dst, s)
+			}
+		default:
+			panic(fmt.Sprintf("bat: MarshalChunk of unknown vector %T", col))
+		}
+	}
+	return dst
+}
+
+// UnmarshalChunk decodes a chunk from src, returning the remainder. The
+// chunk owns freshly allocated vectors.
+func UnmarshalChunk(src []byte) (*Chunk, []byte, error) {
+	sch, src, err := UnmarshalSchema(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, src, err := ReadUvarint(src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bat: chunk rows: %w", err)
+	}
+	// Every row costs at least one payload byte per column; reject row
+	// counts the buffer cannot possibly hold before allocating.
+	if sch.Width() > 0 && n > uint64(len(src)) {
+		return nil, nil, fmt.Errorf("bat: chunk claims %d rows in %d bytes", n, len(src))
+	}
+	rows := int(n)
+	c := &Chunk{Schema: sch, Cols: make([]Vector, sch.Width())}
+	for i, k := range sch.Kinds {
+		switch k {
+		case Int, Time:
+			vals, rest, err := readInt64s(src, rows)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bat: chunk column %d: %w", i, err)
+			}
+			if k == Int {
+				c.Cols[i] = Ints(vals)
+			} else {
+				c.Cols[i] = Times(vals)
+			}
+			src = rest
+		case Float:
+			vals, rest, err := readInt64s(src, rows)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bat: chunk column %d: %w", i, err)
+			}
+			fs := make(Floats, rows)
+			for j, bits := range vals {
+				fs[j] = math.Float64frombits(uint64(bits))
+			}
+			c.Cols[i], src = fs, rest
+		case Bool:
+			if len(src) < rows {
+				return nil, nil, fmt.Errorf("bat: chunk column %d: short buffer", i)
+			}
+			bs := make(Bools, rows)
+			for j := 0; j < rows; j++ {
+				bs[j] = src[j] != 0
+			}
+			c.Cols[i], src = bs, src[rows:]
+		case Str:
+			ss := make(Strs, rows)
+			for j := 0; j < rows; j++ {
+				var s string
+				s, src, err = ReadString(src)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bat: chunk column %d row %d: %w", i, j, err)
+				}
+				ss[j] = s
+			}
+			c.Cols[i] = ss
+		}
+	}
+	return c, src, nil
+}
+
+// AppendString appends a uvarint-length-prefixed string — the string
+// primitive of the wire format, shared by the window and fabric codecs.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// ReadString decodes a length-prefixed string, returning the remainder.
+func ReadString(src []byte) (string, []byte, error) {
+	n, src, err := ReadUvarint(src)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(src)) {
+		return "", nil, fmt.Errorf("short buffer: string of %d bytes, have %d", n, len(src))
+	}
+	return string(src[:n]), src[n:], nil
+}
+
+// ReadUvarint decodes one uvarint, returning the remainder.
+func ReadUvarint(src []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad uvarint")
+	}
+	return v, src[n:], nil
+}
+
+// ReadVarint decodes one signed varint, returning the remainder.
+func ReadVarint(src []byte) (int64, []byte, error) {
+	v, n := binary.Varint(src)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad varint")
+	}
+	return v, src[n:], nil
+}
+
+func appendInt64s(dst []byte, vals []int64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+func readInt64s(src []byte, n int) ([]int64, []byte, error) {
+	if len(src) < 8*n {
+		return nil, nil, fmt.Errorf("short buffer: want %d bytes, have %d", 8*n, len(src))
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return out, src[8*n:], nil
+}

@@ -1,0 +1,80 @@
+package bat
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testChunk() *Chunk {
+	sch := NewSchema(
+		[]string{"ts", "k", "v", "name", "ok"},
+		[]Kind{Time, Int, Float, Str, Bool})
+	return &Chunk{Schema: sch, Cols: []Vector{
+		Times{1, 2, 3, -4},
+		Ints{10, -20, 30, 40},
+		Floats{0.5, -1.25, 3e300, 0},
+		Strs{"", "a", "αβγ", "long string with, commas\nand newlines"},
+		Bools{true, false, true, true},
+	}}
+}
+
+func TestChunkCodecRoundTrip(t *testing.T) {
+	c := testChunk()
+	buf := MarshalChunk(nil, c)
+	got, rest, err := UnmarshalChunk(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %d", len(rest))
+	}
+	if !reflect.DeepEqual(got.Schema, c.Schema) {
+		t.Fatalf("schema = %v, want %v", got.Schema, c.Schema)
+	}
+	if !reflect.DeepEqual(got.Cols, c.Cols) {
+		t.Fatalf("cols = %v, want %v", got.Cols, c.Cols)
+	}
+}
+
+func TestChunkCodecEmpty(t *testing.T) {
+	c := NewChunk(NewSchema([]string{"a"}, []Kind{Int}))
+	got, rest, err := UnmarshalChunk(MarshalChunk(nil, c))
+	if err != nil || len(rest) != 0 || got.Rows() != 0 {
+		t.Fatalf("empty round trip: %v rows=%d rest=%d", err, got.Rows(), len(rest))
+	}
+}
+
+// TestChunkCodecOwnership pins the refcount-safe ownership transfer: a
+// decoded chunk shares no storage with the wire buffer or the original.
+func TestChunkCodecOwnership(t *testing.T) {
+	c := &Chunk{
+		Schema: NewSchema([]string{"k"}, []Kind{Int}),
+		Cols:   []Vector{Ints{1, 2, 3}},
+	}
+	buf := MarshalChunk(nil, c)
+	got, _, err := UnmarshalChunk(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xFF // clobber the wire buffer
+	}
+	c.Cols[0].(Ints)[0] = 99 // mutate the original
+	if want := (Ints{1, 2, 3}); !reflect.DeepEqual(got.Cols[0], want) {
+		t.Fatalf("decoded chunk shares storage: %v, want %v", got.Cols[0], want)
+	}
+}
+
+func TestChunkCodecCorrupt(t *testing.T) {
+	c := testChunk()
+	buf := MarshalChunk(nil, c)
+	// Every truncation must error, never panic or return garbage silently.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := UnmarshalChunk(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(buf))
+		}
+	}
+	if _, _, err := UnmarshalSchema([]byte{1, 1, 'x', 250}); err == nil {
+		t.Fatal("unknown kind decoded without error")
+	}
+}

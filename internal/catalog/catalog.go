@@ -79,10 +79,34 @@ type Stream struct {
 	Name   string
 	schema bat.Schema
 	Basket *basket.Sharded
+
+	// remoteMu guards the fabric marker: a stream exported to a
+	// distributed shard fabric carries the partition layout as a tag that
+	// plan.GroupKey folds into the shared-execution group key, so the
+	// shard-range assignment is part of the grouping identity.
+	remoteMu  sync.Mutex
+	remoteTag string
 }
 
 // Schema reports the column layout.
 func (s *Stream) Schema() bat.Schema { return s.schema }
+
+// MarkRemote tags the stream as served by a distributed shard fabric. The
+// tag names the partition layout (worker count and shard ranges) and
+// becomes part of every group key over the stream. Mark before queries
+// register; an empty tag clears the marker.
+func (s *Stream) MarkRemote(tag string) {
+	s.remoteMu.Lock()
+	s.remoteTag = tag
+	s.remoteMu.Unlock()
+}
+
+// RemoteTag reports the fabric tag ("" for a local stream).
+func (s *Stream) RemoteTag() string {
+	s.remoteMu.Lock()
+	defer s.remoteMu.Unlock()
+	return s.remoteTag
+}
 
 // DefaultTimeCol returns the name of the stream's first TIMESTAMP column,
 // the default ordering attribute for time-based windows, or "" if none.

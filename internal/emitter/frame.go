@@ -1,0 +1,80 @@
+package emitter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Length-prefixed framing for the distributed shard fabric: workers ship
+// sealed basic windows (and the session traffic around them — appends,
+// watermarks, acks) to the coordinator as typed frames over the same TCP
+// fabric the emitters use. A frame is
+//
+//	[4-byte big-endian payload length][1-byte type][8-byte sequence][payload]
+//
+// The sequence number is the fabric's resume cursor: session frames are
+// stamped with a per-direction monotone counter, the receiver acknowledges
+// the highest in-order sequence it has processed, and a reconnecting peer
+// replays everything after the last acknowledged frame — which is how a
+// connection dropped mid-window resumes from the last acked epoch with no
+// duplicated or lost windows. Handshake and ack frames reuse the sequence
+// field to carry the sender's receive cursor.
+
+// MaxFramePayload bounds a frame's payload; a peer announcing more is
+// corrupt (or hostile) and the connection is dropped rather than the
+// allocation attempted.
+const MaxFramePayload = 64 << 20
+
+// Frame is one fabric protocol frame.
+type Frame struct {
+	// Type tags the payload (the fabric defines the vocabulary).
+	Type byte
+	// Seq is the session sequence number for stamped frames, or the
+	// sender's receive cursor for handshake/ack frames.
+	Seq uint64
+	// Payload is the type-specific body.
+	Payload []byte
+}
+
+const frameHeaderLen = 4 + 1 + 8
+
+// WriteFrame writes one frame. It performs a single Write call so a frame
+// is either fully buffered to the connection or not written at all from
+// the caller's perspective (a mid-frame connection drop leaves the
+// receiver with a short read, which ReadFrame reports as an error).
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFramePayload {
+		return fmt.Errorf("emitter: frame payload %d exceeds limit %d", len(f.Payload), MaxFramePayload)
+	}
+	buf := make([]byte, frameHeaderLen+len(f.Payload))
+	binary.BigEndian.PutUint32(buf[0:], uint32(len(f.Payload)))
+	buf[4] = f.Type
+	binary.BigEndian.PutUint64(buf[5:], f.Seq)
+	copy(buf[frameHeaderLen:], f.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame. Short reads (a connection dropped mid-frame)
+// and oversized length prefixes return errors; the caller is expected to
+// drop the connection and let the session resume protocol replay the
+// partial frame after reconnecting.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	if n > MaxFramePayload {
+		return Frame{}, fmt.Errorf("emitter: frame payload %d exceeds limit %d", n, MaxFramePayload)
+	}
+	f := Frame{Type: hdr[4], Seq: binary.BigEndian.Uint64(hdr[5:])}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}

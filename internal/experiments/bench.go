@@ -210,6 +210,12 @@ func SharedMerge(queries int, noSharedMerge bool, n, batch, nkeys int) BenchResu
 //	sharedmerge16_vs_nosharedmerge16: 16 identical members with the
 //	                         group-owned merge ring + post-merge trie /
 //	                         without (per-member merges; floor 1.5)
+//	fabric2_vs_local:        16 grouped queries over a 4-shard stream run
+//	                         through the shard fabric (coordinator + 2
+//	                         loopback workers) / entirely in-process.
+//	                         Tracked report-only: on one machine it charts
+//	                         the wire overhead scale-out must amortize, so
+//	                         it feeds no floor or gate yet.
 //
 // match, when non-empty, is a regular expression selecting the benchmark
 // configurations to run by name; derived ratios whose inputs were skipped
@@ -301,6 +307,20 @@ func CIBench(quick bool, match string) *BenchReport {
 		noSharedMerge := noSharedMerge
 		add(bestOf(2, func() BenchResult { return SharedMerge(16, noSharedMerge, subN, batch, 2048) }))
 	}
+	for _, workers := range []int{0, 2} {
+		label := "local"
+		if workers > 0 {
+			label = fmt.Sprintf("fabric%d", workers)
+		}
+		name := fmt.Sprintf("fabric_fanout/%s/q_16", label)
+		if !want(name) {
+			continue
+		}
+		// Report-only trajectory point (fabric2_vs_local): the scale-out
+		// wire overhead on one machine, not a gated floor.
+		workers := workers
+		add(bestOf(2, func() BenchResult { return FabricFanout(16, workers, fanN, batch, 256) }))
+	}
 	ratio := func(key, num, den string) {
 		d, okD := byName[den]
 		n, okN := byName[num]
@@ -319,6 +339,8 @@ func CIBench(quick bool, match string) *BenchReport {
 		"shared_subtail/memo/q_16", "shared_subtail/nomemo/q_16")
 	ratio("sharedmerge16_vs_nosharedmerge16",
 		"shared_merge/sharedmerge/q_16", "shared_merge/nosharedmerge/q_16")
+	ratio("fabric2_vs_local",
+		"fabric_fanout/fabric2/q_16", "fabric_fanout/local/q_16")
 	return rep
 }
 

@@ -1,0 +1,663 @@
+package fabric
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datacell"
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/emitter"
+	"datacell/internal/factory"
+	"datacell/internal/plan"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Listen is the TCP address workers dial (default "127.0.0.1:0").
+	Listen string
+	// Workers is the fixed worker count; each exported stream's shard set
+	// is partitioned into contiguous ranges across them by worker index.
+	Workers int
+}
+
+// Coordinator is the fabric's engine-side half: it owns the exported
+// streams' routing (partition + sequence-stamp appends, forward each
+// shard's rows to its owning worker, broadcast sealing watermarks),
+// receives the workers' sealed epoch fragments, and feeds them into the
+// engine's query groups. It implements datacell.Fabric and attaches
+// itself to the engine at construction.
+type Coordinator struct {
+	eng   *datacell.Engine
+	ln    net.Listener
+	wg    sync.WaitGroup
+	peers []*peer
+
+	mu      sync.Mutex
+	streams map[string]*coordStream
+	specs   map[int64]*coordSpec
+	specSeq int64
+	pings   map[int64]map[int]bool // nonce → worker indices still owing a pong
+	pingSeq int64
+	pingC   *sync.Cond
+	closed  bool
+}
+
+// peer is the coordinator's view of one worker slot. The session (and its
+// outbox) persists across the worker's connections.
+type peer struct {
+	idx  int
+	sess *session
+
+	mu sync.Mutex
+	id string // last Hello's self-reported id
+}
+
+// coordStream is one exported stream's routing state. Its mutex serializes
+// appends, spec changes and watermark broadcasts into the worker sessions,
+// so every worker observes them in one consistent order.
+type coordStream struct {
+	name   string
+	schema bat.Schema
+	shards int
+	ranges [][2]int // per worker, half-open
+
+	mu    sync.Mutex
+	sent  basket.SeqTracker
+	specs map[int64]*coordSpec
+}
+
+// coordSpec is one query group's slicing spec.
+type coordSpec struct {
+	id  int64
+	key string
+	cs  *coordStream
+	win *plan.Window
+
+	mu      sync.Mutex
+	g       *factory.Group
+	maxTs   int64   // event-time high mark (time windows); minInt64 until rows
+	applied []int64 // per-shard applied flush watermark (introspection)
+}
+
+const minInt64 = -1 << 63
+
+// NewCoordinator starts a fabric coordinator over an engine and attaches
+// itself as the engine's fabric.
+func NewCoordinator(eng *datacell.Engine, opts Options) (*Coordinator, error) {
+	if opts.Workers <= 0 {
+		return nil, fmt.Errorf("fabric: coordinator needs at least one worker slot")
+	}
+	addr := opts.Listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		eng:     eng,
+		ln:      ln,
+		streams: make(map[string]*coordStream),
+		specs:   make(map[int64]*coordSpec),
+		pings:   make(map[int64]map[int]bool),
+	}
+	c.pingC = sync.NewCond(&c.mu)
+	for i := 0; i < opts.Workers; i++ {
+		c.peers = append(c.peers, &peer{idx: i, sess: newSession()})
+	}
+	eng.AttachFabric(c)
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr reports the address workers should dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Workers reports the worker slot count.
+func (c *Coordinator) Workers() int { return len(c.peers) }
+
+// ExportStream hands a stream's shard set to the fabric: shard ranges are
+// assigned to the workers, the stream is tagged (the tag becomes part of
+// every group key over it), and subsequent appends route to the workers
+// instead of local baskets. Export before any query registers on the
+// stream and before data flows.
+func (c *Coordinator) ExportStream(name string) error {
+	st, ok := c.eng.Stream(name)
+	if !ok {
+		return fmt.Errorf("fabric: unknown stream %q", name)
+	}
+	if st.Basket.Consumers() > 0 {
+		return fmt.Errorf("fabric: stream %q already has local consumers; export before registering queries", name)
+	}
+	if st.Basket.Stats().TotalIn > 0 {
+		return fmt.Errorf("fabric: stream %q already holds local rows; export before appending", name)
+	}
+	shards := st.Basket.NumShards()
+	w := len(c.peers)
+	cs := &coordStream{
+		name:   name,
+		schema: st.Schema(),
+		shards: shards,
+		specs:  make(map[int64]*coordSpec),
+	}
+	tags := make([]string, w)
+	for i := 0; i < w; i++ {
+		lo, hi := i*shards/w, (i+1)*shards/w
+		cs.ranges = append(cs.ranges, [2]int{lo, hi})
+		tags[i] = fmt.Sprintf("w%d:%d-%d", i, lo, hi)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("fabric: coordinator closed")
+	}
+	if _, dup := c.streams[name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("fabric: stream %q already exported", name)
+	}
+	c.streams[name] = cs
+	c.mu.Unlock()
+
+	st.MarkRemote("fabric[" + strings.Join(tags, ",") + "]")
+	cs.mu.Lock()
+	for i, p := range c.peers {
+		p.sess.send(frameStream, marshalStream(streamMsg{
+			Name: name, Schema: cs.schema, Shards: shards,
+			Lo: cs.ranges[i][0], Hi: cs.ranges[i][1],
+		}))
+	}
+	cs.mu.Unlock()
+	st.Basket.SetRemote(func(parts []basket.RemotePart, base int64, rows int, arrival int64) {
+		c.route(cs, parts, base, rows, arrival)
+	})
+	return nil
+}
+
+// route forwards one sequenced append to the owning workers and broadcasts
+// the advanced sealing watermarks. It runs under the stream's routing
+// mutex so concurrent appends reach every worker in one consistent order,
+// and the announced settled watermark — the contiguous prefix of routed
+// sequences — never runs ahead of rows already queued to the sessions.
+func (c *Coordinator) route(cs *coordStream, parts []basket.RemotePart, base int64, rows int, arrival int64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for _, p := range parts {
+		w := cs.workerOf(p.Shard)
+		c.peers[w].sess.send(frameAppend, marshalAppend(appendMsg{
+			Stream: cs.name, Shard: p.Shard, Arrival: arrival,
+			Seqs: p.Seqs, Chunk: p.Chunk,
+		}))
+	}
+	cs.sent.Add(base, base+int64(rows))
+	wm := watermarkMsg{Stream: cs.name, Settled: cs.sent.Watermark()}
+	// One timestamp scan per distinct ordering column, not per spec —
+	// many time-window groups almost always share one TimeIdx, and this
+	// runs on the ingestion path under the routing mutex.
+	var tsMax map[int]int64
+	for _, sp := range cs.specs {
+		if sp.win.Tuples {
+			continue
+		}
+		mx, ok := tsMax[sp.win.TimeIdx]
+		if !ok {
+			mx = minInt64
+			for _, p := range parts {
+				for _, ts := range bat.AsInts(p.Chunk.Cols[sp.win.TimeIdx]) {
+					if ts > mx {
+						mx = ts
+					}
+				}
+			}
+			if tsMax == nil {
+				tsMax = make(map[int]int64, 1)
+			}
+			tsMax[sp.win.TimeIdx] = mx
+		}
+		sp.mu.Lock()
+		if mx > sp.maxTs {
+			sp.maxTs = mx
+		}
+		mx = sp.maxTs
+		sp.mu.Unlock()
+		if mx != minInt64 {
+			wm.Specs = append(wm.Specs, specMax{ID: sp.id, MaxTs: mx})
+		}
+	}
+	sort.Slice(wm.Specs, func(i, j int) bool { return wm.Specs[i].ID < wm.Specs[j].ID })
+	payload := marshalWatermark(wm)
+	for i, p := range c.peers {
+		if cs.ranges[i][0] == cs.ranges[i][1] {
+			continue // no shards assigned: nothing to seal
+		}
+		p.sess.send(frameWatermark, payload)
+	}
+}
+
+func (cs *coordStream) workerOf(shard int) int {
+	for i, r := range cs.ranges {
+		if shard >= r[0] && shard < r[1] {
+			return i
+		}
+	}
+	return 0
+}
+
+// AddSpec implements datacell.Fabric: a query group forming over an
+// exported stream registers the slide granularity its workers must cut at.
+// The scan schema must match the exported stream's — workers slice the raw
+// stream layout, so a divergent scan schema would silently decode garbage.
+func (c *Coordinator) AddSpec(stream, key string, win *plan.Window, schema bat.Schema) (*datacell.FabricSpec, error) {
+	c.mu.Lock()
+	cs, ok := c.streams[stream]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fabric: stream %q not exported", stream)
+	}
+	if schema.String() != cs.schema.String() {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fabric: spec schema (%s) does not match exported stream %q (%s)",
+			schema, stream, cs.schema)
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fabric: coordinator closed")
+	}
+	c.specSeq++
+	sp := &coordSpec{
+		id: c.specSeq, key: key, cs: cs, win: win,
+		maxTs:   minInt64,
+		applied: make([]int64, cs.shards),
+	}
+	for i := range sp.applied {
+		sp.applied[i] = minInt64
+	}
+	c.specs[sp.id] = sp
+	c.mu.Unlock()
+
+	return &datacell.FabricSpec{
+		Shards:  cs.shards,
+		Attach:  func(g *factory.Group) { c.attachSpec(sp, g) },
+		Advance: func(wm int64) { c.advanceSpec(sp, wm) },
+		Drop:    func() { c.dropSpec(sp) },
+	}, nil
+}
+
+// attachSpec arms a spec: the group is wired to receive fragments and the
+// spec is broadcast, ordered against the stream's appends so every worker
+// starts slicing at the same append boundary.
+func (c *Coordinator) attachSpec(sp *coordSpec, g *factory.Group) {
+	sp.mu.Lock()
+	sp.g = g
+	sp.mu.Unlock()
+	cs := sp.cs
+	cs.mu.Lock()
+	cs.specs[sp.id] = sp
+	payload := specPayload(sp)
+	for i, p := range c.peers {
+		if cs.ranges[i][0] == cs.ranges[i][1] {
+			continue
+		}
+		p.sess.send(frameSpec, payload)
+	}
+	cs.mu.Unlock()
+}
+
+// advanceSpec forwards a forced time watermark (Engine.AdvanceTime, the
+// heartbeat) to the spec's workers.
+func (c *Coordinator) advanceSpec(sp *coordSpec, wm int64) {
+	if sp.win.Tuples {
+		return
+	}
+	cs := sp.cs
+	cs.mu.Lock()
+	sp.mu.Lock()
+	if sp.maxTs == minInt64 {
+		// No rows yet: nothing to force shut (mirrors frontEnd.advance).
+		sp.mu.Unlock()
+		cs.mu.Unlock()
+		return
+	}
+	if wm > sp.maxTs {
+		sp.maxTs = wm
+	}
+	wm = sp.maxTs
+	sp.mu.Unlock()
+	payload := marshalInt64s(sp.id, wm)
+	for i, p := range c.peers {
+		if cs.ranges[i][0] == cs.ranges[i][1] {
+			continue
+		}
+		p.sess.send(frameAdvance, payload)
+	}
+	cs.mu.Unlock()
+}
+
+// dropSpec retires a spec on teardown of its query group.
+func (c *Coordinator) dropSpec(sp *coordSpec) {
+	cs := sp.cs
+	cs.mu.Lock()
+	delete(cs.specs, sp.id)
+	payload := marshalInt64s(sp.id)
+	for i, p := range c.peers {
+		if cs.ranges[i][0] == cs.ranges[i][1] {
+			continue
+		}
+		p.sess.send(frameSpecDrop, payload)
+	}
+	cs.mu.Unlock()
+	c.mu.Lock()
+	delete(c.specs, sp.id)
+	c.mu.Unlock()
+}
+
+// Drain is the fabric-wide synchronization barrier: it pings every worker,
+// waits until each has replied — sessions are FIFO, so by then every
+// fragment for previously routed appends has been received and applied —
+// and then drains the engine's scheduler for the member tails. Blocks
+// until every worker (re)connects and catches up.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.pingSeq++
+	nonce := c.pingSeq
+	owing := make(map[int]bool, len(c.peers))
+	for _, p := range c.peers {
+		owing[p.idx] = true
+	}
+	c.pings[nonce] = owing
+	c.mu.Unlock()
+	payload := marshalInt64s(nonce)
+	for _, p := range c.peers {
+		p.sess.send(framePing, payload)
+	}
+	c.mu.Lock()
+	for len(c.pings[nonce]) > 0 && !c.closed {
+		c.pingC.Wait()
+	}
+	delete(c.pings, nonce)
+	c.mu.Unlock()
+	c.eng.Drain()
+}
+
+// Close shuts the fabric down: Bye is broadcast (workers exit their dial
+// loops), queued frames get a bounded flush, and the listener and all
+// sessions close.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.pingC.Broadcast()
+	for _, p := range c.peers {
+		p.sess.send(frameBye, nil)
+	}
+	for _, p := range c.peers {
+		p.sess.flushWait(2 * time.Second)
+		p.sess.close()
+	}
+	_ = c.ln.Close()
+	c.wg.Wait()
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go c.handleConn(conn)
+	}
+}
+
+// handleConn runs one worker connection: Hello handshake, session
+// reattach + replay, then the frame loop applying fragments and barrier
+// replies.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	defer c.wg.Done()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := emitter.ReadFrame(conn)
+	if err != nil || f.Type != frameHello {
+		_ = conn.Close()
+		return
+	}
+	hello, err := unmarshalHello(f.Payload)
+	if err != nil || hello.Version != protoVersion ||
+		hello.Index < 0 || hello.Index >= len(c.peers) {
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	p := c.peers[hello.Index]
+	p.mu.Lock()
+	p.id = hello.ID
+	p.mu.Unlock()
+	if f.Seq == 0 && p.sess.peerProgress() {
+		// A Hello cursor of zero from a worker that previously made
+		// progress (acked or sent frames) means the worker process
+		// restarted and lost its state — sessions resume connections, not
+		// processes. (A first connect with traffic already buffered is NOT
+		// this case: the peer made no progress, and the ordinary outbox
+		// replay hands it the complete history.) Start a fresh session and
+		// re-send the standing assignment so the worker rejoins; rows that
+		// were buffered in the dead process's open epochs are gone, and
+		// their windows seal with the surviving data once the new slicers'
+		// watermarks pass them — node loss degrades to partial windows,
+		// never to a wedged (or hot-looping) fabric.
+		c.resetAndReseed(p)
+		// Re-arm any drain barriers this worker still owes a pong — their
+		// pings died with the old outbox.
+		c.mu.Lock()
+		var rearm []int64
+		for nonce, owing := range c.pings {
+			if owing[p.idx] {
+				rearm = append(rearm, nonce)
+			}
+		}
+		c.mu.Unlock()
+		sort.Slice(rearm, func(i, j int) bool { return rearm[i] < rearm[j] })
+		for _, nonce := range rearm {
+			p.sess.send(framePing, marshalInt64s(nonce))
+		}
+	}
+	// Welcome carries the coordinator's receive cursor so the worker can
+	// prune and replay; it is queued ahead of the replayed session frames.
+	welcome := emitter.Frame{Type: frameWelcome, Seq: p.sess.cursor()}
+	p.sess.attach(conn, f.Seq, &welcome)
+
+	for {
+		f, err := emitter.ReadFrame(conn)
+		if err != nil {
+			p.sess.detach(conn)
+			return
+		}
+		if f.Type == frameAck {
+			p.sess.onAck(f.Seq)
+			continue
+		}
+		fresh, gap := p.sess.accept(f.Seq)
+		if gap {
+			p.sess.detach(conn)
+			return
+		}
+		if !fresh {
+			continue
+		}
+		switch f.Type {
+		case frameFrag:
+			if m, err := unmarshalFragMsg(f.Payload); err == nil {
+				c.applyFrag(m)
+			}
+		case framePong:
+			if vals, err := unmarshalInt64s(f.Payload, 1); err == nil {
+				c.mu.Lock()
+				if owing, ok := c.pings[vals[0]]; ok {
+					delete(owing, p.idx)
+				}
+				c.mu.Unlock()
+				c.pingC.Broadcast()
+			}
+		}
+		p.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: p.sess.cursor()})
+	}
+}
+
+// resetAndReseed rewinds a restarted worker's session and re-enqueues the
+// standing state — stream shard-range assignments, active slicing specs,
+// and the current sealing watermarks. The reset and every stream's
+// snapshot happen under ALL the streams' routing mutexes at once (taken in
+// name order; route only ever holds one, so the order cannot deadlock):
+// a concurrent append either completes before the reset (its frames are
+// wiped — part of the documented open-epoch loss) or starts after the
+// snapshot, so no post-restart append can ever precede its stream's
+// assignment in the fresh outbox.
+func (c *Coordinator) resetAndReseed(p *peer) {
+	c.mu.Lock()
+	streams := make([]*coordStream, 0, len(c.streams))
+	for _, cs := range c.streams {
+		streams = append(streams, cs)
+	}
+	c.mu.Unlock()
+	sort.Slice(streams, func(i, j int) bool { return streams[i].name < streams[j].name })
+	for _, cs := range streams {
+		cs.mu.Lock()
+	}
+	p.sess.reset()
+	for _, cs := range streams {
+		p.sess.send(frameStream, marshalStream(streamMsg{
+			Name: cs.name, Schema: cs.schema, Shards: cs.shards,
+			Lo: cs.ranges[p.idx][0], Hi: cs.ranges[p.idx][1],
+		}))
+		if cs.ranges[p.idx][0] == cs.ranges[p.idx][1] {
+			continue
+		}
+		wm := watermarkMsg{Stream: cs.name, Settled: cs.sent.Watermark()}
+		ids := make([]int64, 0, len(cs.specs))
+		for id := range cs.specs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			sp := cs.specs[id]
+			p.sess.send(frameSpec, specPayload(sp))
+			if !sp.win.Tuples {
+				sp.mu.Lock()
+				if sp.maxTs != minInt64 {
+					wm.Specs = append(wm.Specs, specMax{ID: sp.id, MaxTs: sp.maxTs})
+				}
+				sp.mu.Unlock()
+			}
+		}
+		// The watermark lets the fresh slicers seal (partial) epochs that
+		// were pending when the old process died, unwedging the merge for
+		// every surviving shard.
+		p.sess.send(frameWatermark, marshalWatermark(wm))
+	}
+	for i := len(streams) - 1; i >= 0; i-- {
+		streams[i].mu.Unlock()
+	}
+}
+
+// specPayload marshals one spec's broadcast frame (shared by attachSpec
+// and the restart re-seed so the two can never drift).
+func specPayload(sp *coordSpec) []byte {
+	return marshalSpec(specMsg{
+		ID: sp.id, Stream: sp.cs.name, Tuples: sp.win.Tuples, Slide: sp.win.Slide,
+		SlideUs: sp.win.SlideDur.Microseconds(), TimeIdx: int64(sp.win.TimeIdx),
+	})
+}
+
+// applyFrag feeds one worker delivery into its query group's merger.
+func (c *Coordinator) applyFrag(m fragMsg) {
+	c.mu.Lock()
+	sp := c.specs[m.Spec]
+	c.mu.Unlock()
+	if sp == nil || m.Shard < 0 || m.Shard >= sp.cs.shards {
+		return // dropped spec or confused peer: ignore
+	}
+	sp.mu.Lock()
+	g := sp.g
+	if m.Wm > sp.applied[m.Shard] {
+		sp.applied[m.Shard] = m.Wm
+	}
+	sp.mu.Unlock()
+	if g == nil {
+		return
+	}
+	g.OfferRemote(m.Shard, m.Frags, m.Wm)
+}
+
+// Describe implements datacell.Fabric: the \fabric introspection pane.
+func (c *Coordinator) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fabric coordinator addr=%s workers=%d\n", c.Addr(), len(c.peers))
+	for _, p := range c.peers {
+		p.mu.Lock()
+		id := p.id
+		p.mu.Unlock()
+		if id == "" {
+			id = "-"
+		}
+		p.sess.mu.Lock()
+		fmt.Fprintf(&b, "  worker %d id=%-12s connected=%-5v frames_out=%-8d frames_in=%-8d pending=%-6d reconnects=%d\n",
+			p.idx, id, p.sess.conn != nil, p.sess.framesOut, p.sess.framesIn,
+			len(p.sess.outbox), p.sess.reconnects)
+		p.sess.mu.Unlock()
+	}
+	c.mu.Lock()
+	names := make([]string, 0, len(c.streams))
+	for n := range c.streams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	specs := make([]*coordSpec, 0, len(c.specs))
+	for _, sp := range c.specs {
+		specs = append(specs, sp)
+	}
+	c.mu.Unlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].id < specs[j].id })
+	for _, n := range names {
+		c.mu.Lock()
+		cs := c.streams[n]
+		c.mu.Unlock()
+		ranges := make([]string, len(cs.ranges))
+		for i, r := range cs.ranges {
+			ranges[i] = fmt.Sprintf("w%d:%d-%d", i, r[0], r[1])
+		}
+		cs.mu.Lock()
+		settled := cs.sent.Watermark()
+		cs.mu.Unlock()
+		fmt.Fprintf(&b, "  stream %s shards=%d ranges=[%s] routed_settled=%d\n",
+			n, cs.shards, strings.Join(ranges, " "), settled)
+	}
+	for _, sp := range specs {
+		sp.mu.Lock()
+		applied := make([]string, len(sp.applied))
+		for i, wm := range sp.applied {
+			if wm == minInt64 {
+				applied[i] = "-"
+			} else {
+				applied[i] = fmt.Sprint(wm)
+			}
+		}
+		sp.mu.Unlock()
+		fmt.Fprintf(&b, "  spec %d stream=%s key=%s applied_wm=[%s]\n",
+			sp.id, sp.cs.name, sp.key, strings.Join(applied, " "))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,96 @@
+package fabric_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"datacell"
+	"datacell/internal/fabric"
+)
+
+// TestFabricTwoProcess boots a coordinator in-process and two REAL worker
+// processes (the dcworker binary) over loopback, runs the 16-query grouped
+// workload, pins byte-identical results against a single-process run, and
+// asserts both workers shut down cleanly (exit 0) on coordinator Close.
+// This is the CI fabric-smoke entry point.
+func TestFabricTwoProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs child processes; skipped with -short")
+	}
+	bin := filepath.Join(t.TempDir(), "dcworker")
+	build := exec.Command("go", "build", "-o", bin, "datacell/cmd/dcworker")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build dcworker: %v\n%s", err, out)
+	}
+
+	const members = 16
+	const size, slide = 64, 16
+	chunks := testChunks(400, 17, 5)
+	ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k"
+	local := runLocal(t, ddl, members, size, slide, chunks)
+
+	eng := datacell.New(&datacell.Options{Workers: 1})
+	defer eng.Close()
+	coord, err := fabric.NewCoordinator(eng, fabric.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(ddl); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.ExportStream("s"); err != nil {
+		t.Fatal(err)
+	}
+
+	procs := make([]*exec.Cmd, 2)
+	for i := range procs {
+		procs[i] = exec.Command(bin, "-join", coord.Addr(), "-index", fmt.Sprint(i))
+		procs[i].Stdout = os.Stderr
+		procs[i].Stderr = os.Stderr
+		if err := procs[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	qs := make([]*datacell.Query, members)
+	for i := range qs {
+		q, err := eng.Register(fmt.Sprintf("q%02d", i), memberSQL(i, size, slide),
+			&datacell.RegisterOptions{Mode: memberMode(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	for _, c := range chunks {
+		if err := eng.AppendChunk("s", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord.Drain()
+	got := make([][]string, members)
+	for i, q := range qs {
+		got[i] = collectRendered(q)
+	}
+	assertSameResults(t, "two-process", got, local)
+
+	// Orderly shutdown: Close broadcasts Bye; both workers must exit 0.
+	coord.Close()
+	for i, p := range procs {
+		done := make(chan error, 1)
+		go func() { done <- p.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("worker %d exited uncleanly: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			_ = p.Process.Kill()
+			t.Fatalf("worker %d did not exit after coordinator Close", i)
+		}
+	}
+}

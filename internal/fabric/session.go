@@ -1,0 +1,302 @@
+package fabric
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"datacell/internal/emitter"
+)
+
+// session is one direction-pair of the fabric's resumable transport. Both
+// ends of a coordinator↔worker link own one: it stamps outgoing session
+// frames with a monotone transmit sequence, retains them until the peer
+// acknowledges, dedups incoming frames by receive cursor, and — after a
+// reconnect — replays everything past the peer's acknowledged cursor.
+// That replay is what turns a connection dropped mid-frame into an exact
+// resume: the truncated frame is retransmitted whole, already-processed
+// duplicates are skipped by sequence, and no window is lost or applied
+// twice.
+//
+// All sends enqueue; a single writer goroutine (per session, living across
+// reconnects) performs the blocking network writes, so no engine or
+// routing lock is ever held across IO and a stalled peer can never
+// deadlock the frame readers (slow peers instead grow the outbox, which
+// is bounded only by the disconnection window).
+type session struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	txSeq  uint64          // last stamped transmit sequence
+	rxSeq  uint64          // highest in-order receive sequence processed
+	outbox []emitter.Frame // stamped frames retained until acked
+	next   int             // outbox index of the next frame to write
+	ctl    []emitter.Frame // unstamped control frames (hello/welcome/ack)
+	conn   net.Conn
+	gen    uint64 // bumped on every attach/detach; guards stale writes
+	closed bool
+	// peerAcked is the highest transmit sequence the peer has ever
+	// acknowledged — the peer-progress marker that distinguishes a peer
+	// which lost its state from one that merely never connected yet.
+	peerAcked uint64
+
+	// Counters for \fabric introspection.
+	framesOut, framesIn uint64
+	reconnects          uint64
+}
+
+func newSession() *session {
+	s := &session{}
+	s.cond = sync.NewCond(&s.mu)
+	go s.writeLoop()
+	return s
+}
+
+// send stamps and enqueues one session frame.
+func (s *session) send(t byte, payload []byte) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.txSeq++
+	s.outbox = append(s.outbox, emitter.Frame{Type: t, Seq: s.txSeq, Payload: payload})
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// sendCtl enqueues an unstamped control frame (written before pending
+// session frames).
+func (s *session) sendCtl(f emitter.Frame) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.ctl = append(s.ctl, f)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// attach installs a (re)connected conn: frames the peer acknowledged are
+// pruned, the write cursor rewinds to the first unacknowledged frame, and
+// an optional control frame (the handshake reply) is queued ahead of the
+// replay. Any previous conn is closed.
+func (s *session) attach(conn net.Conn, peerRx uint64, ctl *emitter.Frame) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	old := s.conn
+	s.pruneLocked(peerRx)
+	s.next = 0
+	// Control frames are connection-scoped (acks, handshake replies): any
+	// retained from the previous conn are stale — an old ack written ahead
+	// of the new handshake reply would make the peer drop the fresh conn.
+	s.ctl = nil
+	if ctl != nil {
+		s.ctl = append(s.ctl, *ctl)
+	}
+	s.conn = conn
+	s.gen++
+	s.reconnects++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if old != nil {
+		_ = old.Close()
+	}
+}
+
+// detach drops conn if it is still the session's active conn (a reader
+// noticing an error races the next attach).
+func (s *session) detach(conn net.Conn) {
+	s.mu.Lock()
+	if s.conn == conn {
+		s.conn = nil
+		s.gen++
+		s.ctl = nil // connection-scoped frames die with the conn
+	}
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+// peerProgress reports whether the peer ever made observable progress —
+// acknowledged an outgoing frame or delivered a stamped frame of its own.
+// A peer handshaking with cursor 0 *despite* prior progress lost its state
+// (process restart) and needs a session reset; a peer with cursor 0 and no
+// progress is simply connecting for the first time, and the normal replay
+// of the buffered outbox gives it the complete history. (The transmit
+// counter alone cannot discriminate: frames buffered for a worker that has
+// not dialed yet are history the replay must deliver, not evidence the
+// peer lost anything.)
+func (s *session) peerProgress() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerAcked > 0 || s.rxSeq > 0
+}
+
+// reset rewinds the session to a fresh state for a peer that restarted
+// and lost its cursors: counters to zero, queues dropped. The owner
+// re-sends whatever standing state (assignments, specs) the peer needs;
+// anything only buffered in the old queues is gone — the fabric's
+// documented at-most-once degradation for a lost worker process.
+func (s *session) reset() {
+	s.mu.Lock()
+	s.txSeq, s.rxSeq, s.peerAcked = 0, 0, 0
+	s.outbox, s.ctl = nil, nil
+	s.next = 0
+	s.gen++
+	s.mu.Unlock()
+}
+
+// onAck prunes frames the peer has processed.
+func (s *session) onAck(peerRx uint64) {
+	s.mu.Lock()
+	s.pruneLocked(peerRx)
+	s.mu.Unlock()
+}
+
+func (s *session) pruneLocked(peerRx uint64) {
+	if peerRx > s.peerAcked {
+		s.peerAcked = peerRx
+	}
+	drop := 0
+	for drop < len(s.outbox) && s.outbox[drop].Seq <= peerRx {
+		drop++
+	}
+	if drop > 0 {
+		s.outbox = append([]emitter.Frame(nil), s.outbox[drop:]...)
+		s.next -= drop
+		if s.next < 0 {
+			s.next = 0
+		}
+	}
+}
+
+// accept advances the receive cursor for an incoming session frame.
+// fresh=false means an already-processed duplicate (replayed after a
+// reconnect) to be skipped; gap=true means the stream is inconsistent and
+// the caller must drop the connection (the resume handshake repairs it).
+func (s *session) accept(seq uint64) (fresh, gap bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.framesIn++
+	switch {
+	case seq <= s.rxSeq:
+		return false, false
+	case seq == s.rxSeq+1:
+		s.rxSeq = seq
+		return true, false
+	default:
+		return false, true
+	}
+}
+
+// cursor reports the receive cursor (for handshakes and acks).
+func (s *session) cursor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rxSeq
+}
+
+// pendingOut reports the number of unacknowledged session frames.
+func (s *session) pendingOut() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.outbox)
+}
+
+// connected reports whether a live conn is attached.
+func (s *session) connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn != nil
+}
+
+// flushWait blocks until every queued frame has been written (not
+// necessarily acked) or the timeout passes — used for orderly shutdown so
+// the Bye frame reaches the peer. A session with no attached conn returns
+// immediately: there is nothing to flush to, and waiting for a reconnect
+// would stall shutdown.
+func (s *session) flushWait(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		done := s.closed || s.conn == nil || (len(s.ctl) == 0 && s.next >= len(s.outbox))
+		s.mu.Unlock()
+		if done {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// close stops the writer goroutine and closes any attached conn.
+func (s *session) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conn := s.conn
+	s.conn = nil
+	s.gen++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// writeLoop is the session's single writer: it drains control frames
+// first, then unsent outbox frames, never holding the session mutex across
+// a blocking write. A write that completes after a reattach (generation
+// changed) is ignored — the reattach already rewound the cursor and the
+// frame will be replayed, with the receiver deduplicating by sequence.
+func (s *session) writeLoop() {
+	for {
+		s.mu.Lock()
+		for !s.closed && (s.conn == nil || (len(s.ctl) == 0 && s.next >= len(s.outbox))) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		var frame emitter.Frame
+		isCtl := len(s.ctl) > 0
+		if isCtl {
+			frame = s.ctl[0]
+		} else {
+			frame = s.outbox[s.next]
+		}
+		conn, gen := s.conn, s.gen
+		s.mu.Unlock()
+
+		err := emitter.WriteFrame(conn, frame)
+
+		s.mu.Lock()
+		if s.gen == gen {
+			switch {
+			case err != nil:
+				s.conn = nil
+				s.gen++
+			case isCtl:
+				s.ctl = s.ctl[1:]
+				s.framesOut++
+			default:
+				s.next++
+				s.framesOut++
+			}
+		}
+		s.mu.Unlock()
+		if err != nil {
+			_ = conn.Close()
+		}
+	}
+}

@@ -1,0 +1,372 @@
+// Package fabric implements DataCell's distributed shard fabric: a
+// coordinator/worker runtime that partitions a query group's shard set
+// across OS processes.
+//
+// The coordinator owns a normal Engine. Streams exported to the fabric
+// keep their catalog entry and sharded-basket sequencing, but appends are
+// routed — rows partitioned, stamped with global sequence numbers — to
+// worker processes by shard range instead of entering local baskets.
+// Each worker runs the existing sharded front end for its range: rows
+// land in per-shard baskets, per-(shard, spec) ShardSlicers cut them into
+// globally consistent epoch fragments, and watermark frames from the
+// coordinator (the settled sequence for tuple windows, the shared
+// event-time high mark for time windows) seal them. Sealed fragments ship
+// back as length-prefixed frames (emitter.WriteFrame; payloads via
+// window.MarshalFrag) and feed the query group's ordinary ShardMerge —
+// min-watermark sealing across processes — so everything above the merge
+// (fan-out, operator DAG, merge classes, post-merge trie) works unchanged
+// on remote windows, and results are byte-identical to a single-process
+// run.
+//
+// Sessions survive connection loss: every session frame carries a
+// per-direction sequence number, receivers acknowledge the highest
+// in-order frame processed, and a reconnecting peer replays everything
+// after the peer's acknowledged cursor — resuming from the last acked
+// epoch with no duplicated or lost windows (see session.go).
+//
+// Lock order across the boundary (see ARCHITECTURE.md): a stream's
+// routing mutex (coordStream.mu) → session mutex; and on the delivery
+// side the group's mergeMu → member queues → scheduler, exactly as for
+// local firings. No lock is ever held across a blocking network write —
+// sessions enqueue and a per-session writer goroutine does the IO.
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"datacell/internal/bat"
+	"datacell/internal/plan"
+	"datacell/internal/window"
+)
+
+// Frame types of the fabric protocol (emitter.Frame.Type). Hello, Welcome
+// and Ack are control frames whose Seq field carries the sender's receive
+// cursor; every other type is a session frame stamped with the sender's
+// transmit sequence.
+const (
+	frameHello     byte = iota + 1 // worker → coord: worker index + id
+	frameWelcome                   // coord → worker: handshake reply
+	frameAck                       // either direction: receive cursor
+	frameStream                    // coord → worker: stream + shard-range assignment
+	frameSpec                      // coord → worker: slicing spec for a new query group
+	frameSpecDrop                  // coord → worker: group torn down
+	frameAppend                    // coord → worker: routed rows for one shard
+	frameWatermark                 // coord → worker: settled sequence + event-time high marks
+	frameAdvance                   // coord → worker: forced time watermark (heartbeat)
+	framePing                      // coord → worker: drain barrier probe
+	framePong                      // worker → coord: barrier reply
+	frameFrag                      // worker → coord: sealed epoch fragments + shard watermark
+	frameBye                       // coord → worker: orderly shutdown
+)
+
+const protoVersion = 1
+
+// helloMsg introduces (or re-introduces) a worker.
+type helloMsg struct {
+	Version int
+	Index   int
+	ID      string
+}
+
+func marshalHello(m helloMsg) []byte {
+	b := binary.AppendUvarint(nil, uint64(m.Version))
+	b = binary.AppendUvarint(b, uint64(m.Index))
+	return bat.AppendString(b, m.ID)
+}
+
+func unmarshalHello(src []byte) (helloMsg, error) {
+	var m helloMsg
+	v, src, err := bat.ReadUvarint(src)
+	if err != nil {
+		return m, fmt.Errorf("fabric: hello version: %w", err)
+	}
+	m.Version = int(v)
+	idx, src, err := bat.ReadUvarint(src)
+	if err != nil {
+		return m, fmt.Errorf("fabric: hello index: %w", err)
+	}
+	m.Index = int(idx)
+	if m.ID, _, err = bat.ReadString(src); err != nil {
+		return m, fmt.Errorf("fabric: hello id: %w", err)
+	}
+	return m, nil
+}
+
+// streamMsg assigns a stream's shard range to a worker.
+type streamMsg struct {
+	Name   string
+	Schema bat.Schema
+	Shards int // total shard count across all workers
+	Lo, Hi int // this worker's half-open shard range
+}
+
+func marshalStream(m streamMsg) []byte {
+	b := bat.AppendString(nil, m.Name)
+	b = bat.MarshalSchema(b, m.Schema)
+	b = binary.AppendUvarint(b, uint64(m.Shards))
+	b = binary.AppendUvarint(b, uint64(m.Lo))
+	return binary.AppendUvarint(b, uint64(m.Hi))
+}
+
+func unmarshalStream(src []byte) (streamMsg, error) {
+	var m streamMsg
+	var err error
+	if m.Name, src, err = bat.ReadString(src); err != nil {
+		return m, fmt.Errorf("fabric: stream name: %w", err)
+	}
+	if m.Schema, src, err = bat.UnmarshalSchema(src); err != nil {
+		return m, fmt.Errorf("fabric: stream schema: %w", err)
+	}
+	vals, _, err := readUvarints(src, 3)
+	if err != nil {
+		return m, fmt.Errorf("fabric: stream range: %w", err)
+	}
+	m.Shards, m.Lo, m.Hi = int(vals[0]), int(vals[1]), int(vals[2])
+	return m, nil
+}
+
+// specMsg registers a slicing spec: the slide granularity one query group
+// needs the stream cut at.
+type specMsg struct {
+	ID      int64
+	Stream  string
+	Tuples  bool
+	Slide   int64 // tuples
+	SlideUs int64 // time windows: slide in microseconds
+	TimeIdx int64
+}
+
+func marshalSpec(m specMsg) []byte {
+	b := binary.AppendVarint(nil, m.ID)
+	b = bat.AppendString(b, m.Stream)
+	if m.Tuples {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendVarint(b, m.Slide)
+	b = binary.AppendVarint(b, m.SlideUs)
+	return binary.AppendVarint(b, m.TimeIdx)
+}
+
+func unmarshalSpec(src []byte) (specMsg, error) {
+	var m specMsg
+	var err error
+	if m.ID, src, err = bat.ReadVarint(src); err != nil {
+		return m, fmt.Errorf("fabric: spec id: %w", err)
+	}
+	if m.Stream, src, err = bat.ReadString(src); err != nil {
+		return m, fmt.Errorf("fabric: spec stream: %w", err)
+	}
+	if len(src) == 0 {
+		return m, fmt.Errorf("fabric: spec kind: short buffer")
+	}
+	m.Tuples = src[0] != 0
+	src = src[1:]
+	if m.Slide, src, err = bat.ReadVarint(src); err != nil {
+		return m, fmt.Errorf("fabric: spec slide: %w", err)
+	}
+	if m.SlideUs, src, err = bat.ReadVarint(src); err != nil {
+		return m, fmt.Errorf("fabric: spec slide-us: %w", err)
+	}
+	if m.TimeIdx, _, err = bat.ReadVarint(src); err != nil {
+		return m, fmt.Errorf("fabric: spec time idx: %w", err)
+	}
+	return m, nil
+}
+
+// specWindow reconstructs the slicing window a worker cuts at.
+func (m specMsg) specWindow() *plan.Window {
+	return &plan.Window{
+		Tuples:   m.Tuples,
+		Slide:    m.Slide,
+		SlideDur: time.Duration(m.SlideUs) * time.Microsecond,
+		TimeIdx:  int(m.TimeIdx),
+	}
+}
+
+// appendMsg carries one shard's slice of a routed append.
+type appendMsg struct {
+	Stream  string
+	Shard   int
+	Arrival int64
+	Seqs    bat.Ints
+	Chunk   *bat.Chunk
+}
+
+func marshalAppend(m appendMsg) []byte {
+	b := bat.AppendString(nil, m.Stream)
+	b = binary.AppendUvarint(b, uint64(m.Shard))
+	b = binary.AppendVarint(b, m.Arrival)
+	b = binary.AppendUvarint(b, uint64(len(m.Seqs)))
+	for _, s := range m.Seqs {
+		b = binary.AppendVarint(b, s)
+	}
+	return bat.MarshalChunk(b, m.Chunk)
+}
+
+func unmarshalAppend(src []byte) (appendMsg, error) {
+	var m appendMsg
+	var err error
+	if m.Stream, src, err = bat.ReadString(src); err != nil {
+		return m, fmt.Errorf("fabric: append stream: %w", err)
+	}
+	sh, src, err := bat.ReadUvarint(src)
+	if err != nil {
+		return m, fmt.Errorf("fabric: append shard: %w", err)
+	}
+	m.Shard = int(sh)
+	if m.Arrival, src, err = bat.ReadVarint(src); err != nil {
+		return m, fmt.Errorf("fabric: append arrival: %w", err)
+	}
+	n, src, err := bat.ReadUvarint(src)
+	if err != nil || n > uint64(len(src)) {
+		return m, fmt.Errorf("fabric: append seq count")
+	}
+	m.Seqs = make(bat.Ints, n)
+	for i := range m.Seqs {
+		if m.Seqs[i], src, err = bat.ReadVarint(src); err != nil {
+			return m, fmt.Errorf("fabric: append seq %d: %w", i, err)
+		}
+	}
+	if m.Chunk, _, err = bat.UnmarshalChunk(src); err != nil {
+		return m, fmt.Errorf("fabric: append chunk: %w", err)
+	}
+	if m.Chunk.Rows() != len(m.Seqs) {
+		return m, fmt.Errorf("fabric: append of %d rows with %d seqs", m.Chunk.Rows(), len(m.Seqs))
+	}
+	return m, nil
+}
+
+// watermarkMsg advances a stream's sealing clocks after routed appends:
+// the settled sequence watermark (tuple windows) and each time-windowed
+// spec's event-time high mark.
+type watermarkMsg struct {
+	Stream  string
+	Settled int64
+	Specs   []specMax
+}
+
+type specMax struct {
+	ID    int64
+	MaxTs int64
+}
+
+func marshalWatermark(m watermarkMsg) []byte {
+	b := bat.AppendString(nil, m.Stream)
+	b = binary.AppendVarint(b, m.Settled)
+	b = binary.AppendUvarint(b, uint64(len(m.Specs)))
+	for _, s := range m.Specs {
+		b = binary.AppendVarint(b, s.ID)
+		b = binary.AppendVarint(b, s.MaxTs)
+	}
+	return b
+}
+
+func unmarshalWatermark(src []byte) (watermarkMsg, error) {
+	var m watermarkMsg
+	var err error
+	if m.Stream, src, err = bat.ReadString(src); err != nil {
+		return m, fmt.Errorf("fabric: watermark stream: %w", err)
+	}
+	if m.Settled, src, err = bat.ReadVarint(src); err != nil {
+		return m, fmt.Errorf("fabric: watermark settled: %w", err)
+	}
+	n, src, err := bat.ReadUvarint(src)
+	if err != nil || n > uint64(len(src)) {
+		return m, fmt.Errorf("fabric: watermark spec count")
+	}
+	m.Specs = make([]specMax, n)
+	for i := range m.Specs {
+		if m.Specs[i].ID, src, err = bat.ReadVarint(src); err != nil {
+			return m, fmt.Errorf("fabric: watermark spec id: %w", err)
+		}
+		if m.Specs[i].MaxTs, src, err = bat.ReadVarint(src); err != nil {
+			return m, fmt.Errorf("fabric: watermark spec ts: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// marshalInt64s / unmarshalInt64s encode the small fixed-arity frames
+// (advance, spec drop, ping, pong) as varint tuples.
+func marshalInt64s(vals ...int64) []byte {
+	var b []byte
+	for _, v := range vals {
+		b = binary.AppendVarint(b, v)
+	}
+	return b
+}
+
+func unmarshalInt64s(src []byte, n int) ([]int64, error) {
+	out := make([]int64, n)
+	var err error
+	for i := range out {
+		if out[i], src, err = bat.ReadVarint(src); err != nil {
+			return nil, fmt.Errorf("fabric: short int frame: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// fragMsg ships one (spec, shard)'s freshly sealed epoch fragments and the
+// shard's new flush watermark to the coordinator.
+type fragMsg struct {
+	Spec  int64
+	Shard int
+	Wm    int64
+	Frags []*window.Frag
+}
+
+func marshalFragMsg(m fragMsg) []byte {
+	b := binary.AppendVarint(nil, m.Spec)
+	b = binary.AppendUvarint(b, uint64(m.Shard))
+	b = binary.AppendVarint(b, m.Wm)
+	b = binary.AppendUvarint(b, uint64(len(m.Frags)))
+	for _, f := range m.Frags {
+		b = window.MarshalFrag(b, f)
+	}
+	return b
+}
+
+func unmarshalFragMsg(src []byte) (fragMsg, error) {
+	var m fragMsg
+	var err error
+	if m.Spec, src, err = bat.ReadVarint(src); err != nil {
+		return m, fmt.Errorf("fabric: frag spec: %w", err)
+	}
+	sh, src, err := bat.ReadUvarint(src)
+	if err != nil {
+		return m, fmt.Errorf("fabric: frag shard: %w", err)
+	}
+	m.Shard = int(sh)
+	if m.Wm, src, err = bat.ReadVarint(src); err != nil {
+		return m, fmt.Errorf("fabric: frag wm: %w", err)
+	}
+	n, src, err := bat.ReadUvarint(src)
+	if err != nil || n > uint64(len(src))+1 {
+		return m, fmt.Errorf("fabric: frag count")
+	}
+	m.Frags = make([]*window.Frag, n)
+	for i := range m.Frags {
+		if m.Frags[i], src, err = window.UnmarshalFrag(src); err != nil {
+			return m, fmt.Errorf("fabric: frag %d: %w", i, err)
+		}
+	}
+	return m, nil
+}
+
+// readUvarints decodes n consecutive uvarints (the byte-level primitives
+// themselves live in bat's codec, shared with the window codec).
+func readUvarints(src []byte, n int) ([]uint64, []byte, error) {
+	out := make([]uint64, n)
+	var err error
+	for i := range out {
+		if out[i], src, err = bat.ReadUvarint(src); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, src, nil
+}

@@ -1,0 +1,415 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/emitter"
+	"datacell/internal/plan"
+	"datacell/internal/window"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's fabric address.
+	Coordinator string
+	// Index is the worker's slot in the coordinator's partition layout
+	// (0 ≤ Index < coordinator Workers).
+	Index int
+	// ID is a self-reported label for introspection (default "w<Index>").
+	ID string
+}
+
+// Worker is the fabric's process-side half: it runs the sharded front end
+// — per-shard baskets, per-(shard, spec) ShardSlicers, watermark-driven
+// flushes — for its assigned shard range of every exported stream, and
+// ships sealed epoch fragments to the coordinator. A worker keeps dialing
+// (and resuming) its coordinator until Close is called or the coordinator
+// says Bye; slicer state lives in the process, so reconnects lose nothing.
+type Worker struct {
+	opts WorkerOptions
+	sess *session
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	streams map[string]*workerStream
+	specs   map[int64]*workerSpec
+	// frameErrs counts session frames that decoded badly or failed to
+	// apply. Such frames are still acknowledged — redelivering them cannot
+	// help (the resume protocol retransmits bytes, not fixes), and
+	// dropping the connection would redial into the same frame forever —
+	// but every one is logged and counted so version skew or corruption
+	// is visible instead of silently eating rows.
+	frameErrs int64
+	closed    bool
+	done      chan struct{} // closed on Bye or Close
+	doneMu    sync.Once
+}
+
+// workerStream is one exported stream's local half: the assigned shard
+// range with one basket per shard.
+type workerStream struct {
+	name    string
+	schema  bat.Schema
+	shards  int // total across all workers
+	lo, hi  int // this worker's range
+	locals  []*workerShard
+	settled int64 // sealing sequence watermark from the coordinator
+	// specList is the stream's specs in id order, maintained on spec
+	// add/drop so the per-watermark firing pass (once per routed append)
+	// neither allocates nor sorts.
+	specList []*workerSpec
+}
+
+// workerShard is one shard's basket plus the per-spec consumer cursors
+// into it — the worker-side analogue of the group front end's groupShard.
+type workerShard struct {
+	global int
+	bk     *basket.Basket
+	cids   map[int64]int // specID → consumer id
+}
+
+// workerSpec is one query group's slicing state over a stream: a
+// ShardSlicer per local shard, the event-time high mark, and the last
+// shipped watermark per shard (to suppress no-op frames).
+type workerSpec struct {
+	id     int64
+	st     *workerStream
+	win    *plan.Window
+	maxTs  int64
+	sls    []*window.ShardSlicer
+	sentWm []int64
+}
+
+// NewWorker starts a worker: it dials the coordinator in the background
+// and serves its shard ranges until Close (or the coordinator's Bye).
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.ID == "" {
+		opts.ID = fmt.Sprintf("w%d", opts.Index)
+	}
+	w := &Worker{
+		opts:    opts,
+		sess:    newSession(),
+		streams: make(map[string]*workerStream),
+		specs:   make(map[int64]*workerSpec),
+		done:    make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go w.dialLoop()
+	return w
+}
+
+// Done is closed when the worker retires (coordinator Bye or Close).
+func (w *Worker) Done() <-chan struct{} { return w.done }
+
+// Close stops the worker.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.retire()
+	w.sess.close()
+	w.wg.Wait()
+}
+
+// noteErr records one undeliverable frame (callers hold w.mu).
+func (w *Worker) noteErr(what string, err error) {
+	w.frameErrs++
+	fmt.Fprintf(os.Stderr, "fabric worker %s: dropped %s frame: %v\n", w.opts.ID, what, err)
+}
+
+func (w *Worker) retire() {
+	w.doneMu.Do(func() { close(w.done) })
+}
+
+func (w *Worker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+// dialLoop keeps one connection to the coordinator alive, with backoff,
+// resuming the session on every reconnect.
+func (w *Worker) dialLoop() {
+	defer w.wg.Done()
+	backoff := 10 * time.Millisecond
+	for !w.isClosed() {
+		conn, err := net.DialTimeout("tcp", w.opts.Coordinator, 2*time.Second)
+		if err != nil {
+			select {
+			case <-w.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 500*time.Millisecond {
+				backoff = 500 * time.Millisecond
+			}
+			continue
+		}
+		backoff = 10 * time.Millisecond
+		if w.serve(conn) {
+			return // Bye or Close
+		}
+	}
+}
+
+// serve performs the handshake and runs the frame loop on one connection.
+// It reports whether the worker should retire (rather than redial).
+func (w *Worker) serve(conn net.Conn) bool {
+	// Hello carries our receive cursor; the coordinator prunes its outbox
+	// and replays the rest. Written directly: the session is only attached
+	// once the Welcome tells us the peer's cursor.
+	hello := emitter.Frame{Type: frameHello, Seq: w.sess.cursor(),
+		Payload: marshalHello(helloMsg{Version: protoVersion, Index: w.opts.Index, ID: w.opts.ID})}
+	if err := emitter.WriteFrame(conn, hello); err != nil {
+		_ = conn.Close()
+		return w.isClosed()
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Tolerate stray control frames ahead of the handshake reply (a stale
+	// ack flushed from the coordinator's previous-connection queue must
+	// not cost a redial cycle).
+	var f emitter.Frame
+	var err error
+	for {
+		f, err = emitter.ReadFrame(conn)
+		if err == nil && f.Type == frameAck {
+			w.sess.onAck(f.Seq)
+			continue
+		}
+		break
+	}
+	if err != nil || f.Type != frameWelcome {
+		_ = conn.Close()
+		return w.isClosed()
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	w.sess.attach(conn, f.Seq, nil)
+
+	for {
+		f, err := emitter.ReadFrame(conn)
+		if err != nil {
+			w.sess.detach(conn)
+			return w.isClosed()
+		}
+		switch f.Type {
+		case frameAck:
+			w.sess.onAck(f.Seq)
+			continue
+		case frameWelcome:
+			continue // duplicate handshake reply from a racy reattach
+		}
+		fresh, gap := w.sess.accept(f.Seq)
+		if gap {
+			w.sess.detach(conn)
+			return w.isClosed()
+		}
+		if !fresh {
+			continue
+		}
+		if bye := w.handle(f); bye {
+			w.retire()
+			w.sess.detach(conn)
+			return true
+		}
+		w.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: w.sess.cursor()})
+	}
+}
+
+// handle applies one session frame. It reports whether the coordinator
+// said Bye.
+func (w *Worker) handle(f emitter.Frame) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch f.Type {
+	case frameStream:
+		m, err := unmarshalStream(f.Payload)
+		if err != nil {
+			w.noteErr("stream", err)
+			return false
+		}
+		st := &workerStream{name: m.Name, schema: m.Schema, shards: m.Shards, lo: m.Lo, hi: m.Hi}
+		for sh := m.Lo; sh < m.Hi; sh++ {
+			st.locals = append(st.locals, &workerShard{
+				global: sh,
+				bk:     basket.New(fmt.Sprintf("%s/%d@%s", m.Name, sh, w.opts.ID), m.Schema),
+				cids:   make(map[int64]int),
+			})
+		}
+		w.streams[m.Name] = st
+
+	case frameSpec:
+		m, err := unmarshalSpec(f.Payload)
+		if err != nil {
+			w.noteErr("spec", err)
+			return false
+		}
+		st := w.streams[m.Stream]
+		if st == nil {
+			w.noteErr("spec", fmt.Errorf("unknown stream %q", m.Stream))
+			return false
+		}
+		sp := &workerSpec{id: m.ID, st: st, win: m.specWindow(), maxTs: math.MinInt64}
+		for _, ws := range st.locals {
+			ws.cids[sp.id] = ws.bk.Register()
+			sl := window.NewShardSlicer(sp.win, st.schema)
+			sp.sls = append(sp.sls, sl)
+			sp.sentWm = append(sp.sentWm, sl.Watermark())
+		}
+		w.specs[sp.id] = sp
+		pos := len(st.specList)
+		for pos > 0 && st.specList[pos-1].id > sp.id {
+			pos--
+		}
+		st.specList = append(st.specList, nil)
+		copy(st.specList[pos+1:], st.specList[pos:])
+		st.specList[pos] = sp
+
+	case frameSpecDrop:
+		vals, err := unmarshalInt64s(f.Payload, 1)
+		if err != nil {
+			w.noteErr("spec-drop", err)
+			return false
+		}
+		if sp := w.specs[vals[0]]; sp != nil {
+			for _, ws := range sp.st.locals {
+				if cid, ok := ws.cids[sp.id]; ok {
+					ws.bk.Unregister(cid)
+					delete(ws.cids, sp.id)
+				}
+			}
+			delete(w.specs, sp.id)
+			for i, x := range sp.st.specList {
+				if x == sp {
+					sp.st.specList = append(sp.st.specList[:i], sp.st.specList[i+1:]...)
+					break
+				}
+			}
+		}
+
+	case frameAppend:
+		m, err := unmarshalAppend(f.Payload)
+		if err != nil {
+			w.noteErr("append", err)
+			return false
+		}
+		st := w.streams[m.Stream]
+		if st == nil || m.Shard < st.lo || m.Shard >= st.hi {
+			w.noteErr("append", fmt.Errorf("stream %q shard %d not assigned here", m.Stream, m.Shard))
+			return false
+		}
+		if err := st.locals[m.Shard-st.lo].bk.AppendSeqs(m.Chunk, m.Arrival, m.Seqs); err != nil {
+			w.noteErr("append", err)
+			return false
+		}
+
+	case frameWatermark:
+		m, err := unmarshalWatermark(f.Payload)
+		if err != nil {
+			w.noteErr("watermark", err)
+			return false
+		}
+		st := w.streams[m.Stream]
+		if st == nil {
+			w.noteErr("watermark", fmt.Errorf("unknown stream %q", m.Stream))
+			return false
+		}
+		if m.Settled > st.settled {
+			st.settled = m.Settled
+		}
+		for _, sm := range m.Specs {
+			if sp := w.specs[sm.ID]; sp != nil && sm.MaxTs > sp.maxTs {
+				sp.maxTs = sm.MaxTs
+			}
+		}
+		// One firing pass: every spec of this stream drains its cursors,
+		// slices, and flushes what the advanced watermarks seal.
+		for _, sp := range st.specList {
+			w.fireSpec(sp)
+		}
+
+	case frameAdvance:
+		vals, err := unmarshalInt64s(f.Payload, 2)
+		if err != nil {
+			w.noteErr("advance", err)
+			return false
+		}
+		if sp := w.specs[vals[0]]; sp != nil {
+			if vals[1] > sp.maxTs {
+				sp.maxTs = vals[1]
+			}
+			w.fireSpec(sp)
+		}
+
+	case framePing:
+		if vals, err := unmarshalInt64s(f.Payload, 1); err == nil {
+			// Queued after the fragments the firing above produced, so the
+			// coordinator's barrier sees them applied first.
+			w.sess.send(framePong, marshalInt64s(vals[0]))
+		}
+
+	case frameBye:
+		return true
+	}
+	return false
+}
+
+// fireSpec is one firing of a spec across its local shards: drain each
+// shard's cursor, slice, flush every epoch the current watermark seals,
+// and ship fragments plus the advanced shard watermark. Shards with no
+// new rows still ship their watermark advance — the coordinator's merger
+// needs every shard's flush watermark to seal an epoch.
+func (w *Worker) fireSpec(sp *workerSpec) {
+	st := sp.st
+	for li, ws := range st.locals {
+		sl := sp.sls[li]
+		cid, ok := ws.cids[sp.id]
+		if !ok {
+			continue
+		}
+		c, arrivals, seqs := ws.bk.PeekSeqs(cid, int(ws.bk.Available(cid)))
+		if c != nil {
+			ws.bk.Consume(cid, int64(c.Rows()))
+			sl.Push(c, arrivals, seqs)
+		}
+		var frags []*window.Frag
+		if sp.win.Tuples {
+			frags = sl.Flush(st.settled / sp.win.Slide)
+		} else if sp.maxTs != math.MinInt64 {
+			frags = sl.Flush(sl.TimeGen(sp.maxTs))
+		}
+		wm := sl.Watermark()
+		if len(frags) == 0 && wm <= sp.sentWm[li] {
+			continue
+		}
+		sp.sentWm[li] = wm
+		for _, fr := range frags {
+			fr.Shard = ws.global
+		}
+		w.sess.send(frameFrag, marshalFragMsg(fragMsg{
+			Spec: sp.id, Shard: ws.global, Wm: wm, Frags: frags,
+		}))
+	}
+}
+
+// Describe renders the worker state (cmd/dcworker's status line).
+func (w *Worker) Describe() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "fabric worker %s index=%d coordinator=%s connected=%v streams=%d specs=%d frame_errs=%d",
+		w.opts.ID, w.opts.Index, w.opts.Coordinator, w.sess.connected(),
+		len(w.streams), len(w.specs), w.frameErrs)
+	return b.String()
+}

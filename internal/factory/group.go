@@ -118,6 +118,20 @@ func newFrontEnd(bk *basket.Sharded, win *plan.Window, schema bat.Schema) *front
 	return fe
 }
 
+// newRemoteFrontEnd builds the fabric-fed variant: no basket cursors or
+// local slicers — per-shard epoch fragments arrive pre-sliced from worker
+// processes and only the min-watermark merger runs here.
+func newRemoteFrontEnd(shards int, win *plan.Window, schema bat.Schema) *frontEnd {
+	fe := &frontEnd{win: win, schema: schema}
+	fe.maxTs.Store(math.MinInt64)
+	fe.merge = window.NewShardMerge(window.MergeConfig{
+		Shards:   shards,
+		Data:     schema,
+		KeepData: true,
+	})
+	return fe
+}
+
 // close releases the basket cursors. The owner must have removed the
 // shard transitions first (RemoveWait) so no firing is in flight.
 func (fe *frontEnd) close() {
@@ -271,6 +285,28 @@ type GroupConfig struct {
 	// NotifyShards re-enables the group's shard transitions (wired to
 	// basket appends and event-time watermark raises).
 	NotifyShards func()
+	// Remote marks a fabric-fed group: the stream's shard front ends —
+	// basket cursors, slicers, per-shard firings — run in worker processes,
+	// and sealed epoch fragments arrive over the wire via OfferRemote
+	// instead of local FireShard transitions. The group keeps only the
+	// merger (min-watermark sealing across processes) and everything above
+	// it — fan-out, operator DAG, merge classes, post-merge trie — works
+	// unchanged on remote windows.
+	Remote *RemoteSource
+}
+
+// RemoteSource describes the remote side of a fabric-fed group.
+type RemoteSource struct {
+	// Shards is the stream's total shard count across all workers — the
+	// width of the group's merger.
+	Shards int
+	// Advance forwards time-watermark raises (Engine.AdvanceTime, the
+	// heartbeat) to the worker processes, whose slicers own the open
+	// buckets.
+	Advance func(watermark int64)
+	// Close tears the fabric spec down when the group closes (broadcast to
+	// workers so they drop their slicers and cursors).
+	Close func()
 }
 
 // Member is one continuous query's membership in a group: a queue of
@@ -324,15 +360,23 @@ func NewGroup(cfg GroupConfig) *Group {
 	}
 	g := &Group{cfg: cfg, dag: newDAG(), postDag: newDAG(),
 		classes: make(map[string]*mergeClass)}
-	g.fe = newFrontEnd(cfg.Basket, cfg.Window, cfg.Schema)
+	if cfg.Remote != nil {
+		g.fe = newRemoteFrontEnd(cfg.Remote.Shards, cfg.Window, cfg.Schema)
+	} else {
+		g.fe = newFrontEnd(cfg.Basket, cfg.Window, cfg.Schema)
+	}
 	g.fe.sink = g.fanout
 	return g
 }
 
 // SubscribeAppend wires the group's shard transitions to the basket's
 // append notifications. Call after the first member joined and the shard
-// transitions are registered.
+// transitions are registered. Remote groups have no shard transitions to
+// wake — their windows arrive over the wire — so it is a no-op for them.
 func (g *Group) SubscribeAppend() {
+	if g.cfg.Remote != nil {
+		return
+	}
 	if g.cfg.NotifyShards != nil {
 		g.cancelAppend = g.cfg.Basket.OnAppend(g.cfg.NotifyShards)
 	}
@@ -351,8 +395,15 @@ func (g *Group) SchedGroup() string { return g.cfg.SchedGroup }
 // NumShards reports the stream's shard count (one group transition each).
 func (g *Group) NumShards() int { return len(g.fe.shards) }
 
-// Shards implements SharedGroup.
-func (g *Group) Shards() int { return g.NumShards() }
+// Shards implements SharedGroup: the stream's total shard count — local
+// shard transitions, or, for a fabric-fed group, the remote shards whose
+// fragments the merger assembles.
+func (g *Group) Shards() int {
+	if g.cfg.Remote != nil {
+		return g.cfg.Remote.Shards
+	}
+	return g.NumShards()
+}
 
 // Members reports the current member count.
 func (g *Group) Members() int {
@@ -520,6 +571,32 @@ func (g *Group) Close() {
 		g.cancelAppend = nil
 	}
 	g.fe.close()
+	if g.cfg.Remote != nil && g.cfg.Remote.Close != nil {
+		g.cfg.Remote.Close()
+	}
+}
+
+// OfferRemote feeds one remote shard's freshly flushed epoch fragments and
+// watermark into the group's merger — the fabric-fed counterpart of a
+// FireShard delivery. Basic windows sealed by the delivery (every shard's
+// watermark passed their epoch) fan out to the members exactly as local
+// ones do. Safe for concurrent calls from different worker connections;
+// out-of-range shard indices are dropped (a confused or stale peer must
+// not panic the engine).
+func (g *Group) OfferRemote(shard int, frags []*window.Frag, wm int64) {
+	if g.cfg.Remote == nil || shard < 0 || shard >= g.cfg.Remote.Shards {
+		return
+	}
+	g.fe.mergeMu.Lock()
+	ready := g.fe.merge.Offer(shard, frags, wm)
+	var notify map[string]bool
+	if len(ready) > 0 {
+		notify = g.fe.sink(ready)
+	}
+	g.fe.mergeMu.Unlock()
+	for q := range notify {
+		g.cfg.NotifyMember(q)
+	}
 }
 
 // ShardReady reports whether shard sh has pending tuples or sealed epochs
@@ -604,8 +681,16 @@ func (g *Group) fanout(ready []*window.BW) map[string]bool {
 // Advance closes time-window buckets up to the watermark (microsecond
 // timestamp) on every shard — the group-level counterpart of
 // Factory.Advance for the scheduler's time constraints. Tuple-window
-// groups are unaffected.
+// groups are unaffected. Fabric-fed groups forward the watermark to the
+// worker processes, whose slicers own the open buckets; the flushed
+// fragments come back through OfferRemote.
 func (g *Group) Advance(watermark int64) {
+	if g.cfg.Remote != nil {
+		if g.cfg.Remote.Advance != nil {
+			g.cfg.Remote.Advance(watermark)
+		}
+		return
+	}
 	for q := range g.fe.advance(watermark) {
 		g.cfg.NotifyMember(q)
 	}

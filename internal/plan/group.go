@@ -41,16 +41,26 @@ func SharedJoin(d *Decomposition) (left, right *ScanStream, ok bool) {
 // deliberately absent: basic windows are cut at slide granularity, so
 // members may keep rings of different extents over the same shared
 // basic-window sequence.
+// Streams exported to a distributed shard fabric append their partition
+// tag (worker count and shard-range assignment): the fabric's layout is
+// part of the grouping identity, so a group never outlives or straddles a
+// re-partitioning of its stream.
 func GroupKey(sc *ScanStream) string {
 	w := sc.Window
 	if w == nil {
 		return ""
 	}
+	var key string
 	if w.Tuples {
-		return fmt.Sprintf("%s|tuple|slide=%d|%s", sc.Stream.Name, w.Slide, sc.Out)
+		key = fmt.Sprintf("%s|tuple|slide=%d|%s", sc.Stream.Name, w.Slide, sc.Out)
+	} else {
+		key = fmt.Sprintf("%s|time|slide=%dus|ts=%d|%s",
+			sc.Stream.Name, w.SlideDur.Microseconds(), w.TimeIdx, sc.Out)
 	}
-	return fmt.Sprintf("%s|time|slide=%dus|ts=%d|%s",
-		sc.Stream.Name, w.SlideDur.Microseconds(), w.TimeIdx, sc.Out)
+	if tag := sc.Stream.RemoteTag(); tag != "" {
+		key += "|" + tag
+	}
+	return key
 }
 
 // MergeKey is the merge-class key of an incremental single-stream

@@ -38,6 +38,7 @@ const Help = `commands:
   \network               query network: baskets and queries (Figure 3)
   \queries               list registered continuous queries
   \groups                shared execution groups (members, live buffers)
+  \fabric                distributed shard fabric (workers, streams, specs)
   \plan <query>          optimized one-time plan shape
   \cplan <query>         continuous (split/merge) plan shape
   \stats <query>         one query's counters
@@ -110,12 +111,18 @@ func (s *Session) Dispatch(line string) (string, bool) {
 					g.PostNodes, g.PostHits, g.PostMisses, 100*g.PostHitRate())
 			}
 			if g.Kind == "join" {
-				fmt.Fprintf(&b, " pair_caches=%d cached_pairs=%d pairs_computed=%d",
+				// Join groups share no post-merge work yet (each member
+				// recomputes aggregates above the join — see
+				// DESIGN-SHARING.md); a numeric 0.0% here would read as a
+				// measured miss rate rather than an unimplemented stage.
+				fmt.Fprintf(&b, " post_rate=n/a pair_caches=%d cached_pairs=%d pairs_computed=%d",
 					g.PairCaches, g.CachedPairs, g.PairsComputed)
 			}
 			b.WriteByte('\n')
 		}
 		return strings.TrimRight(b.String(), "\n"), false
+	case `\fabric`:
+		return s.eng.FabricStatus(), false
 	case `\plan`, `\cplan`, `\stats`, `\pause`, `\resume`, `\results`:
 		q, ok := s.eng.Query(arg(1))
 		if !ok {
@@ -342,8 +349,8 @@ func (c *Client) Close() { _ = c.conn.Close() }
 // SortedCommands lists the control commands (for cmd completion/docs).
 func SortedCommands() []string {
 	cmds := []string{
-		`\help`, `\catalog`, `\network`, `\queries`, `\groups`, `\plan`,
-		`\cplan`, `\stats`, `\results`, `\pause`, `\resume`,
+		`\help`, `\catalog`, `\network`, `\queries`, `\groups`, `\fabric`,
+		`\plan`, `\cplan`, `\stats`, `\results`, `\pause`, `\resume`,
 		`\pause-stream`, `\resume-stream`, `\shards`, `\advance`, `\quit`,
 	}
 	sort.Strings(cmds)

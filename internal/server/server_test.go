@@ -113,8 +113,44 @@ func TestSessionControlCommands(t *testing.T) {
 	if !quit || out != "bye" {
 		t.Errorf("quit: %q %v", out, quit)
 	}
-	if got := SortedCommands(); len(got) != 16 {
+	if got := SortedCommands(); len(got) != 17 {
 		t.Errorf("commands = %d", len(got))
+	}
+}
+
+// TestSessionFabricCommand: \fabric reports the no-fabric placeholder on a
+// plain engine (the attached case is covered by the fabric tests).
+func TestSessionFabricCommand(t *testing.T) {
+	s := NewSession(newEngine(t))
+	if out, _ := s.Dispatch(`\fabric`); !strings.Contains(out, "no fabric attached") {
+		t.Errorf("fabric: %q", out)
+	}
+}
+
+// TestGroupsJoinPostNA: join groups render their post-merge stats as n/a —
+// JoinGroup.PostStats is intentionally unimplemented (join tails are not
+// shared past the pair cache), and a numeric 0.0% would read as a measured
+// rate.
+func TestGroupsJoinPostNA(t *testing.T) {
+	s := NewSession(newEngine(t))
+	for _, sql := range []string{
+		"CREATE STREAM l (ts TIMESTAMP, k INT, v FLOAT);",
+		"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT);",
+		"REGISTER QUERY j AS SELECT l.v, r.v FROM l [SIZE 4 SLIDE 4], r [SIZE 4 SLIDE 4] WHERE l.k = r.k;",
+	} {
+		if out, _ := s.Dispatch(sql); strings.Contains(out, "error") {
+			t.Fatalf("%s: %q", sql, out)
+		}
+	}
+	out, _ := s.Dispatch(`\groups`)
+	if !strings.Contains(out, "kind=join") {
+		t.Fatalf("no join group in %q", out)
+	}
+	if !strings.Contains(out, "post_rate=n/a") {
+		t.Errorf("join group post stats not rendered n/a: %q", out)
+	}
+	if strings.Contains(out, "post_rate=0.0%") {
+		t.Errorf("join group renders a misleading zero post rate: %q", out)
 	}
 }
 

@@ -1,0 +1,101 @@
+package window
+
+import (
+	"reflect"
+	"testing"
+
+	"datacell/internal/bat"
+)
+
+func codecChunk(vals ...int64) *bat.Chunk {
+	sch := bat.NewSchema([]string{"k"}, []bat.Kind{bat.Int})
+	return &bat.Chunk{Schema: sch, Cols: []bat.Vector{bat.Ints(append([]int64{}, vals...))}}
+}
+
+func TestBWCodecRoundTrip(t *testing.T) {
+	bws := []*BW{
+		{Gen: 0, Data: codecChunk(1, 2, 3)},
+		{Gen: 41, MaxArrival: 123456, Data: codecChunk(), Out: codecChunk(9)},
+		{Gen: -7, Data: codecChunk(5), Partial: codecChunk(6, 7)},
+		{Gen: 3}, // all chunks absent
+	}
+	var buf []byte
+	for _, bw := range bws {
+		buf = MarshalBW(buf, bw)
+	}
+	for i, want := range bws {
+		var got *BW
+		var err error
+		got, buf, err = UnmarshalBW(buf)
+		if err != nil {
+			t.Fatalf("bw %d: %v", i, err)
+		}
+		if got.Gen != want.Gen || got.MaxArrival != want.MaxArrival {
+			t.Fatalf("bw %d: gen/arrival = %d/%d, want %d/%d",
+				i, got.Gen, got.MaxArrival, want.Gen, want.MaxArrival)
+		}
+		if got.Free != nil {
+			t.Fatalf("bw %d: decoded window carries a Free hook", i)
+		}
+		for name, pair := range map[string][2]*bat.Chunk{
+			"data": {got.Data, want.Data}, "out": {got.Out, want.Out}, "partial": {got.Partial, want.Partial},
+		} {
+			g, w := pair[0], pair[1]
+			if (g == nil) != (w == nil) {
+				t.Fatalf("bw %d %s: presence mismatch", i, name)
+			}
+			if g != nil && !reflect.DeepEqual(g.Cols, w.Cols) {
+				t.Fatalf("bw %d %s: %v, want %v", i, name, g.Cols, w.Cols)
+			}
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("trailing bytes: %d", len(buf))
+	}
+}
+
+func TestFragCodecRoundTrip(t *testing.T) {
+	want := &Frag{Gen: 17, Shard: 3, MaxArrival: 99, Data: codecChunk(4, 5)}
+	buf := MarshalFrag(nil, want)
+	got, rest, err := UnmarshalFrag(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v rest=%d", err, len(rest))
+	}
+	if got.Gen != want.Gen || got.Shard != want.Shard || got.MaxArrival != want.MaxArrival {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if !reflect.DeepEqual(got.Data.Cols, want.Data.Cols) {
+		t.Fatalf("data = %v, want %v", got.Data.Cols, want.Data.Cols)
+	}
+	// Truncations error.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := UnmarshalFrag(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}
+
+// TestShardMergeCanonicalOrder pins the fabric-critical determinism
+// invariant: an epoch's fragments concatenate in shard order no matter
+// which shard's flush reached the merger first.
+func TestShardMergeCanonicalOrder(t *testing.T) {
+	sch := bat.NewSchema([]string{"k"}, []bat.Kind{bat.Int})
+	build := func(order []int) []int64 {
+		m := NewShardMerge(MergeConfig{Shards: 3, Data: sch, KeepData: true})
+		var out []*BW
+		for _, sh := range order {
+			frag := &Frag{Gen: 0, Data: codecChunk(int64(sh*10), int64(sh*10+1))}
+			out = append(out, m.Offer(sh, []*Frag{frag}, 1)...)
+		}
+		if len(out) != 1 {
+			t.Fatalf("order %v sealed %d windows, want 1", order, len(out))
+		}
+		return bat.AsInts(out[0].Data.Cols[0])
+	}
+	want := build([]int{0, 1, 2})
+	for _, order := range [][]int{{2, 1, 0}, {1, 0, 2}, {2, 0, 1}} {
+		if got := build(order); !reflect.DeepEqual(got, want) {
+			t.Fatalf("delivery order %v produced %v, want %v", order, got, want)
+		}
+	}
+}

@@ -15,6 +15,12 @@ type Frag struct {
 	// (sequence / slide); for time windows the absolute slide bucket
 	// (⌊ts/slide⌋).
 	Gen int64
+	// Shard is the global shard index that produced the fragment. ShardMerge
+	// stamps it on Offer; merged basic windows concatenate an epoch's
+	// fragments in shard order, so window contents are deterministic no
+	// matter which shard (or which process, over the fabric) delivered
+	// first.
+	Shard int
 	// Data holds the shard's raw tuples of the epoch.
 	Data *bat.Chunk
 	// MaxArrival is the newest arrival stamp among the rows.
@@ -253,7 +259,20 @@ func (m *ShardMerge) Offer(shard int, frags []*Frag, wm int64) []*BW {
 		m.wms[shard] = wm
 	}
 	for _, f := range frags {
-		m.frags[f.Gen] = append(m.frags[f.Gen], f)
+		f.Shard = shard
+		// Insert in shard order (at most one fragment per shard per epoch),
+		// so buildBW concatenates deterministically regardless of delivery
+		// order — the invariant that keeps a fabric run byte-identical to a
+		// single-process run.
+		fs := m.frags[f.Gen]
+		pos := len(fs)
+		for pos > 0 && fs[pos-1].Shard > shard {
+			pos--
+		}
+		fs = append(fs, nil)
+		copy(fs[pos+1:], fs[pos:])
+		fs[pos] = f
+		m.frags[f.Gen] = fs
 	}
 	sealed := m.wms[0]
 	for _, w := range m.wms[1:] {

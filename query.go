@@ -168,6 +168,17 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 	}
 	shared := groupScan != nil || joinL != nil
 
+	// Streams exported to a shard fabric live in worker processes: only the
+	// shared single-stream windowed path can consume them (the fabric feeds
+	// sealed basic windows into the stream's query group). Isolated
+	// queries, joins and non-windowed scans would need local basket
+	// cursors, which see nothing.
+	for _, sc := range streams {
+		if sc.Stream.RemoteTag() != "" && groupScan == nil {
+			return nil, fmt.Errorf("datacell: stream %q is exported to the shard fabric; only shared queries over a single windowed stream scan can consume it", sc.Stream.Name)
+		}
+	}
+
 	var emitters emitter.Multi
 	var outCh *emitter.Channel
 	if opts == nil || !opts.NoChannel {
@@ -224,7 +235,13 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 	e.mu.Unlock()
 
 	if groupScan != nil {
-		e.joinGroup(q, groupScan)
+		if err := e.joinGroup(q, groupScan); err != nil {
+			e.mu.Lock()
+			delete(e.queries, q.name)
+			e.mu.Unlock()
+			fac.Stop()
+			return nil, err
+		}
 		return q, nil
 	}
 	if joinL != nil {
@@ -268,15 +285,23 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 // group key. The member's private tail runs as its own transition under
 // the query's name, so pause/resume/drop of one member never stalls its
 // siblings or the shared shard firings.
-func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) {
+//
+// For a stream exported to the shard fabric, the group is created
+// remote-fed instead: the attached fabric supplies a slicing spec, the
+// worker processes run the shard front ends, and sealed epoch fragments
+// arrive through Group.OfferRemote — so no local shard transitions or
+// append subscriptions exist.
+func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) error {
 	key := plan.GroupKey(sc)
+	remote := sc.Stream.RemoteTag() != ""
 	var mem *factory.Member
+	var createErr error
 	gv, n := e.cat.JoinGroup(key, func() any {
 		// The scheduler group name carries a nonce: a new group created
 		// while a same-keyed predecessor is still tearing down must not
 		// share transition names with it.
 		gname := fmt.Sprintf("group:%s#%d", key, e.groupSeq.Add(1))
-		g := factory.NewGroup(factory.GroupConfig{
+		cfg := factory.GroupConfig{
 			Key:          key,
 			SchedGroup:   gname,
 			Basket:       sc.Stream.Basket,
@@ -285,10 +310,35 @@ func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) {
 			Now:          e.now,
 			NotifyMember: func(query string) { e.sched.NotifyGroup(query) },
 			NotifyShards: func() { e.sched.NotifyGroup(gname) },
-		})
-		// Join the creating member before the shard transitions go live so
-		// no basic window can seal against an empty member list.
+		}
+		var spec *FabricSpec
+		if remote {
+			fab := e.fabricHandler()
+			if fab == nil {
+				createErr = fmt.Errorf("datacell: stream %q is exported to the shard fabric but no fabric is attached", sc.Stream.Name)
+				return nil
+			}
+			var err error
+			spec, err = fab.AddSpec(sc.Stream.Name, key, sc.Window, sc.Out)
+			if err != nil {
+				createErr = err
+				return nil
+			}
+			cfg.Remote = &factory.RemoteSource{
+				Shards:  spec.Shards,
+				Advance: spec.Advance,
+				Close:   spec.Drop,
+			}
+		}
+		g := factory.NewGroup(cfg)
+		// Join the creating member before the shard transitions (or the
+		// fabric feed) go live so no basic window can seal against an empty
+		// member list.
 		mem = g.Join(q.name, q.fac)
+		if remote {
+			spec.Attach(g)
+			return g
+		}
 		for sh := 0; sh < g.NumShards(); sh++ {
 			sh := sh
 			e.sched.Add(&scheduler.Transition{
@@ -302,6 +352,13 @@ func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) {
 		g.SubscribeAppend()
 		return g
 	})
+	if createErr != nil || gv == nil {
+		e.cat.LeaveGroup(key)
+		if createErr == nil {
+			createErr = fmt.Errorf("datacell: group %q failed to initialize", key)
+		}
+		return createErr
+	}
 	g := gv.(*factory.Group)
 	if mem == nil {
 		mem = g.Join(q.name, q.fac)
@@ -322,6 +379,7 @@ func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) {
 	// Cover anything sealed (or appended) during setup.
 	e.sched.NotifyGroup(q.groupSched)
 	e.sched.NotifyGroup(q.name)
+	return nil
 }
 
 // joinJoinGroup registers q as a member of its stream pair's shared join

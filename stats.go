@@ -233,7 +233,10 @@ func (e *Engine) NetworkString() string {
 					g.MergeClasses, 100*g.MergeHitRate(), g.PostNodes, 100*g.PostHitRate())
 			}
 			if g.Kind == "join" {
-				fmt.Fprintf(&b, " paircaches=%d pairs=%d computed=%d", g.PairCaches, g.CachedPairs, g.PairsComputed)
+				// post=n/a: join groups share no post-merge work yet (the
+				// members recompute aggregates above the join privately;
+				// DESIGN-SHARING.md documents the gap).
+				fmt.Fprintf(&b, " post=n/a paircaches=%d pairs=%d computed=%d", g.PairCaches, g.CachedPairs, g.PairsComputed)
 			}
 			b.WriteByte('\n')
 		}
