@@ -10,6 +10,12 @@
 // Usage:
 //
 //	dcworker -join host:port -index 0 [-id name]
+//	         [-snapshot-dir dir] [-snapshot-interval 500ms]
+//
+// With -snapshot-dir the worker periodically checkpoints its full slicing
+// state (baskets, open epochs, session cursors) to dir/worker-<index>.snap
+// and, after a crash, restores from it and replays only the delta from the
+// coordinator's replay log — lossless recovery (see docs/RECOVERY.md).
 //
 // The worker exits when the coordinator says goodbye (coordinator Close),
 // or on SIGINT/SIGTERM.
@@ -21,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"datacell/internal/fabric"
 )
@@ -29,6 +36,8 @@ func main() {
 	join := flag.String("join", "", "coordinator fabric address (required)")
 	index := flag.Int("index", 0, "worker slot index in the coordinator's partition layout")
 	id := flag.String("id", "", "self-reported worker label (default w<index>)")
+	snapDir := flag.String("snapshot-dir", "", "directory for durable state snapshots (empty: snapshots off, recovery replays full history)")
+	snapEvery := flag.Duration("snapshot-interval", 500*time.Millisecond, "interval between periodic snapshots (with -snapshot-dir)")
 	flag.Parse()
 	if *join == "" {
 		fmt.Fprintln(os.Stderr, "dcworker: -join is required")
@@ -36,9 +45,11 @@ func main() {
 	}
 
 	w := fabric.NewWorker(fabric.WorkerOptions{
-		Coordinator: *join,
-		Index:       *index,
-		ID:          *id,
+		Coordinator:   *join,
+		Index:         *index,
+		ID:            *id,
+		SnapshotDir:   *snapDir,
+		SnapshotEvery: *snapEvery,
 	})
 	fmt.Println(w.Describe())
 

@@ -371,6 +371,86 @@ func (b *Basket) SnapshotSeqs() (*bat.Chunk, bat.Ints) {
 	return &bat.Chunk{Schema: b.schema, Cols: cols}, b.seqs[0:n:n]
 }
 
+// State is a transferable image of a basket's buffered rows and sequence
+// counters — what a fabric worker persists per shard in its snapshot and
+// ships during an elastic shard handoff. Rows/Arrivals/Seqs from
+// ExportState are views (stable under concurrent appends and vacuums,
+// which reallocate); a State decoded from the wire owns fresh vectors.
+// Consumer cursors are deliberately not part of the image: the restoring
+// side re-registers its consumers at the cursors it tracked itself.
+type State struct {
+	Base     int64 // absolute row id of Rows[0]
+	NextSeq  int64
+	TotalIn  int64
+	Rows     *bat.Chunk
+	Arrivals bat.Ints
+	Seqs     bat.Ints
+}
+
+// ExportState captures the basket's buffered rows and counters. The
+// returned chunk and stamp slices are views sharing the basket's current
+// arrays; the caller may marshal them without further locking.
+func (b *Basket) ExportState() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.len()
+	cols := make([]bat.Vector, len(b.cols))
+	for i, col := range b.cols {
+		cols[i] = col.Slice(0, n)
+	}
+	return State{
+		Base:     b.base,
+		NextSeq:  b.nextSeq,
+		TotalIn:  b.totalIn,
+		Rows:     &bat.Chunk{Schema: b.schema, Cols: cols},
+		Arrivals: b.arrivals[0:n:n],
+		Seqs:     b.seqs[0:n:n],
+	}
+}
+
+// NewFromState rebuilds a basket from an exported image, adopting the
+// state's vectors (pass a decoded, freshly allocated state — not one
+// still shared with a live basket).
+func NewFromState(name string, schema bat.Schema, st State) *Basket {
+	b := New(name, schema)
+	if st.Rows != nil && len(st.Rows.Cols) == len(b.cols) {
+		b.cols = st.Rows.Cols
+	}
+	b.arrivals = st.Arrivals
+	b.seqs = st.Seqs
+	b.base = st.Base
+	b.nextSeq = st.NextSeq
+	b.totalIn = st.TotalIn
+	b.totalDrop = st.Base // base only ever advances by dropping the prefix
+	return b
+}
+
+// Cursor reports a consumer's absolute read cursor.
+func (b *Basket) Cursor(id int) (int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, ok := b.consumers[id]
+	return cur, ok
+}
+
+// RegisterAt adds a consumer whose cursor starts at the given absolute
+// position, clamped into the buffered range — the restore path's
+// counterpart to Register, which starts at the current end.
+func (b *Basket) RegisterAt(cursor int64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextID
+	b.nextID++
+	if cursor < b.base {
+		cursor = b.base
+	}
+	if hi := b.base + int64(b.len()); cursor > hi {
+		cursor = hi
+	}
+	b.consumers[id] = cursor
+	return id
+}
+
 // Consume advances the consumer's cursor by n tuples and vacuums tuples
 // every consumer has passed.
 func (b *Basket) Consume(id int, n int64) {

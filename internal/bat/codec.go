@@ -66,9 +66,9 @@ func MarshalChunk(dst []byte, c *Chunk) []byte {
 	for _, col := range c.Cols {
 		switch v := col.(type) {
 		case Ints:
-			dst = appendInt64s(dst, v)
+			dst = AppendInt64s(dst, v)
 		case Times:
-			dst = appendInt64s(dst, v)
+			dst = AppendInt64s(dst, v)
 		case Floats:
 			for _, f := range v {
 				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
@@ -113,7 +113,7 @@ func UnmarshalChunk(src []byte) (*Chunk, []byte, error) {
 	for i, k := range sch.Kinds {
 		switch k {
 		case Int, Time:
-			vals, rest, err := readInt64s(src, rows)
+			vals, rest, err := ReadInt64s(src, rows)
 			if err != nil {
 				return nil, nil, fmt.Errorf("bat: chunk column %d: %w", i, err)
 			}
@@ -124,7 +124,7 @@ func UnmarshalChunk(src []byte) (*Chunk, []byte, error) {
 			}
 			src = rest
 		case Float:
-			vals, rest, err := readInt64s(src, rows)
+			vals, rest, err := ReadInt64s(src, rows)
 			if err != nil {
 				return nil, nil, fmt.Errorf("bat: chunk column %d: %w", i, err)
 			}
@@ -195,15 +195,19 @@ func ReadVarint(src []byte) (int64, []byte, error) {
 	return v, src[n:], nil
 }
 
-func appendInt64s(dst []byte, vals []int64) []byte {
+// AppendInt64s appends n fixed 8-byte little-endian values — the packed
+// int64 primitive of the wire format, shared with the fabric's snapshot
+// codec (arrival and sequence stamp arrays).
+func AppendInt64s(dst []byte, vals []int64) []byte {
 	for _, v := range vals {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
 	}
 	return dst
 }
 
-func readInt64s(src []byte, n int) ([]int64, []byte, error) {
-	if len(src) < 8*n {
+// ReadInt64s decodes n packed int64s, returning the remainder.
+func ReadInt64s(src []byte, n int) ([]int64, []byte, error) {
+	if n < 0 || len(src) < 8*n {
 		return nil, nil, fmt.Errorf("short buffer: want %d bytes, have %d", 8*n, len(src))
 	}
 	out := make([]int64, n)

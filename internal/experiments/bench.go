@@ -216,6 +216,10 @@ func SharedMerge(queries int, noSharedMerge bool, n, batch, nkeys int) BenchResu
 //	                         Tracked report-only: on one machine it charts
 //	                         the wire overhead scale-out must amortize, so
 //	                         it feeds no floor or gate yet.
+//	snapshot_overhead:       the same fabric workload with workers taking
+//	                         periodic consistent snapshots / without.
+//	                         Tracked report-only; expected near 1.0× (the
+//	                         checkpoint copies state off the sealing path).
 //
 // match, when non-empty, is a regular expression selecting the benchmark
 // configurations to run by name; derived ratios whose inputs were skipped
@@ -307,19 +311,30 @@ func CIBench(quick bool, match string) *BenchReport {
 		noSharedMerge := noSharedMerge
 		add(bestOf(2, func() BenchResult { return SharedMerge(16, noSharedMerge, subN, batch, 2048) }))
 	}
-	for _, workers := range []int{0, 2} {
+	for _, cfg := range []struct {
+		workers int
+		snap    bool
+	}{{0, false}, {2, false}, {2, true}} {
 		label := "local"
-		if workers > 0 {
-			label = fmt.Sprintf("fabric%d", workers)
+		if cfg.workers > 0 {
+			label = fmt.Sprintf("fabric%d", cfg.workers)
+			if cfg.snap {
+				label += "snap"
+			}
 		}
 		name := fmt.Sprintf("fabric_fanout/%s/q_16", label)
 		if !want(name) {
 			continue
 		}
-		// Report-only trajectory point (fabric2_vs_local): the scale-out
-		// wire overhead on one machine, not a gated floor.
-		workers := workers
-		add(bestOf(2, func() BenchResult { return FabricFanout(16, workers, fanN, batch, 256) }))
+		// Report-only trajectory points: fabric2_vs_local charts the
+		// scale-out wire overhead on one machine, snapshot_overhead the
+		// periodic-checkpoint cost on top of that. Neither is a gated floor.
+		cfg := cfg
+		run := func() BenchResult { return FabricFanout(16, cfg.workers, fanN, batch, 256) }
+		if cfg.snap {
+			run = func() BenchResult { return FabricFanoutSnap(16, cfg.workers, fanN, batch, 256) }
+		}
+		add(bestOf(2, run))
 	}
 	ratio := func(key, num, den string) {
 		d, okD := byName[den]
@@ -341,6 +356,8 @@ func CIBench(quick bool, match string) *BenchReport {
 		"shared_merge/sharedmerge/q_16", "shared_merge/nosharedmerge/q_16")
 	ratio("fabric2_vs_local",
 		"fabric_fanout/fabric2/q_16", "fabric_fanout/local/q_16")
+	ratio("snapshot_overhead",
+		"fabric_fanout/fabric2snap/q_16", "fabric_fanout/fabric2/q_16")
 	return rep
 }
 

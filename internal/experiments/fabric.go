@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"datacell"
@@ -20,20 +21,38 @@ import (
 // scale-out path must amortize with real second-machine capacity. It
 // mirrors BenchmarkFabricFanout in internal/fabric.
 func FabricFanout(queries, workers, n, batch, nkeys int) BenchResult {
+	return fabricFanout(queries, workers, n, batch, nkeys, false)
+}
+
+// FabricFanoutSnap is FabricFanout with worker snapshotting enabled: each
+// worker checkpoints its shard state to a spill directory on a short
+// interval throughout the run, so the tracked snapshot_overhead ratio
+// (fabric2snap / fabric2, report-only) charts what the copy-on-write
+// checkpoint path costs on the hot ingest path.
+func FabricFanoutSnap(queries, workers, n, batch, nkeys int) BenchResult {
+	return fabricFanout(queries, workers, n, batch, nkeys, true)
+}
+
+func fabricFanout(queries, workers, n, batch, nkeys int, snapshot bool) BenchResult {
 	chunks := sensorChunks(n, batch, nkeys)
 	eng := datacell.New(&datacell.Options{Workers: 4})
 	defer eng.Close()
 
 	var coord *fabric.Coordinator
 	var workerRts []*fabric.Worker
+	var snapDir string
 	// Coordinator first, workers after: Close order matters for the Bye
-	// broadcast to reach live workers.
+	// broadcast to reach live workers. The snapshot spill dir goes last —
+	// worker Close takes a final checkpoint into it.
 	defer func() {
 		if coord != nil {
 			coord.Close()
 		}
 		for _, w := range workerRts {
 			w.Close()
+		}
+		if snapDir != "" {
+			os.RemoveAll(snapDir)
 		}
 	}()
 	if workers > 0 {
@@ -50,9 +69,22 @@ func FabricFanout(queries, workers, n, batch, nkeys int) BenchResult {
 		if err := coord.ExportStream("s"); err != nil {
 			panic(err)
 		}
+		if snapshot {
+			var err error
+			if snapDir, err = os.MkdirTemp("", "dcbench-snap"); err != nil {
+				panic(err)
+			}
+		}
 		for i := 0; i < workers; i++ {
-			workerRts = append(workerRts,
-				fabric.NewWorker(fabric.WorkerOptions{Coordinator: coord.Addr(), Index: i}))
+			opts := fabric.WorkerOptions{Coordinator: coord.Addr(), Index: i}
+			if snapshot {
+				// Short interval so checkpoints actually fire inside the
+				// timed region (the -quick run ingests in ~10ms), but not so
+				// short that checkpointing saturates a single-core runner.
+				opts.SnapshotDir = snapDir
+				opts.SnapshotEvery = 10 * time.Millisecond
+			}
+			workerRts = append(workerRts, fabric.NewWorker(opts))
 		}
 	}
 	for j := 0; j < queries; j++ {
@@ -76,6 +108,9 @@ func FabricFanout(queries, workers, n, batch, nkeys int) BenchResult {
 	label := "local"
 	if workers > 0 {
 		label = fmt.Sprintf("fabric%d", workers)
+		if snapshot {
+			label += "snap"
+		}
 	}
 	return BenchResult{
 		Name:         fmt.Sprintf("fabric_fanout/%s/q_%d", label, queries),

@@ -21,7 +21,8 @@ type Options struct {
 	// Listen is the TCP address workers dial (default "127.0.0.1:0").
 	Listen string
 	// Workers is the fixed worker count; each exported stream's shard set
-	// is partitioned into contiguous ranges across them by worker index.
+	// is initially partitioned into contiguous ranges across them by
+	// worker index (Reassign moves individual shards afterwards).
 	Workers int
 }
 
@@ -31,6 +32,13 @@ type Options struct {
 // receives the workers' sealed epoch fragments, and feeds them into the
 // engine's query groups. It implements datacell.Fabric and attaches
 // itself to the engine at construction.
+//
+// Worker loss is invisible: every worker session retains its outbound
+// frames as a replay log bounded below by the worker's durable snapshot
+// cursor, so a restarted worker — resuming from its snapshot, or from
+// nothing — replays the delta and regenerates its state exactly
+// (docs/RECOVERY.md). There is no reset path; recovery is always
+// restore-and-replay.
 type Coordinator struct {
 	eng   *datacell.Engine
 	ln    net.Listener
@@ -48,7 +56,7 @@ type Coordinator struct {
 }
 
 // peer is the coordinator's view of one worker slot. The session (and its
-// outbox) persists across the worker's connections.
+// replay log) persists across the worker's connections and processes.
 type peer struct {
 	idx  int
 	sess *session
@@ -58,17 +66,27 @@ type peer struct {
 }
 
 // coordStream is one exported stream's routing state. Its mutex serializes
-// appends, spec changes and watermark broadcasts into the worker sessions,
-// so every worker observes them in one consistent order.
+// appends, spec changes, watermark broadcasts and shard moves into the
+// worker sessions, so every worker observes them in one consistent order.
 type coordStream struct {
 	name   string
 	schema bat.Schema
 	shards int
-	ranges [][2]int // per worker, half-open
 
-	mu    sync.Mutex
-	sent  basket.SeqTracker
-	specs map[int64]*coordSpec
+	mu     sync.Mutex
+	owner  []int // per-shard owning worker index
+	moving map[int]*shardMove
+	sent   basket.SeqTracker
+	specs  map[int64]*coordSpec
+}
+
+// shardMove is one in-flight Reassign: appends routed to the shard are
+// queued here between the export request and the state's arrival, then
+// flushed to the new owner right after the install frame.
+type shardMove struct {
+	to     int
+	queued [][]byte // marshaled frameAppend payloads, in routing order
+	done   chan struct{}
 }
 
 // coordSpec is one query group's slicing spec.
@@ -109,7 +127,7 @@ func NewCoordinator(eng *datacell.Engine, opts Options) (*Coordinator, error) {
 	}
 	c.pingC = sync.NewCond(&c.mu)
 	for i := 0; i < opts.Workers; i++ {
-		c.peers = append(c.peers, &peer{idx: i, sess: newSession()})
+		c.peers = append(c.peers, &peer{idx: i, sess: newSession(true)})
 	}
 	eng.AttachFabric(c)
 	c.wg.Add(1)
@@ -123,7 +141,7 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 // Workers reports the worker slot count.
 func (c *Coordinator) Workers() int { return len(c.peers) }
 
-// ExportStream hands a stream's shard set to the fabric: shard ranges are
+// ExportStream hands a stream's shard set to the fabric: shards are
 // assigned to the workers, the stream is tagged (the tag becomes part of
 // every group key over it), and subsequent appends route to the workers
 // instead of local baskets. Export before any query registers on the
@@ -145,12 +163,18 @@ func (c *Coordinator) ExportStream(name string) error {
 		name:   name,
 		schema: st.Schema(),
 		shards: shards,
+		owner:  make([]int, shards),
+		moving: make(map[int]*shardMove),
 		specs:  make(map[int64]*coordSpec),
 	}
+	ranges := make([][2]int, w)
 	tags := make([]string, w)
 	for i := 0; i < w; i++ {
 		lo, hi := i*shards/w, (i+1)*shards/w
-		cs.ranges = append(cs.ranges, [2]int{lo, hi})
+		ranges[i] = [2]int{lo, hi}
+		for sh := lo; sh < hi; sh++ {
+			cs.owner[sh] = i
+		}
 		tags[i] = fmt.Sprintf("w%d:%d-%d", i, lo, hi)
 	}
 
@@ -171,7 +195,7 @@ func (c *Coordinator) ExportStream(name string) error {
 	for i, p := range c.peers {
 		p.sess.send(frameStream, marshalStream(streamMsg{
 			Name: name, Schema: cs.schema, Shards: shards,
-			Lo: cs.ranges[i][0], Hi: cs.ranges[i][1],
+			Lo: ranges[i][0], Hi: ranges[i][1],
 		}))
 	}
 	cs.mu.Unlock()
@@ -190,11 +214,17 @@ func (c *Coordinator) route(cs *coordStream, parts []basket.RemotePart, base int
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	for _, p := range parts {
-		w := cs.workerOf(p.Shard)
-		c.peers[w].sess.send(frameAppend, marshalAppend(appendMsg{
+		payload := marshalAppend(appendMsg{
 			Stream: cs.name, Shard: p.Shard, Arrival: arrival,
 			Seqs: p.Seqs, Chunk: p.Chunk,
-		}))
+		})
+		if mv := cs.moving[p.Shard]; mv != nil {
+			// Shard in transit: hold the append until the new owner has
+			// installed the shipped state, preserving per-shard order.
+			mv.queued = append(mv.queued, payload)
+			continue
+		}
+		c.peers[cs.owner[p.Shard]].sess.send(frameAppend, payload)
 	}
 	cs.sent.Add(base, base+int64(rows))
 	wm := watermarkMsg{Stream: cs.name, Settled: cs.sent.Watermark()}
@@ -233,21 +263,101 @@ func (c *Coordinator) route(cs *coordStream, parts []basket.RemotePart, base int
 	}
 	sort.Slice(wm.Specs, func(i, j int) bool { return wm.Specs[i].ID < wm.Specs[j].ID })
 	payload := marshalWatermark(wm)
-	for i, p := range c.peers {
-		if cs.ranges[i][0] == cs.ranges[i][1] {
-			continue // no shards assigned: nothing to seal
-		}
+	for _, p := range c.peers {
 		p.sess.send(frameWatermark, payload)
 	}
 }
 
-func (cs *coordStream) workerOf(shard int) int {
-	for i, r := range cs.ranges {
-		if shard >= r[0] && shard < r[1] {
-			return i
+// currentWatermarkLocked rebuilds the stream's sealing clocks from the
+// current high marks (no new rows) — sent to a shard's new owner after an
+// install so pending epochs seal without waiting for the next append.
+// Caller holds cs.mu.
+func (c *Coordinator) currentWatermarkLocked(cs *coordStream) []byte {
+	wm := watermarkMsg{Stream: cs.name, Settled: cs.sent.Watermark()}
+	for _, sp := range cs.specs {
+		if sp.win.Tuples {
+			continue
+		}
+		sp.mu.Lock()
+		mx := sp.maxTs
+		sp.mu.Unlock()
+		if mx != minInt64 {
+			wm.Specs = append(wm.Specs, specMax{ID: sp.id, MaxTs: mx})
 		}
 	}
-	return 0
+	sort.Slice(wm.Specs, func(i, j int) bool { return wm.Specs[i].ID < wm.Specs[j].ID })
+	return marshalWatermark(wm)
+}
+
+// Reassign moves one shard of an exported stream to another worker: the
+// owner drains and exports the shard's state, appends routed meanwhile
+// queue at the coordinator, and the new owner installs state, queued
+// appends and the current watermark in order. Blocks until the handoff
+// completes (the state frame arrives and the install is queued to the new
+// owner) — callers wanting the install *applied* follow with Drain.
+func (c *Coordinator) Reassign(stream string, shard, worker int) error {
+	if worker < 0 || worker >= len(c.peers) {
+		return fmt.Errorf("fabric: no worker slot %d", worker)
+	}
+	c.mu.Lock()
+	cs := c.streams[stream]
+	c.mu.Unlock()
+	if cs == nil {
+		return fmt.Errorf("fabric: stream %q not exported", stream)
+	}
+	if shard < 0 || shard >= cs.shards {
+		return fmt.Errorf("fabric: stream %q has no shard %d", stream, shard)
+	}
+	cs.mu.Lock()
+	if cs.owner[shard] == worker {
+		cs.mu.Unlock()
+		return nil
+	}
+	if cs.moving[shard] != nil {
+		cs.mu.Unlock()
+		return fmt.Errorf("fabric: stream %q shard %d already moving", stream, shard)
+	}
+	mv := &shardMove{to: worker, done: make(chan struct{})}
+	cs.moving[shard] = mv
+	c.peers[cs.owner[shard]].sess.send(frameShardExport, marshalShardRef(stream, shard))
+	cs.mu.Unlock()
+
+	select {
+	case <-mv.done:
+		return nil
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("fabric: stream %q shard %d handoff timed out", stream, shard)
+	}
+}
+
+// finishMove completes a Reassign when the exported shard state arrives:
+// flip ownership, then install + queued appends + current watermark to
+// the new owner, in session order.
+func (c *Coordinator) finishMove(m shardBlobMsg) {
+	c.mu.Lock()
+	cs := c.streams[m.Stream]
+	c.mu.Unlock()
+	if cs == nil || m.Shard < 0 || m.Shard >= cs.shards {
+		return
+	}
+	cs.mu.Lock()
+	mv := cs.moving[m.Shard]
+	if mv == nil {
+		cs.mu.Unlock()
+		return
+	}
+	delete(cs.moving, m.Shard)
+	cs.owner[m.Shard] = mv.to
+	sess := c.peers[mv.to].sess
+	// The state bytes are forwarded verbatim — the coordinator relays,
+	// it does not re-marshal.
+	sess.send(frameShardInstall, marshalShardBlob(m.Stream, m.Shard, m.State))
+	for _, payload := range mv.queued {
+		sess.send(frameAppend, payload)
+	}
+	sess.send(frameWatermark, c.currentWatermarkLocked(cs))
+	cs.mu.Unlock()
+	close(mv.done)
 }
 
 // AddSpec implements datacell.Fabric: a query group forming over an
@@ -292,7 +402,9 @@ func (c *Coordinator) AddSpec(stream, key string, win *plan.Window, schema bat.S
 
 // attachSpec arms a spec: the group is wired to receive fragments and the
 // spec is broadcast, ordered against the stream's appends so every worker
-// starts slicing at the same append boundary.
+// starts slicing at the same append boundary. Every worker gets every
+// spec — shards move between workers (Reassign), so there is no such
+// thing as a worker a stream's specs cannot concern.
 func (c *Coordinator) attachSpec(sp *coordSpec, g *factory.Group) {
 	sp.mu.Lock()
 	sp.g = g
@@ -301,10 +413,7 @@ func (c *Coordinator) attachSpec(sp *coordSpec, g *factory.Group) {
 	cs.mu.Lock()
 	cs.specs[sp.id] = sp
 	payload := specPayload(sp)
-	for i, p := range c.peers {
-		if cs.ranges[i][0] == cs.ranges[i][1] {
-			continue
-		}
+	for _, p := range c.peers {
 		p.sess.send(frameSpec, payload)
 	}
 	cs.mu.Unlock()
@@ -331,10 +440,7 @@ func (c *Coordinator) advanceSpec(sp *coordSpec, wm int64) {
 	wm = sp.maxTs
 	sp.mu.Unlock()
 	payload := marshalInt64s(sp.id, wm)
-	for i, p := range c.peers {
-		if cs.ranges[i][0] == cs.ranges[i][1] {
-			continue
-		}
+	for _, p := range c.peers {
 		p.sess.send(frameAdvance, payload)
 	}
 	cs.mu.Unlock()
@@ -346,10 +452,7 @@ func (c *Coordinator) dropSpec(sp *coordSpec) {
 	cs.mu.Lock()
 	delete(cs.specs, sp.id)
 	payload := marshalInt64s(sp.id)
-	for i, p := range c.peers {
-		if cs.ranges[i][0] == cs.ranges[i][1] {
-			continue
-		}
+	for _, p := range c.peers {
 		p.sess.send(frameSpecDrop, payload)
 	}
 	cs.mu.Unlock()
@@ -362,7 +465,9 @@ func (c *Coordinator) dropSpec(sp *coordSpec) {
 // waits until each has replied — sessions are FIFO, so by then every
 // fragment for previously routed appends has been received and applied —
 // and then drains the engine's scheduler for the member tails. Blocks
-// until every worker (re)connects and catches up.
+// until every worker (re)connects and catches up. Pings live in the
+// retained outbox like any session frame, so a worker that dies holding
+// one answers it after recovery replay.
 func (c *Coordinator) Drain() {
 	c.mu.Lock()
 	if c.closed {
@@ -426,8 +531,8 @@ func (c *Coordinator) acceptLoop() {
 }
 
 // handleConn runs one worker connection: Hello handshake, session
-// reattach + replay, then the frame loop applying fragments and barrier
-// replies.
+// reattach + replay, then the frame loop applying fragments, shard-state
+// deliveries and barrier replies.
 func (c *Coordinator) handleConn(conn net.Conn) {
 	defer c.wg.Done()
 	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
@@ -447,33 +552,20 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	p.mu.Lock()
 	p.id = hello.ID
 	p.mu.Unlock()
-	if f.Seq == 0 && p.sess.peerProgress() {
-		// A Hello cursor of zero from a worker that previously made
-		// progress (acked or sent frames) means the worker process
-		// restarted and lost its state — sessions resume connections, not
-		// processes. (A first connect with traffic already buffered is NOT
-		// this case: the peer made no progress, and the ordinary outbox
-		// replay hands it the complete history.) Start a fresh session and
-		// re-send the standing assignment so the worker rejoins; rows that
-		// were buffered in the dead process's open epochs are gone, and
-		// their windows seal with the surviving data once the new slicers'
-		// watermarks pass them — node loss degrades to partial windows,
-		// never to a wedged (or hot-looping) fabric.
-		c.resetAndReseed(p)
-		// Re-arm any drain barriers this worker still owes a pong — their
-		// pings died with the old outbox.
-		c.mu.Lock()
-		var rearm []int64
-		for nonce, owing := range c.pings {
-			if owing[p.idx] {
-				rearm = append(rearm, nonce)
-			}
-		}
-		c.mu.Unlock()
-		sort.Slice(rearm, func(i, j int) bool { return rearm[i] < rearm[j] })
-		for _, nonce := range rearm {
-			p.sess.send(framePing, marshalInt64s(nonce))
-		}
+	if f.Seq > p.sess.sentSeq() {
+		// The worker claims frames this coordinator never sent: its
+		// cursors (snapshot included) are from another coordinator life.
+		// Tell it to wipe and rejoin fresh — attaching would desynchronize
+		// both streams.
+		_ = emitter.WriteFrame(conn, emitter.Frame{
+			Type: frameWelcome, Seq: p.sess.cursor(), Payload: []byte{welcomeReset}})
+		_ = conn.Close()
+		return
+	}
+	if hello.Snap > 0 {
+		// The Hello's durable cursor doubles as a snap-ack (the ack frame
+		// for the last checkpoint may have died with the old connection).
+		p.sess.advanceSnap(hello.Snap)
 	}
 	// Welcome carries the coordinator's receive cursor so the worker can
 	// prune and replay; it is queued ahead of the replayed session frames.
@@ -486,8 +578,12 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 			p.sess.detach(conn)
 			return
 		}
-		if f.Type == frameAck {
+		switch f.Type {
+		case frameAck:
 			p.sess.onAck(f.Seq)
+			continue
+		case frameSnapAck:
+			p.sess.advanceSnap(f.Seq)
 			continue
 		}
 		fresh, gap := p.sess.accept(f.Seq)
@@ -496,12 +592,19 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 			return
 		}
 		if !fresh {
+			// A recovered worker replaying its history regenerates frames
+			// we already processed; ack them or its outbox never drains.
+			p.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: p.sess.cursor()})
 			continue
 		}
 		switch f.Type {
 		case frameFrag:
 			if m, err := unmarshalFragMsg(f.Payload); err == nil {
 				c.applyFrag(m)
+			}
+		case frameShardState:
+			if m, err := unmarshalShardBlob(f.Payload); err == nil {
+				c.finishMove(m)
 			}
 		case framePong:
 			if vals, err := unmarshalInt64s(f.Payload, 1); err == nil {
@@ -517,69 +620,9 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	}
 }
 
-// resetAndReseed rewinds a restarted worker's session and re-enqueues the
-// standing state — stream shard-range assignments, active slicing specs,
-// and the current sealing watermarks. The reset and every stream's
-// snapshot happen under ALL the streams' routing mutexes at once (taken in
-// name order; route only ever holds one, so the order cannot deadlock):
-// a concurrent append either completes before the reset (its frames are
-// wiped — part of the documented open-epoch loss) or starts after the
-// snapshot, so no post-restart append can ever precede its stream's
-// assignment in the fresh outbox.
-func (c *Coordinator) resetAndReseed(p *peer) {
-	c.mu.Lock()
-	streams := make([]*coordStream, 0, len(c.streams))
-	for _, cs := range c.streams {
-		streams = append(streams, cs)
-	}
-	c.mu.Unlock()
-	sort.Slice(streams, func(i, j int) bool { return streams[i].name < streams[j].name })
-	for _, cs := range streams {
-		cs.mu.Lock()
-	}
-	p.sess.reset()
-	for _, cs := range streams {
-		p.sess.send(frameStream, marshalStream(streamMsg{
-			Name: cs.name, Schema: cs.schema, Shards: cs.shards,
-			Lo: cs.ranges[p.idx][0], Hi: cs.ranges[p.idx][1],
-		}))
-		if cs.ranges[p.idx][0] == cs.ranges[p.idx][1] {
-			continue
-		}
-		wm := watermarkMsg{Stream: cs.name, Settled: cs.sent.Watermark()}
-		ids := make([]int64, 0, len(cs.specs))
-		for id := range cs.specs {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			sp := cs.specs[id]
-			p.sess.send(frameSpec, specPayload(sp))
-			if !sp.win.Tuples {
-				sp.mu.Lock()
-				if sp.maxTs != minInt64 {
-					wm.Specs = append(wm.Specs, specMax{ID: sp.id, MaxTs: sp.maxTs})
-				}
-				sp.mu.Unlock()
-			}
-		}
-		// The watermark lets the fresh slicers seal (partial) epochs that
-		// were pending when the old process died, unwedging the merge for
-		// every surviving shard.
-		p.sess.send(frameWatermark, marshalWatermark(wm))
-	}
-	for i := len(streams) - 1; i >= 0; i-- {
-		streams[i].mu.Unlock()
-	}
-}
-
-// specPayload marshals one spec's broadcast frame (shared by attachSpec
-// and the restart re-seed so the two can never drift).
+// specPayload marshals one spec's broadcast frame.
 func specPayload(sp *coordSpec) []byte {
-	return marshalSpec(specMsg{
-		ID: sp.id, Stream: sp.cs.name, Tuples: sp.win.Tuples, Slide: sp.win.Slide,
-		SlideUs: sp.win.SlideDur.Microseconds(), TimeIdx: int64(sp.win.TimeIdx),
-	})
+	return marshalSpec(specMsg{ID: sp.id, Stream: sp.cs.name, Win: sp.win})
 }
 
 // applyFrag feeds one worker delivery into its query group's merger.
@@ -602,7 +645,26 @@ func (c *Coordinator) applyFrag(m fragMsg) {
 	g.OfferRemote(m.Shard, m.Frags, m.Wm)
 }
 
+// ownerRuns renders a per-shard owner assignment as maximal contiguous
+// runs ("w0:0-2 w1:2-4"; after reassignments a worker may appear more
+// than once).
+func ownerRuns(owner []int) string {
+	var runs []string
+	for lo := 0; lo < len(owner); {
+		hi := lo + 1
+		for hi < len(owner) && owner[hi] == owner[lo] {
+			hi++
+		}
+		runs = append(runs, fmt.Sprintf("w%d:%d-%d", owner[lo], lo, hi))
+		lo = hi
+	}
+	return strings.Join(runs, " ")
+}
+
 // Describe implements datacell.Fabric: the \fabric introspection pane.
+// The retained/snap_cursor pair is the replay-log retention gauge: how
+// many frames the coordinator holds for the worker, and the durable
+// cursor below which it has garbage-collected.
 func (c *Coordinator) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fabric coordinator addr=%s workers=%d\n", c.Addr(), len(c.peers))
@@ -614,9 +676,9 @@ func (c *Coordinator) Describe() string {
 			id = "-"
 		}
 		p.sess.mu.Lock()
-		fmt.Fprintf(&b, "  worker %d id=%-12s connected=%-5v frames_out=%-8d frames_in=%-8d pending=%-6d reconnects=%d\n",
+		fmt.Fprintf(&b, "  worker %d id=%-12s connected=%-5v frames_out=%-8d frames_in=%-8d retained=%-6d snap_cursor=%-8d reconnects=%d\n",
 			p.idx, id, p.sess.conn != nil, p.sess.framesOut, p.sess.framesIn,
-			len(p.sess.outbox), p.sess.reconnects)
+			len(p.sess.outbox), p.sess.snapAcked, p.sess.reconnects)
 		p.sess.mu.Unlock()
 	}
 	c.mu.Lock()
@@ -635,15 +697,16 @@ func (c *Coordinator) Describe() string {
 		c.mu.Lock()
 		cs := c.streams[n]
 		c.mu.Unlock()
-		ranges := make([]string, len(cs.ranges))
-		for i, r := range cs.ranges {
-			ranges[i] = fmt.Sprintf("w%d:%d-%d", i, r[0], r[1])
-		}
 		cs.mu.Lock()
+		ranges := ownerRuns(cs.owner)
 		settled := cs.sent.Watermark()
+		moving := len(cs.moving)
 		cs.mu.Unlock()
-		fmt.Fprintf(&b, "  stream %s shards=%d ranges=[%s] routed_settled=%d\n",
-			n, cs.shards, strings.Join(ranges, " "), settled)
+		fmt.Fprintf(&b, "  stream %s shards=%d ranges=[%s] routed_settled=%d", n, cs.shards, ranges, settled)
+		if moving > 0 {
+			fmt.Fprintf(&b, " moving=%d", moving)
+		}
+		b.WriteByte('\n')
 	}
 	for _, sp := range specs {
 		sp.mu.Lock()

@@ -9,16 +9,15 @@ package fabric_test
 
 import (
 	"fmt"
-	"io"
-	"net"
+	"math/rand"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
 	"datacell"
 	"datacell/internal/bat"
 	"datacell/internal/fabric"
+	"datacell/internal/fabric/fabrictest"
 )
 
 // testChunks mirrors the engine tests' shardTestChunks: n rows in batches,
@@ -123,7 +122,7 @@ type fabricCluster struct {
 	eng     *datacell.Engine
 	coord   *fabric.Coordinator
 	workers []*fabric.Worker
-	proxies []*chaosProxy
+	proxies []interface{ Close() }
 }
 
 func (fc *fabricCluster) close() {
@@ -132,7 +131,7 @@ func (fc *fabricCluster) close() {
 		w.Close()
 	}
 	for _, p := range fc.proxies {
-		p.close()
+		p.Close()
 	}
 	fc.eng.Close()
 }
@@ -158,9 +157,12 @@ func startFabric(t *testing.T, ddl string, nWorkers int, cutsFor func(i int) []i
 		addr := coord.Addr()
 		if cutsFor != nil {
 			if cuts := cutsFor(i); cuts != nil {
-				p := newChaosProxy(t, coord.Addr(), cuts)
+				p, err := fabrictest.NewCutProxy(coord.Addr(), cuts)
+				if err != nil {
+					t.Fatal(err)
+				}
 				fc.proxies = append(fc.proxies, p)
-				addr = p.addr()
+				addr = p.Addr()
 			}
 		}
 		fc.workers = append(fc.workers, fabric.NewWorker(fabric.WorkerOptions{
@@ -430,13 +432,13 @@ func TestFabricLateWorkers(t *testing.T) {
 	assertSameResults(t, "late-workers", got, local)
 }
 
-// TestFabricWorkerRestart pins the node-loss degradation contract: a
-// worker PROCESS that dies and comes back empty (fresh session cursors)
-// is re-seeded with the standing assignment and the fabric keeps flowing —
-// rows buffered in the dead process's open epochs are lost, so their
-// windows seal partial, but every window still seals (no wedge, no
-// reconnect hot-loop) and windows fed while both workers lived stay
-// byte-identical to the local run.
+// TestFabricWorkerRestart pins the node-loss recovery contract: a worker
+// that dies and comes back empty (fresh session cursors, no snapshot)
+// replays the coordinator's retained frame history and regenerates its
+// state exactly — EVERY window, including those spanning the outage,
+// stays byte-identical to the local run. (Before the replay log this test
+// pinned a weaker, lossy contract: windows open across the kill sealed
+// partial. That degradation no longer exists.)
 func TestFabricWorkerRestart(t *testing.T) {
 	const members = 4
 	const size, slide = 20, 10
@@ -479,143 +481,262 @@ func TestFabricWorkerRestart(t *testing.T) {
 	}
 	fc.coord.Drain()
 
+	got := make([][]string, members)
 	for i, q := range qs {
-		got := collectRendered(q)
-		if len(got) != len(local[i]) {
-			t.Fatalf("member %d sealed %d windows, local %d (fabric wedged or duplicated)",
-				i, len(got), len(local[i]))
-		}
-		// Windows fed entirely before the kill are untouched by the loss.
-		clean := (third * 20) / slide // chunks are 20 rows each
-		if clean > len(got) {
-			clean = len(got)
-		}
-		for j := 0; j < clean-1; j++ {
-			if got[j] != local[i][j] {
-				t.Fatalf("member %d pre-kill eval %d diverges:\nfabric:\n%s\nlocal:\n%s",
-					i, j, got[j], local[i][j])
-			}
-		}
+		got[i] = collectRendered(q)
 	}
+	assertSameResults(t, "worker-restart", got, local)
 }
 
-// chaosProxy forwards TCP bytes to a target, cutting connection i after
-// cuts[i] bytes have flowed in the worker→coordinator direction (mid-frame
-// for any realistic limit); connections beyond len(cuts) pass through
-// untouched.
-type chaosProxy struct {
-	ln     net.Listener
-	target string
-	cuts   []int
+// TestFabricSnapshotRestart is the snapshot half of the recovery
+// contract: a worker checkpointing to disk dies mid-stream and restarts
+// from its snapshot, replaying only the delta past its durable cursor —
+// results stay byte-identical, and the coordinator's replay-log retention
+// gauge shows the log GC'd down to the snapshot cursor.
+func TestFabricSnapshotRestart(t *testing.T) {
+	const members = 8
+	const size, slide = 20, 10
+	chunks := testChunks(600, 20, 4)
+	ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k"
+	local := runLocal(t, ddl, members, size, slide, chunks)
 
-	mu      sync.Mutex
-	connIdx int
-	wg      sync.WaitGroup
-	conns   map[net.Conn]bool
-	closed  bool
-}
-
-func newChaosProxy(t *testing.T, target string, cuts []int) *chaosProxy {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	snapDir := t.TempDir()
+	eng := datacell.New(&datacell.Options{Workers: 1})
+	coord, err := fabric.NewCoordinator(eng, fabric.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &chaosProxy{ln: ln, target: target, cuts: cuts, conns: make(map[net.Conn]bool)}
-	p.wg.Add(1)
-	go p.accept()
-	return p
-}
-
-func (p *chaosProxy) addr() string { return p.ln.Addr().String() }
-
-func (p *chaosProxy) cutsUsed() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.connIdx > len(p.cuts) {
-		return len(p.cuts)
+	fc := &fabricCluster{eng: eng, coord: coord}
+	defer fc.close()
+	if _, err := eng.Exec(ddl); err != nil {
+		t.Fatal(err)
 	}
-	return p.connIdx
-}
-
-func (p *chaosProxy) close() {
-	p.mu.Lock()
-	p.closed = true
-	conns := make([]net.Conn, 0, len(p.conns))
-	for c := range p.conns {
-		conns = append(conns, c)
+	if err := coord.ExportStream("s"); err != nil {
+		t.Fatal(err)
 	}
-	p.mu.Unlock()
-	_ = p.ln.Close()
-	for _, c := range conns {
-		_ = c.Close()
+	workerOpts := func(i int) fabric.WorkerOptions {
+		return fabric.WorkerOptions{
+			Coordinator:   coord.Addr(),
+			Index:         i,
+			SnapshotDir:   snapDir,
+			SnapshotEvery: time.Hour, // checkpoints forced explicitly below
+		}
 	}
-	p.wg.Wait()
-}
-
-func (p *chaosProxy) accept() {
-	defer p.wg.Done()
-	for {
-		conn, err := p.ln.Accept()
+	for i := 0; i < 2; i++ {
+		fc.workers = append(fc.workers, fabric.NewWorker(workerOpts(i)))
+	}
+	qs := make([]*datacell.Query, members)
+	for i := range qs {
+		q, err := eng.Register(fmt.Sprintf("q%02d", i), memberSQL(i, size, slide),
+			&datacell.RegisterOptions{Mode: memberMode(i)})
 		if err != nil {
-			return
+			t.Fatal(err)
 		}
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
-			_ = conn.Close()
-			return
+		qs[i] = q
+	}
+	third := len(chunks) / 3
+	for _, c := range chunks[:third] {
+		if err := eng.AppendChunk("s", c); err != nil {
+			t.Fatal(err)
 		}
-		idx := p.connIdx
-		p.connIdx++
-		p.conns[conn] = true
-		p.mu.Unlock()
-		limit := -1
-		if idx < len(p.cuts) {
-			limit = p.cuts[idx]
+	}
+	coord.Drain()
+	// Checkpoint worker 1 mid-stream (open epochs in flight), then kill it
+	// WITHOUT the close-time checkpoint a graceful shutdown would take:
+	// everything past the snapshot must come from replay, not from a
+	// fresher snapshot.
+	if err := fc.workers[1].Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fc.workers[1].Kill()
+	for _, c := range chunks[third : 2*third] {
+		if err := eng.AppendChunk("s", c); err != nil {
+			t.Fatal(err)
 		}
-		p.wg.Add(1)
-		go p.pipe(conn, limit)
+	}
+	fc.workers[1] = fabric.NewWorker(workerOpts(1))
+	for _, c := range chunks[2*third:] {
+		if err := eng.AppendChunk("s", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Second cycle: checkpoint + kill + restart again, to prove the
+	// snapshot→replay→snapshot loop is closed, then finish.
+	coord.Drain()
+	if err := fc.workers[1].Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fc.workers[1].Kill()
+	fc.workers[1] = fabric.NewWorker(workerOpts(1))
+	coord.Drain()
+
+	got := make([][]string, members)
+	for i, q := range qs {
+		got[i] = collectRendered(q)
+	}
+	assertSameResults(t, "snapshot-restart", got, local)
+
+	// Retention gauge: the restarted worker's Hello carried its snapshot
+	// cursor, so the coordinator's replay log for it must be GC'd (a
+	// nonzero snap_cursor) — a worker that never snapshots pins cursor 0.
+	desc := eng.FabricStatus()
+	if !strings.Contains(desc, "snap_cursor=") {
+		t.Fatalf("FabricStatus missing retention gauge:\n%s", desc)
+	}
+	for _, line := range strings.Split(desc, "\n") {
+		if strings.Contains(line, "worker 1 ") && strings.Contains(line, "snap_cursor=0 ") {
+			t.Fatalf("worker 1 snapshot cursor never advanced at the coordinator:\n%s", desc)
+		}
 	}
 }
 
-func (p *chaosProxy) pipe(client net.Conn, limit int) {
-	defer p.wg.Done()
-	upstream, err := net.Dial("tcp", p.target)
-	if err != nil {
-		_ = client.Close()
-		return
-	}
-	p.mu.Lock()
-	p.conns[upstream] = true
-	p.mu.Unlock()
-	kill := func() {
-		_ = client.Close()
-		_ = upstream.Close()
-	}
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { // coordinator → worker: untouched
-		defer wg.Done()
-		_, _ = io.Copy(client, upstream)
-		kill()
-	}()
-	go func() { // worker → coordinator: cut after limit bytes
-		defer wg.Done()
-		if limit < 0 {
-			_, _ = io.Copy(upstream, client)
-		} else {
-			_, _ = io.CopyN(upstream, client, int64(limit))
-			// Leave the peer with a partial frame.
-			time.Sleep(5 * time.Millisecond)
+// TestFabricReassign pins elastic shard handoff: moving live shards
+// between workers mid-stream — state shipped via snapshot encoding,
+// appends queued through the move, watermarks rebroadcast — changes
+// nothing about the output.
+func TestFabricReassign(t *testing.T) {
+	const members = 8
+	const size, slide = 20, 10
+	chunks := testChunks(600, 20, 4)
+	ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k"
+	local := runLocal(t, ddl, members, size, slide, chunks)
+
+	fc := startFabric(t, ddl, 2, nil)
+	defer fc.close()
+	qs := make([]*datacell.Query, members)
+	for i := range qs {
+		q, err := fc.eng.Register(fmt.Sprintf("q%02d", i), memberSQL(i, size, slide),
+			&datacell.RegisterOptions{Mode: memberMode(i)})
+		if err != nil {
+			t.Fatal(err)
 		}
-		kill()
-	}()
-	wg.Wait()
-	p.mu.Lock()
-	delete(p.conns, client)
-	delete(p.conns, upstream)
-	p.mu.Unlock()
+		qs[i] = q
+	}
+	third := len(chunks) / 3
+	for _, c := range chunks[:third] {
+		if err := fc.eng.AppendChunk("s", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move shard 1 (owned by worker 0) to worker 1 with open epochs in
+	// flight, feed, then move it back plus shard 3 the other way.
+	if err := fc.coord.Reassign("s", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks[third : 2*third] {
+		if err := fc.eng.AppendChunk("s", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fc.coord.Reassign("s", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.coord.Reassign("s", 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks[2*third:] {
+		if err := fc.eng.AppendChunk("s", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.coord.Drain()
+
+	got := make([][]string, members)
+	for i, q := range qs {
+		got[i] = collectRendered(q)
+	}
+	assertSameResults(t, "reassign", got, local)
+
+	// The layout pane reflects the moves: shard 3 now belongs to w0.
+	desc := fc.eng.FabricStatus()
+	if !strings.Contains(desc, "w0:3-4") {
+		t.Fatalf("FabricStatus does not show reassigned shard 3 on w0:\n%s", desc)
+	}
+	// Reassign validates its arguments.
+	if err := fc.coord.Reassign("s", 99, 0); err == nil {
+		t.Fatal("Reassign accepted a bogus shard")
+	}
+	if err := fc.coord.Reassign("s", 0, 99); err == nil {
+		t.Fatal("Reassign accepted a bogus worker")
+	}
+	if err := fc.coord.Reassign("nope", 0, 0); err == nil {
+		t.Fatal("Reassign accepted an unexported stream")
+	}
+}
+
+// TestFabricFaultSchedules is the table-driven recovery property test:
+// for a spread of seeded fault schedules — connections cut mid-frame,
+// frames delayed, session frames duplicated, at scheduled frame ordinals —
+// the fabric's output is byte-identical to the fault-free local run.
+// Failures reproduce from the seed.
+func TestFabricFaultSchedules(t *testing.T) {
+	const members = 8
+	const size, slide = 20, 10
+	chunks := testChunks(600, 23, 4)
+	ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k"
+	local := runLocal(t, ddl, members, size, slide, chunks)
+
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			schedule := fabrictest.RandomSchedule(rand.New(rand.NewSource(seed)), 3, 40)
+			eng := datacell.New(&datacell.Options{Workers: 1})
+			coord, err := fabric.NewCoordinator(eng, fabric.Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fc := &fabricCluster{eng: eng, coord: coord}
+			defer fc.close()
+			if _, err := eng.Exec(ddl); err != nil {
+				t.Fatal(err)
+			}
+			if err := coord.ExportStream("s"); err != nil {
+				t.Fatal(err)
+			}
+			proxy, err := fabrictest.NewFaultProxy(coord.Addr(), schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proxy.DupOK = fabric.DupSafe
+			fc.proxies = append(fc.proxies, proxy)
+			// Worker 1 suffers the schedule; worker 0 connects clean.
+			fc.workers = append(fc.workers,
+				fabric.NewWorker(fabric.WorkerOptions{Coordinator: coord.Addr(), Index: 0}),
+				fabric.NewWorker(fabric.WorkerOptions{Coordinator: proxy.Addr(), Index: 1}))
+			qs := make([]*datacell.Query, members)
+			for i := range qs {
+				q, err := eng.Register(fmt.Sprintf("q%02d", i), memberSQL(i, size, slide),
+					&datacell.RegisterOptions{Mode: memberMode(i)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				qs[i] = q
+			}
+			// Feed in rounds with drain barriers so faults land across the
+			// whole run, not just its head.
+			per := (len(chunks) + 3) / 4
+			for start := 0; start < len(chunks); start += per {
+				end := start + per
+				if end > len(chunks) {
+					end = len(chunks)
+				}
+				for _, c := range chunks[start:end] {
+					if err := eng.AppendChunk("s", c); err != nil {
+						t.Fatal(err)
+					}
+				}
+				coord.Drain()
+			}
+			got := make([][]string, members)
+			for i, q := range qs {
+				got[i] = collectRendered(q)
+			}
+			assertSameResults(t, fmt.Sprintf("faults seed=%d %v", seed, schedule), got, local)
+			if proxy.Triggered() == 0 {
+				t.Fatalf("schedule %v never fired; the run proved nothing", schedule)
+			}
+		})
+	}
 }
 
 // TestFabricReconnectResume drives traffic in rounds with the worker link
@@ -629,15 +750,17 @@ func TestFabricReconnectResume(t *testing.T) {
 	ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k"
 	local := runLocal(t, ddl, members, size, slide, chunks)
 
-	var proxy *chaosProxy
 	fc := startFabric(t, ddl, 2, nil)
 	defer fc.close()
 	// Route worker 1 through a cutting proxy created after startFabric so
 	// we keep a handle; replace the auto-started worker.
 	fc.workers[1].Close()
-	proxy = newChaosProxy(t, fc.coord.Addr(), []int{1500, 700, 3000, 1100})
+	proxy, err := fabrictest.NewCutProxy(fc.coord.Addr(), []int{1500, 700, 3000, 1100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	fc.proxies = append(fc.proxies, proxy)
-	fc.workers[1] = fabric.NewWorker(fabric.WorkerOptions{Coordinator: proxy.addr(), Index: 1})
+	fc.workers[1] = fabric.NewWorker(fabric.WorkerOptions{Coordinator: proxy.Addr(), Index: 1})
 
 	qs := make([]*datacell.Query, members)
 	for i := range qs {
@@ -668,7 +791,7 @@ func TestFabricReconnectResume(t *testing.T) {
 		got[i] = collectRendered(q)
 	}
 	assertSameResults(t, "reconnect-rounds", got, local)
-	if proxy.cutsUsed() == 0 {
+	if proxy.CutsUsed() == 0 {
 		t.Fatal("proxy never cut the connection; the test exercised nothing")
 	}
 	if !strings.Contains(fc.eng.FabricStatus(), "reconnects=") {

@@ -1,0 +1,132 @@
+package fabrictest
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// CutProxy forwards TCP bytes to a target, cutting connection i after
+// cuts[i] bytes have flowed in the worker→coordinator direction (mid-frame
+// for any realistic limit); connections beyond len(cuts) pass through
+// untouched. It is the byte-granular sibling of FaultProxy — no frame
+// parsing, so a cut can land anywhere, including inside the length prefix.
+type CutProxy struct {
+	ln     net.Listener
+	target string
+	cuts   []int
+
+	mu      sync.Mutex
+	connIdx int
+	wg      sync.WaitGroup
+	conns   map[net.Conn]bool
+	closed  bool
+}
+
+// NewCutProxy listens on loopback and forwards to target, applying cuts.
+func NewCutProxy(target string, cuts []int) (*CutProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &CutProxy{ln: ln, target: target, cuts: cuts, conns: make(map[net.Conn]bool)}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the address workers should dial instead of the coordinator.
+func (p *CutProxy) Addr() string { return p.ln.Addr().String() }
+
+// CutsUsed reports how many scheduled cuts have been consumed by
+// accepted connections.
+func (p *CutProxy) CutsUsed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.connIdx > len(p.cuts) {
+		return len(p.cuts)
+	}
+	return p.connIdx
+}
+
+// Close stops the proxy and severs every live connection.
+func (p *CutProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	_ = p.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.wg.Wait()
+}
+
+func (p *CutProxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		idx := p.connIdx
+		p.connIdx++
+		p.conns[conn] = true
+		p.mu.Unlock()
+		limit := -1
+		if idx < len(p.cuts) {
+			limit = p.cuts[idx]
+		}
+		p.wg.Add(1)
+		go p.pipe(conn, limit)
+	}
+}
+
+func (p *CutProxy) pipe(client net.Conn, limit int) {
+	defer p.wg.Done()
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	p.mu.Lock()
+	p.conns[upstream] = true
+	p.mu.Unlock()
+	kill := func() {
+		_ = client.Close()
+		_ = upstream.Close()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // coordinator → worker: untouched
+		defer wg.Done()
+		_, _ = io.Copy(client, upstream)
+		kill()
+	}()
+	go func() { // worker → coordinator: cut after limit bytes
+		defer wg.Done()
+		if limit < 0 {
+			_, _ = io.Copy(upstream, client)
+		} else {
+			_, _ = io.CopyN(upstream, client, int64(limit))
+			// Leave the peer with a partial frame.
+			time.Sleep(5 * time.Millisecond)
+		}
+		kill()
+	}()
+	wg.Wait()
+	p.mu.Lock()
+	delete(p.conns, client)
+	delete(p.conns, upstream)
+	p.mu.Unlock()
+}

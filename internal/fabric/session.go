@@ -35,17 +35,28 @@ type session struct {
 	gen    uint64 // bumped on every attach/detach; guards stale writes
 	closed bool
 	// peerAcked is the highest transmit sequence the peer has ever
-	// acknowledged — the peer-progress marker that distinguishes a peer
-	// which lost its state from one that merely never connected yet.
+	// acknowledged.
 	peerAcked uint64
+	// retain keeps acknowledged frames in the outbox until the peer has
+	// made them durable (snapAcked) — the coordinator-side replay log. An
+	// acked frame lives only in the peer's memory; if the peer process
+	// dies it must be replayed, so only a durable snapshot cursor (or,
+	// for a worker that never snapshots, nothing) releases it.
+	retain    bool
+	snapAcked uint64 // highest cursor the peer has durably snapshotted
 
 	// Counters for \fabric introspection.
 	framesOut, framesIn uint64
 	reconnects          uint64
 }
 
-func newSession() *session {
-	s := &session{}
+// newSession starts a session. retain=true keeps acked frames as a
+// replay log bounded by the peer's snapshot cursor (the coordinator's
+// side of every worker link); retain=false prunes on ack (the worker's
+// side — the coordinator is not restartable, so nothing is replayed to
+// it from before its own cursors).
+func newSession(retain bool) *session {
+	s := &session{retain: retain}
 	s.cond = sync.NewCond(&s.mu)
 	go s.writeLoop()
 	return s
@@ -78,9 +89,10 @@ func (s *session) sendCtl(f emitter.Frame) {
 }
 
 // attach installs a (re)connected conn: frames the peer acknowledged are
-// pruned, the write cursor rewinds to the first unacknowledged frame, and
-// an optional control frame (the handshake reply) is queued ahead of the
-// replay. Any previous conn is closed.
+// pruned (down to the retention floor), the write cursor is positioned at
+// the first frame past the peer's cursor, and an optional control frame
+// (the handshake reply) is queued ahead of the replay. Any previous conn
+// is closed.
 func (s *session) attach(conn net.Conn, peerRx uint64, ctl *emitter.Frame) {
 	s.mu.Lock()
 	if s.closed {
@@ -90,7 +102,17 @@ func (s *session) attach(conn net.Conn, peerRx uint64, ctl *emitter.Frame) {
 	}
 	old := s.conn
 	s.pruneLocked(peerRx)
+	// Replay starts at the first retained frame the peer does not have.
+	// Outbox sequences are contiguous, so the index is arithmetic — a
+	// retained replay log must not be rescanned (or resent) on every
+	// reconnect.
 	s.next = 0
+	if len(s.outbox) > 0 && peerRx >= s.outbox[0].Seq {
+		s.next = int(peerRx - s.outbox[0].Seq + 1)
+		if s.next > len(s.outbox) {
+			s.next = len(s.outbox)
+		}
+	}
 	// Control frames are connection-scoped (acks, handshake replies): any
 	// retained from the previous conn are stale — an old ack written ahead
 	// of the new handshake reply would make the peer drop the fresh conn.
@@ -121,33 +143,40 @@ func (s *session) detach(conn net.Conn) {
 	_ = conn.Close()
 }
 
-// peerProgress reports whether the peer ever made observable progress —
-// acknowledged an outgoing frame or delivered a stamped frame of its own.
-// A peer handshaking with cursor 0 *despite* prior progress lost its state
-// (process restart) and needs a session reset; a peer with cursor 0 and no
-// progress is simply connecting for the first time, and the normal replay
-// of the buffered outbox gives it the complete history. (The transmit
-// counter alone cannot discriminate: frames buffered for a worker that has
-// not dialed yet are history the replay must deliver, not evidence the
-// peer lost anything.)
-func (s *session) peerProgress() bool {
+// advanceSnap records the peer's durable snapshot cursor, releasing the
+// replay-log prefix at or below it — the coordinator's replay-log garbage
+// collection (driven by Hello.Snap and snapshot-ack frames).
+func (s *session) advanceSnap(cursor uint64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.peerAcked > 0 || s.rxSeq > 0
+	if cursor > s.snapAcked {
+		s.snapAcked = cursor
+		s.pruneLocked(s.peerAcked)
+	}
+	s.mu.Unlock()
 }
 
-// reset rewinds the session to a fresh state for a peer that restarted
-// and lost its cursors: counters to zero, queues dropped. The owner
-// re-sends whatever standing state (assignments, specs) the peer needs;
-// anything only buffered in the old queues is gone — the fabric's
-// documented at-most-once degradation for a lost worker process.
-func (s *session) reset() {
+// restore rewinds the session to checkpointed cursors before the first
+// dial: the restart path loading a worker snapshot. The outbox holds the
+// checkpoint's sent-but-unacknowledged frames; replay regenerates
+// everything after txSeq.
+func (s *session) restore(txSeq, rxSeq uint64, outbox []emitter.Frame) {
 	s.mu.Lock()
-	s.txSeq, s.rxSeq, s.peerAcked = 0, 0, 0
-	s.outbox, s.ctl = nil, nil
+	s.txSeq, s.rxSeq, s.peerAcked = txSeq, rxSeq, 0
+	s.outbox = outbox
 	s.next = 0
+	s.ctl = nil
 	s.gen++
 	s.mu.Unlock()
+}
+
+// exportState captures the transmit cursor and the unacknowledged
+// outbox — the session half of a worker checkpoint. The caller must hold
+// whatever lock serializes sends (the worker's state mutex), so the
+// cursor and the captured state agree.
+func (s *session) exportState() (txSeq uint64, outbox []emitter.Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txSeq, append([]emitter.Frame(nil), s.outbox...)
 }
 
 // onAck prunes frames the peer has processed.
@@ -161,16 +190,23 @@ func (s *session) pruneLocked(peerRx uint64) {
 	if peerRx > s.peerAcked {
 		s.peerAcked = peerRx
 	}
-	drop := 0
-	for drop < len(s.outbox) && s.outbox[drop].Seq <= peerRx {
-		drop++
+	limit := s.peerAcked
+	if s.retain && s.snapAcked < limit {
+		limit = s.snapAcked
 	}
-	if drop > 0 {
-		s.outbox = append([]emitter.Frame(nil), s.outbox[drop:]...)
-		s.next -= drop
-		if s.next < 0 {
-			s.next = 0
-		}
+	if len(s.outbox) == 0 || s.outbox[0].Seq > limit {
+		return
+	}
+	// Sequences are contiguous: the drop count is arithmetic, not a scan
+	// (the retained prefix can be long between snapshot cursors).
+	drop := int(limit - s.outbox[0].Seq + 1)
+	if drop > len(s.outbox) {
+		drop = len(s.outbox)
+	}
+	s.outbox = append([]emitter.Frame(nil), s.outbox[drop:]...)
+	s.next -= drop
+	if s.next < 0 {
+		s.next = 0
 	}
 }
 
@@ -191,6 +227,15 @@ func (s *session) accept(seq uint64) (fresh, gap bool) {
 	default:
 		return false, true
 	}
+}
+
+// sentSeq reports the last stamped transmit sequence — what the peer's
+// receive cursor could at most legitimately be. A Hello claiming more
+// identifies cursors from another session life.
+func (s *session) sentSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txSeq
 }
 
 // cursor reports the receive cursor (for handshakes and acks).

@@ -1,0 +1,68 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileName is the snapshot file for one worker slot inside a snapshot
+// directory.
+func FileName(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("worker-%d.snap", index))
+}
+
+// Save atomically writes an encoded snapshot for the given worker slot:
+// the bytes land in a temp file in the same directory and replace the
+// previous snapshot with a rename, so a crash mid-write leaves the old
+// checkpoint intact and a reader never observes a torn file. The worker
+// acknowledges the snapshot cursor to the coordinator only after Save
+// returns — pruning the replay log ahead of durability would reopen the
+// loss window the snapshot exists to close.
+func Save(dir string, index int, encoded []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	final := FileName(dir, index)
+	tmp, err := os.CreateTemp(dir, fmt.Sprintf("worker-%d-*.tmp", index))
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(encoded); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Load reads and decodes the worker's snapshot. A missing file is not an
+// error — it returns (nil, nil), the fresh-start case.
+func Load(dir string, index int) (*Snapshot, error) {
+	data, err := os.ReadFile(FileName(dir, index))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %s: %w", FileName(dir, index), err)
+	}
+	return s, nil
+}
+
+// Remove deletes the worker's snapshot file (the coordinator told the
+// worker its cursors are from another life — see the Welcome reset flag).
+func Remove(dir string, index int) {
+	_ = os.Remove(FileName(dir, index))
+}

@@ -34,45 +34,69 @@ package fabric
 import (
 	"encoding/binary"
 	"fmt"
-	"time"
 
 	"datacell/internal/bat"
+	"datacell/internal/emitter"
 	"datacell/internal/plan"
 	"datacell/internal/window"
 )
 
-// Frame types of the fabric protocol (emitter.Frame.Type). Hello, Welcome
-// and Ack are control frames whose Seq field carries the sender's receive
-// cursor; every other type is a session frame stamped with the sender's
-// transmit sequence.
+// Frame types of the fabric protocol (emitter.Frame.Type). Hello, Welcome,
+// Ack and SnapAck are control frames whose Seq field carries a cursor
+// (receive cursor for the first three, durable snapshot cursor for
+// SnapAck); every other type is a session frame stamped with the sender's
+// transmit sequence. Timer-driven traffic (the snapshot ack) MUST stay a
+// control frame: a stamped frame outside the deterministic frame→frame
+// function would shift the transmit sequence and break replay identity.
 const (
-	frameHello     byte = iota + 1 // worker → coord: worker index + id
-	frameWelcome                   // coord → worker: handshake reply
-	frameAck                       // either direction: receive cursor
-	frameStream                    // coord → worker: stream + shard-range assignment
-	frameSpec                      // coord → worker: slicing spec for a new query group
-	frameSpecDrop                  // coord → worker: group torn down
-	frameAppend                    // coord → worker: routed rows for one shard
-	frameWatermark                 // coord → worker: settled sequence + event-time high marks
-	frameAdvance                   // coord → worker: forced time watermark (heartbeat)
-	framePing                      // coord → worker: drain barrier probe
-	framePong                      // worker → coord: barrier reply
-	frameFrag                      // worker → coord: sealed epoch fragments + shard watermark
-	frameBye                       // coord → worker: orderly shutdown
+	frameHello        byte = iota + 1 // worker → coord: worker index + id + cursors
+	frameWelcome                      // coord → worker: handshake reply (payload: reset flag)
+	frameAck                          // either direction: receive cursor
+	frameSnapAck                      // worker → coord: durable snapshot cursor
+	frameStream                       // coord → worker: stream + shard-range assignment
+	frameSpec                         // coord → worker: slicing spec for a new query group
+	frameSpecDrop                     // coord → worker: group torn down
+	frameAppend                       // coord → worker: routed rows for one shard
+	frameWatermark                    // coord → worker: settled sequence + event-time high marks
+	frameAdvance                      // coord → worker: forced time watermark (heartbeat)
+	framePing                         // coord → worker: drain barrier probe
+	framePong                         // worker → coord: barrier reply
+	frameFrag                         // worker → coord: sealed epoch fragments + shard watermark
+	frameBye                          // coord → worker: orderly shutdown
+	frameShardExport                  // coord → worker: drain one shard and ship its state
+	frameShardState                   // worker → coord: exported shard state (handoff payload)
+	frameShardInstall                 // coord → worker: install shipped shard state
 )
 
-const protoVersion = 1
+const protoVersion = 2
 
-// helloMsg introduces (or re-introduces) a worker.
+// DupSafe reports whether a frame may be duplicated in transit without
+// desynchronizing a session: stamped session frames are deduplicated by
+// sequence on receive, but control frames (Hello/Welcome/Ack/SnapAck) are
+// connection-scoped and carry cursors, not sequences — duplicating a
+// handshake confuses the accept loop. Fault-injection harnesses
+// (fabrictest.FaultProxy) consult this before applying a duplicate fault.
+func DupSafe(f emitter.Frame) bool { return f.Type > frameSnapAck }
+
+// welcomeReset in a Welcome payload tells the worker its cursors are from
+// another coordinator life (its Hello claimed frames this coordinator
+// never sent): wipe state and snapshot, rejoin fresh.
+const welcomeReset byte = 1
+
+// helloMsg introduces (or re-introduces) a worker. Snap is the cursor of
+// the worker's last durable snapshot (0 when it never snapshotted): the
+// coordinator's replay-log retention floor for this worker.
 type helloMsg struct {
 	Version int
 	Index   int
+	Snap    uint64
 	ID      string
 }
 
 func marshalHello(m helloMsg) []byte {
 	b := binary.AppendUvarint(nil, uint64(m.Version))
 	b = binary.AppendUvarint(b, uint64(m.Index))
+	b = binary.AppendUvarint(b, m.Snap)
 	return bat.AppendString(b, m.ID)
 }
 
@@ -88,6 +112,9 @@ func unmarshalHello(src []byte) (helloMsg, error) {
 		return m, fmt.Errorf("fabric: hello index: %w", err)
 	}
 	m.Index = int(idx)
+	if m.Snap, src, err = bat.ReadUvarint(src); err != nil {
+		return m, fmt.Errorf("fabric: hello snap: %w", err)
+	}
 	if m.ID, _, err = bat.ReadString(src); err != nil {
 		return m, fmt.Errorf("fabric: hello id: %w", err)
 	}
@@ -127,28 +154,20 @@ func unmarshalStream(src []byte) (streamMsg, error) {
 	return m, nil
 }
 
-// specMsg registers a slicing spec: the slide granularity one query group
-// needs the stream cut at.
+// specMsg registers a slicing spec: the window one query group needs the
+// stream cut at (the worker uses only the slide granularity, but the full
+// window rides along so the broadcast and the snapshot codec agree on
+// what a spec is — see plan.AppendWindow).
 type specMsg struct {
-	ID      int64
-	Stream  string
-	Tuples  bool
-	Slide   int64 // tuples
-	SlideUs int64 // time windows: slide in microseconds
-	TimeIdx int64
+	ID     int64
+	Stream string
+	Win    *plan.Window
 }
 
 func marshalSpec(m specMsg) []byte {
 	b := binary.AppendVarint(nil, m.ID)
 	b = bat.AppendString(b, m.Stream)
-	if m.Tuples {
-		b = append(b, 1)
-	} else {
-		b = append(b, 0)
-	}
-	b = binary.AppendVarint(b, m.Slide)
-	b = binary.AppendVarint(b, m.SlideUs)
-	return binary.AppendVarint(b, m.TimeIdx)
+	return plan.AppendWindow(b, m.Win)
 }
 
 func unmarshalSpec(src []byte) (specMsg, error) {
@@ -160,31 +179,67 @@ func unmarshalSpec(src []byte) (specMsg, error) {
 	if m.Stream, src, err = bat.ReadString(src); err != nil {
 		return m, fmt.Errorf("fabric: spec stream: %w", err)
 	}
-	if len(src) == 0 {
-		return m, fmt.Errorf("fabric: spec kind: short buffer")
-	}
-	m.Tuples = src[0] != 0
-	src = src[1:]
-	if m.Slide, src, err = bat.ReadVarint(src); err != nil {
-		return m, fmt.Errorf("fabric: spec slide: %w", err)
-	}
-	if m.SlideUs, src, err = bat.ReadVarint(src); err != nil {
-		return m, fmt.Errorf("fabric: spec slide-us: %w", err)
-	}
-	if m.TimeIdx, _, err = bat.ReadVarint(src); err != nil {
-		return m, fmt.Errorf("fabric: spec time idx: %w", err)
+	if m.Win, _, err = plan.ReadWindow(src); err != nil {
+		return m, fmt.Errorf("fabric: spec window: %w", err)
 	}
 	return m, nil
 }
 
-// specWindow reconstructs the slicing window a worker cuts at.
-func (m specMsg) specWindow() *plan.Window {
-	return &plan.Window{
-		Tuples:   m.Tuples,
-		Slide:    m.Slide,
-		SlideDur: time.Duration(m.SlideUs) * time.Microsecond,
-		TimeIdx:  int(m.TimeIdx),
+// shardRefMsg names one (stream, shard) — the export request of the
+// elastic handoff.
+type shardRefMsg struct {
+	Stream string
+	Shard  int
+}
+
+func marshalShardRef(stream string, shard int) []byte {
+	b := bat.AppendString(nil, stream)
+	return binary.AppendUvarint(b, uint64(shard))
+}
+
+func unmarshalShardRef(src []byte) (shardRefMsg, error) {
+	var m shardRefMsg
+	var err error
+	if m.Stream, src, err = bat.ReadString(src); err != nil {
+		return m, fmt.Errorf("fabric: shard ref stream: %w", err)
 	}
+	sh, _, err := bat.ReadUvarint(src)
+	if err != nil {
+		return m, fmt.Errorf("fabric: shard ref shard: %w", err)
+	}
+	m.Shard = int(sh)
+	return m, nil
+}
+
+// shardBlobMsg carries one shard's encoded state (snapshot.ShardState
+// bytes) — shipped worker → coordinator on export and forwarded verbatim
+// coordinator → new owner on install, so the coordinator never decodes
+// (or re-marshals) the state it relays.
+type shardBlobMsg struct {
+	Stream string
+	Shard  int
+	State  []byte
+}
+
+func marshalShardBlob(stream string, shard int, state []byte) []byte {
+	b := bat.AppendString(nil, stream)
+	b = binary.AppendUvarint(b, uint64(shard))
+	return append(b, state...)
+}
+
+func unmarshalShardBlob(src []byte) (shardBlobMsg, error) {
+	var m shardBlobMsg
+	var err error
+	if m.Stream, src, err = bat.ReadString(src); err != nil {
+		return m, fmt.Errorf("fabric: shard blob stream: %w", err)
+	}
+	sh, src, err := bat.ReadUvarint(src)
+	if err != nil {
+		return m, fmt.Errorf("fabric: shard blob shard: %w", err)
+	}
+	m.Shard = int(sh)
+	m.State = src
+	return m, nil
 }
 
 // appendMsg carries one shard's slice of a routed append.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"net"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"datacell/internal/basket"
 	"datacell/internal/bat"
 	"datacell/internal/emitter"
+	"datacell/internal/fabric/snapshot"
 	"datacell/internal/plan"
 	"datacell/internal/window"
 )
@@ -25,14 +27,33 @@ type WorkerOptions struct {
 	Index int
 	// ID is a self-reported label for introspection (default "w<Index>").
 	ID string
+	// SnapshotDir, when set, enables durable checkpoints: the worker
+	// periodically writes its state to SnapshotDir/worker-<Index>.snap and
+	// restores from it on startup, so a crashed worker resumes from its
+	// last checkpoint plus the coordinator's replay of the delta. Unset,
+	// the worker is recoverable only by a full replay from frame one
+	// (lossless but linear in history, and the coordinator must retain
+	// everything).
+	SnapshotDir string
+	// SnapshotEvery is the checkpoint interval (default 500ms). Only
+	// meaningful with SnapshotDir.
+	SnapshotEvery time.Duration
 }
 
 // Worker is the fabric's process-side half: it runs the sharded front end
 // — per-shard baskets, per-(shard, spec) ShardSlicers, watermark-driven
-// flushes — for its assigned shard range of every exported stream, and
-// ships sealed epoch fragments to the coordinator. A worker keeps dialing
-// (and resuming) its coordinator until Close is called or the coordinator
-// says Bye; slicer state lives in the process, so reconnects lose nothing.
+// flushes — for its assigned shards of every exported stream, and ships
+// sealed epoch fragments to the coordinator. A worker keeps dialing (and
+// resuming) its coordinator until Close is called or the coordinator says
+// Bye.
+//
+// Everything a worker computes is a deterministic function of the prefix
+// of coordinator frames it has applied: handlers run under one mutex, in
+// frame order, and every send happens inside a handler. That determinism
+// is the recovery contract — a worker restored from a snapshot (or from
+// nothing) that replays the same frames regenerates byte-identical state
+// and byte-identical outgoing frames, which the coordinator deduplicates
+// by sequence. See docs/RECOVERY.md.
 type Worker struct {
 	opts WorkerOptions
 	sess *session
@@ -41,6 +62,13 @@ type Worker struct {
 	mu      sync.Mutex
 	streams map[string]*workerStream
 	specs   map[int64]*workerSpec
+	// applied is the highest coordinator frame applied to the state above.
+	// It can lag sess.rxSeq by one mid-handle (accept runs first), which
+	// is why snapshots capture applied, not the session cursor.
+	applied uint64
+	// lastSnap is the cursor of the last durable checkpoint — the Snap
+	// field of the next Hello.
+	lastSnap uint64
 	// frameErrs counts session frames that decoded badly or failed to
 	// apply. Such frames are still acknowledged — redelivering them cannot
 	// help (the resume protocol retransmits bytes, not fixes), and
@@ -53,14 +81,16 @@ type Worker struct {
 	doneMu    sync.Once
 }
 
-// workerStream is one exported stream's local half: the assigned shard
-// range with one basket per shard.
+// workerStream is one exported stream's local half: the locally owned
+// shards, keyed (and ordered) by global shard index — ownership is
+// per-shard, not a contiguous range, because elastic handoff moves single
+// shards between workers.
 type workerStream struct {
 	name    string
 	schema  bat.Schema
 	shards  int // total across all workers
-	lo, hi  int // this worker's range
-	locals  []*workerShard
+	locals  map[int]*workerShard
+	order   []int // sorted keys of locals: firing order must be deterministic
 	settled int64 // sealing sequence watermark from the coordinator
 	// specList is the stream's specs in id order, maintained on spec
 	// add/drop so the per-watermark firing pass (once per routed append)
@@ -68,38 +98,53 @@ type workerStream struct {
 	specList []*workerSpec
 }
 
-// workerShard is one shard's basket plus the per-spec consumer cursors
-// into it — the worker-side analogue of the group front end's groupShard.
+// workerShard is one shard's basket plus the per-spec consumption state
+// over it: consumer cursor, slicer, and last shipped watermark. The
+// per-spec state lives on the shard (not the spec) so one shard's whole
+// state can be checkpointed or shipped to another worker as a unit.
 type workerShard struct {
 	global int
 	bk     *basket.Basket
 	cids   map[int64]int // specID → consumer id
+	sls    map[int64]*window.ShardSlicer
+	sentWm map[int64]int64
 }
 
-// workerSpec is one query group's slicing state over a stream: a
-// ShardSlicer per local shard, the event-time high mark, and the last
-// shipped watermark per shard (to suppress no-op frames).
+// workerSpec is one query group's slicing spec over a stream.
 type workerSpec struct {
-	id     int64
-	st     *workerStream
-	win    *plan.Window
-	maxTs  int64
-	sls    []*window.ShardSlicer
-	sentWm []int64
+	id    int64
+	st    *workerStream
+	win   *plan.Window
+	maxTs int64
 }
 
-// NewWorker starts a worker: it dials the coordinator in the background
-// and serves its shard ranges until Close (or the coordinator's Bye).
+// NewWorker starts a worker: it restores its snapshot (if any), dials the
+// coordinator in the background and serves its shards until Close (or the
+// coordinator's Bye).
 func NewWorker(opts WorkerOptions) *Worker {
 	if opts.ID == "" {
 		opts.ID = fmt.Sprintf("w%d", opts.Index)
 	}
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = 500 * time.Millisecond
+	}
 	w := &Worker{
 		opts:    opts,
-		sess:    newSession(),
+		sess:    newSession(false),
 		streams: make(map[string]*workerStream),
 		specs:   make(map[int64]*workerSpec),
 		done:    make(chan struct{}),
+	}
+	if opts.SnapshotDir != "" {
+		if snap, err := snapshot.Load(opts.SnapshotDir, opts.Index); err != nil {
+			// A corrupt snapshot is not fatal: start empty and let the
+			// coordinator's full replay rebuild the state.
+			fmt.Fprintf(os.Stderr, "fabric worker %s: ignoring snapshot: %v\n", opts.ID, err)
+		} else if snap != nil {
+			w.restoreSnapshot(snap)
+		}
+		w.wg.Add(1)
+		go w.snapLoop()
 	}
 	w.wg.Add(1)
 	go w.dialLoop()
@@ -109,8 +154,27 @@ func NewWorker(opts WorkerOptions) *Worker {
 // Done is closed when the worker retires (coordinator Bye or Close).
 func (w *Worker) Done() <-chan struct{} { return w.done }
 
-// Close stops the worker.
+// Close stops the worker, taking a final checkpoint so a clean restart
+// replays almost nothing.
 func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	_ = w.Checkpoint()
+	w.retire()
+	w.sess.close()
+	w.wg.Wait()
+}
+
+// Kill stops the worker WITHOUT the close-time checkpoint — the
+// in-process equivalent of a SIGKILL, for crash-recovery tests: whatever
+// the last checkpoint (if any) did not capture must come back via the
+// coordinator's replay log.
+func (w *Worker) Kill() {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -167,11 +231,15 @@ func (w *Worker) dialLoop() {
 // serve performs the handshake and runs the frame loop on one connection.
 // It reports whether the worker should retire (rather than redial).
 func (w *Worker) serve(conn net.Conn) bool {
-	// Hello carries our receive cursor; the coordinator prunes its outbox
-	// and replays the rest. Written directly: the session is only attached
-	// once the Welcome tells us the peer's cursor.
+	// Hello carries our receive cursor (so the coordinator replays only
+	// past it) and our durable snapshot cursor (its retention floor).
+	// Written directly: the session is only attached once the Welcome
+	// tells us the peer's cursor.
+	w.mu.Lock()
+	snapCur := w.lastSnap
+	w.mu.Unlock()
 	hello := emitter.Frame{Type: frameHello, Seq: w.sess.cursor(),
-		Payload: marshalHello(helloMsg{Version: protoVersion, Index: w.opts.Index, ID: w.opts.ID})}
+		Payload: marshalHello(helloMsg{Version: protoVersion, Index: w.opts.Index, Snap: snapCur, ID: w.opts.ID})}
 	if err := emitter.WriteFrame(conn, hello); err != nil {
 		_ = conn.Close()
 		return w.isClosed()
@@ -192,6 +260,14 @@ func (w *Worker) serve(conn net.Conn) bool {
 	}
 	if err != nil || f.Type != frameWelcome {
 		_ = conn.Close()
+		return w.isClosed()
+	}
+	if len(f.Payload) > 0 && f.Payload[0] == welcomeReset {
+		// Our cursors claim frames this coordinator never sent: the state
+		// (and any snapshot) is from another coordinator life. Wipe and
+		// rejoin fresh.
+		_ = conn.Close()
+		w.wipe()
 		return w.isClosed()
 	}
 	_ = conn.SetReadDeadline(time.Time{})
@@ -216,6 +292,11 @@ func (w *Worker) serve(conn net.Conn) bool {
 			return w.isClosed()
 		}
 		if !fresh {
+			// Acknowledge duplicates too: after a restart our regenerated
+			// frames replace ones the coordinator already holds, and its
+			// re-sent frames replace ones we already applied — both sides
+			// must still ack, or the other's outbox never drains.
+			w.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: w.sess.cursor()})
 			continue
 		}
 		if bye := w.handle(f); bye {
@@ -227,11 +308,27 @@ func (w *Worker) serve(conn net.Conn) bool {
 	}
 }
 
+// wipe discards all state, cursors and the snapshot file — the Welcome
+// reset flag's order to rejoin as a blank worker.
+func (w *Worker) wipe() {
+	w.mu.Lock()
+	w.streams = make(map[string]*workerStream)
+	w.specs = make(map[int64]*workerSpec)
+	w.applied = 0
+	w.lastSnap = 0
+	w.mu.Unlock()
+	w.sess.restore(0, 0, nil)
+	if w.opts.SnapshotDir != "" {
+		snapshot.Remove(w.opts.SnapshotDir, w.opts.Index)
+	}
+}
+
 // handle applies one session frame. It reports whether the coordinator
 // said Bye.
 func (w *Worker) handle(f emitter.Frame) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.applied = f.Seq
 	switch f.Type {
 	case frameStream:
 		m, err := unmarshalStream(f.Payload)
@@ -239,13 +336,19 @@ func (w *Worker) handle(f emitter.Frame) bool {
 			w.noteErr("stream", err)
 			return false
 		}
-		st := &workerStream{name: m.Name, schema: m.Schema, shards: m.Shards, lo: m.Lo, hi: m.Hi}
+		st := &workerStream{
+			name: m.Name, schema: m.Schema, shards: m.Shards,
+			locals: make(map[int]*workerShard),
+		}
 		for sh := m.Lo; sh < m.Hi; sh++ {
-			st.locals = append(st.locals, &workerShard{
+			st.locals[sh] = &workerShard{
 				global: sh,
 				bk:     basket.New(fmt.Sprintf("%s/%d@%s", m.Name, sh, w.opts.ID), m.Schema),
 				cids:   make(map[int64]int),
-			})
+				sls:    make(map[int64]*window.ShardSlicer),
+				sentWm: make(map[int64]int64),
+			}
+			st.order = append(st.order, sh)
 		}
 		w.streams[m.Name] = st
 
@@ -255,17 +358,21 @@ func (w *Worker) handle(f emitter.Frame) bool {
 			w.noteErr("spec", err)
 			return false
 		}
+		if w.specs[m.ID] != nil {
+			return false // already registered (defensive; specs broadcast once)
+		}
 		st := w.streams[m.Stream]
 		if st == nil {
 			w.noteErr("spec", fmt.Errorf("unknown stream %q", m.Stream))
 			return false
 		}
-		sp := &workerSpec{id: m.ID, st: st, win: m.specWindow(), maxTs: math.MinInt64}
-		for _, ws := range st.locals {
+		sp := &workerSpec{id: m.ID, st: st, win: m.Win, maxTs: math.MinInt64}
+		for _, g := range st.order {
+			ws := st.locals[g]
 			ws.cids[sp.id] = ws.bk.Register()
 			sl := window.NewShardSlicer(sp.win, st.schema)
-			sp.sls = append(sp.sls, sl)
-			sp.sentWm = append(sp.sentWm, sl.Watermark())
+			ws.sls[sp.id] = sl
+			ws.sentWm[sp.id] = sl.Watermark()
 		}
 		w.specs[sp.id] = sp
 		pos := len(st.specList)
@@ -283,11 +390,14 @@ func (w *Worker) handle(f emitter.Frame) bool {
 			return false
 		}
 		if sp := w.specs[vals[0]]; sp != nil {
-			for _, ws := range sp.st.locals {
+			for _, g := range sp.st.order {
+				ws := sp.st.locals[g]
 				if cid, ok := ws.cids[sp.id]; ok {
 					ws.bk.Unregister(cid)
 					delete(ws.cids, sp.id)
 				}
+				delete(ws.sls, sp.id)
+				delete(ws.sentWm, sp.id)
 			}
 			delete(w.specs, sp.id)
 			for i, x := range sp.st.specList {
@@ -305,11 +415,16 @@ func (w *Worker) handle(f emitter.Frame) bool {
 			return false
 		}
 		st := w.streams[m.Stream]
-		if st == nil || m.Shard < st.lo || m.Shard >= st.hi {
+		if st == nil {
+			w.noteErr("append", fmt.Errorf("stream %q unknown here", m.Stream))
+			return false
+		}
+		ws := st.locals[m.Shard]
+		if ws == nil {
 			w.noteErr("append", fmt.Errorf("stream %q shard %d not assigned here", m.Stream, m.Shard))
 			return false
 		}
-		if err := st.locals[m.Shard-st.lo].bk.AppendSeqs(m.Chunk, m.Arrival, m.Seqs); err != nil {
+		if err := ws.bk.AppendSeqs(m.Chunk, m.Arrival, m.Seqs); err != nil {
 			w.noteErr("append", err)
 			return false
 		}
@@ -359,6 +474,49 @@ func (w *Worker) handle(f emitter.Frame) bool {
 			w.sess.send(framePong, marshalInt64s(vals[0]))
 		}
 
+	case frameShardExport:
+		m, err := unmarshalShardRef(f.Payload)
+		if err != nil {
+			w.noteErr("shard-export", err)
+			return false
+		}
+		st := w.streams[m.Stream]
+		if st == nil || st.locals[m.Shard] == nil {
+			w.noteErr("shard-export", fmt.Errorf("stream %q shard %d not owned here", m.Stream, m.Shard))
+			return false
+		}
+		sh := w.exportShardLocked(st, st.locals[m.Shard])
+		delete(st.locals, m.Shard)
+		for i, g := range st.order {
+			if g == m.Shard {
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				break
+			}
+		}
+		w.sess.send(frameShardState,
+			marshalShardBlob(m.Stream, m.Shard, snapshot.AppendShardState(nil, &sh)))
+
+	case frameShardInstall:
+		m, err := unmarshalShardBlob(f.Payload)
+		if err != nil {
+			w.noteErr("shard-install", err)
+			return false
+		}
+		st := w.streams[m.Stream]
+		if st == nil {
+			w.noteErr("shard-install", fmt.Errorf("unknown stream %q", m.Stream))
+			return false
+		}
+		var sh snapshot.ShardState
+		if _, err := snapshot.ReadShardState(m.State, &sh); err != nil {
+			w.noteErr("shard-install", err)
+			return false
+		}
+		if st.locals[sh.Global] != nil {
+			return false // duplicate install (defensive)
+		}
+		w.installShardLocked(st, &sh)
+
 	case frameBye:
 		return true
 	}
@@ -372,10 +530,11 @@ func (w *Worker) handle(f emitter.Frame) bool {
 // needs every shard's flush watermark to seal an epoch.
 func (w *Worker) fireSpec(sp *workerSpec) {
 	st := sp.st
-	for li, ws := range st.locals {
-		sl := sp.sls[li]
+	for _, g := range st.order {
+		ws := st.locals[g]
+		sl := ws.sls[sp.id]
 		cid, ok := ws.cids[sp.id]
-		if !ok {
+		if !ok || sl == nil {
 			continue
 		}
 		c, arrivals, seqs := ws.bk.PeekSeqs(cid, int(ws.bk.Available(cid)))
@@ -390,10 +549,10 @@ func (w *Worker) fireSpec(sp *workerSpec) {
 			frags = sl.Flush(sl.TimeGen(sp.maxTs))
 		}
 		wm := sl.Watermark()
-		if len(frags) == 0 && wm <= sp.sentWm[li] {
+		if len(frags) == 0 && wm <= ws.sentWm[sp.id] {
 			continue
 		}
-		sp.sentWm[li] = wm
+		ws.sentWm[sp.id] = wm
 		for _, fr := range frags {
 			fr.Shard = ws.global
 		}
@@ -403,13 +562,178 @@ func (w *Worker) fireSpec(sp *workerSpec) {
 	}
 }
 
+// exportShardLocked captures one shard's transferable state: the basket
+// image plus every spec's cursor, shipped watermark and slicer. Chunks
+// are views; encode before releasing anything that could rewrite them
+// in place (callers encode synchronously or hold w.mu through marshal).
+func (w *Worker) exportShardLocked(st *workerStream, ws *workerShard) snapshot.ShardState {
+	sh := snapshot.ShardState{Global: ws.global, Basket: ws.bk.ExportState()}
+	for _, sp := range st.specList {
+		cid, ok := ws.cids[sp.id]
+		if !ok {
+			continue
+		}
+		cur, _ := ws.bk.Cursor(cid)
+		sh.Specs = append(sh.Specs, snapshot.ShardSpecState{
+			Spec:   sp.id,
+			Cursor: cur,
+			SentWm: ws.sentWm[sp.id],
+			Slicer: ws.sls[sp.id].ExportState(),
+		})
+	}
+	return sh
+}
+
+// installShardLocked rebuilds a shard from decoded state and inserts it
+// into the stream. Specs present in the state but since dropped are
+// skipped; specs added since the state was exported get fresh slicers
+// starting at the basket's end (no routed rows for the shard can have
+// flowed in between — the coordinator queues them during the move).
+func (w *Worker) installShardLocked(st *workerStream, sh *snapshot.ShardState) {
+	ws := &workerShard{
+		global: sh.Global,
+		bk: basket.NewFromState(
+			fmt.Sprintf("%s/%d@%s", st.name, sh.Global, w.opts.ID), st.schema, sh.Basket),
+		cids:   make(map[int64]int),
+		sls:    make(map[int64]*window.ShardSlicer),
+		sentWm: make(map[int64]int64),
+	}
+	seen := make(map[int64]bool, len(sh.Specs))
+	for _, sp := range sh.Specs {
+		spec := w.specs[sp.Spec]
+		if spec == nil || spec.st != st {
+			continue // spec dropped while the state was in flight
+		}
+		ws.cids[sp.Spec] = ws.bk.RegisterAt(sp.Cursor)
+		ws.sls[sp.Spec] = window.NewShardSlicerFromState(spec.win, st.schema, sp.Slicer)
+		ws.sentWm[sp.Spec] = sp.SentWm
+		seen[sp.Spec] = true
+	}
+	for _, spec := range st.specList {
+		if seen[spec.id] {
+			continue
+		}
+		ws.cids[spec.id] = ws.bk.Register()
+		sl := window.NewShardSlicer(spec.win, st.schema)
+		ws.sls[spec.id] = sl
+		ws.sentWm[spec.id] = sl.Watermark()
+	}
+	st.locals[sh.Global] = ws
+	pos := len(st.order)
+	for pos > 0 && st.order[pos-1] > sh.Global {
+		pos--
+	}
+	st.order = append(st.order, 0)
+	copy(st.order[pos+1:], st.order[pos:])
+	st.order[pos] = sh.Global
+}
+
+// captureLocked assembles the worker's full checkpoint. Basket and slicer
+// chunks in the result are views — stable against concurrent in-place
+// appends — so the (possibly large) encode can run off the handler path.
+func (w *Worker) captureLocked() *snapshot.Snapshot {
+	snap := &snapshot.Snapshot{Index: w.opts.Index, RxSeq: w.applied}
+	snap.TxSeq, snap.Outbox = w.sess.exportState()
+	names := make([]string, 0, len(w.streams))
+	for n := range w.streams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := w.streams[n]
+		ss := snapshot.StreamState{
+			Name: st.name, Schema: st.schema, Shards: st.shards, Settled: st.settled,
+		}
+		for _, sp := range st.specList {
+			ss.Specs = append(ss.Specs, snapshot.SpecState{ID: sp.id, Win: sp.win, MaxTs: sp.maxTs})
+		}
+		for _, g := range st.order {
+			ss.Locals = append(ss.Locals, w.exportShardLocked(st, st.locals[g]))
+		}
+		snap.Streams = append(snap.Streams, ss)
+	}
+	return snap
+}
+
+// restoreSnapshot rebuilds the worker from a decoded checkpoint (called
+// before any goroutine starts).
+func (w *Worker) restoreSnapshot(snap *snapshot.Snapshot) {
+	w.mu.Lock()
+	for i := range snap.Streams {
+		ss := &snap.Streams[i]
+		st := &workerStream{
+			name: ss.Name, schema: ss.Schema, shards: ss.Shards, settled: ss.Settled,
+			locals: make(map[int]*workerShard),
+		}
+		w.streams[st.name] = st
+		for _, sp := range ss.Specs {
+			spec := &workerSpec{id: sp.ID, st: st, win: sp.Win, maxTs: sp.MaxTs}
+			w.specs[spec.id] = spec
+			st.specList = append(st.specList, spec) // snapshot order is id order
+		}
+		for j := range ss.Locals {
+			w.installShardLocked(st, &ss.Locals[j])
+		}
+	}
+	w.applied = snap.RxSeq
+	w.lastSnap = snap.RxSeq
+	w.mu.Unlock()
+	w.sess.restore(snap.TxSeq, snap.RxSeq, snap.Outbox)
+}
+
+// Checkpoint writes one durable snapshot now and tells the coordinator
+// the new retention floor. It is the periodic snapLoop body, exported so
+// tests (and an orderly Close) can force a checkpoint at a chosen point.
+// No-op without a snapshot directory.
+func (w *Worker) Checkpoint() error {
+	if w.opts.SnapshotDir == "" {
+		return nil
+	}
+	w.mu.Lock()
+	snap := w.captureLocked()
+	w.mu.Unlock()
+	// Encode and persist off the handler path: the views inside snap stay
+	// valid while frames keep applying.
+	if err := snapshot.Save(w.opts.SnapshotDir, w.opts.Index, snapshot.Encode(nil, snap)); err != nil {
+		w.mu.Lock()
+		w.noteErr("snapshot", err)
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Lock()
+	if snap.RxSeq > w.lastSnap {
+		w.lastSnap = snap.RxSeq
+	}
+	w.mu.Unlock()
+	// The snap-ack is a control frame: only after the rename is durable
+	// may the coordinator prune, and an unstamped frame keeps the
+	// transmit sequence a pure function of the applied input.
+	w.sess.sendCtl(emitter.Frame{Type: frameSnapAck, Seq: snap.RxSeq})
+	return nil
+}
+
+// snapLoop checkpoints periodically until the worker retires.
+func (w *Worker) snapLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.opts.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-t.C:
+			_ = w.Checkpoint()
+		}
+	}
+}
+
 // Describe renders the worker state (cmd/dcworker's status line).
 func (w *Worker) Describe() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var b strings.Builder
-	fmt.Fprintf(&b, "fabric worker %s index=%d coordinator=%s connected=%v streams=%d specs=%d frame_errs=%d",
+	fmt.Fprintf(&b, "fabric worker %s index=%d coordinator=%s connected=%v streams=%d specs=%d applied=%d snap_cursor=%d frame_errs=%d",
 		w.opts.ID, w.opts.Index, w.opts.Coordinator, w.sess.connected(),
-		len(w.streams), len(w.specs), w.frameErrs)
+		len(w.streams), len(w.specs), w.applied, w.lastSnap, w.frameErrs)
 	return b.String()
 }

@@ -1,0 +1,50 @@
+package plan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"datacell/internal/bat"
+)
+
+// Wire encoding of a bound window: the fabric ships slicing specs to
+// worker processes and persists them inside worker snapshots, and both
+// must reconstruct the exact window a front end slices at. The format is
+// a flat varint tuple — tuples flag, size, slide (tuples), range and
+// slide duration (microseconds), and the ordering-column index.
+
+// AppendWindow appends the wire encoding of w to dst.
+func AppendWindow(dst []byte, w *Window) []byte {
+	if w.Tuples {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendVarint(dst, w.Size)
+	dst = binary.AppendVarint(dst, w.Slide)
+	dst = binary.AppendVarint(dst, w.Range.Microseconds())
+	dst = binary.AppendVarint(dst, w.SlideDur.Microseconds())
+	return binary.AppendVarint(dst, int64(w.TimeIdx))
+}
+
+// ReadWindow decodes a window from src, returning the remainder.
+func ReadWindow(src []byte) (*Window, []byte, error) {
+	if len(src) == 0 {
+		return nil, nil, fmt.Errorf("plan: window kind: short buffer")
+	}
+	w := &Window{Tuples: src[0] != 0}
+	src = src[1:]
+	vals := make([]int64, 5)
+	var err error
+	for i := range vals {
+		if vals[i], src, err = bat.ReadVarint(src); err != nil {
+			return nil, nil, fmt.Errorf("plan: window field %d: %w", i, err)
+		}
+	}
+	w.Size, w.Slide = vals[0], vals[1]
+	w.Range = time.Duration(vals[2]) * time.Microsecond
+	w.SlideDur = time.Duration(vals[3]) * time.Microsecond
+	w.TimeIdx = int(vals[4])
+	return w, src, nil
+}

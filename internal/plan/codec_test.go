@@ -1,0 +1,35 @@
+package plan
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowCodecRoundTrip(t *testing.T) {
+	wins := []*Window{
+		{Tuples: true, Size: 64, Slide: 16},
+		{Tuples: true, Size: 1, Slide: 1},
+		{Range: 2 * time.Second, SlideDur: time.Second, TimeIdx: 0},
+		{Range: 90 * time.Minute, SlideDur: 15 * time.Minute, TimeIdx: 3},
+	}
+	for _, want := range wins {
+		enc := AppendWindow(nil, want)
+		got, rest, err := ReadWindow(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", want, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d bytes left over", want, len(rest))
+		}
+		if *got != *want {
+			t.Fatalf("round trip diverged: got %+v want %+v", got, want)
+		}
+	}
+	// Truncations error rather than panic.
+	enc := AppendWindow(nil, wins[2])
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := ReadWindow(enc[:cut]); err == nil {
+			t.Fatalf("decoded truncation at %d", cut)
+		}
+	}
+}

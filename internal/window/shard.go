@@ -192,6 +192,54 @@ func (s *ShardSlicer) Flush(wmGen int64) []*Frag {
 // has been sealed by this shard.
 func (s *ShardSlicer) Watermark() int64 { return s.nextGen }
 
+// SlicerState is a transferable image of a slicer's position and open
+// (unsealed) epochs — what a fabric worker persists per (shard, spec) in
+// its snapshot and ships during an elastic shard handoff.
+type SlicerState struct {
+	NextGen int64
+	MaxGen  int64
+	Open    []OpenEpoch // sorted by Gen
+}
+
+// OpenEpoch is one buffered, not-yet-sealed epoch fragment.
+type OpenEpoch struct {
+	Gen        int64
+	MaxArrival int64
+	Data       *bat.Chunk
+}
+
+// ExportState captures the slicer's watermarks and open epochs. The
+// epoch chunks are views (Slice) over the slicer's buffers: stable
+// against a concurrent bucket() growing the originals, so the caller may
+// marshal them outside whatever lock serializes Push/Flush.
+func (s *ShardSlicer) ExportState() SlicerState {
+	st := SlicerState{NextGen: s.nextGen, MaxGen: s.maxGen}
+	for g, f := range s.open {
+		st.Open = append(st.Open, OpenEpoch{
+			Gen:        g,
+			MaxArrival: f.maxArr,
+			Data:       f.data.Slice(0, f.data.Rows()),
+		})
+	}
+	sort.Slice(st.Open, func(i, j int) bool { return st.Open[i].Gen < st.Open[j].Gen })
+	return st
+}
+
+// NewShardSlicerFromState rebuilds a slicer from an exported image,
+// adopting the state's chunks (pass a decoded, freshly allocated state).
+func NewShardSlicerFromState(w *plan.Window, schema bat.Schema, st SlicerState) *ShardSlicer {
+	s := NewShardSlicer(w, schema)
+	s.nextGen, s.maxGen = st.NextGen, st.MaxGen
+	for _, e := range st.Open {
+		data := e.Data
+		if data == nil {
+			data = bat.NewChunk(schema)
+		}
+		s.open[e.Gen] = &openFrag{data: data, maxArr: e.MaxArrival}
+	}
+	return s
+}
+
 // Pending reports how many rows are buffered in open epochs.
 func (s *ShardSlicer) Pending() int {
 	n := 0
