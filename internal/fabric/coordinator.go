@@ -53,6 +53,7 @@ type Coordinator struct {
 	pingSeq int64
 	pingC   *sync.Cond
 	closed  bool
+	doneC   chan struct{} // closed by Close; unblocks waiters (Reassign)
 }
 
 // peer is the coordinator's view of one worker slot. The session (and its
@@ -124,6 +125,7 @@ func NewCoordinator(eng *datacell.Engine, opts Options) (*Coordinator, error) {
 		streams: make(map[string]*coordStream),
 		specs:   make(map[int64]*coordSpec),
 		pings:   make(map[int64]map[int]bool),
+		doneC:   make(chan struct{}),
 	}
 	c.pingC = sync.NewCond(&c.mu)
 	for i := 0; i < opts.Workers; i++ {
@@ -295,6 +297,13 @@ func (c *Coordinator) currentWatermarkLocked(cs *coordStream) []byte {
 // appends and the current watermark in order. Blocks until the handoff
 // completes (the state frame arrives and the install is queued to the new
 // owner) — callers wanting the install *applied* follow with Drain.
+//
+// Like Drain, Reassign waits out worker loss rather than failing: a dead
+// owner holds its export frame in the retained session and answers it
+// after recovery replay, so the move is delayed, never lost — a timeout
+// here could only misreport a handoff that later completes (ownership
+// would still flip when the state arrived, with routed appends queued
+// against it in the meantime). The only abort is coordinator Close.
 func (c *Coordinator) Reassign(stream string, shard, worker int) error {
 	if worker < 0 || worker >= len(c.peers) {
 		return fmt.Errorf("fabric: no worker slot %d", worker)
@@ -325,8 +334,15 @@ func (c *Coordinator) Reassign(stream string, shard, worker int) error {
 	select {
 	case <-mv.done:
 		return nil
-	case <-time.After(30 * time.Second):
-		return fmt.Errorf("fabric: stream %q shard %d handoff timed out", stream, shard)
+	case <-c.doneC:
+		// Closed mid-move: nothing can arrive on the dead sessions, so the
+		// move is genuinely over, not merely slow.
+		select {
+		case <-mv.done:
+			return nil
+		default:
+		}
+		return fmt.Errorf("fabric: coordinator closed during stream %q shard %d handoff", stream, shard)
 	}
 }
 
@@ -506,6 +522,7 @@ func (c *Coordinator) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	close(c.doneC)
 	c.pingC.Broadcast()
 	for _, p := range c.peers {
 		p.sess.send(frameBye, nil)
@@ -572,6 +589,10 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	welcome := emitter.Frame{Type: frameWelcome, Seq: p.sess.cursor()}
 	p.sess.attach(conn, f.Seq, &welcome)
 
+	// lastAck is the cursor of the last ack written on THIS connection —
+	// connection-scoped like the acks themselves (a reconnect resyncs via
+	// the handshake, so starting over at 0 is correct).
+	var lastAck uint64
 	for {
 		f, err := emitter.ReadFrame(conn)
 		if err != nil {
@@ -594,7 +615,14 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		if !fresh {
 			// A recovered worker replaying its history regenerates frames
 			// we already processed; ack them or its outbox never drains.
-			p.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: p.sess.cursor()})
+			// One ack at the cursor covers every duplicate at or below it,
+			// so ack only when the cursor moved past what this connection
+			// already acked — a long replay costs one control frame, not
+			// one per regenerated frame.
+			if cur := p.sess.cursor(); cur > lastAck {
+				lastAck = cur
+				p.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: cur})
+			}
 			continue
 		}
 		switch f.Type {
@@ -616,7 +644,8 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 				c.pingC.Broadcast()
 			}
 		}
-		p.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: p.sess.cursor()})
+		lastAck = p.sess.cursor()
+		p.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: lastAck})
 	}
 }
 

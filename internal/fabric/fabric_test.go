@@ -10,7 +10,9 @@ package fabric_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"datacell/internal/bat"
 	"datacell/internal/fabric"
 	"datacell/internal/fabric/fabrictest"
+	"datacell/internal/fabric/snapshot"
 )
 
 // testChunks mirrors the engine tests' shardTestChunks: n rows in batches,
@@ -587,6 +590,120 @@ func TestFabricSnapshotRestart(t *testing.T) {
 		if strings.Contains(line, "worker 1 ") && strings.Contains(line, "snap_cursor=0 ") {
 			t.Fatalf("worker 1 snapshot cursor never advanced at the coordinator:\n%s", desc)
 		}
+	}
+}
+
+// TestCheckpointMonotonic pins the checkpoint serialization contract:
+// concurrent Checkpoint calls (the snapLoop tick racing Close's final
+// checkpoint) must never let an older in-flight capture rename over a
+// newer snapshot — the on-disk cursor only moves forward — and a
+// checkpoint with nothing newly applied skips the write instead of
+// rewriting the file. A backwards cursor would present a Hello below the
+// coordinator's pruned retention floor and desync the worker forever.
+func TestCheckpointMonotonic(t *testing.T) {
+	chunks := testChunks(600, 20, 4)
+	ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k"
+	snapDir := t.TempDir()
+	eng := datacell.New(&datacell.Options{Workers: 1})
+	coord, err := fabric.NewCoordinator(eng, fabric.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &fabricCluster{eng: eng, coord: coord}
+	defer fc.close()
+	if _, err := eng.Exec(ddl); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.ExportStream("s"); err != nil {
+		t.Fatal(err)
+	}
+	w := fabric.NewWorker(fabric.WorkerOptions{
+		Coordinator: coord.Addr(), Index: 0,
+		SnapshotDir: snapDir, SnapshotEvery: time.Hour,
+	})
+	fc.workers = append(fc.workers, w)
+
+	// Checkpoint storm while appends flow, with a sampler asserting the
+	// durable cursor never regresses (Load races Save through the atomic
+	// rename, so every observation is a consistent file).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := w.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap, err := snapshot.Load(snapDir, 0)
+			if err != nil {
+				t.Errorf("torn or corrupt snapshot observed: %v", err)
+				return
+			}
+			if snap == nil {
+				continue
+			}
+			if snap.RxSeq < last {
+				t.Errorf("on-disk snapshot cursor moved backwards: %d -> %d", last, snap.RxSeq)
+				return
+			}
+			last = snap.RxSeq
+		}
+	}()
+	for _, c := range chunks {
+		if err := eng.AppendChunk("s", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord.Drain()
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: land the final cursor, then verify an idle Checkpoint
+	// (nothing applied since) leaves the file untouched.
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.Load(snapDir, 0)
+	if err != nil || snap == nil {
+		t.Fatalf("no snapshot after checkpoint: %v", err)
+	}
+	if snap.RxSeq == 0 {
+		t.Fatal("snapshot cursor never advanced")
+	}
+	before, err := os.Stat(snapshot.FileName(snapDir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(snapshot.FileName(snapDir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatal("idle Checkpoint rewrote the snapshot file")
 	}
 }
 

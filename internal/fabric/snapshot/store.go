@@ -12,13 +12,17 @@ func FileName(dir string, index int) string {
 	return filepath.Join(dir, fmt.Sprintf("worker-%d.snap", index))
 }
 
-// Save atomically writes an encoded snapshot for the given worker slot:
-// the bytes land in a temp file in the same directory and replace the
-// previous snapshot with a rename, so a crash mid-write leaves the old
-// checkpoint intact and a reader never observes a torn file. The worker
-// acknowledges the snapshot cursor to the coordinator only after Save
-// returns — pruning the replay log ahead of durability would reopen the
-// loss window the snapshot exists to close.
+// Save atomically and durably writes an encoded snapshot for the given
+// worker slot: the bytes land in a temp file in the same directory,
+// fsynced before a rename replaces the previous snapshot, and the
+// directory is fsynced after — so a crash mid-write leaves the old
+// checkpoint intact, a reader never observes a torn file, and neither a
+// process kill nor an OS crash/power loss can regress the snapshot once
+// Save returns. That ordering matters because the worker acknowledges
+// the snapshot cursor to the coordinator only after Save returns, and
+// the coordinator prunes its replay log on the strength of the ack —
+// pruning ahead of durability would reopen the loss window the snapshot
+// exists to close.
 func Save(dir string, index int, encoded []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -33,6 +37,11 @@ func Save(dir string, index int, encoded []byte) error {
 		_ = os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmp.Name())
 		return err
@@ -41,7 +50,14 @@ func Save(dir string, index int, encoded []byte) error {
 		_ = os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	// The rename itself must survive a crash too: fsync the directory.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	_ = d.Close()
+	return err
 }
 
 // Load reads and decodes the worker's snapshot. A missing file is not an

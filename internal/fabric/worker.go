@@ -59,6 +59,15 @@ type Worker struct {
 	sess *session
 	wg   sync.WaitGroup
 
+	// snapMu serializes whole checkpoints (capture + Save + lastSnap
+	// update) against each other and against wipe. Without it the snapLoop
+	// tick and Close's final checkpoint can interleave so that an older
+	// in-flight capture renames over a newer snapshot whose cursor was
+	// already snap-acked — and once the coordinator prunes its replay log
+	// to the newer cursor, a restart from the older file presents a cursor
+	// below the retention floor and can never resync. Acquired before mu.
+	snapMu sync.Mutex
+
 	mu      sync.Mutex
 	streams map[string]*workerStream
 	specs   map[int64]*workerSpec
@@ -273,6 +282,10 @@ func (w *Worker) serve(conn net.Conn) bool {
 	_ = conn.SetReadDeadline(time.Time{})
 	w.sess.attach(conn, f.Seq, nil)
 
+	// lastAck is connection-scoped (see the coordinator's handleConn): it
+	// coalesces the duplicate-frame acks a replay generates into one per
+	// cursor position instead of one per replayed frame.
+	var lastAck uint64
 	for {
 		f, err := emitter.ReadFrame(conn)
 		if err != nil {
@@ -295,8 +308,12 @@ func (w *Worker) serve(conn net.Conn) bool {
 			// Acknowledge duplicates too: after a restart our regenerated
 			// frames replace ones the coordinator already holds, and its
 			// re-sent frames replace ones we already applied — both sides
-			// must still ack, or the other's outbox never drains.
-			w.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: w.sess.cursor()})
+			// must still ack, or the other's outbox never drains. One ack
+			// per cursor position suffices.
+			if cur := w.sess.cursor(); cur > lastAck {
+				lastAck = cur
+				w.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: cur})
+			}
 			continue
 		}
 		if bye := w.handle(f); bye {
@@ -304,13 +321,19 @@ func (w *Worker) serve(conn net.Conn) bool {
 			w.sess.detach(conn)
 			return true
 		}
-		w.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: w.sess.cursor()})
+		lastAck = w.sess.cursor()
+		w.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: lastAck})
 	}
 }
 
 // wipe discards all state, cursors and the snapshot file — the Welcome
 // reset flag's order to rejoin as a blank worker.
 func (w *Worker) wipe() {
+	// Under snapMu so a concurrent Checkpoint either finishes before the
+	// Remove (and its file is deleted with the rest of the old life) or
+	// starts after the reset (and skips — nothing applied).
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
 	w.mu.Lock()
 	w.streams = make(map[string]*workerStream)
 	w.specs = make(map[int64]*workerSpec)
@@ -689,7 +712,19 @@ func (w *Worker) Checkpoint() error {
 	if w.opts.SnapshotDir == "" {
 		return nil
 	}
+	// One checkpoint at a time, held through the Save: concurrent invokers
+	// (snapLoop tick vs Close) must not let an older capture land on disk
+	// after a newer one — see snapMu.
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
 	w.mu.Lock()
+	if w.applied <= w.lastSnap {
+		// Nothing applied since the last durable checkpoint: saving would
+		// rewrite an identical-cursor snapshot (and at startup, an empty
+		// one). Skipping keeps the on-disk cursor strictly increasing.
+		w.mu.Unlock()
+		return nil
+	}
 	snap := w.captureLocked()
 	w.mu.Unlock()
 	// Encode and persist off the handler path: the views inside snap stay
@@ -701,9 +736,7 @@ func (w *Worker) Checkpoint() error {
 		return err
 	}
 	w.mu.Lock()
-	if snap.RxSeq > w.lastSnap {
-		w.lastSnap = snap.RxSeq
-	}
+	w.lastSnap = snap.RxSeq
 	w.mu.Unlock()
 	// The snap-ack is a control frame: only after the rename is durable
 	// may the coordinator prune, and an unstamped frame keeps the
