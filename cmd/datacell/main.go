@@ -6,8 +6,14 @@
 //
 // Usage:
 //
-//	datacell [-listen addr] [-receptor stream=addr]... [-init file.sql]
+//	datacell [-listen addr] [-metrics-listen addr] [-receptor stream=addr]...
+//	         [-init file.sql]
 //	         [-fabric-listen addr -fabric-workers n [-fabric-export stream]...]
+//
+// With -metrics-listen the instance serves a Prometheus-text /metrics
+// endpoint covering basket occupancy and rates, query latencies, shared-
+// group memo effectiveness, scheduler depths, tenant accounting and —
+// when also a coordinator — fabric session health (see docs/METRICS.md).
 //
 // With -fabric-listen the instance doubles as a shard-fabric coordinator:
 // exported streams' shard sets partition across dcworker processes, which
@@ -28,10 +34,16 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"datacell"
+	"datacell/internal/basket"
 	"datacell/internal/fabric"
+	"datacell/internal/factory"
+	"datacell/internal/metrics"
+	"datacell/internal/monitor"
 	"datacell/internal/receptor"
+	"datacell/internal/scheduler"
 	"datacell/internal/server"
 )
 
@@ -51,6 +63,8 @@ func main() {
 		"run as shard-fabric coordinator: serve dcworker connections on this address")
 	fabricWorkers := flag.Int("fabric-workers", 2,
 		"with -fabric-listen: worker process count the shard ranges partition across")
+	metricsListen := flag.String("metrics-listen", "",
+		"serve a Prometheus-text /metrics endpoint on this address")
 	var receptors receptorFlags
 	flag.Var(&receptors, "receptor", "open a CSV receptor: stream=host:port (repeatable)")
 	var fabricExports receptorFlags
@@ -74,8 +88,10 @@ func main() {
 		fmt.Printf("executed %s\n", *initFile)
 	}
 
+	var coord *fabric.Coordinator
 	if *fabricListen != "" {
-		coord, err := fabric.NewCoordinator(eng, fabric.Options{
+		var err error
+		coord, err = fabric.NewCoordinator(eng, fabric.Options{
 			Listen:  *fabricListen,
 			Workers: *fabricWorkers,
 		})
@@ -116,6 +132,31 @@ func main() {
 		}
 		defer r.Close()
 		fmt.Printf("receptor for stream %s on %s\n", name, r.Addr())
+	}
+
+	if *metricsListen != "" {
+		reg := metrics.NewRegistry()
+		reg.MustRegister(eng.MetricsCollector())
+		// The monitor supplies the derived per-interval rates; a bounded
+		// lifetime sampler feeds it once a second.
+		mon := monitor.NewCollector(func() ([]basket.Stats, []factory.Stats) {
+			st := eng.Stats()
+			return st.Baskets, st.Queries
+		})
+		mon.SetLimit(4)
+		reg.MustRegister(mon.MetricsCollector())
+		sampler := scheduler.NewTicker(time.Second, func(time.Time) { mon.Sample(eng.Now()) })
+		defer sampler.Stop()
+		if coord != nil {
+			reg.MustRegister(coord.MetricsCollector())
+		}
+		msrv, err := metrics.Serve(*metricsListen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("serving /metrics on %s\n", msrv.Addr())
 	}
 
 	if *listen != "" {

@@ -4,14 +4,20 @@
 //
 // Workloads:
 //
-//	sensor     (ts, k, v): uniform keys, smooth values
-//	zipf       (ts, k, v): zipf-skewed keys (hot-key stress)
-//	linearroad (ts, vid, speed, xway, lane, dir, seg, pos)
+//	sensor      (ts, k, v): uniform keys, smooth values
+//	zipf        (ts, k, v): zipf-skewed keys (hot-key stress)
+//	linearroad  (ts, vid, speed, xway, lane, dir, seg, pos)
+//	multitenant not a CSV: runs the multi-tenant standing-query harness
+//	            in-process — templated queries from the linearroad /
+//	            network-monitor / weblog archetypes spread across tenants
+//	            with fair-share quotas — and prints queries_per_core and
+//	            the p99 window-seal latency (ROADMAP item 5)
 //
 // Usage:
 //
 //	dcgen -workload sensor -n 100000 [-keys 64] [-seed 1] [-out file.csv]
 //	dcgen -workload linearroad -xways 2 -cars 500 -duration 600
+//	dcgen -workload multitenant -tenants 8 -queries 512 [-n 16384]
 package main
 
 import (
@@ -22,11 +28,12 @@ import (
 	"math/rand"
 	"os"
 
+	"datacell/internal/experiments"
 	"datacell/internal/linearroad"
 )
 
 func main() {
-	workload := flag.String("workload", "sensor", "sensor | zipf | linearroad")
+	workload := flag.String("workload", "sensor", "sensor | zipf | linearroad | multitenant")
 	n := flag.Int("n", 100000, "number of tuples (sensor, zipf)")
 	keys := flag.Int("keys", 64, "distinct keys (sensor, zipf)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -34,6 +41,8 @@ func main() {
 	xways := flag.Int("xways", 1, "linearroad: expressways")
 	cars := flag.Int("cars", 500, "linearroad: cars per expressway")
 	duration := flag.Int("duration", 600, "linearroad: simulated seconds")
+	tenants := flag.Int("tenants", 8, "multitenant: tenant count")
+	queries := flag.Int("queries", 512, "multitenant: standing queries to register across tenants")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -61,6 +70,15 @@ func main() {
 		for i := 0; i < *n; i++ {
 			fmt.Fprintf(bw, "%d,%d,%.3f\n", i, z.Uint64(), rng.Float64()*100)
 		}
+	case "multitenant":
+		// Not a CSV generator: run the harness and print its report. -n is
+		// per-archetype-stream tuples; the default 100000 is CI-hostile, so
+		// the harness clamps to a bench-sized feed unless asked otherwise.
+		feed := *n
+		if feed > 1<<16 {
+			feed = 1 << 14
+		}
+		fmt.Fprint(bw, experiments.MultiTenant(*tenants, *queries, feed, 2048))
 	case "linearroad":
 		cfg := linearroad.Config{
 			Xways: *xways, CarsPerXway: *cars, DurationSec: *duration,

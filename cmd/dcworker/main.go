@@ -11,6 +11,11 @@
 //
 //	dcworker -join host:port -index 0 [-id name]
 //	         [-snapshot-dir dir] [-snapshot-interval 500ms]
+//	         [-metrics-listen addr]
+//
+// With -metrics-listen the worker serves a Prometheus-text /metrics
+// endpoint with its applied-frame and snapshot cursors, snapshot age and
+// frame-error counter (see docs/METRICS.md).
 //
 // With -snapshot-dir the worker periodically checkpoints its full slicing
 // state (baskets, open epochs, session cursors) to dir/worker-<index>.snap
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"datacell/internal/fabric"
+	"datacell/internal/metrics"
 )
 
 func main() {
@@ -38,6 +44,8 @@ func main() {
 	id := flag.String("id", "", "self-reported worker label (default w<index>)")
 	snapDir := flag.String("snapshot-dir", "", "directory for durable state snapshots (empty: snapshots off, recovery replays full history)")
 	snapEvery := flag.Duration("snapshot-interval", 500*time.Millisecond, "interval between periodic snapshots (with -snapshot-dir)")
+	metricsListen := flag.String("metrics-listen", "",
+		"serve a Prometheus-text /metrics endpoint on this address")
 	flag.Parse()
 	if *join == "" {
 		fmt.Fprintln(os.Stderr, "dcworker: -join is required")
@@ -52,6 +60,18 @@ func main() {
 		SnapshotEvery: *snapEvery,
 	})
 	fmt.Println(w.Describe())
+
+	if *metricsListen != "" {
+		reg := metrics.NewRegistry()
+		reg.MustRegister(w.MetricsCollector())
+		msrv, err := metrics.Serve(*metricsListen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcworker: metrics:", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("dcworker: serving /metrics on %s\n", msrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

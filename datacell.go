@@ -80,6 +80,11 @@ type Engine struct {
 	queries map[string]*Query
 	fabric  Fabric // attached scale-out fabric (nil: single-process)
 	closed  bool
+
+	// Multi-tenant accounting (tenant.go). tenantMu guards only the map;
+	// each tenantState carries its own leaf mutex.
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantState
 }
 
 // Fabric is the engine-facing contract of a distributed shard fabric
@@ -292,7 +297,7 @@ func (e *Engine) execStmt(stmt sql.Stmt) (*Result, error) {
 		case "REEVAL":
 			mode = ModeReeval
 		}
-		q, err := e.register(s.Name, s.Select, mode, &RegisterOptions{Isolated: s.Isolated})
+		q, err := e.register(s.Name, s.Select, mode, &RegisterOptions{Isolated: s.Isolated, Tenant: s.Tenant})
 		if err != nil {
 			return nil, err
 		}

@@ -66,6 +66,14 @@ func (e *Channel) Out() <-chan Result { return e.ch }
 // Dropped reports how many results were discarded due to a full buffer.
 func (e *Channel) Dropped() int64 { return e.dropped.Load() }
 
+// Pending reports how many emitted results sit unconsumed in the buffer
+// — the consumer-lag gauge behind per-tenant ingest backpressure and the
+// /metrics results backlog.
+func (e *Channel) Pending() int { return len(e.ch) }
+
+// Cap reports the buffer capacity.
+func (e *Channel) Cap() int { return cap(e.ch) }
+
 // Emit implements Emitter.
 func (e *Channel) Emit(c *bat.Chunk, m Meta) {
 	e.closeMu.Lock()

@@ -220,6 +220,13 @@ func SharedMerge(queries int, noSharedMerge bool, n, batch, nkeys int) BenchResu
 //	                         periodic consistent snapshots / without.
 //	                         Tracked report-only; expected near 1.0× (the
 //	                         checkpoint copies state off the sealing path).
+//	multitenant_queries_per_core / multitenant_p99_seal_usec: the
+//	                         multi-tenant standing-query harness (10⁴
+//	                         templated queries across 16 tenants; 1024
+//	                         across 8 in quick mode) — registered queries
+//	                         per scheduler core and the p99 window-seal
+//	                         latency. Report-only capacity metrics; they
+//	                         feed no floor or gate.
 //
 // match, when non-empty, is a regular expression selecting the benchmark
 // configurations to run by name; derived ratios whose inputs were skipped
@@ -335,6 +342,16 @@ func CIBench(quick bool, match string) *BenchReport {
 			run = func() BenchResult { return FabricFanoutSnap(16, cfg.workers, fanN, batch, 256) }
 		}
 		add(bestOf(2, run))
+	}
+	mtTenants, mtQueries := 16, 10000
+	if quick {
+		mtTenants, mtQueries = 8, 1024
+	}
+	if mtName := fmt.Sprintf("multitenant/t_%d/q_%d", mtTenants, mtQueries); want(mtName) {
+		mt := MultiTenant(mtTenants, mtQueries, 1<<14, 2048)
+		add(mt.Result)
+		rep.Derived["multitenant_queries_per_core"] = mt.QueriesPerCore
+		rep.Derived["multitenant_p99_seal_usec"] = mt.P99SealUsec
 	}
 	ratio := func(key, num, den string) {
 		d, okD := byName[den]

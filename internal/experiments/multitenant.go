@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"datacell"
+	"datacell/internal/bat"
+	"datacell/internal/monitor"
+)
+
+// mtArchetype is one standing-query template family of the multi-tenant
+// harness. The three archetypes mirror the operational workloads the
+// paper's scenarios model: vehicle telemetry (Linear Road), network flow
+// monitoring, and web access logs. Every instantiated query differs only
+// in its threshold, so queries of one archetype share an execution group
+// and the harness scales to 10⁴–10⁵ registrations.
+type mtArchetype struct {
+	name   string
+	ddl    string
+	stream string
+	// tmpl is the query template; the %d threshold varies per instance
+	// (bounded variants so merge classes still form within an archetype).
+	tmpl     string
+	variants int
+}
+
+var mtArchetypes = []mtArchetype{
+	{
+		name:     "linearroad",
+		ddl:      "CREATE STREAM lr (ts TIMESTAMP, seg INT, speed FLOAT)",
+		stream:   "lr",
+		tmpl:     "SELECT seg, count(*) AS cars, sum(speed) AS sp FROM lr [SIZE 4096 SLIDE 1024] WHERE speed < %d.0 GROUP BY seg",
+		variants: 8,
+	},
+	{
+		name:     "network_monitor",
+		ddl:      "CREATE STREAM net (ts TIMESTAMP, src INT, bytes FLOAT)",
+		stream:   "net",
+		tmpl:     "SELECT src, sum(bytes) AS vol, count(*) AS pkts FROM net [SIZE 4096 SLIDE 1024] WHERE bytes > %d.0 GROUP BY src",
+		variants: 8,
+	},
+	{
+		name:     "weblog",
+		ddl:      "CREATE STREAM web (ts TIMESTAMP, url INT, latency FLOAT)",
+		stream:   "web",
+		tmpl:     "SELECT url, count(*) AS hits FROM web [SIZE 4096 SLIDE 1024] WHERE latency > %d.0 GROUP BY url",
+		variants: 8,
+	},
+}
+
+// mtChunks renders sensor-shaped data into an archetype's 3-column
+// schema: (ts, key, value).
+func mtChunks(a mtArchetype, sch bat.Schema, n, batch, nkeys int) []*bat.Chunk {
+	var out []*bat.Chunk
+	for pos := 0; pos < n; {
+		take := batch
+		if pos+take > n {
+			take = n - pos
+		}
+		ts := make(bat.Times, take)
+		ks := make(bat.Ints, take)
+		vs := make(bat.Floats, take)
+		for i := 0; i < take; i++ {
+			g := pos + i
+			ts[i] = int64(g)
+			ks[i] = int64(g*2654435761) % int64(nkeys)
+			if ks[i] < 0 {
+				ks[i] += int64(nkeys)
+			}
+			vs[i] = float64(g%1000) * 0.5
+		}
+		out = append(out, &bat.Chunk{Schema: sch, Cols: []bat.Vector{ts, ks, vs}})
+		pos += take
+	}
+	return out
+}
+
+// MultiTenantReport is the harness outcome: raw throughput plus the two
+// capacity metrics the bench trajectory records report-only.
+type MultiTenantReport struct {
+	Result    BenchResult
+	Tenants   int
+	Queries   int   // successfully registered standing queries
+	Rejected  int64 // over-quota registrations refused by admission control
+	Throttled int64 // appends that blocked on a tenant's ingest controls
+	// QueriesPerCore is registered standing queries per scheduler core —
+	// the headline capacity number of the harness.
+	QueriesPerCore float64
+	// P99SealUsec is the 99th-percentile window-seal-to-result latency
+	// across all queries' newest evaluations (µs).
+	P99SealUsec float64
+}
+
+// String renders the harness report block.
+func (r *MultiTenantReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "multi-tenant harness: tenants=%d queries=%d rejected=%d throttled=%d\n",
+		r.Tenants, r.Queries, r.Rejected, r.Throttled)
+	fmt.Fprintf(&b, "  tuples=%d wall=%.3fs ktuples/s=%.0f\n",
+		r.Result.Tuples, r.Result.WallSec, r.Result.TuplesPerSec/1e3)
+	fmt.Fprintf(&b, "  queries_per_core=%.1f p99_seal_latency=%.0fµs\n",
+		r.QueriesPerCore, r.P99SealUsec)
+	return b.String()
+}
+
+// MultiTenant runs the multi-tenant standing-query harness: `queries`
+// templated registrations from the three archetypes spread round-robin
+// across `tenants` tenants, each tenant capped at its fair share of the
+// query budget (plus one deliberately over-quota registration per tenant
+// to exercise admission control), then `n` tuples per archetype stream
+// fed through the tenant append path. Queries within an archetype differ
+// only in a bounded threshold, so they land in shared execution groups —
+// the sharing machinery is what makes 10⁴–10⁵ standing queries per
+// process feasible (ROADMAP item 5).
+func MultiTenant(tenants, queries, n, batch int) *MultiTenantReport {
+	if tenants <= 0 {
+		tenants = 1
+	}
+	eng := datacell.New(&datacell.Options{Workers: 4})
+	defer eng.Close()
+
+	for _, a := range mtArchetypes {
+		if _, err := eng.Exec(a.ddl); err != nil {
+			panic(err)
+		}
+	}
+
+	// Fair-share quota: tenant i may hold ceil(queries/tenants) queries.
+	share := (queries + tenants - 1) / tenants
+	tenantName := func(i int) string { return fmt.Sprintf("t%03d", i%tenants) }
+	for i := 0; i < tenants; i++ {
+		eng.SetTenantQuota(tenantName(i), datacell.TenantQuota{MaxQueries: share})
+	}
+
+	registered := 0
+	var rejected int64
+	for i := 0; i < queries; i++ {
+		a := mtArchetypes[i%len(mtArchetypes)]
+		sql := fmt.Sprintf(a.tmpl, 100+(i/len(mtArchetypes))%a.variants*50)
+		_, err := eng.Register(fmt.Sprintf("q%05d", i), sql, &datacell.RegisterOptions{
+			Mode:      datacell.ModeIncremental,
+			NoChannel: true, // 10⁴ buffered channels would dwarf the engine
+			Tenant:    tenantName(i),
+		})
+		if err != nil {
+			panic(err)
+		}
+		registered++
+	}
+	// One over-quota registration per tenant: every tenant is at its
+	// share, so each must be refused with a QuotaError — the admission
+	// control half of the acceptance criteria, exercised at scale.
+	for i := 0; i < tenants && queries >= tenants; i++ {
+		a := mtArchetypes[i%len(mtArchetypes)]
+		_, err := eng.Register(fmt.Sprintf("over%03d", i), fmt.Sprintf(a.tmpl, 100),
+			&datacell.RegisterOptions{NoChannel: true, Tenant: tenantName(i)})
+		var qe *datacell.QuotaError
+		if !errors.As(err, &qe) {
+			panic(fmt.Sprintf("over-quota registration for %s not rejected: %v", tenantName(i), err))
+		}
+		rejected++
+	}
+
+	// Feed every archetype stream through the tenant append path,
+	// round-robin over tenants so throttle accounting spreads.
+	type feed struct {
+		stream string
+		chunks []*bat.Chunk
+	}
+	var feeds []feed
+	for _, a := range mtArchetypes {
+		sch, err := eng.Schema(a.stream)
+		if err != nil {
+			panic(err)
+		}
+		feeds = append(feeds, feed{a.stream, mtChunks(a, sch, n, batch, 64)})
+	}
+	start := time.Now()
+	for fi, f := range feeds {
+		for ci, c := range f.chunks {
+			if err := eng.AppendChunkTenant(tenantName(fi*31+ci), f.stream, c); err != nil {
+				panic(err)
+			}
+		}
+	}
+	eng.Drain()
+	wall := time.Since(start)
+
+	var lats []int64
+	for _, name := range eng.QueryNames() {
+		if q, ok := eng.Query(name); ok {
+			lats = append(lats, q.RecentLatencies()...)
+		}
+	}
+	var throttled int64
+	for _, ts := range eng.TenantStats() {
+		throttled += ts.ThrottledAppends
+	}
+	total := n * len(mtArchetypes)
+	return &MultiTenantReport{
+		Result: BenchResult{
+			Name:         fmt.Sprintf("multitenant/t_%d/q_%d", tenants, queries),
+			Tuples:       total,
+			WallSec:      wall.Seconds(),
+			TuplesPerSec: float64(total) / wall.Seconds(),
+		},
+		Tenants:        tenants,
+		Queries:        registered,
+		Rejected:       rejected,
+		Throttled:      throttled,
+		QueriesPerCore: float64(registered) / float64(runtime.GOMAXPROCS(0)),
+		P99SealUsec:    float64(monitor.Percentile(lats, 99)),
+	}
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+// TestMultiTenantHarness runs a scaled-down harness: every tenant lands
+// exactly at its fair-share quota, every deliberate over-quota probe is
+// rejected, and the latency sample is non-empty.
+func TestMultiTenantHarness(t *testing.T) {
+	r := MultiTenant(4, 64, 1<<13, 1024)
+	t.Log("\n" + r.String())
+	if r.Queries != 64 {
+		t.Errorf("registered %d queries, want 64", r.Queries)
+	}
+	if r.Rejected != 4 {
+		t.Errorf("rejected %d over-quota probes, want 4 (one per tenant)", r.Rejected)
+	}
+	if r.P99SealUsec <= 0 {
+		t.Errorf("p99 seal latency %v, want > 0", r.P99SealUsec)
+	}
+	if r.QueriesPerCore <= 0 {
+		t.Errorf("queries_per_core %v, want > 0", r.QueriesPerCore)
+	}
+}

@@ -76,8 +76,10 @@ type Worker struct {
 	// is why snapshots capture applied, not the session cursor.
 	applied uint64
 	// lastSnap is the cursor of the last durable checkpoint — the Snap
-	// field of the next Hello.
-	lastSnap uint64
+	// field of the next Hello. lastSnapAt stamps when it landed (wall µs;
+	// 0 before the first), the snapshot-age gauge on /metrics.
+	lastSnap   uint64
+	lastSnapAt int64
 	// frameErrs counts session frames that decoded badly or failed to
 	// apply. Such frames are still acknowledged — redelivering them cannot
 	// help (the resume protocol retransmits bytes, not fixes), and
@@ -700,6 +702,8 @@ func (w *Worker) restoreSnapshot(snap *snapshot.Snapshot) {
 	}
 	w.applied = snap.RxSeq
 	w.lastSnap = snap.RxSeq
+	// The restored snapshot is durable as of this load.
+	w.lastSnapAt = time.Now().UnixMicro()
 	w.mu.Unlock()
 	w.sess.restore(snap.TxSeq, snap.RxSeq, snap.Outbox)
 }
@@ -737,6 +741,7 @@ func (w *Worker) Checkpoint() error {
 	}
 	w.mu.Lock()
 	w.lastSnap = snap.RxSeq
+	w.lastSnapAt = time.Now().UnixMicro()
 	w.mu.Unlock()
 	// The snap-ack is a control frame: only after the rename is durable
 	// may the coordinator prune, and an unstamped frame keeps the

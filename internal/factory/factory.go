@@ -190,7 +190,19 @@ type Factory struct {
 	mu    sync.Mutex
 	seq   int64
 	stats Stats
+	// recentLat is a bounded ring of the newest evaluations' response
+	// times (µs) — the sample behind per-query latency percentiles in the
+	// /metrics exporter and the multi-tenant harness. recentN is the count
+	// of valid entries while the ring is still filling.
+	recentLat [recentLatSize]int64
+	recentN   int
+	recentPos int
 }
+
+// recentLatSize bounds the per-factory latency sample. 512 evaluations
+// cover several seconds at realistic seal rates — enough for a stable
+// p99 without per-eval allocation.
+const recentLatSize = 512
 
 // New builds a factory and registers it as a consumer on every shard of
 // every input basket. bind maps each stream scan of the plan to its
@@ -443,6 +455,20 @@ func (f *Factory) Stats() Stats {
 		s.CachedPairs = f.jc.Pairs()
 	}
 	return s
+}
+
+// RecentLatencies copies the bounded sample of the newest evaluations'
+// response times (µs), oldest first. Percentile consumers (the /metrics
+// p99 gauge, the multi-tenant harness) sort their own copy.
+func (f *Factory) RecentLatencies() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int64, 0, f.recentN)
+	start := f.recentPos - f.recentN
+	for i := 0; i < f.recentN; i++ {
+		out = append(out, f.recentLat[(start+i+recentLatSize)%recentLatSize])
+	}
+	return out
 }
 
 // Step fires every shard of every input once, in order — the synchronous
@@ -841,6 +867,11 @@ func (f *Factory) emit(c *bat.Chunk, maxArrival, gen int64) {
 	f.stats.SumLatency += lat
 	if lat > f.stats.MaxLatency {
 		f.stats.MaxLatency = lat
+	}
+	f.recentLat[f.recentPos] = lat
+	f.recentPos = (f.recentPos + 1) % recentLatSize
+	if f.recentN < recentLatSize {
+		f.recentN++
 	}
 	f.mu.Unlock()
 	f.cfg.Emit.Emit(c, emitter.Meta{

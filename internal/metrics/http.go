@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+// contentType is the Prometheus text-format content type (version 0.0.4,
+// the format WriteTo renders).
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry's exposition — mount it at /metrics.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		_, _ = reg.WriteTo(w)
+	})
+}
+
+// Server is a minimal scrape endpoint: an HTTP listener serving the
+// registry at /metrics (and a one-line pointer at /).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	closeOnce sync.Once
+}
+
+// Serve starts a scrape endpoint on addr (e.g. ":9137" or
+// "127.0.0.1:0"). The listener is bound synchronously, so Addr is valid
+// on return; serving runs in a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write([]byte("datacell metrics endpoint — scrape /metrics\n"))
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { _ = s.srv.Close() })
+}

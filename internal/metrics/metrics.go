@@ -1,0 +1,289 @@
+// Package metrics is a zero-dependency Prometheus-text-format exporter
+// for the engine's internal counters — the observability layer that turns
+// the demo's interactive panes (\network, \groups, \fabric) into a
+// machine-scrapable /metrics endpoint.
+//
+// The design is pull-based and snapshot-cheap: a Registry holds
+// Collectors, each of which declares its metric families up front
+// (Describe) and emits current samples on demand (Collect). Nothing is
+// accumulated inside the registry itself — every scrape reads the live
+// engine counters, exactly as the \network pane does. The up-front
+// descriptors serve two purposes: they carry the HELP/TYPE metadata of
+// the text format, and they make the registry's full metric surface
+// enumerable without collecting, which is what keeps docs/METRICS.md
+// honest (TestMetricsDocMatchesRegistry diffs the doc's tables against
+// the declared descriptor lists).
+//
+// The exposition format is the Prometheus text format, version 0.0.4:
+//
+//	# HELP datacell_basket_buffered_tuples Tuples currently buffered.
+//	# TYPE datacell_basket_buffered_tuples gauge
+//	datacell_basket_buffered_tuples{stream="trades"} 42
+//
+// ParseText implements enough of the grammar to validate an exposition
+// end to end; the CI metrics-smoke step and the unit tests both scrape
+// and re-parse rather than string-match.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Type classifies a metric family for the TYPE line of the text format.
+type Type string
+
+// The metric types the exporter emits. Counters are cumulative and only
+// ever rise (frames sent, tuples appended); gauges snapshot a level that
+// moves both ways (basket occupancy, queue depth).
+const (
+	Counter Type = "counter"
+	Gauge   Type = "gauge"
+)
+
+// Desc declares one metric family: its name, type, help line, and the
+// ordered label names its samples carry. Descriptors are static — a
+// collector's Describe must return the same set on every call.
+type Desc struct {
+	Name   string
+	Type   Type
+	Help   string
+	Labels []string
+}
+
+// Metric is one sample of a family at collection time.
+type Metric struct {
+	// Name must match one of the collector's declared descriptors.
+	Name string
+	// LabelValues align positionally with the descriptor's Labels.
+	LabelValues []string
+	Value       float64
+}
+
+// Collector is a source of metrics. Describe declares the families once;
+// Collect emits the current samples. Collect must be safe for concurrent
+// use: scrapes can overlap with engine activity and with each other.
+type Collector interface {
+	Describe() []Desc
+	Collect(emit func(Metric))
+}
+
+// CollectorFunc adapts a static descriptor list and a collect closure
+// into a Collector.
+type CollectorFunc struct {
+	Descs []Desc
+	Fn    func(emit func(Metric))
+}
+
+// Describe implements Collector.
+func (c CollectorFunc) Describe() []Desc { return c.Descs }
+
+// Collect implements Collector.
+func (c CollectorFunc) Collect(emit func(Metric)) {
+	if c.Fn != nil {
+		c.Fn(emit)
+	}
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{descs: map[string]Desc{}}
+}
+
+// Registry aggregates collectors and renders one exposition per scrape.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+	descs      map[string]Desc
+}
+
+// MustRegister adds collectors to the registry. It panics when a
+// collector redeclares an existing family with a different type, label
+// set or help text — two sources exporting one family must agree on its
+// shape (they may both emit samples; the family renders once).
+func (r *Registry) MustRegister(cs ...Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cs {
+		for _, d := range c.Describe() {
+			if err := validDesc(d); err != nil {
+				panic(fmt.Sprintf("metrics: bad descriptor %q: %v", d.Name, err))
+			}
+			if prev, ok := r.descs[d.Name]; ok {
+				if prev.Type != d.Type || prev.Help != d.Help ||
+					strings.Join(prev.Labels, ",") != strings.Join(d.Labels, ",") {
+					panic(fmt.Sprintf("metrics: descriptor %q re-registered with a different shape", d.Name))
+				}
+				continue
+			}
+			r.descs[d.Name] = d
+		}
+		r.collectors = append(r.collectors, c)
+	}
+}
+
+// Descs lists every registered metric family, sorted by name — the
+// enumerable surface docs/METRICS.md is checked against.
+func (r *Registry) Descs() []Desc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Desc, 0, len(r.descs))
+	for _, d := range r.descs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func validDesc(d Desc) error {
+	if !validName(d.Name) {
+		return fmt.Errorf("invalid metric name")
+	}
+	if d.Type != Counter && d.Type != Gauge {
+		return fmt.Errorf("invalid type %q", d.Type)
+	}
+	for _, l := range d.Labels {
+		if !validName(l) {
+			return fmt.Errorf("invalid label name %q", l)
+		}
+	}
+	return nil
+}
+
+// validName checks the Prometheus metric/label name grammar:
+// [a-zA-Z_][a-zA-Z0-9_]* (colons are reserved for recording rules and
+// never exported by this engine).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WriteTo renders one exposition: every family sorted by name, each with
+// its HELP and TYPE lines followed by its samples sorted by label values.
+// Samples whose name was never declared, or whose label count disagrees
+// with the declaration, are dropped — a misbehaving collector must not
+// corrupt the exposition for every other source on the page.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	collectors := append([]Collector(nil), r.collectors...)
+	descs := make(map[string]Desc, len(r.descs))
+	for k, v := range r.descs {
+		descs[k] = v
+	}
+	r.mu.Unlock()
+
+	byFamily := map[string][]Metric{}
+	for _, c := range collectors {
+		c.Collect(func(m Metric) {
+			d, ok := descs[m.Name]
+			if !ok || len(m.LabelValues) != len(d.Labels) {
+				return
+			}
+			byFamily[m.Name] = append(byFamily[m.Name], m)
+		})
+	}
+
+	names := make([]string, 0, len(descs))
+	for n := range descs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		d := descs[name]
+		samples := byFamily[name]
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Slice(samples, func(i, j int) bool {
+			return strings.Join(samples[i].LabelValues, "\x00") <
+				strings.Join(samples[j].LabelValues, "\x00")
+		})
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(d.Help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, d.Type)
+		for _, m := range samples {
+			b.WriteString(name)
+			if len(d.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range d.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l)
+					b.WriteByte('=')
+					writeLabelValue(&b, m.LabelValues[i])
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(m.Value))
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// escapeHelp escapes a HELP line per the text format: backslash and
+// newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeLabelValue renders a quoted label value with exactly the escapes
+// the text format defines: backslash, double quote, newline. Go's %q
+// would escape more (tabs, non-printables) in sequences the format does
+// not define.
+func writeLabelValue(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for _, c := range []byte(s) {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}
+
+// formatValue renders a sample value: integral floats render without an
+// exponent or trailing zeros (the common case: counters), specials per
+// the format.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

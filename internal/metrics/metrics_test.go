@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func testCollector() CollectorFunc {
+	return CollectorFunc{
+		Descs: []Desc{
+			{Name: "dc_test_buffered", Type: Gauge, Help: "Tuples buffered.", Labels: []string{"stream"}},
+			{Name: "dc_test_total", Type: Counter, Help: `Escapes: back\slash and "quotes".`, Labels: []string{"stream", "shard"}},
+			{Name: "dc_test_scalar", Type: Gauge, Help: "No labels."},
+		},
+		Fn: func(emit func(Metric)) {
+			emit(Metric{Name: "dc_test_buffered", LabelValues: []string{"trades"}, Value: 42})
+			emit(Metric{Name: "dc_test_buffered", LabelValues: []string{`we"ird\name`}, Value: 0.5})
+			emit(Metric{Name: "dc_test_total", LabelValues: []string{"trades", "0"}, Value: 1e6})
+			emit(Metric{Name: "dc_test_total", LabelValues: []string{"trades", "1"}, Value: 7})
+			emit(Metric{Name: "dc_test_scalar", Value: -3.25})
+		},
+	}
+}
+
+func TestRenderAndParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(testCollector())
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	families, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("rendered exposition does not parse: %v\n%s", err, out)
+	}
+	byName := map[string]Family{}
+	for _, f := range families {
+		byName[f.Name] = f
+	}
+	if len(byName) != 3 {
+		t.Fatalf("got %d families, want 3:\n%s", len(byName), out)
+	}
+	buf := byName["dc_test_buffered"]
+	if buf.Type != Gauge || len(buf.Samples) != 2 {
+		t.Fatalf("dc_test_buffered = %+v", buf)
+	}
+	found := false
+	for _, s := range buf.Samples {
+		if s.Labels["stream"] == `we"ird\name` {
+			found = true
+			if s.Value != 0.5 {
+				t.Fatalf("escaped-label sample value = %v", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("escaped label value did not round-trip:\n%s", out)
+	}
+	if got := byName["dc_test_total"].Help; got != `Escapes: back\slash and "quotes".` {
+		t.Fatalf("help round-trip = %q", got)
+	}
+	if v := byName["dc_test_scalar"].Samples[0].Value; v != -3.25 {
+		t.Fatalf("scalar value = %v", v)
+	}
+	// Counters render integral values without an exponent.
+	if !strings.Contains(out, `dc_test_total{stream="trades",shard="0"} 1000000`) {
+		t.Fatalf("integral counter rendering:\n%s", out)
+	}
+}
+
+func TestRegistryRejectsBadShapes(t *testing.T) {
+	reg := NewRegistry()
+	mustPanic := func(name string, c Collector) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		reg.MustRegister(c)
+	}
+	mustPanic("bad name", CollectorFunc{Descs: []Desc{{Name: "0bad", Type: Gauge}}})
+	mustPanic("bad type", CollectorFunc{Descs: []Desc{{Name: "ok_name", Type: "hologram"}}})
+	mustPanic("bad label", CollectorFunc{Descs: []Desc{{Name: "ok_name", Type: Gauge, Labels: []string{"bad-label"}}}})
+	reg.MustRegister(CollectorFunc{Descs: []Desc{{Name: "dc_dup", Type: Gauge, Help: "h"}}})
+	mustPanic("reshape", CollectorFunc{Descs: []Desc{{Name: "dc_dup", Type: Counter, Help: "h"}}})
+	// Same shape from a second collector is fine.
+	reg.MustRegister(CollectorFunc{Descs: []Desc{{Name: "dc_dup", Type: Gauge, Help: "h"}}})
+}
+
+func TestUndeclaredSamplesDropped(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(CollectorFunc{
+		Descs: []Desc{{Name: "dc_declared", Type: Gauge, Labels: []string{"l"}}},
+		Fn: func(emit func(Metric)) {
+			emit(Metric{Name: "dc_rogue", Value: 1})
+			emit(Metric{Name: "dc_declared", Value: 1}) // label count mismatch
+			emit(Metric{Name: "dc_declared", LabelValues: []string{"ok"}, Value: 2})
+		},
+	})
+	var b strings.Builder
+	_, _ = reg.WriteTo(&b)
+	out := b.String()
+	if strings.Contains(out, "dc_rogue") {
+		t.Fatalf("undeclared sample rendered:\n%s", out)
+	}
+	if strings.Count(out, "dc_declared{") != 1 {
+		t.Fatalf("mismatched-label sample rendered:\n%s", out)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`dc_x{l="unterminated} 1`,
+		`dc_x{l="v"} notanumber`,
+		`0bad_name 1`,
+		`dc_x{l="bad\escape"} 1`,
+		`dc_x{l="v" 1`,
+		"# TYPE dc_x hologram\ndc_x 1",
+		`dc_x{l="a",l="b"} 1`,
+	}
+	for _, src := range bad {
+		if _, err := ParseText(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", src)
+		}
+	}
+	good := []string{
+		"dc_x 1 1712345678901\n",   // timestamp accepted
+		"dc_x +Inf\ndc_y NaN\n",    // specials
+		"# just a comment\ndc_x 1", // free-form comment
+		"\n\ndc_x{} 1\n",           // empty label set
+	}
+	for _, src := range good {
+		if _, err := ParseText(strings.NewReader(src)); err != nil {
+			t.Errorf("ParseText(%q) = %v, want ok", src, err)
+		}
+	}
+	fams, err := ParseText(strings.NewReader("dc_x +Inf"))
+	if err != nil || !math.IsInf(fams[0].Samples[0].Value, 1) {
+		t.Fatalf("parse +Inf: %v %+v", err, fams)
+	}
+}
+
+func TestServeScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(testCollector())
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	families, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(families) != 3 {
+		t.Fatalf("scraped %d families, want 3", len(families))
+	}
+}

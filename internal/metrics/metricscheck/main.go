@@ -1,0 +1,42 @@
+// Command metricscheck validates a Prometheus text exposition on stdin:
+// it must parse under the 0.0.4 grammar, and every family named as an
+// argument must be present with at least one sample. The CI
+// metrics-smoke step pipes a live /metrics scrape through it — parsing
+// rather than grepping, so a malformed exposition fails even when the
+// expected names appear.
+//
+// Usage:
+//
+//	curl -fs localhost:9090/metrics | metricscheck datacell_scheduler_workers ...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"datacell/internal/metrics"
+)
+
+func main() {
+	fams, err := metrics.ParseText(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: exposition does not parse: %v\n", err)
+		os.Exit(1)
+	}
+	have := map[string]int{}
+	for _, f := range fams {
+		have[f.Name] = len(f.Samples)
+	}
+	bad := false
+	for _, want := range os.Args[1:] {
+		if n := have[want]; n == 0 {
+			fmt.Fprintf(os.Stderr, "metricscheck: family %s missing from scrape\n", want)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %d families parsed, %d asserted present\n",
+		len(fams), len(os.Args)-1)
+}

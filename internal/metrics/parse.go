@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed metric family of an exposition.
+type Family struct {
+	Name    string
+	Type    Type
+	Help    string
+	Samples []Sample
+}
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses a Prometheus text-format (0.0.4) exposition and
+// returns its families in order of first appearance. It validates the
+// grammar strictly enough for round-trip tests and the CI smoke check:
+// metric and label names must match the name grammar, label values must
+// be correctly quoted and escaped, sample values must parse as floats
+// (including +Inf/-Inf/NaN), TYPE lines must declare counter or gauge,
+// and a sample must not precede its family's TYPE line under a different
+// type. Timestamps (an optional trailing integer) are accepted and
+// discarded.
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	byName := map[string]*Family{}
+	var order []*Family
+	family := func(name string) *Family {
+		f, ok := byName[name]
+		if !ok {
+			f = &Family{Name: name}
+			byName[name] = f
+			order = append(order, f)
+		}
+		return f
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validName(name) {
+				return nil, fmt.Errorf("metrics: line %d: invalid metric name %q", lineNo, name)
+			}
+			f := family(name)
+			rest := ""
+			if len(fields) == 4 {
+				rest = fields[3]
+			}
+			if fields[1] == "HELP" {
+				f.Help = unescapeHelp(rest)
+				continue
+			}
+			t := Type(strings.TrimSpace(rest))
+			if t != Counter && t != Gauge && t != "histogram" && t != "summary" && t != "untyped" {
+				return nil, fmt.Errorf("metrics: line %d: invalid TYPE %q for %s", lineNo, rest, name)
+			}
+			if f.Type != "" && f.Type != t {
+				return nil, fmt.Errorf("metrics: line %d: %s re-typed %s -> %s", lineNo, name, f.Type, t)
+			}
+			f.Type = t
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		f := family(s.Name)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return flatten(order), nil
+}
+
+func flatten(order []*Family) []Family {
+	out := make([]Family, len(order))
+	for i, f := range order {
+		out[i] = *f
+	}
+	return out
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i) {
+		i++
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		if i < len(line) && line[i] == '}' {
+			i++ // empty label set: "dc_x{} 1" is legal
+		} else {
+			for {
+				// label name
+				j := i
+				for j < len(line) && isNameChar(line[j], j-i) {
+					j++
+				}
+				lname := line[i:j]
+				if !validName(lname) {
+					return s, fmt.Errorf("invalid label name %q", lname)
+				}
+				if j >= len(line) || line[j] != '=' {
+					return s, fmt.Errorf("expected '=' after label %q", lname)
+				}
+				val, rest, err := parseQuoted(line[j+1:])
+				if err != nil {
+					return s, fmt.Errorf("label %s: %w", lname, err)
+				}
+				if _, dup := s.Labels[lname]; dup {
+					return s, fmt.Errorf("duplicate label %q", lname)
+				}
+				s.Labels[lname] = val
+				i = len(line) - len(rest)
+				if i < len(line) && line[i] == ',' {
+					i++
+					continue
+				}
+				if i < len(line) && line[i] == '}' {
+					i++
+					break
+				}
+				return s, fmt.Errorf("expected ',' or '}' in label set")
+			}
+		}
+	}
+	fields := strings.Fields(line[i:])
+	if len(fields) == 0 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value (and optional timestamp), got %q", line[i:])
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func isNameChar(c byte, pos int) bool {
+	switch {
+	case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		return true
+	case c >= '0' && c <= '9':
+		return pos > 0
+	}
+	return false
+}
+
+// parseQuoted consumes a quoted, escaped label value and returns it with
+// the unconsumed remainder of the line.
+func parseQuoted(s string) (val, rest string, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", s, fmt.Errorf("expected '\"'")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", s, fmt.Errorf("dangling escape")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", s, fmt.Errorf("invalid escape \\%c", s[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", s, fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid sample value %q", s)
+	}
+	return v, nil
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}

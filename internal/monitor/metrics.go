@@ -1,0 +1,63 @@
+package monitor
+
+import (
+	"datacell/internal/metrics"
+)
+
+// RateMetricDescs declares the derived per-interval rate families the
+// monitor exports — the analysis pane's rates (Figure 4) as gauges over
+// the newest sampling interval. Levels and cumulative counters come from
+// the engine collector; these are the only time-derived quantities on
+// the /metrics page.
+var RateMetricDescs = []metrics.Desc{
+	{Name: "datacell_basket_append_rate_tuples_per_sec", Type: metrics.Gauge,
+		Help: "Basket append rate over the newest sampling interval.", Labels: []string{"stream"}},
+	{Name: "datacell_query_eval_rate_per_sec", Type: metrics.Gauge,
+		Help: "Query evaluations per second over the newest sampling interval.", Labels: []string{"query"}},
+	{Name: "datacell_query_tuples_rate_per_sec", Type: metrics.Gauge,
+		Help: "Query tuple consumption rate over the newest sampling interval.", Labels: []string{"query"}},
+	{Name: "datacell_query_interval_avg_latency_usec", Type: metrics.Gauge,
+		Help: "Mean response time of evaluations in the newest sampling interval (microseconds).", Labels: []string{"query"}},
+}
+
+// MetricsCollector adapts the collector's newest sampling interval into
+// a metrics source. It emits nothing until two samples exist; the caller
+// owns the sampling cadence (and should bound retention with SetLimit).
+func (c *Collector) MetricsCollector() metrics.Collector {
+	return metrics.CollectorFunc{
+		Descs: RateMetricDescs,
+		Fn: func(emit func(metrics.Metric)) {
+			samples := c.Series()
+			if len(samples) < 2 {
+				return
+			}
+			prev, cur := samples[len(samples)-2], samples[len(samples)-1]
+			dt := float64(cur.AtUsec-prev.AtUsec) / 1e6
+			if dt <= 0 {
+				return
+			}
+			for _, b := range cur.Baskets {
+				p := findBasket(prev.Baskets, b.Name)
+				if p == nil {
+					continue
+				}
+				emit(metrics.Metric{Name: "datacell_basket_append_rate_tuples_per_sec",
+					LabelValues: []string{b.Name}, Value: float64(b.TotalIn-p.TotalIn) / dt})
+			}
+			for _, q := range cur.Queries {
+				p := findQuery(prev.Queries, q.Name)
+				if p == nil {
+					continue
+				}
+				emit(metrics.Metric{Name: "datacell_query_eval_rate_per_sec",
+					LabelValues: []string{q.Name}, Value: float64(q.Evals-p.Evals) / dt})
+				emit(metrics.Metric{Name: "datacell_query_tuples_rate_per_sec",
+					LabelValues: []string{q.Name}, Value: float64(q.TuplesIn-p.TuplesIn) / dt})
+				if d := q.Evals - p.Evals; d > 0 {
+					emit(metrics.Metric{Name: "datacell_query_interval_avg_latency_usec",
+						LabelValues: []string{q.Name}, Value: float64(q.SumLatency-p.SumLatency) / float64(d)})
+				}
+			}
+		},
+	}
+}

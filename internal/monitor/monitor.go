@@ -29,6 +29,7 @@ type Collector struct {
 
 	mu      sync.Mutex
 	samples []Sample
+	limit   int // 0: unbounded (the analysis pane's full series)
 }
 
 // NewCollector builds a collector over a snapshot function (typically
@@ -37,12 +38,34 @@ func NewCollector(snap func() ([]basket.Stats, []factory.Stats)) *Collector {
 	return &Collector{snap: snap}
 }
 
+// SetLimit bounds the retained series to the newest n samples (0 resets
+// to unbounded). Long-running samplers — the /metrics rate source ticks
+// for the process lifetime — must bound retention; the analysis pane's
+// experiment-sized runs keep the full series.
+func (c *Collector) SetLimit(n int) {
+	c.mu.Lock()
+	c.limit = n
+	c.trimLocked()
+	c.mu.Unlock()
+}
+
 // Sample takes one snapshot stamped with the given time (µs).
 func (c *Collector) Sample(at int64) {
 	b, q := c.snap()
 	c.mu.Lock()
 	c.samples = append(c.samples, Sample{AtUsec: at, Baskets: b, Queries: q})
+	c.trimLocked()
 	c.mu.Unlock()
+}
+
+func (c *Collector) trimLocked() {
+	if c.limit > 0 && len(c.samples) > c.limit {
+		// Copy the tail off the old backing array so retention is O(limit)
+		// rather than the slice pinning every sample ever taken.
+		tail := make([]Sample, c.limit)
+		copy(tail, c.samples[len(c.samples)-c.limit:])
+		c.samples = tail
+	}
 }
 
 // Series returns the collected samples in order.

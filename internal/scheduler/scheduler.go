@@ -78,8 +78,56 @@ type Scheduler struct {
 	closed bool
 	wg     sync.WaitGroup
 	active int        // queued + running transitions
+	fired  int64      // cumulative firings, surviving transition removal
 	idleC  *sync.Cond // broadcast when active drops to zero
 	doneC  *sync.Cond // broadcast when a removed transition leaves Fire
+}
+
+// Stats is a point-in-time snapshot of the scheduler's load — the queue
+// depths behind the /metrics scheduler gauges.
+type Stats struct {
+	Workers     int
+	Transitions int   // registered transitions
+	Groups      int   // registered transition groups
+	Queued      int   // transitions sitting in ready queues
+	Running     int   // transitions currently inside Fire
+	Fired       int64 // cumulative firings since start (survives removal)
+	// QueueDepths is the per-worker ready-queue length, index-aligned
+	// with the worker pool. Work stealing drains imbalances, so a
+	// persistently deep queue means a shard whose firings outrun one
+	// core.
+	QueueDepths []int
+}
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Workers:     len(s.locals),
+		Transitions: len(s.all),
+		Groups:      len(s.groups),
+		Fired:       s.fired,
+		QueueDepths: make([]int, len(s.locals)),
+	}
+	for i, q := range s.locals {
+		// Count live entries only: a transition removed while queued stays
+		// in the slice (workers skip it) but is no longer pending work.
+		d := 0
+		for _, t := range q {
+			if t.queued {
+				d++
+			}
+		}
+		st.QueueDepths[i] = d
+		st.Queued += d
+	}
+	for _, t := range s.all {
+		if t.running {
+			st.Running++
+		}
+	}
+	return st
 }
 
 // New starts a scheduler with the given number of worker goroutines
@@ -379,6 +427,7 @@ func (s *Scheduler) worker(id int) {
 		t.queued = false
 		t.running = true
 		t.firings++
+		s.fired++
 		s.mu.Unlock()
 
 		t.Fire()

@@ -38,6 +38,7 @@ const Help = `commands:
   \network               query network: baskets and queries (Figure 3)
   \queries               list registered continuous queries
   \groups                shared execution groups (members, live buffers)
+  \tenants               per-tenant quotas, usage and throttle counters
   \fabric                distributed shard fabric (workers, streams, specs)
   \plan <query>          optimized one-time plan shape
   \cplan <query>         continuous (split/merge) plan shape
@@ -119,6 +120,27 @@ func (s *Session) Dispatch(line string) (string, bool) {
 					g.PairCaches, g.CachedPairs, g.PairsComputed)
 			}
 			b.WriteByte('\n')
+		}
+		return strings.TrimRight(b.String(), "\n"), false
+	case `\tenants`:
+		tenants := s.eng.TenantStats()
+		if len(tenants) == 0 {
+			return "(none)", false
+		}
+		var b strings.Builder
+		for _, t := range tenants {
+			fmt.Fprintf(&b, "%s queries=%d", t.Name, t.Queries)
+			if t.Quota.MaxQueries > 0 {
+				fmt.Fprintf(&b, "/%d", t.Quota.MaxQueries)
+			}
+			if t.Quota.MaxAppendRowsPerSec > 0 {
+				fmt.Fprintf(&b, " rate_limit=%.0frows/s", t.Quota.MaxAppendRowsPerSec)
+			}
+			if t.Quota.MaxLagWindows > 0 {
+				fmt.Fprintf(&b, " lag=%d/%d", t.LagWindows, t.Quota.MaxLagWindows)
+			}
+			fmt.Fprintf(&b, " rejected=%d appended=%d throttled=%d throttle_wait=%dµs\n",
+				t.RejectedQueries, t.AppendedRows, t.ThrottledAppends, t.ThrottleWaitUsec)
 		}
 		return strings.TrimRight(b.String(), "\n"), false
 	case `\fabric`:
@@ -349,7 +371,7 @@ func (c *Client) Close() { _ = c.conn.Close() }
 // SortedCommands lists the control commands (for cmd completion/docs).
 func SortedCommands() []string {
 	cmds := []string{
-		`\help`, `\catalog`, `\network`, `\queries`, `\groups`, `\fabric`,
+		`\help`, `\catalog`, `\network`, `\queries`, `\groups`, `\tenants`, `\fabric`,
 		`\plan`, `\cplan`, `\stats`, `\results`, `\pause`, `\resume`,
 		`\pause-stream`, `\resume-stream`, `\shards`, `\advance`, `\quit`,
 	}

@@ -113,8 +113,27 @@ func TestSessionControlCommands(t *testing.T) {
 	if !quit || out != "bye" {
 		t.Errorf("quit: %q %v", out, quit)
 	}
-	if got := SortedCommands(); len(got) != 17 {
+	if got := SortedCommands(); len(got) != 18 {
 		t.Errorf("commands = %d", len(got))
+	}
+}
+
+// TestSessionTenantsCommand: \tenants renders per-tenant accounting once
+// a quota or tagged registration exists.
+func TestSessionTenantsCommand(t *testing.T) {
+	eng := newEngine(t)
+	s := NewSession(eng)
+	if out, _ := s.Dispatch(`\tenants`); out != "(none)" {
+		t.Errorf("empty tenants: %q", out)
+	}
+	s.Dispatch("CREATE STREAM s (ts TIMESTAMP, v FLOAT);")
+	eng.SetTenantQuota("acme", datacell.TenantQuota{MaxQueries: 3})
+	if out, _ := s.Dispatch("REGISTER QUERY q TENANT acme AS SELECT avg(v) FROM s [SIZE 4 SLIDE 4]"); !strings.Contains(out, "registered") {
+		t.Fatalf("register: %q", out)
+	}
+	out, _ := s.Dispatch(`\tenants`)
+	if !strings.Contains(out, "acme") || !strings.Contains(out, "queries=1/3") {
+		t.Errorf("tenants: %q", out)
 	}
 }
 

@@ -55,18 +55,21 @@ func (*Insert) stmt() {}
 
 // RegisterQuery is the DataCell continuous-query registration:
 //
-//	REGISTER [INCREMENTAL|REEVAL] [ISOLATED] QUERY name AS SELECT ...
+//	REGISTER [INCREMENTAL|REEVAL] [ISOLATED] QUERY name [TENANT t] AS SELECT ...
 //
 // Mode selects between the paper's two execution modes; empty means let
 // the optimizer choose (incremental when the plan supports it). ISOLATED
 // (contextual, like SHARD/KEY in CREATE STREAM) opts the query out of
 // shared multi-query execution: it keeps its own basket cursors and
 // slicers instead of joining the stream's query group — the knob behind
-// the grouped-vs-isolated fan-out benchmarks.
+// the grouped-vs-isolated fan-out benchmarks. TENANT (also contextual)
+// attributes the query to a named tenant for quota accounting and
+// admission control.
 type RegisterQuery struct {
 	Name     string
 	Mode     string // "", "INCREMENTAL" or "REEVAL"
 	Isolated bool
+	Tenant   string // "" when untenanted
 	Select   *SelectStmt
 }
 

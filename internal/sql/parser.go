@@ -249,6 +249,16 @@ func (p *parser) parseRegister() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	// TENANT is contextual too: it only has meaning between the query name
+	// and AS, so columns named "tenant" stay legal elsewhere.
+	tenant := ""
+	if p.accept(TokIdent, "tenant") {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		tenant = t.Text
+	}
 	if _, err := p.expect(TokKeyword, "AS"); err != nil {
 		return nil, err
 	}
@@ -256,7 +266,7 @@ func (p *parser) parseRegister() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RegisterQuery{Name: name.Text, Mode: mode, Isolated: isolated, Select: sel.(*SelectStmt)}, nil
+	return &RegisterQuery{Name: name.Text, Mode: mode, Isolated: isolated, Tenant: tenant, Select: sel.(*SelectStmt)}, nil
 }
 
 func (p *parser) parseSelect() (Stmt, error) {

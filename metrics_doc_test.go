@@ -1,0 +1,106 @@
+package datacell_test
+
+import (
+	"bufio"
+	"os"
+	"strings"
+	"testing"
+
+	"datacell"
+
+	"datacell/internal/fabric"
+	"datacell/internal/metrics"
+	"datacell/internal/monitor"
+)
+
+// docRow is one parsed table row of docs/METRICS.md.
+type docRow struct {
+	typ    string
+	labels string
+	help   string
+}
+
+// parseMetricsDoc extracts every `| `datacell_...` | type | labels | help |`
+// table row from docs/METRICS.md.
+func parseMetricsDoc(t *testing.T) map[string]docRow {
+	t.Helper()
+	f, err := os.Open("docs/METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows := map[string]docRow{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "| `datacell_") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		if len(cells) != 4 {
+			t.Fatalf("malformed row (want 4 cells): %s", line)
+		}
+		name := strings.Trim(strings.TrimSpace(cells[0]), "`")
+		if _, dup := rows[name]; dup {
+			t.Errorf("docs/METRICS.md lists %s twice", name)
+		}
+		rows[name] = docRow{
+			typ:    strings.TrimSpace(cells[1]),
+			labels: strings.TrimSpace(cells[2]),
+			help:   strings.TrimSpace(cells[3]),
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestMetricsDocMatchesRegistry pins docs/METRICS.md to the collector
+// declarations: every exported family must have a doc row with the same
+// type, label set and help text, and the doc must not list families the
+// code no longer exports.
+func TestMetricsDocMatchesRegistry(t *testing.T) {
+	rows := parseMetricsDoc(t)
+
+	var descs []metrics.Desc
+	descs = append(descs, datacell.EngineMetricDescs...)
+	descs = append(descs, monitor.RateMetricDescs...)
+	descs = append(descs, fabric.CoordinatorMetricDescs...)
+	descs = append(descs, fabric.WorkerMetricDescs...)
+
+	seen := map[string]bool{}
+	for _, d := range descs {
+		seen[d.Name] = true
+		row, ok := rows[d.Name]
+		if !ok {
+			t.Errorf("exported family %s has no row in docs/METRICS.md", d.Name)
+			continue
+		}
+		if row.typ != string(d.Type) {
+			t.Errorf("%s: doc says type %q, code says %q", d.Name, row.typ, d.Type)
+		}
+		wantLabels := "—"
+		if len(d.Labels) > 0 {
+			var parts []string
+			for _, l := range d.Labels {
+				parts = append(parts, "`"+l+"`")
+			}
+			wantLabels = strings.Join(parts, ", ")
+		}
+		if row.labels != wantLabels {
+			t.Errorf("%s: doc labels %q, code labels %q", d.Name, row.labels, wantLabels)
+		}
+		if row.help != d.Help {
+			t.Errorf("%s: doc help drifted\n doc:  %s\n code: %s", d.Name, row.help, d.Help)
+		}
+	}
+	for name := range rows {
+		if !seen[name] {
+			t.Errorf("docs/METRICS.md row %s matches no exported family", name)
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("no metric rows parsed from docs/METRICS.md")
+	}
+}

@@ -53,15 +53,22 @@ type RegisterOptions struct {
 	// the pre-PR-4 behavior. Results are unaffected; benchmarks use it to
 	// measure what sharing past the merge boundary buys.
 	NoSharedMerge bool
+	// Tenant attributes the query to a named tenant for quota accounting
+	// and admission control (SQL: REGISTER QUERY name TENANT t AS ...).
+	// Registration fails with a *QuotaError when the tenant is at its
+	// MaxQueries quota; DROP QUERY releases the slot. Empty means
+	// untenanted — no quotas apply.
+	Tenant string
 }
 
 // Query is a registered continuous query handle.
 type Query struct {
-	name string
-	eng  *Engine
-	fac  *factory.Factory
-	out  *emitter.Channel // nil with NoChannel
-	mode factory.Mode
+	name   string
+	eng    *Engine
+	fac    *factory.Factory
+	out    *emitter.Channel // nil with NoChannel
+	mode   factory.Mode
+	tenant string // "" when untenanted
 
 	// Shared-execution state: zero for isolated and ineligible queries.
 	// The leave/close closures capture the concrete group (single-stream
@@ -102,7 +109,30 @@ func (e *Engine) Register(name, selectSQL string, opts *RegisterOptions) (*Query
 	return e.register(name, sel, o.Mode, &o)
 }
 
+// register wraps registerQuery with tenant admission control: the slot
+// is reserved before any planning work (so concurrent registrations
+// cannot overshoot MaxQueries) and released again on every failure path.
 func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *RegisterOptions) (*Query, error) {
+	var ts *tenantState
+	if opts != nil && opts.Tenant != "" {
+		ts = e.tenantState(opts.Tenant)
+		if err := ts.admitQuery(); err != nil {
+			return nil, err
+		}
+	}
+	q, err := e.registerQuery(name, sel, mode, opts)
+	if ts != nil {
+		if err != nil {
+			ts.releaseSlot("")
+		} else {
+			q.tenant = opts.Tenant
+			ts.attachQuery(q)
+		}
+	}
+	return q, err
+}
+
+func (e *Engine) registerQuery(name string, sel *sql.SelectStmt, mode Mode, opts *RegisterOptions) (*Query, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -447,6 +477,10 @@ func (q *Query) Name() string { return q.name }
 // Mode reports the resolved execution mode ("incremental" or "reeval").
 func (q *Query) Mode() string { return q.mode.String() }
 
+// Tenant reports the tenant the query is attributed to ("" when
+// untenanted).
+func (q *Query) Tenant() string { return q.tenant }
+
 // Grouped reports whether the query runs as a member of a shared
 // execution group (single-stream or join).
 func (q *Query) Grouped() bool { return q.groupKey != "" }
@@ -501,6 +535,13 @@ func (q *Query) Stop() {
 	q.stopped = true
 	e.mu.Unlock()
 
+	// Release the tenant's quota slot first: a rejected sibling can
+	// re-register the moment the drop is initiated. The stopped guard
+	// above makes this exactly-once.
+	if q.tenant != "" {
+		e.tenantState(q.tenant).releaseSlot(q.name)
+	}
+
 	e.sched.RemoveWait(q.name)
 	for _, cancel := range q.cancels {
 		cancel()
@@ -529,6 +570,11 @@ func (q *Query) Stop() {
 
 // Stats returns the query's counters (firings, tuples, latencies).
 func (q *Query) Stats() factory.Stats { return q.fac.Stats() }
+
+// RecentLatencies returns the response times (µs) of the newest
+// evaluations, oldest first — the sample behind the p99 gauge on /metrics
+// and the multi-tenant harness's seal-latency percentile.
+func (q *Query) RecentLatencies() []int64 { return q.fac.RecentLatencies() }
 
 // PlanString renders the optimized one-time plan — the "normal" plan shape
 // of the demo's plan inspection.
