@@ -63,6 +63,12 @@ func main() {
 		"run as shard-fabric coordinator: serve dcworker connections on this address")
 	fabricWorkers := flag.Int("fabric-workers", 2,
 		"with -fabric-listen: worker process count the shard ranges partition across")
+	fabricFlushBytes := flag.Int("fabric-flush-bytes", 64<<10,
+		"with -fabric-listen: staged append bytes per worker lane before a batch ships")
+	fabricFlushDelay := flag.Duration("fabric-flush-delay", 2*time.Millisecond,
+		"with -fabric-listen: max time appends wait in a lane before a batch ships")
+	fabricNoDirect := flag.Bool("fabric-no-direct", false,
+		"with -fabric-listen: do not dial worker receptors; all traffic rides the control links")
 	metricsListen := flag.String("metrics-listen", "",
 		"serve a Prometheus-text /metrics endpoint on this address")
 	var receptors receptorFlags
@@ -92,8 +98,11 @@ func main() {
 	if *fabricListen != "" {
 		var err error
 		coord, err = fabric.NewCoordinator(eng, fabric.Options{
-			Listen:  *fabricListen,
-			Workers: *fabricWorkers,
+			Listen:     *fabricListen,
+			Workers:    *fabricWorkers,
+			FlushBytes: *fabricFlushBytes,
+			FlushDelay: *fabricFlushDelay,
+			NoDirect:   *fabricNoDirect,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fabric:", err)
@@ -120,7 +129,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad -receptor %q (want stream=addr)\n", spec)
 			os.Exit(1)
 		}
-		bk, err := eng.Basket(name)
+		// The gated appender throttles network ingest on tenant-bound
+		// streams exactly like AppendTenant (see docs/OPERATIONS.md).
+		bk, err := eng.IngestAppender(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -37,7 +37,7 @@ func main() {
 	assertShards := flag.Bool("assert-shard-scaling", false,
 		"with -bench: fail if 4-shard ingest is >10% slower than 1-shard (multi-core hosts only)")
 	assertFloors := flag.Bool("assert-floors", false,
-		"with -bench: assert the tracked scaling floors (shard4_vs_shard1 ≥ 0.9 on multi-core, grouped16_vs_isolated16 ≥ 1.5, memo16_vs_nomemo16 ≥ 1.5, sharedmerge16_vs_nosharedmerge16 ≥ 1.5)")
+		"with -bench: assert the tracked scaling floors (shard4_vs_shard1 ≥ 0.9 and fabric_direct_vs_local ≥ 1.0 on multi-core, grouped16_vs_isolated16 ≥ 1.5, memo16_vs_nomemo16 ≥ 1.5, sharedmerge16_vs_nosharedmerge16 ≥ 1.5, codec_delta_ratio and codec_dict_ratio ≥ 2.0)")
 	compare := flag.String("compare", "", "previous BENCH_*.json to compare -against")
 	against := flag.String("against", "", "current BENCH_*.json for -compare")
 	history := flag.String("history", "",
@@ -118,6 +118,15 @@ func main() {
 			assertFloor("grouped16_vs_isolated16", 1.5, false)
 			assertFloor("memo16_vs_nomemo16", 1.5, false)
 			assertFloor("sharedmerge16_vs_nosharedmerge16", 1.5, false)
+			// The direct-receptor fabric must at least match local
+			// throughput when cores allow real parallelism; on a 1-core
+			// container the loopback fabric and the engine fight for the
+			// same CPU, so the floor is skipped (report-only) there.
+			assertFloor("fabric_direct_vs_local", 1.0, true)
+			// The codec ratios are deterministic byte counts — no machine
+			// class caveat.
+			assertFloor("codec_delta_ratio", 2.0, false)
+			assertFloor("codec_dict_ratio", 2.0, false)
 		}
 		if fail {
 			os.Exit(1)

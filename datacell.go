@@ -85,6 +85,14 @@ type Engine struct {
 	// each tenantState carries its own leaf mutex.
 	tenantMu sync.Mutex
 	tenants  map[string]*tenantState
+
+	// Stream→tenant ingest bindings (tenant.go): while a query registered
+	// with TENANT t reads a stream, anonymous appends to that stream
+	// (receptors, INSERT, plain Append) charge t's token bucket too.
+	// ingestMu guards only the refcount map — lookups on the append path
+	// copy the slice out before any blocking admission.
+	ingestMu      sync.Mutex
+	ingestTenants map[string]map[string]int // stream → tenant → query refcount
 }
 
 // Fabric is the engine-facing contract of a distributed shard fabric
@@ -289,6 +297,14 @@ func (e *Engine) execStmt(stmt sql.Stmt) (*Result, error) {
 		}
 		return &Result{Chunk: c}, nil
 
+	case *sql.SetTenantQuota:
+		e.SetTenantQuota(s.Tenant, TenantQuota{
+			MaxQueries:          int(s.MaxQueries),
+			MaxAppendRowsPerSec: s.AppendRowsPerSec,
+			MaxLagWindows:       int(s.LagWindows),
+		})
+		return &Result{Msg: fmt.Sprintf("tenant %s quota set", s.Tenant)}, nil
+
 	case *sql.RegisterQuery:
 		mode := ModeAuto
 		switch s.Mode {
@@ -399,8 +415,7 @@ func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
 		}
 	}
 	if isStream {
-		st, _ := e.cat.Stream(s.Table)
-		if err := st.Basket.Append(c, e.now()); err != nil {
+		if err := e.appendChunkAs(s.Table, c, ""); err != nil {
 			return nil, err
 		}
 	} else {
@@ -468,6 +483,13 @@ func (e *Engine) Query1(src string) (*bat.Chunk, error) {
 // values matching the stream schema (int/int64, float64, string, bool,
 // time.Time).
 func (e *Engine) Append(stream string, rows ...[]any) error {
+	return e.appendRows(stream, "", rows...)
+}
+
+// appendRows boxes rows into a chunk and runs the gated append path on
+// tenant `as`'s account ("" = anonymous, charged to the stream's bound
+// tenants only).
+func (e *Engine) appendRows(stream, as string, rows ...[]any) error {
 	st, ok := e.cat.Stream(stream)
 	if !ok {
 		return fmt.Errorf("datacell: unknown stream %q", stream)
@@ -486,7 +508,7 @@ func (e *Engine) Append(stream string, rows ...[]any) error {
 			return err
 		}
 	}
-	return st.Basket.Append(c, e.now())
+	return e.appendChunkAs(stream, c, as)
 }
 
 // AppendTable bulk-loads a pre-built columnar chunk into a persistent
@@ -502,9 +524,27 @@ func (e *Engine) AppendTable(table string, c *bat.Chunk) error {
 // AppendChunk pushes a pre-built columnar chunk into a stream's basket —
 // the zero-boxing path used by receptors and benchmarks.
 func (e *Engine) AppendChunk(stream string, c *bat.Chunk) error {
+	return e.appendChunkAs(stream, c, "")
+}
+
+// appendChunkAs is the single gated append path behind Append,
+// AppendChunk, INSERT and their tenant variants: it charges tenant `as`
+// (when named) plus every tenant bound to the stream by a TENANT query —
+// except `as` itself, so AppendTenant onto the tenant's own stream is
+// charged exactly once. Admission (which may block) happens before the
+// basket append, outside every engine lock.
+func (e *Engine) appendChunkAs(stream string, c *bat.Chunk, as string) error {
 	st, ok := e.cat.Stream(stream)
 	if !ok {
 		return fmt.Errorf("datacell: unknown stream %q", stream)
+	}
+	if as != "" {
+		e.tenantState(as).admitAppend(c.Rows())
+	}
+	for _, ts := range e.boundTenants(stream) {
+		if ts.name != as {
+			ts.admitAppend(c.Rows())
+		}
 	}
 	return st.Basket.Append(c, e.now())
 }

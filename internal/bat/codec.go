@@ -8,16 +8,47 @@ import (
 
 // Canonical wire encoding of schemas and chunks, used by the distributed
 // shard fabric to ship sealed basic windows between processes. The format
-// is columnar and self-describing:
+// is columnar and self-describing. Two versions are in circulation:
+//
+//	v1 chunk := schema, uvarint nrows, then per column the packed values
+//	v2 chunk := 0xFF 0x02, schema, uvarint nrows, then per column:
+//	            byte encoding, encoded payload
 //
 //	schema := uvarint ncols, then per column: string name, byte kind
-//	chunk  := schema, uvarint nrows, then per column the packed values
 //
-// Ints and Times are fixed 8-byte little-endian payloads, Floats their
-// IEEE-754 bit patterns, Bools one byte each, and Strs uvarint-length-
-// prefixed UTF-8. Decoding always allocates fresh vectors — a decoded
-// chunk shares no storage with the wire buffer, so ownership transfers
-// cleanly across the process boundary.
+// v1 packs Ints and Times as fixed 8-byte little-endian payloads, Floats
+// as their IEEE-754 bit patterns, Bools one byte each, and Strs
+// uvarint-length-prefixed UTF-8. v2 keeps those as encoding 0 ("plain")
+// and adds per-column lightweight compression: delta-varint for monotone
+// or clustered Int/Time columns, dictionary coding for low-cardinality
+// Str columns, and bit-packing for Bools. The encoder picks the smaller
+// representation per column, deterministically, so equal chunks always
+// encode to equal bytes.
+//
+// The 0xFF marker cannot begin a v1 buffer — v1 starts with the schema
+// width uvarint, and a width with the continuation bit set (≥128 columns
+// with 0xFF's payload bits) is rejected by UnmarshalSchema long before
+// any realistic schema hits it — so UnmarshalChunk auto-detects the
+// version and old snapshots and replay logs still decode.
+//
+// Decoding always allocates fresh vectors — a decoded chunk shares no
+// storage with the wire buffer, so ownership transfers cleanly across
+// the process boundary.
+
+// Chunk wire-format markers and per-column encodings (v2).
+const (
+	chunkMagic   = 0xFF // cannot start a v1 schema a decoder would accept
+	chunkVersion = 0x02
+
+	// EncPlain is the v1 payload layout carried over per column.
+	EncPlain = 0
+	// EncDelta is varint(first) + varint deltas, for Int/Time columns.
+	EncDelta = 1
+	// EncDict is a first-occurrence dictionary + uvarint indices, for Str.
+	EncDict = 2
+	// EncBits packs Bool columns eight rows per byte, LSB first.
+	EncBits = 3
+)
 
 // MarshalSchema appends the wire encoding of s to dst.
 func MarshalSchema(dst []byte, s Schema) []byte {
@@ -58,33 +89,30 @@ func UnmarshalSchema(src []byte) (Schema, []byte, error) {
 	return NewSchema(names, kinds), src, nil
 }
 
-// MarshalChunk appends the wire encoding of c (schema + columns) to dst.
+// MarshalChunk appends the v2 wire encoding of c to dst, choosing the
+// smallest per-column encoding. The choice depends only on the column
+// values, so equal chunks marshal to identical bytes.
 func MarshalChunk(dst []byte, c *Chunk) []byte {
+	dst = append(dst, chunkMagic, chunkVersion)
 	dst = MarshalSchema(dst, c.Schema)
 	rows := c.Rows()
 	dst = binary.AppendUvarint(dst, uint64(rows))
 	for _, col := range c.Cols {
 		switch v := col.(type) {
 		case Ints:
-			dst = AppendInt64s(dst, v)
+			dst = appendInt64Col(dst, v)
 		case Times:
-			dst = AppendInt64s(dst, v)
+			dst = appendInt64Col(dst, v)
 		case Floats:
+			dst = append(dst, EncPlain)
 			for _, f := range v {
 				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
 			}
 		case Bools:
-			for _, b := range v {
-				if b {
-					dst = append(dst, 1)
-				} else {
-					dst = append(dst, 0)
-				}
-			}
+			dst = append(dst, EncBits)
+			dst = appendPackedBools(dst, v)
 		case Strs:
-			for _, s := range v {
-				dst = AppendString(dst, s)
-			}
+			dst = appendStrCol(dst, v)
 		default:
 			panic(fmt.Sprintf("bat: MarshalChunk of unknown vector %T", col))
 		}
@@ -92,9 +120,134 @@ func MarshalChunk(dst []byte, c *Chunk) []byte {
 	return dst
 }
 
-// UnmarshalChunk decodes a chunk from src, returning the remainder. The
-// chunk owns freshly allocated vectors.
+// appendInt64Col writes an Int/Time column as delta-varint when that is
+// strictly smaller than the 8-byte plain layout, else plain.
+func appendInt64Col(dst []byte, vals []int64) []byte {
+	deltaSize, prev := 0, int64(0)
+	for i, v := range vals {
+		d := v
+		if i > 0 {
+			d = v - prev // wraps on overflow; decode wraps back
+		}
+		deltaSize += varintLen(d)
+		prev = v
+		if deltaSize >= 8*len(vals) {
+			break
+		}
+	}
+	if len(vals) > 0 && deltaSize < 8*len(vals) {
+		dst = append(dst, EncDelta)
+		prev = 0
+		for i, v := range vals {
+			d := v
+			if i > 0 {
+				d = v - prev
+			}
+			dst = binary.AppendVarint(dst, d)
+			prev = v
+		}
+		return dst
+	}
+	dst = append(dst, EncPlain)
+	return AppendInt64s(dst, vals)
+}
+
+// appendStrCol writes a Str column dictionary-coded when the dictionary
+// plus index stream is strictly smaller than the plain layout.
+func appendStrCol(dst []byte, vals []string) []byte {
+	dict := make(map[string]int, 16)
+	var order []string
+	plainSize, dictSize := 0, 0
+	for _, s := range vals {
+		plainSize += uvarintLen(uint64(len(s))) + len(s)
+		idx, ok := dict[s]
+		if !ok {
+			idx = len(order)
+			dict[s] = idx
+			order = append(order, s)
+			dictSize += uvarintLen(uint64(len(s))) + len(s)
+		}
+		dictSize += uvarintLen(uint64(idx))
+	}
+	dictSize += uvarintLen(uint64(len(order)))
+	if len(vals) > 0 && dictSize < plainSize {
+		dst = append(dst, EncDict)
+		dst = binary.AppendUvarint(dst, uint64(len(order)))
+		for _, s := range order {
+			dst = AppendString(dst, s)
+		}
+		for _, s := range vals {
+			dst = binary.AppendUvarint(dst, uint64(dict[s]))
+		}
+		return dst
+	}
+	dst = append(dst, EncPlain)
+	for _, s := range vals {
+		dst = AppendString(dst, s)
+	}
+	return dst
+}
+
+func appendPackedBools(dst []byte, vals []bool) []byte {
+	var acc byte
+	for i, b := range vals {
+		if b {
+			acc |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			dst = append(dst, acc)
+			acc = 0
+		}
+	}
+	if len(vals)&7 != 0 {
+		dst = append(dst, acc)
+	}
+	return dst
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// ChunkPlainSize reports the byte size column payloads would occupy in
+// the plain (v1) layout — the baseline the fabric's encoding-savings
+// metrics compare batched frames against.
+func ChunkPlainSize(c *Chunk) int {
+	rows, size := c.Rows(), 0
+	for _, col := range c.Cols {
+		switch v := col.(type) {
+		case Strs:
+			for _, s := range v {
+				size += uvarintLen(uint64(len(s))) + len(s)
+			}
+		case Bools:
+			size += rows
+		default:
+			size += 8 * rows
+		}
+	}
+	return size
+}
+
+// UnmarshalChunk decodes a chunk from src, returning the remainder. Both
+// wire versions decode; the chunk owns freshly allocated vectors.
 func UnmarshalChunk(src []byte) (*Chunk, []byte, error) {
+	if len(src) >= 2 && src[0] == chunkMagic && src[1] == chunkVersion {
+		return unmarshalChunkV2(src[2:])
+	}
+	return unmarshalChunkV1(src)
+}
+
+func unmarshalChunkV1(src []byte) (*Chunk, []byte, error) {
 	sch, src, err := UnmarshalSchema(src)
 	if err != nil {
 		return nil, nil, err
@@ -156,6 +309,169 @@ func UnmarshalChunk(src []byte) (*Chunk, []byte, error) {
 		}
 	}
 	return c, src, nil
+}
+
+func unmarshalChunkV2(src []byte) (*Chunk, []byte, error) {
+	sch, src, err := UnmarshalSchema(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, src, err := ReadUvarint(src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bat: chunk rows: %w", err)
+	}
+	// Every column costs at least its encoding byte; every plain or
+	// delta row at least one byte. Bound the claimed row count by what
+	// a delta column could possibly pack into the remaining buffer.
+	if sch.Width() > 0 && n > 8*uint64(len(src)) {
+		return nil, nil, fmt.Errorf("bat: chunk claims %d rows in %d bytes", n, len(src))
+	}
+	rows := int(n)
+	c := &Chunk{Schema: sch, Cols: make([]Vector, sch.Width())}
+	for i, k := range sch.Kinds {
+		if len(src) == 0 {
+			return nil, nil, fmt.Errorf("bat: chunk column %d: missing encoding", i)
+		}
+		enc := src[0]
+		src = src[1:]
+		var col Vector
+		col, src, err = decodeColumn(src, k, enc, rows)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bat: chunk column %d: %w", i, err)
+		}
+		c.Cols[i] = col
+	}
+	return c, src, nil
+}
+
+func decodeColumn(src []byte, k Kind, enc byte, rows int) (Vector, []byte, error) {
+	switch k {
+	case Int, Time:
+		var vals []int64
+		var err error
+		switch enc {
+		case EncPlain:
+			vals, src, err = ReadInt64s(src, rows)
+		case EncDelta:
+			vals, src, err = readDeltaInt64s(src, rows)
+		default:
+			return nil, nil, fmt.Errorf("encoding %d invalid for %s", enc, k)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if k == Int {
+			return Ints(vals), src, nil
+		}
+		return Times(vals), src, nil
+	case Float:
+		if enc != EncPlain {
+			return nil, nil, fmt.Errorf("encoding %d invalid for %s", enc, k)
+		}
+		vals, src, err := ReadInt64s(src, rows)
+		if err != nil {
+			return nil, nil, err
+		}
+		fs := make(Floats, rows)
+		for j, bits := range vals {
+			fs[j] = math.Float64frombits(uint64(bits))
+		}
+		return fs, src, nil
+	case Bool:
+		switch enc {
+		case EncPlain:
+			if len(src) < rows {
+				return nil, nil, fmt.Errorf("short buffer")
+			}
+			bs := make(Bools, rows)
+			for j := 0; j < rows; j++ {
+				bs[j] = src[j] != 0
+			}
+			return bs, src[rows:], nil
+		case EncBits:
+			packed := (rows + 7) / 8
+			if len(src) < packed {
+				return nil, nil, fmt.Errorf("short buffer")
+			}
+			bs := make(Bools, rows)
+			for j := 0; j < rows; j++ {
+				bs[j] = src[j/8]&(1<<(j&7)) != 0
+			}
+			return bs, src[packed:], nil
+		default:
+			return nil, nil, fmt.Errorf("encoding %d invalid for %s", enc, k)
+		}
+	case Str:
+		if rows > len(src) { // every row needs ≥1 byte in either encoding
+			return nil, nil, fmt.Errorf("short buffer: %d string rows in %d bytes", rows, len(src))
+		}
+		switch enc {
+		case EncPlain:
+			ss := make(Strs, rows)
+			var err error
+			for j := 0; j < rows; j++ {
+				ss[j], src, err = ReadString(src)
+				if err != nil {
+					return nil, nil, fmt.Errorf("row %d: %w", j, err)
+				}
+			}
+			return ss, src, nil
+		case EncDict:
+			nd, src, err := ReadUvarint(src)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dict size: %w", err)
+			}
+			if nd > uint64(len(src)) { // every entry needs ≥1 byte
+				return nil, nil, fmt.Errorf("dict claims %d entries in %d bytes", nd, len(src))
+			}
+			dict := make([]string, nd)
+			for j := range dict {
+				dict[j], src, err = ReadString(src)
+				if err != nil {
+					return nil, nil, fmt.Errorf("dict entry %d: %w", j, err)
+				}
+			}
+			ss := make(Strs, rows)
+			for j := 0; j < rows; j++ {
+				var idx uint64
+				idx, src, err = ReadUvarint(src)
+				if err != nil {
+					return nil, nil, fmt.Errorf("dict index %d: %w", j, err)
+				}
+				if idx >= nd {
+					return nil, nil, fmt.Errorf("dict index %d out of range %d", idx, nd)
+				}
+				ss[j] = dict[idx]
+			}
+			return ss, src, nil
+		default:
+			return nil, nil, fmt.Errorf("encoding %d invalid for %s", enc, k)
+		}
+	}
+	return nil, nil, fmt.Errorf("unknown kind %d", k)
+}
+
+func readDeltaInt64s(src []byte, rows int) ([]int64, []byte, error) {
+	if rows > len(src) { // every varint needs ≥1 byte
+		return nil, nil, fmt.Errorf("short buffer: %d delta rows in %d bytes", rows, len(src))
+	}
+	out := make([]int64, rows)
+	var prev int64
+	var err error
+	for i := 0; i < rows; i++ {
+		var d int64
+		d, src, err = ReadVarint(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		out[i] = prev
+	}
+	return out, src, nil
 }
 
 // AppendString appends a uvarint-length-prefixed string — the string

@@ -1,0 +1,224 @@
+package bat
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// marshalChunkV1 reproduces the legacy (pre-encoding) wire layout so the
+// tests can prove new binaries still decode old snapshots and replay logs.
+func marshalChunkV1(dst []byte, c *Chunk) []byte {
+	dst = MarshalSchema(dst, c.Schema)
+	dst = binary.AppendUvarint(dst, uint64(c.Rows()))
+	for _, col := range c.Cols {
+		switch v := col.(type) {
+		case Ints:
+			dst = AppendInt64s(dst, v)
+		case Times:
+			dst = AppendInt64s(dst, v)
+		case Floats:
+			for _, f := range v {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+			}
+		case Bools:
+			for _, b := range v {
+				if b {
+					dst = append(dst, 1)
+				} else {
+					dst = append(dst, 0)
+				}
+			}
+		case Strs:
+			for _, s := range v {
+				dst = AppendString(dst, s)
+			}
+		}
+	}
+	return dst
+}
+
+func TestChunkCodecLegacyDecode(t *testing.T) {
+	c := testChunk()
+	buf := marshalChunkV1(nil, c)
+	got, rest, err := UnmarshalChunk(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %d", len(rest))
+	}
+	if !reflect.DeepEqual(got.Cols, c.Cols) {
+		t.Fatalf("legacy cols = %v, want %v", got.Cols, c.Cols)
+	}
+}
+
+// linearroadChunk models the delta/dict-friendly shape of the linear road
+// feed: a monotone timestamp, a slowly varying position, a low-cardinality
+// segment label and an express-lane flag.
+func linearroadChunk(rows int) *Chunk {
+	sch := NewSchema(
+		[]string{"ts", "pos", "seg", "xway"},
+		[]Kind{Time, Int, Str, Bool})
+	ts := make(Times, rows)
+	pos := make(Ints, rows)
+	seg := make(Strs, rows)
+	xw := make(Bools, rows)
+	segs := []string{"seg-00", "seg-01", "seg-02", "seg-03"}
+	for i := 0; i < rows; i++ {
+		ts[i] = 1_700_000_000_000_000 + int64(i)*250
+		pos[i] = 52800 + int64(i%97)
+		seg[i] = segs[(i/19)%len(segs)]
+		xw[i] = i%5 == 0
+	}
+	return &Chunk{Schema: sch, Cols: []Vector{ts, pos, seg, xw}}
+}
+
+// TestChunkCodecCompression pins the acceptance bar: delta+dict encoding
+// shrinks the linearroad-shaped columns by ≥2× against the plain layout.
+func TestChunkCodecCompression(t *testing.T) {
+	c := linearroadChunk(4096)
+	buf := MarshalChunk(nil, c)
+	plain := ChunkPlainSize(c)
+	if len(buf)*2 > plain {
+		t.Fatalf("v2 encoding %d bytes, plain %d: want ≥2× reduction", len(buf), plain)
+	}
+	got, rest, err := UnmarshalChunk(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("round trip: %v rest=%d", err, len(rest))
+	}
+	if !reflect.DeepEqual(got.Cols, c.Cols) {
+		t.Fatal("encoded columns did not round-trip")
+	}
+}
+
+// TestChunkCodecEncodingChoice pins which encoding each column shape
+// selects, and that the choice is deterministic: equal chunks marshal to
+// identical bytes.
+func TestChunkCodecEncodingChoice(t *testing.T) {
+	cases := []struct {
+		name string
+		col  Vector
+		enc  byte
+	}{
+		{"monotone-int", Ints{100, 101, 102, 103, 104, 105, 106, 107}, EncDelta},
+		{"random-int", Ints{1 << 60, -1 << 59, 1 << 58, -1 << 57, 1 << 56, -1 << 55, 1 << 54, -1 << 53}, EncPlain},
+		{"low-card-str", Strs{"aa", "bb", "aa", "bb", "aa", "bb", "aa", "bb"}, EncDict},
+		{"unique-str", Strs{"a", "b", "c", "d", "e", "f", "g", "h"}, EncPlain},
+		{"bool", Bools{true, false, true, false, true, false, true, false}, EncBits},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &Chunk{
+				Schema: NewSchema([]string{"c"}, []Kind{tc.col.Kind()}),
+				Cols:   []Vector{tc.col},
+			}
+			buf := MarshalChunk(nil, c)
+			// marker(2) + schema(uvarint 1, "c", kind) + rows uvarint + enc byte
+			encAt := 2 + 1 + 2 + 1 + 1
+			if buf[encAt] != tc.enc {
+				t.Fatalf("encoding byte = %d, want %d", buf[encAt], tc.enc)
+			}
+			if again := MarshalChunk(nil, c); !bytes.Equal(buf, again) {
+				t.Fatal("marshal is not deterministic")
+			}
+			got, _, err := UnmarshalChunk(buf)
+			if err != nil || !reflect.DeepEqual(got.Cols, c.Cols) {
+				t.Fatalf("round trip: %v got %v", err, got)
+			}
+		})
+	}
+}
+
+func TestChunkCodecDeltaOverflow(t *testing.T) {
+	// Deltas that wrap int64 must still round-trip (two's-complement wrap
+	// on encode and decode cancel out).
+	c := &Chunk{
+		Schema: NewSchema([]string{"v"}, []Kind{Int}),
+		Cols:   []Vector{Ints{math.MinInt64, math.MaxInt64, 0, math.MinInt64 + 1}},
+	}
+	got, _, err := UnmarshalChunk(MarshalChunk(nil, c))
+	if err != nil || !reflect.DeepEqual(got.Cols, c.Cols) {
+		t.Fatalf("overflow round trip: %v got %v", err, got)
+	}
+}
+
+// FuzzChunkRoundTrip drives both decoder versions with arbitrary bytes
+// (decode never panics) and, when the input does decode, checks the
+// encode∘decode fixed point: re-marshalling the decoded chunk and
+// decoding again yields the same values and identical bytes.
+func FuzzChunkRoundTrip(f *testing.F) {
+	f.Add(MarshalChunk(nil, testChunk()))
+	f.Add(marshalChunkV1(nil, testChunk()))
+	f.Add(MarshalChunk(nil, linearroadChunk(64)))
+	f.Add(MarshalChunk(nil, NewChunk(NewSchema([]string{"a"}, []Kind{Bool}))))
+	f.Add([]byte{chunkMagic, chunkVersion, 1, 1, 'x', byte(Str), 3, EncDict, 1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, _, err := UnmarshalChunk(data)
+		if err != nil {
+			return
+		}
+		buf := MarshalChunk(nil, c)
+		c2, rest, err := UnmarshalChunk(buf)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded chunk failed: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("re-decode left %d trailing bytes", len(rest))
+		}
+		if !reflect.DeepEqual(c2.Schema, c.Schema) {
+			t.Fatal("schema did not round-trip")
+		}
+		// Byte equality is the fixed point (and is NaN-safe, where a
+		// value comparison is not: NaN ≠ NaN but its bits round-trip).
+		if again := MarshalChunk(nil, c2); !bytes.Equal(buf, again) {
+			t.Fatal("encode∘decode is not a fixed point")
+		}
+	})
+}
+
+// BenchmarkMarshalChunk tracks bytes-per-row for the three column shapes
+// the wire encoder distinguishes; dcbench scrapes the plain/delta and
+// plain/dict ratios from these numbers.
+func BenchmarkMarshalChunk(b *testing.B) {
+	const rows = 4096
+	shapes := []struct {
+		name  string
+		chunk *Chunk
+	}{
+		{"plain", func() *Chunk {
+			vals := make(Floats, rows)
+			for i := range vals {
+				vals[i] = float64(i) * 1.5
+			}
+			return &Chunk{Schema: NewSchema([]string{"v"}, []Kind{Float}), Cols: []Vector{vals}}
+		}()},
+		{"delta", func() *Chunk {
+			vals := make(Times, rows)
+			for i := range vals {
+				vals[i] = 1_700_000_000_000_000 + int64(i)*250
+			}
+			return &Chunk{Schema: NewSchema([]string{"ts"}, []Kind{Time}), Cols: []Vector{vals}}
+		}()},
+		{"dict", func() *Chunk {
+			vals := make(Strs, rows)
+			segs := []string{"seg-00", "seg-01", "seg-02", "seg-03"}
+			for i := range vals {
+				vals[i] = segs[(i/19)%len(segs)]
+			}
+			return &Chunk{Schema: NewSchema([]string{"seg"}, []Kind{Str}), Cols: []Vector{vals}}
+		}()},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf = MarshalChunk(buf[:0], sh.chunk)
+			}
+			b.ReportMetric(float64(len(buf))/rows, "bytes/row")
+			b.SetBytes(int64(ChunkPlainSize(sh.chunk)))
+		})
+	}
+}

@@ -212,10 +212,20 @@ func SharedMerge(queries int, noSharedMerge bool, n, batch, nkeys int) BenchResu
 //	                         without (per-member merges; floor 1.5)
 //	fabric2_vs_local:        16 grouped queries over a 4-shard stream run
 //	                         through the shard fabric (coordinator + 2
-//	                         loopback workers) / entirely in-process.
-//	                         Tracked report-only: on one machine it charts
-//	                         the wire overhead scale-out must amortize, so
-//	                         it feeds no floor or gate yet.
+//	                         loopback workers, direct worker receptors and
+//	                         batched delta/dict wire frames) / entirely
+//	                         in-process. Also exported as
+//	                         fabric_direct_vs_local, the gate name: floored
+//	                         ≥1× on multi-core runners, report-only on
+//	                         1-core containers.
+//	fabric_direct_vs_relay:  the same fabric workload with direct receptors
+//	                         on / forced through the coordinator's control
+//	                         links (NoDirect) — the tentpole's win chart.
+//	                         Report-only.
+//	codec_delta_ratio / codec_dict_ratio: deterministic bytes-per-row
+//	                         reduction of the v2 chunk codec on linearroad-
+//	                         shaped columns (monotone ints; low-cardinality
+//	                         strings). Floored at 2× everywhere.
 //	snapshot_overhead:       the same fabric workload with workers taking
 //	                         periodic consistent snapshots / without.
 //	                         Tracked report-only; expected near 1.0× (the
@@ -319,27 +329,39 @@ func CIBench(quick bool, match string) *BenchReport {
 		add(bestOf(2, func() BenchResult { return SharedMerge(16, noSharedMerge, subN, batch, 2048) }))
 	}
 	for _, cfg := range []struct {
-		workers int
-		snap    bool
-	}{{0, false}, {2, false}, {2, true}} {
+		workers  int
+		snap     bool
+		noDirect bool
+	}{{0, false, false}, {2, false, false}, {2, true, false}, {2, false, true}} {
 		label := "local"
 		if cfg.workers > 0 {
 			label = fmt.Sprintf("fabric%d", cfg.workers)
 			if cfg.snap {
 				label += "snap"
 			}
+			if cfg.noDirect {
+				label += "nodirect"
+			}
 		}
 		name := fmt.Sprintf("fabric_fanout/%s/q_16", label)
 		if !want(name) {
 			continue
 		}
-		// Report-only trajectory points: fabric2_vs_local charts the
-		// scale-out wire overhead on one machine, snapshot_overhead the
-		// periodic-checkpoint cost on top of that. Neither is a gated floor.
+		// fabric2 runs the direct-receptor + batched-wire path (the
+		// default since PR 8) and feeds fabric_direct_vs_local — floored
+		// ≥1× on multi-core runners, report-only on 1-core containers
+		// where the loopback fabric shares the local engine's only CPU.
+		// fabric2nodirect pins the old coordinator-relayed topology so
+		// fabric_direct_vs_relay charts what the tentpole bought;
+		// snapshot_overhead stays the periodic-checkpoint cost. Those two
+		// are report-only trajectory points.
 		cfg := cfg
 		run := func() BenchResult { return FabricFanout(16, cfg.workers, fanN, batch, 256) }
-		if cfg.snap {
+		switch {
+		case cfg.snap:
 			run = func() BenchResult { return FabricFanoutSnap(16, cfg.workers, fanN, batch, 256) }
+		case cfg.noDirect:
+			run = func() BenchResult { return FabricFanoutNoDirect(16, cfg.workers, fanN, batch, 256) }
 		}
 		add(bestOf(2, run))
 	}
@@ -373,8 +395,22 @@ func CIBench(quick bool, match string) *BenchReport {
 		"shared_merge/sharedmerge/q_16", "shared_merge/nosharedmerge/q_16")
 	ratio("fabric2_vs_local",
 		"fabric_fanout/fabric2/q_16", "fabric_fanout/local/q_16")
+	// fabric_direct_vs_local is the same measurement under its gate name:
+	// the trajectory keeps charting fabric2_vs_local across PRs while the
+	// floor assertion (≥1× on multi-core) keys on the direct-path name.
+	ratio("fabric_direct_vs_local",
+		"fabric_fanout/fabric2/q_16", "fabric_fanout/local/q_16")
+	ratio("fabric_direct_vs_relay",
+		"fabric_fanout/fabric2/q_16", "fabric_fanout/fabric2nodirect/q_16")
 	ratio("snapshot_overhead",
 		"fabric_fanout/fabric2snap/q_16", "fabric_fanout/fabric2/q_16")
+	if want("codec_ratios") {
+		// Deterministic bytes-per-row reductions of the v2 wire codec on
+		// linearroad-shaped columns; floored at 2× on every machine class.
+		for k, v := range CodecRatios(4096) {
+			rep.Derived[k] = v
+		}
+	}
 	return rep
 }
 
@@ -430,7 +466,8 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 // machine-relative, so comparable across runner generations (absolute
 // tuples/s are not).
 var trackedDerived = []string{"shard4_vs_shard1", "grouped16_vs_isolated16",
-	"memo16_vs_nomemo16", "sharedmerge16_vs_nosharedmerge16"}
+	"memo16_vs_nomemo16", "sharedmerge16_vs_nosharedmerge16",
+	"codec_delta_ratio", "codec_dict_ratio"}
 
 // GateBenchReports is the regression gate over the bench trajectory: the
 // tracked derived ratios of the current report must stay within the

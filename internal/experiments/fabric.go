@@ -21,7 +21,16 @@ import (
 // scale-out path must amortize with real second-machine capacity. It
 // mirrors BenchmarkFabricFanout in internal/fabric.
 func FabricFanout(queries, workers, n, batch, nkeys int) BenchResult {
-	return fabricFanout(queries, workers, n, batch, nkeys, false)
+	return fabricFanout(queries, workers, n, batch, nkeys, false, false)
+}
+
+// FabricFanoutNoDirect is FabricFanout with the direct worker receptors
+// disabled (fabric.Options.NoDirect): every append rides the coordinator's
+// control links, the PR-5 topology. The fabric_direct_vs_relay ratio
+// (fabric2 / fabric2nodirect, report-only) charts what taking the
+// coordinator off the data path buys on this machine class.
+func FabricFanoutNoDirect(queries, workers, n, batch, nkeys int) BenchResult {
+	return fabricFanout(queries, workers, n, batch, nkeys, false, true)
 }
 
 // FabricFanoutSnap is FabricFanout with worker snapshotting enabled: each
@@ -30,10 +39,10 @@ func FabricFanout(queries, workers, n, batch, nkeys int) BenchResult {
 // (fabric2snap / fabric2, report-only) charts what the copy-on-write
 // checkpoint path costs on the hot ingest path.
 func FabricFanoutSnap(queries, workers, n, batch, nkeys int) BenchResult {
-	return fabricFanout(queries, workers, n, batch, nkeys, true)
+	return fabricFanout(queries, workers, n, batch, nkeys, true, false)
 }
 
-func fabricFanout(queries, workers, n, batch, nkeys int, snapshot bool) BenchResult {
+func fabricFanout(queries, workers, n, batch, nkeys int, snapshot, noDirect bool) BenchResult {
 	chunks := sensorChunks(n, batch, nkeys)
 	eng := datacell.New(&datacell.Options{Workers: 4})
 	defer eng.Close()
@@ -57,7 +66,7 @@ func fabricFanout(queries, workers, n, batch, nkeys int, snapshot bool) BenchRes
 	}()
 	if workers > 0 {
 		var err error
-		coord, err = fabric.NewCoordinator(eng, fabric.Options{Workers: workers})
+		coord, err = fabric.NewCoordinator(eng, fabric.Options{Workers: workers, NoDirect: noDirect})
 		if err != nil {
 			panic(err)
 		}
@@ -110,6 +119,9 @@ func fabricFanout(queries, workers, n, batch, nkeys int, snapshot bool) BenchRes
 		label = fmt.Sprintf("fabric%d", workers)
 		if snapshot {
 			label += "snap"
+		}
+		if noDirect {
+			label += "nodirect"
 		}
 	}
 	return BenchResult{

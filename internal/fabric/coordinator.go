@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sort"
@@ -24,6 +25,21 @@ type Options struct {
 	// is initially partitioned into contiguous ranges across them by
 	// worker index (Reassign moves individual shards afterwards).
 	Workers int
+	// FlushBytes caps the append bytes a worker lane stages before it
+	// flushes a batch frame (default 64 KiB).
+	FlushBytes int
+	// FlushDelay bounds how long a dirty lane waits for more traffic
+	// before flushing (default 2ms) — the worst-case added latency between
+	// an append and the watermark that lets workers seal it.
+	FlushDelay time.Duration
+	// NoDirect disables the receptor data plane: batch frames stay on the
+	// control session instead of a direct connection to each worker's
+	// receptor listener.
+	NoDirect bool
+	// DataDialer overrides how the coordinator dials worker receptor
+	// listeners (fault-injection harnesses interpose proxies here); nil
+	// means plain TCP.
+	DataDialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // Coordinator is the fabric's engine-side half: it owns the exported
@@ -44,6 +60,15 @@ type Coordinator struct {
 	ln    net.Listener
 	wg    sync.WaitGroup
 	peers []*peer
+	lanes []*lane
+	opts  Options
+
+	// wireBytes / wirePlainBytes accumulate the encoded append payload
+	// bytes actually staged versus what the plain (v1) chunk layout would
+	// have cost — the wire-encoding savings gauge. Guarded by wireMu.
+	wireMu         sync.Mutex
+	wireBytes      uint64
+	wirePlainBytes uint64
 
 	mu      sync.Mutex
 	streams map[string]*coordStream
@@ -62,13 +87,131 @@ type peer struct {
 	idx  int
 	sess *session
 
-	mu sync.Mutex
-	id string // last Hello's self-reported id
+	// dataKick wakes the receptor dial loop the moment a Hello advertises
+	// a receptor address — dialing must not wait out a poll interval.
+	dataKick chan struct{}
+
+	mu       sync.Mutex
+	id       string // last Hello's self-reported id
+	dataAddr string // last Hello's receptor listener ("" = plane disabled)
+}
+
+// Lane flush causes (counters on /metrics).
+const (
+	flushCauseSize = iota
+	flushCauseDelay
+	flushCauseBarrier
+)
+
+// lane is one worker's staging buffer on the ingest path: routed append
+// payloads coalesce here as sub-frames and ship as a single batch frame
+// when the buffer crosses FlushBytes, when the FlushDelay timer fires, or
+// when a control event needs a barrier. The watermark for every stream
+// the lane is dirty on rides at the tail of each batch — one watermark
+// per flush window instead of one broadcast per append.
+type lane struct {
+	c *Coordinator
+	p *peer
+
+	mu    sync.Mutex
+	buf   []byte // concatenated append sub-frames
+	n     int
+	dirty map[*coordStream]struct{}
+	timer *time.Timer
+	armed bool
+
+	// Counters (guarded by mu).
+	batches, subFrames, bytesOut        uint64
+	flushSize, flushDelay, flushBarrier uint64
+}
+
+// enqueue stages one append sub-frame and reports whether the lane
+// crossed its size threshold — the caller flushes after releasing the
+// routing mutex, because flush acquires locks ordered above it.
+func (l *lane) enqueue(cs *coordStream, payload []byte) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = appendSubFrame(l.buf, frameAppend, payload)
+	l.n++
+	l.dirty[cs] = struct{}{}
+	l.armLocked()
+	return len(l.buf) >= l.c.opts.FlushBytes
+}
+
+// markDirty notes that the stream's sealing clocks advanced: the next
+// flush (armed here if need be) carries a watermark sub-frame even if no
+// appends staged for this lane — every worker's shards must observe the
+// advance or the group's min-watermark merge stalls.
+func (l *lane) markDirty(cs *coordStream) {
+	l.mu.Lock()
+	l.dirty[cs] = struct{}{}
+	l.armLocked()
+	l.mu.Unlock()
+}
+
+func (l *lane) armLocked() {
+	if l.armed {
+		return
+	}
+	l.armed = true
+	if l.timer == nil {
+		l.timer = time.AfterFunc(l.c.opts.FlushDelay, func() { l.flush(flushCauseDelay) })
+	} else {
+		l.timer.Reset(l.c.opts.FlushDelay)
+	}
+}
+
+// flush ships the staged sub-frames plus one watermark sub-frame per
+// dirty stream as a single batch frame. The watermarks are computed while
+// the lane is locked: every routed range the tracker has recorded was
+// enqueued (to this or another lane) before recording, so a watermark
+// built here can never cover a row this lane would only flush later —
+// rows always precede, within this batch or an earlier one, the watermark
+// that seals them.
+func (l *lane) flush(cause int) {
+	l.mu.Lock()
+	l.armed = false
+	if l.n == 0 && len(l.dirty) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	subs := l.n
+	for cs := range l.dirty {
+		l.buf = appendSubFrame(l.buf, frameWatermark, l.c.watermarkPayload(cs))
+		delete(l.dirty, cs)
+		subs++
+	}
+	buf := l.buf
+	l.buf, l.n = nil, 0
+	l.batches++
+	l.subFrames += uint64(subs)
+	l.bytesOut += uint64(len(buf))
+	switch cause {
+	case flushCauseSize:
+		l.flushSize++
+	case flushCauseDelay:
+		l.flushDelay++
+	default:
+		l.flushBarrier++
+	}
+	l.p.sess.send(frameBatch, buf)
+	l.mu.Unlock()
+}
+
+// flushLanes barriers every lane: control events (spec changes, drains,
+// moves, shutdown) must order after all staged appends on every session.
+func (c *Coordinator) flushLanes() {
+	for _, l := range c.lanes {
+		l.flush(flushCauseBarrier)
+	}
 }
 
 // coordStream is one exported stream's routing state. Its mutex serializes
-// appends, spec changes, watermark broadcasts and shard moves into the
-// worker sessions, so every worker observes them in one consistent order.
+// appends, spec changes and shard moves, so every worker observes them at
+// one consistent append boundary. The sealing clocks live under their own
+// locks (wmMu, specMu) because lane flushes — which run off the routing
+// path, on timers — read them while holding only their lane's lock.
+// Lock order: cs.mu → lane.mu → cs.wmMu → cs.specMu → sp.mu.
 type coordStream struct {
 	name   string
 	schema bat.Schema
@@ -77,7 +220,16 @@ type coordStream struct {
 	mu     sync.Mutex
 	owner  []int // per-shard owning worker index
 	moving map[int]*shardMove
-	sent   basket.SeqTracker
+
+	// wmMu guards the routed-sequence trackers: one per shard (what each
+	// shard has been sent, the per-shard local sequencing view) and the
+	// global tracker reconciling them into the settled watermark the lanes
+	// broadcast at flush.
+	wmMu      sync.Mutex
+	sent      basket.SeqTracker
+	shardSent []basket.SeqTracker
+
+	specMu sync.RWMutex
 	specs  map[int64]*coordSpec
 }
 
@@ -111,6 +263,12 @@ func NewCoordinator(eng *datacell.Engine, opts Options) (*Coordinator, error) {
 	if opts.Workers <= 0 {
 		return nil, fmt.Errorf("fabric: coordinator needs at least one worker slot")
 	}
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = 64 << 10
+	}
+	if opts.FlushDelay <= 0 {
+		opts.FlushDelay = 2 * time.Millisecond
+	}
 	addr := opts.Listen
 	if addr == "" {
 		addr = "127.0.0.1:0"
@@ -122,6 +280,7 @@ func NewCoordinator(eng *datacell.Engine, opts Options) (*Coordinator, error) {
 	c := &Coordinator{
 		eng:     eng,
 		ln:      ln,
+		opts:    opts,
 		streams: make(map[string]*coordStream),
 		specs:   make(map[int64]*coordSpec),
 		pings:   make(map[int64]map[int]bool),
@@ -129,11 +288,19 @@ func NewCoordinator(eng *datacell.Engine, opts Options) (*Coordinator, error) {
 	}
 	c.pingC = sync.NewCond(&c.mu)
 	for i := 0; i < opts.Workers; i++ {
-		c.peers = append(c.peers, &peer{idx: i, sess: newSession(true)})
+		p := &peer{idx: i, sess: newSession(true), dataKick: make(chan struct{}, 1)}
+		c.peers = append(c.peers, p)
+		c.lanes = append(c.lanes, &lane{c: c, p: p, dirty: make(map[*coordStream]struct{})})
 	}
 	eng.AttachFabric(c)
 	c.wg.Add(1)
 	go c.acceptLoop()
+	if !opts.NoDirect {
+		for _, p := range c.peers {
+			c.wg.Add(1)
+			go c.dataDialLoop(p)
+		}
+	}
 	return c, nil
 }
 
@@ -162,12 +329,13 @@ func (c *Coordinator) ExportStream(name string) error {
 	shards := st.Basket.NumShards()
 	w := len(c.peers)
 	cs := &coordStream{
-		name:   name,
-		schema: st.Schema(),
-		shards: shards,
-		owner:  make([]int, shards),
-		moving: make(map[int]*shardMove),
-		specs:  make(map[int64]*coordSpec),
+		name:      name,
+		schema:    st.Schema(),
+		shards:    shards,
+		owner:     make([]int, shards),
+		moving:    make(map[int]*shardMove),
+		shardSent: make([]basket.SeqTracker, shards),
+		specs:     make(map[int64]*coordSpec),
 	}
 	ranges := make([][2]int, w)
 	tags := make([]string, w)
@@ -207,29 +375,47 @@ func (c *Coordinator) ExportStream(name string) error {
 	return nil
 }
 
-// route forwards one sequenced append to the owning workers and broadcasts
-// the advanced sealing watermarks. It runs under the stream's routing
-// mutex so concurrent appends reach every worker in one consistent order,
-// and the announced settled watermark — the contiguous prefix of routed
-// sequences — never runs ahead of rows already queued to the sessions.
+// route stages one sequenced append onto the owning workers' lanes and
+// records the routed ranges into the per-shard trackers. It runs under the
+// stream's routing mutex so concurrent appends reach every lane in one
+// consistent order; the watermark itself is NOT broadcast here — lanes
+// carry the reconciled watermark at flush, amortizing what used to be a
+// per-append broadcast to every worker. Ranges are recorded only after
+// their payloads are staged, which is what lets a concurrent flush build a
+// safe watermark (see lane.flush).
 func (c *Coordinator) route(cs *coordStream, parts []basket.RemotePart, base int64, rows int, arrival int64) {
+	var sizeFlush []*lane
+	var wireB, plainB uint64
 	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	for _, p := range parts {
 		payload := marshalAppend(appendMsg{
 			Stream: cs.name, Shard: p.Shard, Arrival: arrival,
 			Seqs: p.Seqs, Chunk: p.Chunk,
 		})
+		wireB += uint64(len(payload))
+		plainB += uint64(bat.ChunkPlainSize(p.Chunk) + 8*len(p.Seqs))
 		if mv := cs.moving[p.Shard]; mv != nil {
 			// Shard in transit: hold the append until the new owner has
 			// installed the shipped state, preserving per-shard order.
 			mv.queued = append(mv.queued, payload)
 			continue
 		}
-		c.peers[cs.owner[p.Shard]].sess.send(frameAppend, payload)
+		l := c.lanes[cs.owner[p.Shard]]
+		if l.enqueue(cs, payload) {
+			sizeFlush = append(sizeFlush, l)
+		}
 	}
-	cs.sent.Add(base, base+int64(rows))
-	wm := watermarkMsg{Stream: cs.name, Settled: cs.sent.Watermark()}
+	// Per-shard local sequencing: each shard's tracker records the runs it
+	// was sent; the global tracker reconciles them into the settled
+	// watermark (the contiguous prefix of routed sequences).
+	cs.wmMu.Lock()
+	for _, p := range parts {
+		for _, r := range seqRuns(p.Seqs) {
+			cs.shardSent[p.Shard].Add(r[0], r[1])
+			cs.sent.Add(r[0], r[1])
+		}
+	}
+	cs.wmMu.Unlock()
 	// One timestamp scan per distinct ordering column, not per spec —
 	// many time-window groups almost always share one TimeIdx, and this
 	// runs on the ingestion path under the routing mutex.
@@ -257,25 +443,50 @@ func (c *Coordinator) route(cs *coordStream, parts []basket.RemotePart, base int
 		if mx > sp.maxTs {
 			sp.maxTs = mx
 		}
-		mx = sp.maxTs
 		sp.mu.Unlock()
-		if mx != minInt64 {
-			wm.Specs = append(wm.Specs, specMax{ID: sp.id, MaxTs: mx})
-		}
 	}
-	sort.Slice(wm.Specs, func(i, j int) bool { return wm.Specs[i].ID < wm.Specs[j].ID })
-	payload := marshalWatermark(wm)
-	for _, p := range c.peers {
-		p.sess.send(frameWatermark, payload)
+	// Every lane gets the advanced clocks at its next flush: workers whose
+	// shards saw no rows still must observe the watermark, or the group's
+	// min-watermark merge would wait on them forever.
+	for _, l := range c.lanes {
+		l.markDirty(cs)
+	}
+	cs.mu.Unlock()
+
+	c.wireMu.Lock()
+	c.wireBytes += wireB
+	c.wirePlainBytes += plainB
+	c.wireMu.Unlock()
+	for _, l := range sizeFlush {
+		l.flush(flushCauseSize)
 	}
 }
 
-// currentWatermarkLocked rebuilds the stream's sealing clocks from the
-// current high marks (no new rows) — sent to a shard's new owner after an
-// install so pending epochs seal without waiting for the next append.
-// Caller holds cs.mu.
-func (c *Coordinator) currentWatermarkLocked(cs *coordStream) []byte {
+// seqRuns decomposes an ascending stamp list into maximal contiguous
+// [lo, hi) runs: a round-robin part is one run, a hash-routed part's
+// ascending subset a few.
+func seqRuns(seqs bat.Ints) [][2]int64 {
+	var runs [][2]int64
+	for i := 0; i < len(seqs); {
+		j := i + 1
+		for j < len(seqs) && seqs[j] == seqs[i]+int64(j-i) {
+			j++
+		}
+		runs = append(runs, [2]int64{seqs[i], seqs[i] + int64(j-i)})
+		i = j
+	}
+	return runs
+}
+
+// watermarkPayload builds the stream's current sealing clocks: the
+// reconciled settled watermark plus each time-windowed spec's event-time
+// high mark. Safe without the routing mutex — lane flushes call it from
+// timers (lock order: lane.mu → wmMu → specMu → sp.mu).
+func (c *Coordinator) watermarkPayload(cs *coordStream) []byte {
+	cs.wmMu.Lock()
 	wm := watermarkMsg{Stream: cs.name, Settled: cs.sent.Watermark()}
+	cs.wmMu.Unlock()
+	cs.specMu.RLock()
 	for _, sp := range cs.specs {
 		if sp.win.Tuples {
 			continue
@@ -287,6 +498,7 @@ func (c *Coordinator) currentWatermarkLocked(cs *coordStream) []byte {
 			wm.Specs = append(wm.Specs, specMax{ID: sp.id, MaxTs: mx})
 		}
 	}
+	cs.specMu.RUnlock()
 	sort.Slice(wm.Specs, func(i, j int) bool { return wm.Specs[i].ID < wm.Specs[j].ID })
 	return marshalWatermark(wm)
 }
@@ -326,6 +538,9 @@ func (c *Coordinator) Reassign(stream string, shard, worker int) error {
 		cs.mu.Unlock()
 		return fmt.Errorf("fabric: stream %q shard %d already moving", stream, shard)
 	}
+	// Barrier: the owner must receive every append staged for the shard
+	// before the export request, or the drain would miss rows.
+	c.flushLanes()
 	mv := &shardMove{to: worker, done: make(chan struct{})}
 	cs.moving[shard] = mv
 	c.peers[cs.owner[shard]].sess.send(frameShardExport, marshalShardRef(stream, shard))
@@ -364,6 +579,9 @@ func (c *Coordinator) finishMove(m shardBlobMsg) {
 	}
 	delete(cs.moving, m.Shard)
 	cs.owner[m.Shard] = mv.to
+	// Barrier: the trailing watermark below may cover rows staged on the
+	// new owner's lane for its other shards — they must precede it.
+	c.flushLanes()
 	sess := c.peers[mv.to].sess
 	// The state bytes are forwarded verbatim — the coordinator relays,
 	// it does not re-marshal.
@@ -371,7 +589,7 @@ func (c *Coordinator) finishMove(m shardBlobMsg) {
 	for _, payload := range mv.queued {
 		sess.send(frameAppend, payload)
 	}
-	sess.send(frameWatermark, c.currentWatermarkLocked(cs))
+	sess.send(frameWatermark, c.watermarkPayload(cs))
 	cs.mu.Unlock()
 	close(mv.done)
 }
@@ -427,7 +645,13 @@ func (c *Coordinator) attachSpec(sp *coordSpec, g *factory.Group) {
 	sp.mu.Unlock()
 	cs := sp.cs
 	cs.mu.Lock()
+	// Barrier: every worker must start slicing at the same append
+	// boundary — staged rows must precede the spec on every session, or
+	// workers would register their consumers around different prefixes.
+	c.flushLanes()
+	cs.specMu.Lock()
 	cs.specs[sp.id] = sp
+	cs.specMu.Unlock()
 	payload := specPayload(sp)
 	for _, p := range c.peers {
 		p.sess.send(frameSpec, payload)
@@ -443,6 +667,9 @@ func (c *Coordinator) advanceSpec(sp *coordSpec, wm int64) {
 	}
 	cs := sp.cs
 	cs.mu.Lock()
+	// Barrier: the advance must order after every staged row on every
+	// session, as it did when appends were sent inline.
+	c.flushLanes()
 	sp.mu.Lock()
 	if sp.maxTs == minInt64 {
 		// No rows yet: nothing to force shut (mirrors frontEnd.advance).
@@ -466,7 +693,10 @@ func (c *Coordinator) advanceSpec(sp *coordSpec, wm int64) {
 func (c *Coordinator) dropSpec(sp *coordSpec) {
 	cs := sp.cs
 	cs.mu.Lock()
+	c.flushLanes()
+	cs.specMu.Lock()
 	delete(cs.specs, sp.id)
+	cs.specMu.Unlock()
 	payload := marshalInt64s(sp.id)
 	for _, p := range c.peers {
 		p.sess.send(frameSpecDrop, payload)
@@ -498,6 +728,10 @@ func (c *Coordinator) Drain() {
 	}
 	c.pings[nonce] = owing
 	c.mu.Unlock()
+	// Barrier: every staged append (and its sealing watermark) must
+	// precede the ping on each session, so a pong certifies the worker has
+	// applied — and fired on — everything routed before the drain.
+	c.flushLanes()
 	payload := marshalInt64s(nonce)
 	for _, p := range c.peers {
 		p.sess.send(framePing, payload)
@@ -524,6 +758,14 @@ func (c *Coordinator) Close() {
 	c.mu.Unlock()
 	close(c.doneC)
 	c.pingC.Broadcast()
+	c.flushLanes()
+	for _, l := range c.lanes {
+		l.mu.Lock()
+		if l.timer != nil {
+			l.timer.Stop()
+		}
+		l.mu.Unlock()
+	}
 	for _, p := range c.peers {
 		p.sess.send(frameBye, nil)
 	}
@@ -552,8 +794,9 @@ func (c *Coordinator) acceptLoop() {
 // deliveries and barrier replies.
 func (c *Coordinator) handleConn(conn net.Conn) {
 	defer c.wg.Done()
+	br := bufio.NewReaderSize(conn, 64<<10)
 	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	f, err := emitter.ReadFrame(conn)
+	f, err := emitter.ReadFrame(br)
 	if err != nil || f.Type != frameHello {
 		_ = conn.Close()
 		return
@@ -568,7 +811,14 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	p := c.peers[hello.Index]
 	p.mu.Lock()
 	p.id = hello.ID
+	p.dataAddr = hello.DataAddr
 	p.mu.Unlock()
+	if hello.DataAddr != "" {
+		select {
+		case p.dataKick <- struct{}{}:
+		default:
+		}
+	}
 	if f.Seq > p.sess.sentSeq() {
 		// The worker claims frames this coordinator never sent: its
 		// cursors (snapshot included) are from another coordinator life.
@@ -591,10 +841,13 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 
 	// lastAck is the cursor of the last ack written on THIS connection —
 	// connection-scoped like the acks themselves (a reconnect resyncs via
-	// the handshake, so starting over at 0 is correct).
+	// the handshake, so starting over at 0 is correct). Acks are
+	// pipelined: one per drained read buffer (or every ackEvery frames
+	// within a burst), never one per frame — during a replay one ack at
+	// the cursor covers every duplicate at or below it.
 	var lastAck uint64
 	for {
-		f, err := emitter.ReadFrame(conn)
+		f, err := emitter.ReadFrame(br)
 		if err != nil {
 			p.sess.detach(conn)
 			return
@@ -607,46 +860,126 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 			p.sess.advanceSnap(f.Seq)
 			continue
 		}
-		fresh, gap := p.sess.accept(f.Seq)
-		if gap {
+		if fresh, gap := p.sess.accept(f.Seq); gap {
 			p.sess.detach(conn)
 			return
+		} else if fresh {
+			c.applyPeerFrame(p, f.Type, f.Payload)
 		}
-		if !fresh {
-			// A recovered worker replaying its history regenerates frames
-			// we already processed; ack them or its outbox never drains.
-			// One ack at the cursor covers every duplicate at or below it,
-			// so ack only when the cursor moved past what this connection
-			// already acked — a long replay costs one control frame, not
-			// one per regenerated frame.
-			if cur := p.sess.cursor(); cur > lastAck {
-				lastAck = cur
-				p.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: cur})
+		if cur := p.sess.cursor(); cur > lastAck && (br.Buffered() == 0 || cur-lastAck >= ackEvery) {
+			lastAck = cur
+			p.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: cur})
+		}
+	}
+}
+
+// applyPeerFrame dispatches one worker frame's payload; batch frames
+// unpack into their sub-frames, applied in order.
+func (c *Coordinator) applyPeerFrame(p *peer, ftype byte, payload []byte) {
+	switch ftype {
+	case frameBatch:
+		_ = forEachSubFrame(payload, func(st byte, sub []byte) error {
+			c.applyPeerFrame(p, st, sub)
+			return nil
+		})
+	case frameFrag:
+		if m, err := unmarshalFragMsg(payload); err == nil {
+			c.applyFrag(m)
+		}
+	case frameShardState:
+		if m, err := unmarshalShardBlob(payload); err == nil {
+			c.finishMove(m)
+		}
+	case framePong:
+		if vals, err := unmarshalInt64s(payload, 1); err == nil {
+			c.mu.Lock()
+			if owing, ok := c.pings[vals[0]]; ok {
+				delete(owing, p.idx)
+			}
+			c.mu.Unlock()
+			c.pingC.Broadcast()
+		}
+	}
+}
+
+// dataDialLoop keeps one receptor-plane connection to a worker alive:
+// once the worker's Hello advertises a receptor address, the coordinator
+// dials it, hands the conn to the session as its data plane, and blocks
+// reading (the worker never writes there — the read is the liveness
+// monitor). On loss the session falls batch traffic back to the control
+// conn and this loop redials.
+func (c *Coordinator) dataDialLoop(p *peer) {
+	defer c.wg.Done()
+	backoff := 25 * time.Millisecond
+	for {
+		select {
+		case <-c.doneC:
+			return
+		default:
+		}
+		p.mu.Lock()
+		addr := p.dataAddr
+		p.mu.Unlock()
+		if addr == "" || p.sess.hasData() {
+			select {
+			case <-c.doneC:
+				return
+			case <-p.dataKick:
+			case <-time.After(25 * time.Millisecond):
 			}
 			continue
 		}
-		switch f.Type {
-		case frameFrag:
-			if m, err := unmarshalFragMsg(f.Payload); err == nil {
-				c.applyFrag(m)
+		conn, err := c.dialData(addr, p.idx)
+		if err != nil {
+			select {
+			case <-c.doneC:
+				return
+			case <-time.After(backoff):
 			}
-		case frameShardState:
-			if m, err := unmarshalShardBlob(f.Payload); err == nil {
-				c.finishMove(m)
+			if backoff *= 2; backoff > 500*time.Millisecond {
+				backoff = 500 * time.Millisecond
 			}
-		case framePong:
-			if vals, err := unmarshalInt64s(f.Payload, 1); err == nil {
-				c.mu.Lock()
-				if owing, ok := c.pings[vals[0]]; ok {
-					delete(owing, p.idx)
-				}
-				c.mu.Unlock()
-				c.pingC.Broadcast()
+			continue
+		}
+		backoff = 25 * time.Millisecond
+		p.sess.attachData(conn)
+		for {
+			if _, err := emitter.ReadFrame(conn); err != nil {
+				break
 			}
 		}
-		lastAck = p.sess.cursor()
-		p.sess.sendCtl(emitter.Frame{Type: frameAck, Seq: lastAck})
+		p.sess.detachData(conn)
 	}
+}
+
+// dialData performs the receptor-plane handshake: frameDataHello carrying
+// the coordinator's identity and the target worker index, answered by a
+// bare Welcome.
+func (c *Coordinator) dialData(addr string, idx int) (net.Conn, error) {
+	dial := c.opts.DataDialer
+	if dial == nil {
+		dial = func(a string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, timeout)
+		}
+	}
+	conn, err := dial(addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	hello := emitter.Frame{Type: frameDataHello,
+		Payload: marshalHello(helloMsg{Version: protoVersion, Index: idx, ID: "coordinator"})}
+	if err := emitter.WriteFrame(conn, hello); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := emitter.ReadFrame(conn)
+	if err != nil || f.Type != frameWelcome {
+		_ = conn.Close()
+		return nil, fmt.Errorf("fabric: receptor handshake with %s failed", addr)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	return conn, nil
 }
 
 // specPayload marshals one spec's broadcast frame.
@@ -728,9 +1061,11 @@ func (c *Coordinator) Describe() string {
 		c.mu.Unlock()
 		cs.mu.Lock()
 		ranges := ownerRuns(cs.owner)
-		settled := cs.sent.Watermark()
 		moving := len(cs.moving)
 		cs.mu.Unlock()
+		cs.wmMu.Lock()
+		settled := cs.sent.Watermark()
+		cs.wmMu.Unlock()
 		fmt.Fprintf(&b, "  stream %s shards=%d ranges=[%s] routed_settled=%d", n, cs.shards, ranges, settled)
 		if moving > 0 {
 			fmt.Fprintf(&b, " moving=%d", moving)

@@ -10,6 +10,7 @@ package fabric_test
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"strings"
 	"sync"
@@ -785,6 +786,10 @@ func TestFabricReassign(t *testing.T) {
 // for a spread of seeded fault schedules — connections cut mid-frame,
 // frames delayed, session frames duplicated, at scheduled frame ordinals —
 // the fabric's output is byte-identical to the fault-free local run.
+// Worker 1 suffers faults on BOTH planes: its control dial to the
+// coordinator and the coordinator's direct receptor dial back to it each
+// run through their own fault proxy, so cuts land mid-batched-frame on
+// the data plane and the pipelined-ack replay path is exercised too.
 // Failures reproduce from the seed.
 func TestFabricFaultSchedules(t *testing.T) {
 	const members = 8
@@ -796,9 +801,36 @@ func TestFabricFaultSchedules(t *testing.T) {
 	for _, seed := range []int64{1, 7, 42, 1234} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			schedule := fabrictest.RandomSchedule(rand.New(rand.NewSource(seed)), 3, 40)
+			rng := rand.New(rand.NewSource(seed))
+			ctlSchedule := fabrictest.RandomSchedule(rng, 3, 24)
+			dataSchedule := fabrictest.RandomSchedule(rng, 3, 16)
+			// The receptor proxy can only be built once worker 1 exists and
+			// has bound its listener, but the coordinator needs its dialer
+			// at construction — so data dials block on dataReady until the
+			// proxy is wired, and even the first dial runs through it.
+			var dataMu sync.Mutex
+			var w1data string
+			var dataProxy *fabrictest.FaultProxy
+			dataReady := make(chan struct{})
 			eng := datacell.New(&datacell.Options{Workers: 1})
-			coord, err := fabric.NewCoordinator(eng, fabric.Options{Workers: 2})
+			coord, err := fabric.NewCoordinator(eng, fabric.Options{
+				Workers: 2,
+				// Small batches: many flush boundaries for faults to land on.
+				FlushBytes: 4 << 10,
+				DataDialer: func(addr string, timeout time.Duration) (net.Conn, error) {
+					select {
+					case <-dataReady:
+					case <-time.After(timeout):
+						return nil, fmt.Errorf("receptor proxy not wired yet")
+					}
+					dataMu.Lock()
+					if addr == w1data {
+						addr = dataProxy.Addr()
+					}
+					dataMu.Unlock()
+					return net.DialTimeout("tcp", addr, timeout)
+				},
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -810,7 +842,7 @@ func TestFabricFaultSchedules(t *testing.T) {
 			if err := coord.ExportStream("s"); err != nil {
 				t.Fatal(err)
 			}
-			proxy, err := fabrictest.NewFaultProxy(coord.Addr(), schedule)
+			proxy, err := fabrictest.NewFaultProxy(coord.Addr(), ctlSchedule)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -820,6 +852,19 @@ func TestFabricFaultSchedules(t *testing.T) {
 			fc.workers = append(fc.workers,
 				fabric.NewWorker(fabric.WorkerOptions{Coordinator: coord.Addr(), Index: 0}),
 				fabric.NewWorker(fabric.WorkerOptions{Coordinator: proxy.Addr(), Index: 1}))
+			if fc.workers[1].DataAddr() == "" {
+				t.Fatal("worker 1 bound no receptor listener")
+			}
+			dp, err := fabrictest.NewFaultProxy(fc.workers[1].DataAddr(), dataSchedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dp.DupOK = fabric.DupSafe
+			fc.proxies = append(fc.proxies, dp)
+			dataMu.Lock()
+			w1data, dataProxy = fc.workers[1].DataAddr(), dp
+			dataMu.Unlock()
+			close(dataReady)
 			qs := make([]*datacell.Query, members)
 			for i := range qs {
 				q, err := eng.Register(fmt.Sprintf("q%02d", i), memberSQL(i, size, slide),
@@ -848,9 +893,12 @@ func TestFabricFaultSchedules(t *testing.T) {
 			for i, q := range qs {
 				got[i] = collectRendered(q)
 			}
-			assertSameResults(t, fmt.Sprintf("faults seed=%d %v", seed, schedule), got, local)
+			assertSameResults(t, fmt.Sprintf("faults seed=%d ctl=%v data=%v", seed, ctlSchedule, dataSchedule), got, local)
 			if proxy.Triggered() == 0 {
-				t.Fatalf("schedule %v never fired; the run proved nothing", schedule)
+				t.Fatalf("control schedule %v never fired; the run proved nothing", ctlSchedule)
+			}
+			if dataProxy.Triggered() == 0 {
+				t.Fatalf("receptor schedule %v never fired; the run proved nothing", dataSchedule)
 			}
 		})
 	}

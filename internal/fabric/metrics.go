@@ -34,6 +34,20 @@ var CoordinatorMetricDescs = []metrics.Desc{
 		Help: "Contiguously settled append sequence routed to workers.", Labels: []string{"stream"}},
 	{Name: "datacell_fabric_stream_moving_shards", Type: metrics.Gauge,
 		Help: "Shards with an in-flight Reassign.", Labels: []string{"stream"}},
+	{Name: "datacell_fabric_batch_flushes_total", Type: metrics.Counter,
+		Help: "Lane batch flushes by cause (size, delay, barrier).", Labels: []string{"worker", "cause"}},
+	{Name: "datacell_fabric_batch_frames_total", Type: metrics.Counter,
+		Help: "Coalesced batch frames shipped on the worker's lane.", Labels: []string{"worker"}},
+	{Name: "datacell_fabric_batch_subframes_total", Type: metrics.Counter,
+		Help: "Sub-frames (appends and watermarks) carried inside the worker's batch frames.", Labels: []string{"worker"}},
+	{Name: "datacell_fabric_batch_bytes_total", Type: metrics.Counter,
+		Help: "Batch payload bytes shipped on the worker's lane.", Labels: []string{"worker"}},
+	{Name: "datacell_fabric_worker_data_plane_up", Type: metrics.Gauge,
+		Help: "1 when the direct receptor connection to the worker is attached.", Labels: []string{"worker"}},
+	{Name: "datacell_fabric_wire_bytes_total", Type: metrics.Counter,
+		Help: "Encoded append payload bytes routed to workers."},
+	{Name: "datacell_fabric_wire_plain_bytes_total", Type: metrics.Counter,
+		Help: "Plain-layout equivalent of the routed append payloads (the delta/dict savings baseline)."},
 }
 
 // MetricsCollector adapts the coordinator's live session and routing
@@ -54,6 +68,10 @@ func (c *Coordinator) collectMetrics(emit func(metrics.Metric)) {
 		if p.sess.conn != nil {
 			connected = 1
 		}
+		dataUp := 0.0
+		if p.sess.dataConn != nil {
+			dataUp = 1
+		}
 		framesOut, framesIn := p.sess.framesOut, p.sess.framesIn
 		retained, snapCur, reconnects := len(p.sess.outbox), p.sess.snapAcked, p.sess.reconnects
 		p.sess.mu.Unlock()
@@ -63,7 +81,29 @@ func (c *Coordinator) collectMetrics(emit func(metrics.Metric)) {
 		g("datacell_fabric_worker_retained_frames", float64(retained))
 		g("datacell_fabric_worker_snap_cursor", float64(snapCur))
 		g("datacell_fabric_worker_reconnects_total", float64(reconnects))
+		g("datacell_fabric_worker_data_plane_up", dataUp)
+
+		l := c.lanes[p.idx]
+		l.mu.Lock()
+		batches, subs, bytesOut := l.batches, l.subFrames, l.bytesOut
+		bySize, byDelay, byBarrier := l.flushSize, l.flushDelay, l.flushBarrier
+		l.mu.Unlock()
+		g("datacell_fabric_batch_frames_total", float64(batches))
+		g("datacell_fabric_batch_subframes_total", float64(subs))
+		g("datacell_fabric_batch_bytes_total", float64(bytesOut))
+		for _, fc := range []struct {
+			cause string
+			n     uint64
+		}{{"size", bySize}, {"delay", byDelay}, {"barrier", byBarrier}} {
+			emit(metrics.Metric{Name: "datacell_fabric_batch_flushes_total",
+				LabelValues: []string{w, fc.cause}, Value: float64(fc.n)})
+		}
 	}
+	c.wireMu.Lock()
+	wireB, plainB := c.wireBytes, c.wirePlainBytes
+	c.wireMu.Unlock()
+	emit(metrics.Metric{Name: "datacell_fabric_wire_bytes_total", Value: float64(wireB)})
+	emit(metrics.Metric{Name: "datacell_fabric_wire_plain_bytes_total", Value: float64(plainB)})
 
 	c.mu.Lock()
 	streams := make([]*coordStream, 0, len(c.streams))
@@ -102,6 +142,16 @@ var WorkerMetricDescs = []metrics.Desc{
 		Help: "Installed slicing specs on this worker."},
 	{Name: "datacell_fabric_worker_link_up", Type: metrics.Gauge,
 		Help: "1 when the coordinator link is connected."},
+	{Name: "datacell_fabric_worker_receptor_conns", Type: metrics.Gauge,
+		Help: "Live producer connections on the receptor listener."},
+	{Name: "datacell_fabric_worker_receptor_frames_total", Type: metrics.Counter,
+		Help: "Frames ingested on the receptor plane (the rest arrived on the control link)."},
+	{Name: "datacell_fabric_worker_pending_frames", Type: metrics.Gauge,
+		Help: "Out-of-order frames parked in the reorder buffer awaiting their sequence gap."},
+	{Name: "datacell_fabric_worker_batches_out_total", Type: metrics.Counter,
+		Help: "Coalesced output batch frames sent to the coordinator."},
+	{Name: "datacell_fabric_worker_subframes_out_total", Type: metrics.Counter,
+		Help: "Sub-frames (fragments and pongs) carried inside output batches."},
 }
 
 // MetricsCollector adapts the worker's cursors and counters into a
@@ -115,6 +165,7 @@ func (w *Worker) collectMetrics(emit func(metrics.Metric)) {
 	applied, lastSnap, snapAt := w.applied, w.lastSnap, w.lastSnapAt
 	frameErrs := w.frameErrs
 	streams, specs := len(w.streams), len(w.specs)
+	batchesOut, subOut := w.batchesOut, w.subOut
 	w.mu.Unlock()
 	g := func(name string, v float64) { emit(metrics.Metric{Name: name, Value: v}) }
 	g("datacell_fabric_worker_applied_frame", float64(applied))
@@ -132,4 +183,15 @@ func (w *Worker) collectMetrics(emit func(metrics.Metric)) {
 		up = 1
 	}
 	g("datacell_fabric_worker_link_up", up)
+	w.dataMu.Lock()
+	dataConns, dataFrames := len(w.dataConns), w.dataFrames
+	w.dataMu.Unlock()
+	g("datacell_fabric_worker_receptor_conns", float64(dataConns))
+	g("datacell_fabric_worker_receptor_frames_total", float64(dataFrames))
+	w.rxMu.Lock()
+	pending := len(w.pending)
+	w.rxMu.Unlock()
+	g("datacell_fabric_worker_pending_frames", float64(pending))
+	g("datacell_fabric_worker_batches_out_total", float64(batchesOut))
+	g("datacell_fabric_worker_subframes_out_total", float64(subOut))
 }

@@ -66,9 +66,11 @@ const (
 	frameShardExport                  // coord → worker: drain one shard and ship its state
 	frameShardState                   // worker → coord: exported shard state (handoff payload)
 	frameShardInstall                 // coord → worker: install shipped shard state
+	frameBatch                        // either direction: coalesced session sub-frames
+	frameDataHello                    // producer → worker receptor: data-plane handshake
 )
 
-const protoVersion = 2
+const protoVersion = 3
 
 // DupSafe reports whether a frame may be duplicated in transit without
 // desynchronizing a session: stamped session frames are deduplicated by
@@ -85,19 +87,25 @@ const welcomeReset byte = 1
 
 // helloMsg introduces (or re-introduces) a worker. Snap is the cursor of
 // the worker's last durable snapshot (0 when it never snapshotted): the
-// coordinator's replay-log retention floor for this worker.
+// coordinator's replay-log retention floor for this worker. DataAddr
+// advertises the worker's receptor listener — the address producers dial
+// to ship ingest batches straight to the worker, off the control session
+// ("" when the receptor plane is disabled). A frameDataHello on that
+// listener reuses this message with the dialer's identity.
 type helloMsg struct {
-	Version int
-	Index   int
-	Snap    uint64
-	ID      string
+	Version  int
+	Index    int
+	Snap     uint64
+	ID       string
+	DataAddr string
 }
 
 func marshalHello(m helloMsg) []byte {
 	b := binary.AppendUvarint(nil, uint64(m.Version))
 	b = binary.AppendUvarint(b, uint64(m.Index))
 	b = binary.AppendUvarint(b, m.Snap)
-	return bat.AppendString(b, m.ID)
+	b = bat.AppendString(b, m.ID)
+	return bat.AppendString(b, m.DataAddr)
 }
 
 func unmarshalHello(src []byte) (helloMsg, error) {
@@ -115,8 +123,11 @@ func unmarshalHello(src []byte) (helloMsg, error) {
 	if m.Snap, src, err = bat.ReadUvarint(src); err != nil {
 		return m, fmt.Errorf("fabric: hello snap: %w", err)
 	}
-	if m.ID, _, err = bat.ReadString(src); err != nil {
+	if m.ID, src, err = bat.ReadString(src); err != nil {
 		return m, fmt.Errorf("fabric: hello id: %w", err)
+	}
+	if m.DataAddr, _, err = bat.ReadString(src); err != nil {
+		return m, fmt.Errorf("fabric: hello data addr: %w", err)
 	}
 	return m, nil
 }
@@ -242,7 +253,11 @@ func unmarshalShardBlob(src []byte) (shardBlobMsg, error) {
 	return m, nil
 }
 
-// appendMsg carries one shard's slice of a routed append.
+// appendMsg carries one shard's slice of a routed append. On the wire
+// the sequence stamps are shard-local: a round-robin part's stamps are a
+// dense run carried as a single base (seqDense), and a hash-routed
+// part's ascending subset is carried as first value + deltas (seqDeltas)
+// — the global stamp never crosses the wire per row.
 type appendMsg struct {
 	Stream  string
 	Shard   int
@@ -251,13 +266,38 @@ type appendMsg struct {
 	Chunk   *bat.Chunk
 }
 
+const (
+	seqDense  byte = 0 // uvarint count + varint base: seqs are base..base+count-1
+	seqDeltas byte = 1 // uvarint count + varint first + varint deltas
+)
+
 func marshalAppend(m appendMsg) []byte {
 	b := bat.AppendString(nil, m.Stream)
 	b = binary.AppendUvarint(b, uint64(m.Shard))
 	b = binary.AppendVarint(b, m.Arrival)
-	b = binary.AppendUvarint(b, uint64(len(m.Seqs)))
-	for _, s := range m.Seqs {
-		b = binary.AppendVarint(b, s)
+	dense := len(m.Seqs) > 0
+	for i, s := range m.Seqs {
+		if s != m.Seqs[0]+int64(i) {
+			dense = false
+			break
+		}
+	}
+	if dense {
+		b = append(b, seqDense)
+		b = binary.AppendUvarint(b, uint64(len(m.Seqs)))
+		b = binary.AppendVarint(b, m.Seqs[0])
+	} else {
+		b = append(b, seqDeltas)
+		b = binary.AppendUvarint(b, uint64(len(m.Seqs)))
+		prev := int64(0)
+		for i, s := range m.Seqs {
+			if i == 0 {
+				b = binary.AppendVarint(b, s)
+			} else {
+				b = binary.AppendVarint(b, s-prev)
+			}
+			prev = s
+		}
 	}
 	return bat.MarshalChunk(b, m.Chunk)
 }
@@ -276,15 +316,43 @@ func unmarshalAppend(src []byte) (appendMsg, error) {
 	if m.Arrival, src, err = bat.ReadVarint(src); err != nil {
 		return m, fmt.Errorf("fabric: append arrival: %w", err)
 	}
+	if len(src) == 0 {
+		return m, fmt.Errorf("fabric: append seq mode: short buffer")
+	}
+	mode := src[0]
+	src = src[1:]
 	n, src, err := bat.ReadUvarint(src)
-	if err != nil || n > uint64(len(src)) {
+	if err != nil || n > uint64(len(src))+1 {
 		return m, fmt.Errorf("fabric: append seq count")
 	}
 	m.Seqs = make(bat.Ints, n)
-	for i := range m.Seqs {
-		if m.Seqs[i], src, err = bat.ReadVarint(src); err != nil {
-			return m, fmt.Errorf("fabric: append seq %d: %w", i, err)
+	switch mode {
+	case seqDense:
+		if n > 0 {
+			var base int64
+			if base, src, err = bat.ReadVarint(src); err != nil {
+				return m, fmt.Errorf("fabric: append seq base: %w", err)
+			}
+			for i := range m.Seqs {
+				m.Seqs[i] = base + int64(i)
+			}
 		}
+	case seqDeltas:
+		prev := int64(0)
+		for i := range m.Seqs {
+			var d int64
+			if d, src, err = bat.ReadVarint(src); err != nil {
+				return m, fmt.Errorf("fabric: append seq %d: %w", i, err)
+			}
+			if i == 0 {
+				prev = d
+			} else {
+				prev += d
+			}
+			m.Seqs[i] = prev
+		}
+	default:
+		return m, fmt.Errorf("fabric: append seq mode %d", mode)
 	}
 	if m.Chunk, _, err = bat.UnmarshalChunk(src); err != nil {
 		return m, fmt.Errorf("fabric: append chunk: %w", err)
@@ -293,6 +361,38 @@ func unmarshalAppend(src []byte) (appendMsg, error) {
 		return m, fmt.Errorf("fabric: append of %d rows with %d seqs", m.Chunk.Rows(), len(m.Seqs))
 	}
 	return m, nil
+}
+
+// Batch payloads are concatenated sub-frames — {byte type, uvarint len,
+// payload} — applied strictly in order under the receiver's state mutex,
+// so a batch is semantically identical to its sub-frames sent back to
+// back, at one frame's framing and ack cost.
+type subFrame struct {
+	Type    byte
+	Payload []byte
+}
+
+func appendSubFrame(dst []byte, t byte, payload []byte) []byte {
+	dst = append(dst, t)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// forEachSubFrame applies fn to each sub-frame in a batch payload,
+// stopping on malformed framing (the remaining bytes are undecodable).
+func forEachSubFrame(src []byte, fn func(t byte, payload []byte) error) error {
+	for len(src) > 0 {
+		t := src[0]
+		n, rest, err := bat.ReadUvarint(src[1:])
+		if err != nil || n > uint64(len(rest)) {
+			return fmt.Errorf("fabric: batch sub-frame framing")
+		}
+		if err := fn(t, rest[:n]); err != nil {
+			return err
+		}
+		src = rest[n:]
+	}
+	return nil
 }
 
 // watermarkMsg advances a stream's sealing clocks after routed appends:

@@ -53,6 +53,25 @@ type Insert struct {
 
 func (*Insert) stmt() {}
 
+// SetTenantQuota is the DataCell admission-control DDL:
+//
+//	SET TENANT QUOTA name [MAX_QUERIES n] [APPEND_ROWS_PER_SEC r] [LAG_WINDOWS n]
+//
+// Every word after SET is contextual (they lex as identifiers), so
+// columns named "tenant" or "quota" stay legal elsewhere. The three
+// limit clauses mirror the engine's TenantQuota fields, may appear in
+// any order, and default to 0 — unlimited — when omitted, so a bare
+// SET TENANT QUOTA t clears every limit. Putting quotas in DDL means an
+// -init script can restore them on restart alongside the schema.
+type SetTenantQuota struct {
+	Tenant           string
+	MaxQueries       int64
+	AppendRowsPerSec float64
+	LagWindows       int64
+}
+
+func (*SetTenantQuota) stmt() {}
+
 // RegisterQuery is the DataCell continuous-query registration:
 //
 //	REGISTER [INCREMENTAL|REEVAL] [ISOLATED] QUERY name [TENANT t] AS SELECT ...

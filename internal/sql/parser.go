@@ -98,6 +98,10 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return p.parseSelect()
 	case p.at(TokKeyword, "REGISTER"):
 		return p.parseRegister()
+	case p.at(TokIdent, "set"):
+		// SET is contextual: it only means anything at statement start, so
+		// columns named "set" stay legal everywhere else.
+		return p.parseSet()
 	default:
 		return nil, p.errf("unexpected %q at start of statement", p.cur().Text)
 	}
@@ -267,6 +271,78 @@ func (p *parser) parseRegister() (Stmt, error) {
 		return nil, err
 	}
 	return &RegisterQuery{Name: name.Text, Mode: mode, Isolated: isolated, Tenant: tenant, Select: sel.(*SelectStmt)}, nil
+}
+
+// parseSet parses SET TENANT QUOTA name with its optional limit clauses
+// (any order, each at most meaningful once — last occurrence wins, like
+// repeated flags). The limit keywords are contextual identifiers.
+func (p *parser) parseSet() (Stmt, error) {
+	p.next() // set
+	if !p.accept(TokIdent, "tenant") {
+		return nil, p.errf("expected TENANT after SET")
+	}
+	if !p.accept(TokIdent, "quota") {
+		return nil, p.errf("expected QUOTA after SET TENANT")
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &SetTenantQuota{Tenant: name.Text}
+	for {
+		switch {
+		case p.accept(TokIdent, "max_queries"):
+			n, err := p.parseNonNegInt()
+			if err != nil {
+				return nil, err
+			}
+			st.MaxQueries = n
+		case p.accept(TokIdent, "append_rows_per_sec"):
+			r, err := p.parseNonNegNumber()
+			if err != nil {
+				return nil, err
+			}
+			st.AppendRowsPerSec = r
+		case p.accept(TokIdent, "lag_windows"):
+			n, err := p.parseNonNegInt()
+			if err != nil {
+				return nil, err
+			}
+			st.LagWindows = n
+		default:
+			if p.at(TokIdent, "") {
+				return nil, p.errf("unknown quota clause %q (want MAX_QUERIES, APPEND_ROWS_PER_SEC or LAG_WINDOWS)", p.cur().Text)
+			}
+			return st, nil
+		}
+	}
+}
+
+func (p *parser) parseNonNegInt() (int64, error) {
+	t, err := p.expect(TokInt, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil || v < 0 {
+		return 0, p.errf("expected non-negative integer, got %q", t.Text)
+	}
+	return v, nil
+}
+
+// parseNonNegNumber accepts an integer or float literal (rates read
+// naturally either way: APPEND_ROWS_PER_SEC 1000 or 0.5).
+func (p *parser) parseNonNegNumber() (float64, error) {
+	t := p.cur()
+	if t.Kind != TokInt && t.Kind != TokFloat {
+		return 0, p.errf("expected number, got %q", t.Text)
+	}
+	p.next()
+	v, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil || v < 0 {
+		return 0, p.errf("expected non-negative number, got %q", t.Text)
+	}
+	return v, nil
 }
 
 func (p *parser) parseSelect() (Stmt, error) {

@@ -355,3 +355,40 @@ func TestCallExprString(t *testing.T) {
 		t.Errorf("star String = %q", star.String())
 	}
 }
+
+func TestParseSetTenantQuota(t *testing.T) {
+	s := mustParse(t, "SET TENANT QUOTA acme MAX_QUERIES 4 APPEND_ROWS_PER_SEC 1500.5 LAG_WINDOWS 8").(*SetTenantQuota)
+	if s.Tenant != "acme" || s.MaxQueries != 4 || s.AppendRowsPerSec != 1500.5 || s.LagWindows != 8 {
+		t.Fatalf("set tenant quota = %+v", s)
+	}
+	// Clauses in any order, integer rate, lower-case keywords.
+	s = mustParse(t, "set tenant quota beta lag_windows 2 append_rows_per_sec 1000 max_queries 1").(*SetTenantQuota)
+	if s.Tenant != "beta" || s.MaxQueries != 1 || s.AppendRowsPerSec != 1000 || s.LagWindows != 2 {
+		t.Fatalf("set tenant quota = %+v", s)
+	}
+	// The bare form clears every limit (zero value = unlimited).
+	s = mustParse(t, "SET TENANT QUOTA acme").(*SetTenantQuota)
+	if s.Tenant != "acme" || s.MaxQueries != 0 || s.AppendRowsPerSec != 0 || s.LagWindows != 0 {
+		t.Fatalf("bare set tenant quota = %+v", s)
+	}
+
+	bad := []string{
+		"SET",
+		"SET TENANT acme",
+		"SET TENANT QUOTA",
+		"SET TENANT QUOTA acme BOGUS 3",
+		"SET TENANT QUOTA acme MAX_QUERIES",
+		"SET TENANT QUOTA acme MAX_QUERIES -1",
+		"SET TENANT QUOTA acme APPEND_ROWS_PER_SEC x",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+
+	// SET stays contextual: columns and streams named "set"/"quota" are legal.
+	if _, err := Parse("SELECT set, quota FROM tenant"); err != nil {
+		t.Errorf("contextual SET broke identifier use: %v", err)
+	}
+}

@@ -69,6 +69,9 @@ type Query struct {
 	out    *emitter.Channel // nil with NoChannel
 	mode   factory.Mode
 	tenant string // "" when untenanted
+	// ingestStreams are the input streams this query's tenant claims for
+	// ingest gating (tenant.go bindIngest); released on Stop.
+	ingestStreams []string
 
 	// Shared-execution state: zero for isolated and ineligible queries.
 	// The leave/close closures capture the concrete group (single-stream
@@ -127,6 +130,9 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 		} else {
 			q.tenant = opts.Tenant
 			ts.attachQuery(q)
+			// With the query live, its input streams ingest on the
+			// tenant's account (receptor/INSERT gating, tenant.go).
+			e.bindIngest(q)
 		}
 	}
 	return q, err
@@ -540,6 +546,7 @@ func (q *Query) Stop() {
 	// above makes this exactly-once.
 	if q.tenant != "" {
 		e.tenantState(q.tenant).releaseSlot(q.name)
+		e.releaseIngest(q)
 	}
 
 	e.sched.RemoveWait(q.name)

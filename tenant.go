@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"datacell/internal/basket"
 	"datacell/internal/bat"
 )
 
@@ -296,15 +297,120 @@ func (ts *tenantState) finishThrottleLocked(waited bool, start time.Time) {
 // its consumer-lag backpressure before entering the ordinary append path
 // (which is shared — a throttled tenant delays only itself).
 func (e *Engine) AppendTenant(tenant, stream string, rows ...[]any) error {
-	ts := e.tenantState(tenant)
-	ts.admitAppend(len(rows))
-	return e.Append(stream, rows...)
+	return e.appendRows(stream, tenant, rows...)
 }
 
 // AppendChunkTenant is AppendTenant for a pre-built columnar chunk — the
 // zero-boxing tenant ingest path used by the multi-tenant harness.
 func (e *Engine) AppendChunkTenant(tenant, stream string, c *bat.Chunk) error {
-	ts := e.tenantState(tenant)
-	ts.admitAppend(c.Rows())
-	return e.AppendChunk(stream, c)
+	return e.appendChunkAs(stream, c, tenant)
+}
+
+// bindIngest records that the query's tenant claims the query's input
+// streams: while the binding holds, anonymous appends to those streams
+// (receptors, INSERT, plain Append) are admitted through the tenant's
+// token bucket and lag backpressure exactly like AppendTenant. Refcounted
+// per (stream, tenant) so two queries of one tenant over one stream
+// release cleanly in either order.
+func (e *Engine) bindIngest(q *Query) {
+	if q.tenant == "" {
+		return
+	}
+	streams := dedupStrings(q.fac.Baskets())
+	e.ingestMu.Lock()
+	if e.ingestTenants == nil {
+		e.ingestTenants = map[string]map[string]int{}
+	}
+	for _, s := range streams {
+		m := e.ingestTenants[s]
+		if m == nil {
+			m = map[string]int{}
+			e.ingestTenants[s] = m
+		}
+		m[q.tenant]++
+	}
+	e.ingestMu.Unlock()
+	q.ingestStreams = streams
+}
+
+// releaseIngest undoes bindIngest when the query stops.
+func (e *Engine) releaseIngest(q *Query) {
+	if q.tenant == "" || len(q.ingestStreams) == 0 {
+		return
+	}
+	e.ingestMu.Lock()
+	for _, s := range q.ingestStreams {
+		if m := e.ingestTenants[s]; m != nil {
+			if m[q.tenant]--; m[q.tenant] <= 0 {
+				delete(m, q.tenant)
+			}
+			if len(m) == 0 {
+				delete(e.ingestTenants, s)
+			}
+		}
+	}
+	e.ingestMu.Unlock()
+}
+
+// boundTenants snapshots the tenants bound to a stream, sorted for
+// deterministic admission order. It holds ingestMu only for the map scan
+// — callers block in admitAppend lock-free.
+func (e *Engine) boundTenants(stream string) []*tenantState {
+	e.ingestMu.Lock()
+	m := e.ingestTenants[stream]
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	e.ingestMu.Unlock()
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	out := make([]*tenantState, len(names))
+	for i, n := range names {
+		out[i] = e.tenantState(n)
+	}
+	return out
+}
+
+func dedupStrings(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IngestAppender wraps a stream's basket in the tenant-gated append
+// path: receptors hand it to ListenTCP/ReplayCSV so network ingest on a
+// tenant-bound stream is throttled identically to AppendTenant (same
+// token bucket, same ThrottledAppends accounting). On an unbound stream
+// it is a zero-overhead pass-through.
+func (e *Engine) IngestAppender(stream string) (basket.Appender, error) {
+	bk, err := e.Basket(stream)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedAppender{eng: e, stream: stream, bk: bk}, nil
+}
+
+type gatedAppender struct {
+	eng    *Engine
+	stream string
+	bk     *basket.Sharded
+}
+
+func (g *gatedAppender) Name() string       { return g.bk.Name() }
+func (g *gatedAppender) Schema() bat.Schema { return g.bk.Schema() }
+
+// Append implements basket.Appender with tenant admission in front.
+func (g *gatedAppender) Append(c *bat.Chunk, arrival int64) error {
+	for _, ts := range g.eng.boundTenants(g.stream) {
+		ts.admitAppend(c.Rows())
+	}
+	return g.bk.Append(c, arrival)
 }

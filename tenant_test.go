@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"datacell/internal/metrics"
+	"datacell/internal/receptor"
 )
 
 func TestTenantAdmissionControl(t *testing.T) {
@@ -251,6 +252,142 @@ func TestEngineMetricsCollector(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("scrape missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestSetTenantQuotaDDL(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, v FLOAT)")
+	// Quotas land via DDL — the shape an -init script restores on restart.
+	mustExec(t, e, "SET TENANT QUOTA acme MAX_QUERIES 1 APPEND_ROWS_PER_SEC 500 LAG_WINDOWS 4")
+	st := e.TenantStats()
+	if len(st) != 1 || st[0].Name != "acme" {
+		t.Fatalf("TenantStats after DDL: %+v", st)
+	}
+	want := TenantQuota{MaxQueries: 1, MaxAppendRowsPerSec: 500, MaxLagWindows: 4}
+	if st[0].Quota != want {
+		t.Fatalf("quota = %+v, want %+v", st[0].Quota, want)
+	}
+
+	// The DDL-set quota is enforced exactly like SetTenantQuota.
+	mustExec(t, e, "REGISTER QUERY q0 TENANT acme AS SELECT avg(v) FROM s [SIZE 10 SLIDE 10]")
+	_, err := e.Exec("REGISTER QUERY q1 TENANT acme AS SELECT avg(v) FROM s [SIZE 10 SLIDE 10]")
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("want *QuotaError past DDL quota, got %v", err)
+	}
+
+	// The bare form clears every limit.
+	mustExec(t, e, "SET TENANT QUOTA acme")
+	mustExec(t, e, "REGISTER QUERY q1 TENANT acme AS SELECT avg(v) FROM s [SIZE 10 SLIDE 10]")
+
+	// And the whole flow scripts (ExecScript is the -init path).
+	if _, err := e.ExecScript(`
+		SET TENANT QUOTA beta MAX_QUERIES 2;
+		REGISTER QUERY b0 TENANT beta AS SELECT avg(v) FROM s [SIZE 10 SLIDE 10];
+	`); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range e.TenantStats() {
+		if ts.Name == "beta" && ts.Quota.MaxQueries != 2 {
+			t.Errorf("scripted beta quota: %+v", ts.Quota)
+		}
+	}
+}
+
+// TestTenantGatedReceptorIngest is the satellite regression check:
+// receptor-path ingest into a stream whose registering query carries
+// TENANT t is throttled through the same token bucket as AppendTenant —
+// same row accounting, same throttle counters, same pacing.
+func TestTenantGatedReceptorIngest(t *testing.T) {
+	e, _ := newTestEngine(t)
+	mustExec(t, e, "CREATE STREAM r1 (id INT, v FLOAT)")
+	mustExec(t, e, "CREATE STREAM r2 (id INT, v FLOAT)")
+	mustExec(t, e, "SET TENANT QUOTA gated APPEND_ROWS_PER_SEC 1000")
+	mustExec(t, e, "SET TENANT QUOTA direct APPEND_ROWS_PER_SEC 1000")
+	// Binding: a TENANT query over r1 puts r1's anonymous ingest on
+	// tenant "gated"'s account.
+	mustExec(t, e, "REGISTER QUERY g TENANT gated AS SELECT avg(v) FROM r1 [SIZE 100 SLIDE 100]")
+
+	var csv strings.Builder
+	rows := make([][]any, 0, 1500)
+	for i := 0; i < 1500; i++ {
+		fmt.Fprintf(&csv, "%d,%g\n", i, float64(i))
+		rows = append(rows, []any{i, float64(i)})
+	}
+
+	// Feed both tenants concurrently (buckets are per-tenant): 1500 rows
+	// at 1000 rows/s with a one-second burst owe ~500ms each.
+	gatedBk, err := e.IngestAppender("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var gatedElapsed, directElapsed time.Duration
+	done := make(chan error, 2)
+	go func() {
+		n, err := receptor.ReplayCSV(strings.NewReader(csv.String()), gatedBk, 100, e.Now)
+		gatedElapsed = time.Since(start)
+		if err == nil && n != 1500 {
+			err = fmt.Errorf("replayed %d rows, want 1500", n)
+		}
+		done <- err
+	}()
+	go func() {
+		var err error
+		for i := 0; i < 1500 && err == nil; i += 100 {
+			err = e.AppendTenant("direct", "r2", rows[i:i+100]...)
+		}
+		directElapsed = time.Since(start)
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var gated, direct TenantStats
+	for _, st := range e.TenantStats() {
+		switch st.Name {
+		case "gated":
+			gated = st
+		case "direct":
+			direct = st
+		}
+	}
+	if gated.AppendedRows != direct.AppendedRows || gated.AppendedRows != 1500 {
+		t.Errorf("row accounting differs: gated=%d direct=%d want 1500",
+			gated.AppendedRows, direct.AppendedRows)
+	}
+	if gated.ThrottledAppends == 0 || gated.ThrottleWaitUsec == 0 {
+		t.Errorf("receptor ingest was not throttled: %+v", gated)
+	}
+	if direct.ThrottledAppends == 0 {
+		t.Errorf("AppendTenant baseline was not throttled: %+v", direct)
+	}
+	if gatedElapsed < 300*time.Millisecond || directElapsed < 300*time.Millisecond {
+		t.Errorf("pacing differs from quota: gated=%v direct=%v, want both >= ~500ms", gatedElapsed, directElapsed)
+	}
+
+	// INSERT rides the same gate while the binding holds.
+	mustExec(t, e, "INSERT INTO r1 VALUES (9000, 1.5)")
+	for _, st := range e.TenantStats() {
+		if st.Name == "gated" && st.AppendedRows != 1501 {
+			t.Errorf("INSERT not charged to bound tenant: %+v", st)
+		}
+	}
+
+	// Dropping the binding query releases the stream: ingest reverts to
+	// the anonymous (uncharged, unthrottled) path.
+	mustExec(t, e, "DROP QUERY g")
+	if err := e.Append("r1", rows[:100]...); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range e.TenantStats() {
+		if st.Name == "gated" && st.AppendedRows != 1501 {
+			t.Errorf("append charged after binding released: %+v", st)
 		}
 	}
 }
