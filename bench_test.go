@@ -581,6 +581,74 @@ func BenchmarkSharedMerge16(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinShared16 is the join-tail-sharing benchmark: 16 identical
+// grouped sliding-window joins over two streams, once through one join
+// group (shared pair cache, join merge class, post-merge trie — the pair
+// merge and grouped HAVING tail evaluate once per sealed window for the
+// whole class) and once isolated (every member owns a private join group
+// and repeats both). dcbench tracks the same pair as the
+// joinshared16_vs_isolated16 derived ratio, floored ≥1.5× on multi-core
+// runners.
+func BenchmarkJoinShared16(b *testing.B) {
+	const (
+		n     = 1 << 14
+		batch = 2048
+		nkeys = 256
+		qn    = 16
+	)
+	sChunks := feedSensor(n, batch, nkeys)
+	rChunks := feedSensor(n, batch, nkeys)
+	sql := "SELECT s.k, count(*) AS c, sum(s.v) AS sv FROM s [SIZE 4096 SLIDE 1024], r [SIZE 4096 SLIDE 1024] WHERE s.k = r.k GROUP BY s.k HAVING count(*) > 2"
+	for _, isolated := range []bool{false, true} {
+		label := "shared"
+		if isolated {
+			label = "isolated"
+		}
+		b.Run(fmt.Sprintf("%s/q_%d", label, qn), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := New(&Options{Workers: 4})
+				for _, ddl := range []string{
+					"CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)",
+					"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)",
+				} {
+					if _, err := eng.Exec(ddl); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for j := 0; j < qn; j++ {
+					if _, err := eng.Register(fmt.Sprintf("q%02d", j), sql,
+						&RegisterOptions{Mode: ModeIncremental, NoChannel: true,
+							Isolated: isolated}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				for c := range sChunks {
+					_ = eng.AppendChunk("s", sChunks[c])
+					_ = eng.AppendChunk("r", rChunks[c])
+				}
+				eng.Drain()
+				b.StopTimer()
+				if i == 0 && !isolated {
+					if groups := eng.Groups(); len(groups) != 1 {
+						b.Fatalf("shared run formed %d groups, want 1", len(groups))
+					} else if g := groups[0]; g.MergeHits == 0 || g.PostHits == 0 {
+						b.Fatalf("shared join run recorded no tail sharing: %+v", g)
+					} else {
+						b.ReportMetric(100*g.MergeHitRate(), "merge_hit_%")
+						b.ReportMetric(100*g.PostHitRate(), "post_hit_%")
+					}
+				}
+				eng.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(2*n)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
 // BenchmarkQueryGroupFanout is the shared multi-query scaling benchmark:
 // Q ∈ {1, 4, 16} continuous queries over one stream, once through the
 // shared execution group (the stream is drained and sliced once, member

@@ -31,10 +31,10 @@ import (
 	"datacell/internal/basket"
 	"datacell/internal/bat"
 	"datacell/internal/catalog"
-	"datacell/internal/factory"
 	"datacell/internal/plan"
 	"datacell/internal/scheduler"
 	"datacell/internal/sql"
+	"datacell/internal/window"
 )
 
 // Options configures an Engine.
@@ -111,6 +111,17 @@ type Fabric interface {
 	Describe() string
 }
 
+// RemoteGroup is the fragment sink of one slicing spec: whatever consumes
+// a remote-fed stream's sealed epoch fragments. A single-stream
+// factory.Group implements it directly; a join group's sides each attach
+// through a per-side adapter (the fabric neither knows nor cares which —
+// it routes worker fragments to whatever the spec attached).
+type RemoteGroup interface {
+	// OfferRemote feeds one remote shard's freshly flushed epoch fragments
+	// and watermark into the consumer's merger.
+	OfferRemote(shard int, frags []*window.Frag, wm int64)
+}
+
 // FabricSpec is the handle for one remote slicing spec.
 type FabricSpec struct {
 	// Shards is the stream's total shard count across all workers.
@@ -118,7 +129,7 @@ type FabricSpec struct {
 	// Attach starts feeding the group: the fabric broadcasts the spec to
 	// its workers and routes their fragments into g.OfferRemote. Call after
 	// the creating member joined, before data must flow.
-	Attach func(g *factory.Group)
+	Attach func(g RemoteGroup)
 	// Advance forwards a time watermark to the workers.
 	Advance func(watermark int64)
 	// Drop retires the spec on all workers (wired into the group's Close).

@@ -19,6 +19,14 @@ func FuzzReadFrame(f *testing.F) {
 	}
 	f.Add(seed(Frame{Type: 1, Seq: 7, Payload: []byte("hello")}))
 	f.Add(seed(Frame{Type: 13, Seq: 1 << 40}))
+	// The fabric's coalesced traffic: a batch frame (type 18) whose payload
+	// concatenates {type, uvarint len, payload} sub-frames — here a spec
+	// (type 6, as a join side registers per side) and a fragment (type 13)
+	// — and a data-plane handshake (type 19). The framing layer treats
+	// payloads as opaque; these seeds keep the corpus shaped like live
+	// traffic.
+	f.Add(seed(Frame{Type: 18, Seq: 3, Payload: []byte{6, 4, 14, 1, 115, 0, 13, 2, 9, 9}}))
+	f.Add(seed(Frame{Type: 19, Seq: 1, Payload: []byte{3, 1, 0, 3, 119, 45, 49, 0}}))
 	f.Add([]byte(nil))
 	// Oversized length prefix: must be rejected before allocation.
 	huge := make([]byte, frameHeaderLen)

@@ -196,6 +196,54 @@ func SharedMerge(queries int, noSharedMerge bool, n, batch, nkeys int) BenchResu
 	}
 }
 
+// JoinShared measures the PR-9 join-tail-sharing benchmark: Q IDENTICAL
+// grouped sliding-window joins — same predicate, same grouped aggregate,
+// same HAVING — over two streams. Shared (the default) all Q members
+// join one group: one pair cache computes each (left, right) window pair
+// once and the post-merge trie evaluates the grouped tail once for the
+// whole merge class. Isolated every member owns a private join group, so
+// the pair merge and the tail run Q times per sealed window. It mirrors
+// BenchmarkJoinShared16 in bench_test.go.
+func JoinShared(queries int, isolated bool, n, batch, nkeys int) BenchResult {
+	sChunks := sensorChunks(n, batch, nkeys)
+	rChunks := sensorChunks(n, batch, nkeys)
+	eng := datacell.New(&datacell.Options{Workers: 4})
+	defer eng.Close()
+	for _, ddl := range []string{
+		"CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)",
+		"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)",
+	} {
+		if _, err := eng.Exec(ddl); err != nil {
+			panic(err)
+		}
+	}
+	sql := "SELECT s.k, count(*) AS c, sum(s.v) AS sv FROM s [SIZE 4096 SLIDE 1024], r [SIZE 4096 SLIDE 1024] WHERE s.k = r.k GROUP BY s.k HAVING count(*) > 2"
+	for j := 0; j < queries; j++ {
+		if _, err := eng.Register(fmt.Sprintf("q%02d", j), sql,
+			&datacell.RegisterOptions{Mode: datacell.ModeIncremental, NoChannel: true,
+				Isolated: isolated}); err != nil {
+			panic(err)
+		}
+	}
+	start := time.Now()
+	for i := range sChunks {
+		_ = eng.AppendChunk("s", sChunks[i])
+		_ = eng.AppendChunk("r", rChunks[i])
+	}
+	eng.Drain()
+	wall := time.Since(start)
+	label := "shared"
+	if isolated {
+		label = "isolated"
+	}
+	return BenchResult{
+		Name:         fmt.Sprintf("join_shared/%s/q_%d", label, queries),
+		Tuples:       2 * n,
+		WallSec:      wall.Seconds(),
+		TuplesPerSec: float64(2*n) / wall.Seconds(),
+	}
+}
+
 // CIBench runs the CI benchmark suite — sharded ingest at 1 and 4 shards,
 // query-group fan-out at Q ∈ {1,4,16} grouped and isolated, and the
 // shared-sub-tail memo ablation at Q=16 — and derives the headline ratios
@@ -210,6 +258,12 @@ func SharedMerge(queries int, noSharedMerge bool, n, batch, nkeys int) BenchResu
 //	sharedmerge16_vs_nosharedmerge16: 16 identical members with the
 //	                         group-owned merge ring + post-merge trie /
 //	                         without (per-member merges; floor 1.5)
+//	joinshared16_vs_isolated16: 16 identical grouped two-stream joins in
+//	                         one join group (shared pair cache + join
+//	                         merge class + post-merge trie) / 16 isolated
+//	                         twins each owning a private join group.
+//	                         Floored ≥1.5× on multi-core runners,
+//	                         report-only on 1-core containers.
 //	fabric2_vs_local:        16 grouped queries over a 4-shard stream run
 //	                         through the shard fabric (coordinator + 2
 //	                         loopback workers, direct worker receptors and
@@ -328,6 +382,24 @@ func CIBench(quick bool, match string) *BenchReport {
 		noSharedMerge := noSharedMerge
 		add(bestOf(2, func() BenchResult { return SharedMerge(16, noSharedMerge, subN, batch, 2048) }))
 	}
+	for _, isolated := range []bool{false, true} {
+		label := "shared"
+		if isolated {
+			label = "isolated"
+		}
+		name := fmt.Sprintf("join_shared/%s/q_16", label)
+		if !want(name) {
+			continue
+		}
+		// Moderate key cardinality keeps each sealed (left, right) window
+		// pair productive, so the per-member pair merges and grouped tails
+		// the isolated baseline repeats 16× dominate its runtime — the
+		// workload shape the shared pair cache and join merge class are
+		// for. The pair stays at full size in quick mode: it feeds a floor
+		// and a run is tens of windows either way.
+		isolated := isolated
+		add(bestOf(2, func() BenchResult { return JoinShared(16, isolated, 1<<14, batch, 256) }))
+	}
 	for _, cfg := range []struct {
 		workers  int
 		snap     bool
@@ -393,6 +465,8 @@ func CIBench(quick bool, match string) *BenchReport {
 		"shared_subtail/memo/q_16", "shared_subtail/nomemo/q_16")
 	ratio("sharedmerge16_vs_nosharedmerge16",
 		"shared_merge/sharedmerge/q_16", "shared_merge/nosharedmerge/q_16")
+	ratio("joinshared16_vs_isolated16",
+		"join_shared/shared/q_16", "join_shared/isolated/q_16")
 	ratio("fabric2_vs_local",
 		"fabric_fanout/fabric2/q_16", "fabric_fanout/local/q_16")
 	// fabric_direct_vs_local is the same measurement under its gate name:
@@ -467,7 +541,7 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 // tuples/s are not).
 var trackedDerived = []string{"shard4_vs_shard1", "grouped16_vs_isolated16",
 	"memo16_vs_nomemo16", "sharedmerge16_vs_nosharedmerge16",
-	"codec_delta_ratio", "codec_dict_ratio"}
+	"joinshared16_vs_isolated16", "codec_delta_ratio", "codec_dict_ratio"}
 
 // GateBenchReports is the regression gate over the bench trajectory: the
 // tracked derived ratios of the current report must stay within the

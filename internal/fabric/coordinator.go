@@ -13,7 +13,6 @@ import (
 	"datacell/internal/basket"
 	"datacell/internal/bat"
 	"datacell/internal/emitter"
-	"datacell/internal/factory"
 	"datacell/internal/plan"
 )
 
@@ -250,7 +249,7 @@ type coordSpec struct {
 	win *plan.Window
 
 	mu      sync.Mutex
-	g       *factory.Group
+	g       datacell.RemoteGroup
 	maxTs   int64   // event-time high mark (time windows); minInt64 until rows
 	applied []int64 // per-shard applied flush watermark (introspection)
 }
@@ -628,7 +627,7 @@ func (c *Coordinator) AddSpec(stream, key string, win *plan.Window, schema bat.S
 
 	return &datacell.FabricSpec{
 		Shards:  cs.shards,
-		Attach:  func(g *factory.Group) { c.attachSpec(sp, g) },
+		Attach:  func(g datacell.RemoteGroup) { c.attachSpec(sp, g) },
 		Advance: func(wm int64) { c.advanceSpec(sp, wm) },
 		Drop:    func() { c.dropSpec(sp) },
 	}, nil
@@ -639,7 +638,7 @@ func (c *Coordinator) AddSpec(stream, key string, win *plan.Window, schema bat.S
 // starts slicing at the same append boundary. Every worker gets every
 // spec — shards move between workers (Reassign), so there is no such
 // thing as a worker a stream's specs cannot concern.
-func (c *Coordinator) attachSpec(sp *coordSpec, g *factory.Group) {
+func (c *Coordinator) attachSpec(sp *coordSpec, g datacell.RemoteGroup) {
 	sp.mu.Lock()
 	sp.g = g
 	sp.mu.Unlock()

@@ -1,0 +1,7 @@
+//go:build !soak
+
+package fabric_test
+
+// differentialSeeds is the CI budget for TestFabricDifferential; the soak
+// build (-tags soak) widens it to the full sweep.
+const differentialSeeds = 32

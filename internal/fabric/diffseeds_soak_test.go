@@ -1,0 +1,7 @@
+//go:build soak
+
+package fabric_test
+
+// Full differential sweep, run out-of-band: go test -tags soak -run
+// TestFabricDifferential ./internal/fabric/
+const differentialSeeds = 512

@@ -150,7 +150,7 @@ func startFabric(t *testing.T, ddl string, nWorkers int, cutsFor func(i int) []i
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Exec(ddl); err != nil {
+	if _, err := eng.ExecScript(ddl); err != nil {
 		t.Fatal(err)
 	}
 	if err := coord.ExportStream("s"); err != nil {
@@ -225,17 +225,134 @@ func assertSameResults(t *testing.T, label string, got, want [][]string) {
 	}
 }
 
+// mixedMember is the i-th member of the any-query workload: ten
+// single-stream members (the classic matrix), four join members over the
+// exported pair — two sharing a fingerprint and a HAVING tail, one bare,
+// one re-evaluation — plus an isolated scan and an isolated join.
+func mixedMember(i, size, slide int) (string, *datacell.RegisterOptions) {
+	grouped := fmt.Sprintf(
+		"SELECT s.k, count(*) AS n FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k GROUP BY s.k HAVING count(*) > 0",
+		size, slide, size, slide)
+	bare := fmt.Sprintf(
+		"SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k",
+		size, slide, size, slide)
+	switch i {
+	case 10, 11:
+		return grouped, &datacell.RegisterOptions{Mode: datacell.ModeIncremental}
+	case 12:
+		return bare, &datacell.RegisterOptions{Mode: datacell.ModeIncremental}
+	case 13:
+		return bare, &datacell.RegisterOptions{Mode: datacell.ModeReeval}
+	case 14:
+		return memberSQL(2, size, slide), &datacell.RegisterOptions{Mode: datacell.ModeIncremental, Isolated: true}
+	case 15:
+		return bare, &datacell.RegisterOptions{Mode: datacell.ModeIncremental, Isolated: true}
+	default:
+		return memberSQL(i, size, slide), &datacell.RegisterOptions{Mode: memberMode(i)}
+	}
+}
+
+// feedMixed interleaves the two streams' chunks with a drain barrier after
+// every append: the left/right window sealing order — and with it the join
+// members' pairing and emission sequence — is then a function of the data
+// alone, making the single-process and fabric runs comparable byte-for-byte.
+func feedMixed(t *testing.T, eng *datacell.Engine, drain func(), sChunks, rChunks []*bat.Chunk) {
+	t.Helper()
+	n := len(sChunks)
+	if len(rChunks) > n {
+		n = len(rChunks)
+	}
+	for i := 0; i < n; i++ {
+		if i < len(sChunks) {
+			if err := eng.AppendChunk("s", sChunks[i]); err != nil {
+				t.Fatal(err)
+			}
+			drain()
+		}
+		if i < len(rChunks) {
+			if err := eng.AppendChunk("r", rChunks[i]); err != nil {
+				t.Fatal(err)
+			}
+			drain()
+		}
+	}
+	drain()
+}
+
+// runMixedLocal executes the mixed workload on a single-process engine.
+// The ddl script must create streams s and r.
+func runMixedLocal(t *testing.T, ddl string, members, size, slide int, sChunks, rChunks []*bat.Chunk) [][]string {
+	t.Helper()
+	eng := datacell.New(&datacell.Options{Workers: 1})
+	defer eng.Close()
+	if _, err := eng.ExecScript(ddl); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*datacell.Query, members)
+	for i := range qs {
+		sql, opts := mixedMember(i, size, slide)
+		q, err := eng.Register(fmt.Sprintf("q%02d", i), sql, opts)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		qs[i] = q
+	}
+	feedMixed(t, eng, eng.Drain, sChunks, rChunks)
+	out := make([][]string, members)
+	for i, q := range qs {
+		out[i] = collectRendered(q)
+	}
+	return out
+}
+
+// runMixedFabric executes the mixed workload on a coordinator + nWorkers
+// cluster with both s and r exported to the fabric.
+func runMixedFabric(t *testing.T, ddl string, nWorkers, members, size, slide int, sChunks, rChunks []*bat.Chunk, cutsFor func(i int) []int) [][]string {
+	t.Helper()
+	fc := startFabric(t, ddl, nWorkers, cutsFor)
+	defer fc.close()
+	if err := fc.coord.ExportStream("r"); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*datacell.Query, members)
+	for i := range qs {
+		sql, opts := mixedMember(i, size, slide)
+		q, err := fc.eng.Register(fmt.Sprintf("q%02d", i), sql, opts)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if !q.Grouped() {
+			t.Fatalf("member %d did not route through a group", i)
+		}
+		if opts.Isolated != strings.Contains(q.GroupKey(), "!iso#") {
+			t.Fatalf("member %d: isolated=%v but key=%q", i, opts.Isolated, q.GroupKey())
+		}
+		qs[i] = q
+	}
+	feedMixed(t, fc.eng, fc.coord.Drain, sChunks, rChunks)
+	out := make([][]string, members)
+	for i, q := range qs {
+		out[i] = collectRendered(q)
+	}
+	return out
+}
+
 // TestFabricEquivalence is the acceptance invariant: a 16-query grouped
-// workload on coordinator + 2 workers over loopback produces byte-identical
-// results to a single-process run — for tumbling and sliding windows, hash
-// and round-robin routing, and including a run whose worker connections
-// are repeatedly cut mid-frame and resumed.
+// workload — single-stream members, a shared join group, a re-evaluation
+// join, and isolated scan and join members — on coordinator + 2 workers
+// over loopback produces byte-identical results to a single-process run.
+// The matrix covers tumbling and sliding windows, hash and round-robin
+// routing, and a run whose worker connections are repeatedly cut mid-frame
+// and resumed.
 func TestFabricEquivalence(t *testing.T) {
-	chunks := testChunks(400, 17, 5)
+	sChunks := testChunks(400, 17, 5)
+	rChunks := testChunks(400, 13, 5)
 	const members = 16
 	ddls := []string{
-		"CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k",
-		"CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4",
+		"CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k;\n" +
+			"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k",
+		"CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4;\n" +
+			"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT) SHARD 2",
 	}
 	windows := []struct{ size, slide int }{
 		{64, 16}, // sliding
@@ -244,8 +361,8 @@ func TestFabricEquivalence(t *testing.T) {
 	for _, ddl := range ddls {
 		for _, w := range windows {
 			label := fmt.Sprintf("ddl=%q size=%d slide=%d", ddl, w.size, w.slide)
-			local := runLocal(t, ddl, members, w.size, w.slide, chunks)
-			fab := runFabric(t, ddl, 2, members, w.size, w.slide, chunks, nil)
+			local := runMixedLocal(t, ddl, members, w.size, w.slide, sChunks, rChunks)
+			fab := runMixedFabric(t, ddl, 2, members, w.size, w.slide, sChunks, rChunks, nil)
 			assertSameResults(t, label, fab, local)
 		}
 	}
@@ -253,8 +370,8 @@ func TestFabricEquivalence(t *testing.T) {
 	// Reconnect run: worker 1's link is cut mid-frame on its first three
 	// connections; the session resume must deliver the exact same windows.
 	w := windows[0]
-	local := runLocal(t, ddls[0], members, w.size, w.slide, chunks)
-	cut := runFabric(t, ddls[0], 2, members, w.size, w.slide, chunks, func(i int) []int {
+	local := runMixedLocal(t, ddls[0], members, w.size, w.slide, sChunks, rChunks)
+	cut := runMixedFabric(t, ddls[0], 2, members, w.size, w.slide, sChunks, rChunks, func(i int) []int {
 		if i == 1 {
 			return []int{2000, 900, 5000}
 		}
@@ -313,23 +430,35 @@ func TestFabricTimeWindows(t *testing.T) {
 }
 
 // TestFabricRegistrationRules pins the fabric's consumption contract:
-// exported streams serve shared single-stream windowed queries only, and
-// export is refused once local consumers exist.
+// exported streams serve any group-routable query — shared or isolated,
+// scan or join — and refuse only shapes no group can host (non-windowed
+// scans); export is refused once local consumers exist.
 func TestFabricRegistrationRules(t *testing.T) {
 	fc := startFabric(t, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k", 2, nil)
 	defer fc.close()
 	eng := fc.eng
 
-	if _, err := eng.Register("iso", "SELECT count(*) AS n FROM s [SIZE 8 SLIDE 8]",
-		&datacell.RegisterOptions{Isolated: true}); err == nil {
-		t.Fatal("isolated query over an exported stream registered")
+	iso, err := eng.Register("iso", "SELECT count(*) AS n FROM s [SIZE 8 SLIDE 8]",
+		&datacell.RegisterOptions{Isolated: true})
+	if err != nil {
+		t.Fatalf("isolated query over an exported stream: %v", err)
+	}
+	if !iso.Grouped() || !strings.Contains(iso.GroupKey(), "!iso#") {
+		t.Fatalf("isolated query must route through a private group, key=%q", iso.GroupKey())
 	}
 	if _, err := eng.Exec("CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Register("j",
-		"SELECT s.v, r.v FROM s [SIZE 8 SLIDE 8], r [SIZE 8 SLIDE 8] WHERE s.k = r.k", nil); err == nil {
-		t.Fatal("stream join over an exported stream registered")
+	if err := fc.coord.ExportStream("r"); err != nil {
+		t.Fatal(err)
+	}
+	j, err := eng.Register("j",
+		"SELECT s.v, r.v FROM s [SIZE 8 SLIDE 8], r [SIZE 8 SLIDE 8] WHERE s.k = r.k", nil)
+	if err != nil {
+		t.Fatalf("stream join over exported streams: %v", err)
+	}
+	if !j.Grouped() {
+		t.Fatal("join over exported streams did not route through a join group")
 	}
 	q, err := eng.Register("ok", "SELECT count(*) AS n FROM s [SIZE 8 SLIDE 8]", nil)
 	if err != nil {
@@ -338,15 +467,18 @@ func TestFabricRegistrationRules(t *testing.T) {
 	if !q.Grouped() {
 		t.Fatal("shared query over an exported stream did not group")
 	}
-	if err := fc.coord.ExportStream("r"); err != nil {
-		t.Fatal(err)
+	// Non-windowed scans need local basket cursors, which an exported
+	// stream cannot feed — the one shape the fabric still refuses.
+	if _, err := eng.Register("raw", "SELECT v FROM s", nil); err == nil {
+		t.Fatal("non-windowed scan over an exported stream registered")
 	}
 	if err := fc.coord.ExportStream("r"); err == nil {
 		t.Fatal("double export accepted")
 	}
-	// \fabric introspection carries the layout.
+	// \fabric introspection carries the layout, including the join's
+	// per-side slicing specs.
 	desc := eng.FabricStatus()
-	for _, want := range []string{"workers=2", "stream s", "ranges=[w0:0-2 w1:2-4]", "spec"} {
+	for _, want := range []string{"workers=2", "stream s", "ranges=[w0:0-2 w1:2-4]", "spec", "#L", "#R"} {
 		if !strings.Contains(desc, want) {
 			t.Fatalf("FabricStatus missing %q:\n%s", want, desc)
 		}
@@ -786,17 +918,22 @@ func TestFabricReassign(t *testing.T) {
 // for a spread of seeded fault schedules — connections cut mid-frame,
 // frames delayed, session frames duplicated, at scheduled frame ordinals —
 // the fabric's output is byte-identical to the fault-free local run.
-// Worker 1 suffers faults on BOTH planes: its control dial to the
-// coordinator and the coordinator's direct receptor dial back to it each
-// run through their own fault proxy, so cuts land mid-batched-frame on
-// the data plane and the pipelined-ack replay path is exercised too.
-// Failures reproduce from the seed.
+// The workload is the mixed matrix (single-stream, shared join, reeval
+// join, isolated members), so the faults land on join-fragment and
+// join-spec frames mid-epoch as well as plain scan traffic. Worker 1
+// suffers faults on BOTH planes: its control dial to the coordinator and
+// the coordinator's direct receptor dial back to it each run through
+// their own fault proxy, so cuts land mid-batched-frame on the data plane
+// and the pipelined-ack replay path is exercised too. Failures reproduce
+// from the seed.
 func TestFabricFaultSchedules(t *testing.T) {
-	const members = 8
+	const members = 16
 	const size, slide = 20, 10
-	chunks := testChunks(600, 23, 4)
-	ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k"
-	local := runLocal(t, ddl, members, size, slide, chunks)
+	sChunks := testChunks(300, 23, 4)
+	rChunks := testChunks(300, 19, 4)
+	ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k;\n" +
+		"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT) SHARD 4 KEY k"
+	local := runMixedLocal(t, ddl, members, size, slide, sChunks, rChunks)
 
 	for _, seed := range []int64{1, 7, 42, 1234} {
 		seed := seed
@@ -836,10 +973,13 @@ func TestFabricFaultSchedules(t *testing.T) {
 			}
 			fc := &fabricCluster{eng: eng, coord: coord}
 			defer fc.close()
-			if _, err := eng.Exec(ddl); err != nil {
+			if _, err := eng.ExecScript(ddl); err != nil {
 				t.Fatal(err)
 			}
 			if err := coord.ExportStream("s"); err != nil {
+				t.Fatal(err)
+			}
+			if err := coord.ExportStream("r"); err != nil {
 				t.Fatal(err)
 			}
 			proxy, err := fabrictest.NewFaultProxy(coord.Addr(), ctlSchedule)
@@ -867,28 +1007,17 @@ func TestFabricFaultSchedules(t *testing.T) {
 			close(dataReady)
 			qs := make([]*datacell.Query, members)
 			for i := range qs {
-				q, err := eng.Register(fmt.Sprintf("q%02d", i), memberSQL(i, size, slide),
-					&datacell.RegisterOptions{Mode: memberMode(i)})
+				sql, opts := mixedMember(i, size, slide)
+				q, err := eng.Register(fmt.Sprintf("q%02d", i), sql, opts)
 				if err != nil {
 					t.Fatal(err)
 				}
 				qs[i] = q
 			}
-			// Feed in rounds with drain barriers so faults land across the
-			// whole run, not just its head.
-			per := (len(chunks) + 3) / 4
-			for start := 0; start < len(chunks); start += per {
-				end := start + per
-				if end > len(chunks) {
-					end = len(chunks)
-				}
-				for _, c := range chunks[start:end] {
-					if err := eng.AppendChunk("s", c); err != nil {
-						t.Fatal(err)
-					}
-				}
-				coord.Drain()
-			}
+			// feedMixed drains after every append, so faults land across
+			// the whole run and the join members' sealing order matches
+			// the local baseline.
+			feedMixed(t, eng, coord.Drain, sChunks, rChunks)
 			got := make([][]string, members)
 			for i, q := range qs {
 				got[i] = collectRendered(q)

@@ -176,10 +176,12 @@ type Factory struct {
 	cfg    Config
 	inputs []*input
 	jc     window.PairCache
-	// reevalJoin marks a re-evaluation-mode join-group member: the plan
-	// decomposes, so the full-window recompute is expressed as the merge
-	// of cached basic-window pairs through the (group-shared) pair cache
-	// instead of re-running the whole plan over the concatenated rings.
+	// reevalJoin marks a re-evaluation-mode join whose plan decomposes:
+	// the full-window recompute is expressed as the merge of cached
+	// basic-window pairs through the pair cache (group-shared for
+	// members, private otherwise) instead of re-running the whole plan
+	// over the concatenated rings. Shared, isolated and fabric-routed
+	// registrations of the same join thus order joined rows identically.
 	reevalJoin bool
 
 	// stepMu serializes the blocking tail — ring pushes, join cache and
@@ -219,7 +221,7 @@ func New(cfg Config, bind map[*plan.ScanStream]*basket.Sharded) (*Factory, error
 	f.stats.Mode = cfg.Mode.String()
 
 	scans := plan.Streams(cfg.Full)
-	f.reevalJoin = cfg.Shared && cfg.Mode == Reeval &&
+	f.reevalJoin = cfg.Mode == Reeval &&
 		cfg.Decomp != nil && cfg.Decomp.Join != nil
 	if cfg.Mode == Incremental || f.reevalJoin {
 		// Incremental execution — and the re-evaluation join-group tail,

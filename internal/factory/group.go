@@ -41,14 +41,16 @@ type SharedGroup interface {
 	MemoMisses() int64
 	// MergeStats reports the group-owned merge rings: active merge
 	// classes (two or more members holding byte-identical full-window
-	// merges), merged-view requests served from a sibling's evaluation
-	// (hits), and actual merge evaluations (misses). Zero for join groups,
-	// which merge through their pair caches instead.
+	// merged views — plan.MergeKey for single-stream groups,
+	// plan.JoinMergeKey for join groups), merged-view requests served
+	// from a sibling's evaluation (hits), and actual merge evaluations
+	// (misses).
 	MergeStats() (classes int, hits, misses int64)
 	// PostStats reports the post-merge trie: distinct post-merge fragment
 	// nodes (HAVING filters, final aggregates, sorts, limits) registered
-	// across members, and the trie's memo hit/miss counters. Zero for
-	// join groups.
+	// across members, and the trie's memo hit/miss counters. Both group
+	// kinds share post fragments — join groups root theirs at the merged
+	// join view.
 	PostStats() (nodes int, hits, misses int64)
 	// PairStats reports the group-level join pair caches: distinct caches
 	// (one per join fingerprint), live cached pairs, and pair evaluations

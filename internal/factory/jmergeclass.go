@@ -1,0 +1,163 @@
+package factory
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"datacell/internal/bat"
+	"datacell/internal/window"
+)
+
+// jmergeClass is a join group's merge ring pair: the extension of
+// mergeClass past the join boundary. Members of one JoinGroup whose
+// decompositions agree on a plan.JoinMergeKey — window extent plus the
+// join fingerprint, which covers both side pipelines — hold byte-identical
+// merged join views, so the group keeps ONE pair of rings of the last
+// `parts` sealed basic windows per class and evaluates the merged view —
+// pair-cache maintenance plus the (leftGen, rightGen)-ordered concat of
+// the live pair set — once per fanned-out window for all of them.
+//
+// Activation mirrors mergeClass: a class activates at its second member
+// and deactivates (releasing both rings) when membership drops back to
+// one; each ring slot holds one reference on the window's shared buffer,
+// released on eviction, so the group's live-buffer gauge accounts for the
+// class rings exactly like member queues.
+type jmergeClass struct {
+	key   string
+	parts int
+	pc    *window.SharedPairCache // the class members' shared pair cache
+	leaf  [2]*dagNode             // side pipeline leaves (nil: raw windows)
+
+	// refs counts members registered under the class key; active latches
+	// at the second member. Both are guarded by the owning JoinGroup's mu.
+	refs   int
+	active bool
+
+	mu     sync.Mutex
+	closed bool
+	rings  [2][]jmergeIn // last `parts` sealed windows per side, oldest first
+}
+
+// jmergeIn is one sealed basic window as a class ring sees it: the side's
+// group-global generation (the pair cache keys pairs by it), the window's
+// shared memo table, its raw tuples, and the release hook for the class's
+// reference on the shared buffer.
+type jmergeIn struct {
+	gen  int64
+	dw   *dagWin
+	data *bat.Chunk
+	free func()
+}
+
+// push appends a sealed window to the side's class ring (taking ownership
+// of one shared-buffer reference via free), evicting the oldest slot when
+// the ring exceeds the window extent. Once BOTH rings hold a full window
+// it returns the window's merge cell — the memo the fan-out attaches to
+// every warm class member's queue item; nil during warm-up. Callers are
+// the group fan-out only, which delivers windows in the group's global
+// side interleaving under seqMu.
+func (mc *jmergeClass) push(side int, gen int64, dw *dagWin, data *bat.Chunk, free func()) *jmergeCell {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.closed {
+		free()
+		return nil
+	}
+	mc.rings[side] = append(mc.rings[side], jmergeIn{gen: gen, dw: dw, data: data, free: free})
+	if len(mc.rings[side]) > mc.parts {
+		old := mc.rings[side][0]
+		copy(mc.rings[side], mc.rings[side][1:])
+		mc.rings[side] = mc.rings[side][:mc.parts]
+		old.free()
+	}
+	if len(mc.rings[0]) < mc.parts || len(mc.rings[1]) < mc.parts {
+		return nil
+	}
+	// The cell snapshots both rings: its input pointers stay valid after
+	// eviction (the chunks are immutable and GC-kept), so a lagging member
+	// can still resolve an old window's merged view from its queued cell.
+	return &jmergeCell{mc: mc, side: side, ins: [2][]jmergeIn{
+		append([]jmergeIn(nil), mc.rings[0]...),
+		append([]jmergeIn(nil), mc.rings[1]...),
+	}}
+}
+
+// close releases both rings' shared-buffer references and refuses further
+// pushes — the class deactivated (membership dropped to one) or its last
+// member left.
+func (mc *jmergeClass) close() {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	mc.closed = true
+	for side := range mc.rings {
+		for _, in := range mc.rings[side] {
+			in.free()
+		}
+		mc.rings[side] = nil
+	}
+}
+
+// reopen accepts pushes again after a deactivation — a second member
+// rejoined. Both rings restart empty and re-warm over the next window.
+func (mc *jmergeClass) reopen() {
+	mc.mu.Lock()
+	mc.closed = false
+	mc.mu.Unlock()
+}
+
+// jmergeCell memoizes one fanned-out window's merged join view for every
+// member of a join merge class. The first member tail to need it evaluates
+// the view under the once latch and siblings reuse the result. pdw is the
+// post-merge memo table rooted at this merged view, exactly like
+// mergeCell's.
+type jmergeCell struct {
+	mc   *jmergeClass
+	side int // the side whose window triggered this cell
+	once sync.Once
+	ins  [2][]jmergeIn // captured rings; dropped after compute
+	out  *bat.Chunk
+	pdw  *dagWin
+}
+
+// eval resolves the cell's merged join view, computing it at most once per
+// window across all class members. computed reports whether THIS call
+// performed the merge. The evaluation replays exactly what each warm
+// member's private tail would do with the same windows: resolve both
+// rings' pipeline outputs through the side DAGs' per-window memos (into
+// discard counters — they are re-lookups of work the member tails already
+// accounted for), drive the shared pair cache with the triggering side's
+// newest window against the other side's live ring, then concatenate the
+// live pair set in (leftGen, rightGen) order. Every step is a
+// deterministic function of the same generation-stamped inputs, which is
+// what keeps a shared merged view byte-identical to a private one.
+func (c *jmergeCell) eval(g *JoinGroup) (out *bat.Chunk, pdw *dagWin, computed bool) {
+	c.once.Do(func() {
+		mc := c.mc
+		var discardHits, discardMisses atomic.Int64
+		var bws [2][]*window.BW
+		for side := 0; side < 2; side++ {
+			bws[side] = make([]*window.BW, len(c.ins[side]))
+			for i, in := range c.ins[side] {
+				bws[side][i] = &window.BW{
+					Gen: in.gen,
+					Out: g.dags[side].eval(in.dw, mc.leaf[side], in.data, &discardHits, &discardMisses),
+				}
+			}
+		}
+		// The member tails short-circuit before their own pair-cache adds
+		// once a cell serves them, so the cell performs the add for the
+		// whole class (duplicate adds from warming members dedupe inside
+		// the cache; eviction is watermark-driven by the adds themselves).
+		newest := bws[c.side][len(bws[c.side])-1]
+		if c.side == 0 {
+			mc.pc.AddLeft(newest, bws[1])
+		} else {
+			mc.pc.AddRight(newest, bws[0])
+		}
+		c.out = mc.pc.Merged(bws[0], bws[1])
+		c.pdw = newDagWin()
+		c.ins = [2][]jmergeIn{} // release the input pointers
+		computed = true
+	})
+	return c.out, c.pdw, computed
+}

@@ -98,6 +98,34 @@ func MergeKey(d *Decomposition, steps []PipelineStep) (string, bool) {
 	return fmt.Sprintf("merge{parts=%d}(%s)", scan.Window.Parts(), fp), true
 }
 
+// JoinMergeKey is the merge-class key of a join decomposition: members of
+// one join group whose decompositions agree on it hold byte-identical
+// merged join views — the concatenation, in (leftGen, rightGen) order, of
+// the live basic-window pair results — so the group can own one pair of
+// merge rings per class and evaluate the merged view once per fanned-out
+// window for all of them. The key is the window extent in basic windows
+// plus the join node's canonical fingerprint, which recursively includes
+// both side pipelines' fingerprints: two members share a class exactly
+// when their per-window pipelines AND their join agree, which is also
+// when they share a pair cache. Post-merge fragments (HAVING, final
+// aggregates, sort/limit) are deliberately absent — they diverge per
+// member and share separately through the join group's post-merge trie,
+// rooted at this key. ok is false for non-join decompositions.
+func JoinMergeKey(d *Decomposition) (string, bool) {
+	if d == nil || d.Join == nil || len(d.Pipelines) != 2 {
+		return "", false
+	}
+	l, r := d.Pipelines[0].Scan, d.Pipelines[1].Scan
+	if l.Window == nil || r.Window == nil {
+		return "", false
+	}
+	parts := l.Window.Parts()
+	if p := r.Window.Parts(); p > parts {
+		parts = p
+	}
+	return fmt.Sprintf("jmerge{parts=%d}(%s)", parts, Fingerprint(d.Join)), true
+}
+
 // JoinGroupKey is the shared-execution group key of a stream⋈stream join:
 // queries whose two windowed scans agree on it consume identical pairs of
 // basic-window sequences, so one join group can drain and slice both

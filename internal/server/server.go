@@ -112,11 +112,7 @@ func (s *Session) Dispatch(line string) (string, bool) {
 					g.PostNodes, g.PostHits, g.PostMisses, 100*g.PostHitRate())
 			}
 			if g.Kind == "join" {
-				// Join groups share no post-merge work yet (each member
-				// recomputes aggregates above the join — see
-				// DESIGN-SHARING.md); a numeric 0.0% here would read as a
-				// measured miss rate rather than an unimplemented stage.
-				fmt.Fprintf(&b, " post_rate=n/a pair_caches=%d cached_pairs=%d pairs_computed=%d",
+				fmt.Fprintf(&b, " pair_caches=%d cached_pairs=%d pairs_computed=%d",
 					g.PairCaches, g.CachedPairs, g.PairsComputed)
 			}
 			b.WriteByte('\n')

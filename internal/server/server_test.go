@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -146,30 +147,63 @@ func TestSessionFabricCommand(t *testing.T) {
 	}
 }
 
-// TestGroupsJoinPostNA: join groups render their post-merge stats as n/a —
-// JoinGroup.PostStats is intentionally unimplemented (join tails are not
-// shared past the pair cache), and a numeric 0.0% would read as a measured
-// rate.
-func TestGroupsJoinPostNA(t *testing.T) {
-	s := NewSession(newEngine(t))
+// TestGroupsJoinPostShared: a 16-member shared-join workload — identical
+// side pipelines and join, per-member post fragments above the join —
+// reports real JoinGroup.PostStats through \groups: post-merge trie nodes
+// exist, the merged join view and the shared HAVING fragments hit for 15
+// of every 16 member requests, and nothing renders as n/a anymore.
+func TestGroupsJoinPostShared(t *testing.T) {
+	eng := newEngine(t)
+	s := NewSession(eng)
 	for _, sql := range []string{
 		"CREATE STREAM l (ts TIMESTAMP, k INT, v FLOAT);",
 		"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT);",
-		"REGISTER QUERY j AS SELECT l.v, r.v FROM l [SIZE 4 SLIDE 4], r [SIZE 4 SLIDE 4] WHERE l.k = r.k;",
 	} {
 		if out, _ := s.Dispatch(sql); strings.Contains(out, "error") {
 			t.Fatalf("%s: %q", sql, out)
 		}
 	}
+	for j := 0; j < 16; j++ {
+		sql := fmt.Sprintf(
+			"REGISTER QUERY j%02d AS SELECT l.k, count(*) AS n FROM l [SIZE 4 SLIDE 2], r [SIZE 4 SLIDE 2] WHERE l.k = r.k GROUP BY l.k HAVING count(*) > %d", j, j%3)
+		if out, _ := s.Dispatch(sql); strings.Contains(out, "error") {
+			t.Fatalf("%s: %q", sql, out)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		s.Dispatch(fmt.Sprintf("INSERT INTO l VALUES (%d, %d, 1.0), (%d, %d, 2.0)", i, i%3, i, (i+1)%3))
+		s.Dispatch(fmt.Sprintf("INSERT INTO r VALUES (%d, %d, 3.0), (%d, %d, 4.0)", i, i%3, i, (i+2)%3))
+	}
+	eng.Drain()
+
 	out, _ := s.Dispatch(`\groups`)
 	if !strings.Contains(out, "kind=join") {
 		t.Fatalf("no join group in %q", out)
 	}
-	if !strings.Contains(out, "post_rate=n/a") {
-		t.Errorf("join group post stats not rendered n/a: %q", out)
+	if strings.Contains(out, "n/a") {
+		t.Errorf("join group still renders an n/a stat: %q", out)
 	}
-	if strings.Contains(out, "post_rate=0.0%") {
-		t.Errorf("join group renders a misleading zero post rate: %q", out)
+	var g datacell.GroupInfo
+	found := false
+	for _, gi := range eng.Groups() {
+		if gi.Kind == "join" {
+			g, found = gi, true
+		}
+	}
+	if !found {
+		t.Fatal("no join group snapshot")
+	}
+	if g.MergeClasses == 0 || g.PostNodes == 0 {
+		t.Fatalf("join sharing not engaged: classes=%d post_nodes=%d (%q)",
+			g.MergeClasses, g.PostNodes, out)
+	}
+	if g.MergeHits == 0 || g.MergeHitRate() < 0.5 {
+		t.Errorf("merged-view hit rate = %.2f (hits=%d misses=%d), want most requests served shared",
+			g.MergeHitRate(), g.MergeHits, g.MergeMisses)
+	}
+	if g.PostHits == 0 || g.PostHitRate() < 0.5 {
+		t.Errorf("post-merge hit rate = %.2f (hits=%d misses=%d), want most fragments served shared",
+			g.PostHitRate(), g.PostHits, g.PostMisses)
 	}
 }
 

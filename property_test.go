@@ -55,6 +55,67 @@ func TestQuickIdenticalQueriesAgree(t *testing.T) {
 	}
 }
 
+// Property: for a randomly drawn windowed query — scan or stream join,
+// incremental or re-evaluation — a shared registration and its isolated
+// twin emit identical result sequences: group routing, join-tail sharing
+// and the private pipelines are interchangeable. This is the local arm of
+// the differential harness (TestFabricDifferential cross-checks the same
+// draw space against the shard fabric).
+func TestQuickSharedIsolatedMixAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for iter := 0; iter < 12; iter++ {
+		e, _ := newTestEngine(t)
+		mustExec(t, e, "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)")
+		mustExec(t, e, "CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT)")
+		slide := 2 * (1 + rng.Intn(3))
+		size := slide * (1 + rng.Intn(3))
+		var sql string
+		switch rng.Intn(3) {
+		case 0:
+			sql = fmt.Sprintf("SELECT k, sum(v) AS t FROM s [SIZE %d SLIDE %d] GROUP BY k", size, slide)
+		case 1:
+			sql = fmt.Sprintf("SELECT s.k, count(*) AS n FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k GROUP BY s.k", size, slide, size, slide)
+		default:
+			sql = fmt.Sprintf("SELECT s.v, r.v FROM s [SIZE %d SLIDE %d], r [SIZE %d SLIDE %d] WHERE s.k = r.k", size, slide, size, slide)
+		}
+		mode := ModeIncremental
+		if rng.Intn(2) == 1 {
+			mode = ModeReeval
+		}
+		qs, err := e.Register("qs", sql, &RegisterOptions{Mode: mode})
+		if err != nil {
+			t.Fatalf("iter %d %q: %v", iter, sql, err)
+		}
+		qi, err := e.Register("qi", sql, &RegisterOptions{Mode: mode, Isolated: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 40 + rng.Intn(80)
+		for i := 0; i < n; i++ {
+			stream := "s"
+			if i%2 == 1 {
+				stream = "r"
+			}
+			if err := e.Append(stream, []any{
+				time.UnixMicro(int64(i)), rng.Intn(4), float64(rng.Intn(50)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rs := normalized(collect(e, qs))
+		ri := normalized(collect(e, qi))
+		if len(rs) != len(ri) {
+			t.Fatalf("iter %d %q mode=%v: shared %d evals, isolated %d", iter, sql, mode, len(rs), len(ri))
+		}
+		for i := range rs {
+			if rs[i] != ri[i] {
+				t.Fatalf("iter %d %q eval %d:\nshared:   %s\nisolated: %s", iter, sql, i, rs[i], ri[i])
+			}
+		}
+		e.Close()
+	}
+}
+
 // Property: a query registered mid-stream sees only tuples appended after
 // registration (the paper's continuous-query semantics), and its results
 // form a suffix-aligned view of an identical query registered earlier.

@@ -9,6 +9,7 @@ import (
 	"datacell/internal/plan"
 	"datacell/internal/scheduler"
 	"datacell/internal/sql"
+	"datacell/internal/window"
 )
 
 // Mode selects how a continuous query is executed.
@@ -175,6 +176,15 @@ func (e *Engine) registerQuery(name string, sel *sql.SelectStmt, mode Mode, opts
 		if d, err := plan.Decompose(opt); err == nil {
 			decomp, fmode = d, factory.Incremental
 		}
+	case ModeReeval:
+		// A forced re-evaluation join whose plan decomposes still runs
+		// the pair-cache tail: the decomposition certifies the recompute
+		// equals the merge of cached basic-window pairs, and shared,
+		// isolated and fabric-routed registrations of the same join then
+		// order joined rows identically.
+		if d, err := plan.Decompose(opt); err == nil && d.Join != nil {
+			decomp = d
+		}
 	}
 
 	// Shared multi-query execution: a single windowed stream scan joins
@@ -186,34 +196,46 @@ func (e *Engine) registerQuery(name string, sel *sql.SelectStmt, mode Mode, opts
 	// fingerprint-keyed pair cache instead of staying isolated.
 	var groupScan *plan.ScanStream
 	var joinL, joinR *plan.ScanStream
-	if opts == nil || !opts.Isolated {
+	isolated := opts != nil && opts.Isolated
+	resolveShared := func() {
 		if sc, ok := plan.SharedScan(opt); ok {
 			groupScan = sc
-		} else if fmode == factory.Incremental {
+		} else if decomp != nil {
+			// Covers incremental joins and forced-REEVAL joins alike: the
+			// mode switch above already decomposed both.
 			joinL, joinR, _ = plan.SharedJoin(decomp)
-		} else if mode == ModeReeval {
-			// ModeAuto already tried (and failed) to decompose above;
-			// only an explicitly forced REEVAL plan is worth a fresh
-			// attempt here.
-			if d, err := plan.Decompose(opt); err == nil {
-				if l, r, ok := plan.SharedJoin(d); ok {
-					decomp, joinL, joinR = d, l, r
-				}
-			}
+		}
+	}
+	if !isolated {
+		resolveShared()
+	}
+
+	// Streams exported to a shard fabric live in worker processes, so any
+	// consumer must route through a group whose front ends the fabric can
+	// feed (the workers slice shard ranges and ship sealed epoch fragments
+	// into the group's merger). Isolated queries route the same way, but
+	// under a nonce-unique group key: a private, single-member group — the
+	// member shares nothing, yet its windows arrive over the wire like
+	// everyone else's. Only plans no group shape fits — non-windowed scans,
+	// non-decomposable multi-stream reads — are rejected; they would need
+	// local basket cursors, which see nothing.
+	var remoteStream string
+	for _, sc := range streams {
+		if sc.Stream.RemoteTag() != "" {
+			remoteStream = sc.Stream.Name
+		}
+	}
+	keySuffix := ""
+	if remoteStream != "" && groupScan == nil && joinL == nil {
+		if isolated {
+			resolveShared()
+			keySuffix = fmt.Sprintf("!iso#%d", e.groupSeq.Add(1))
+		}
+		if groupScan == nil && joinL == nil {
+			return nil, fmt.Errorf("datacell: stream %q is exported to the shard fabric; only windowed stream scans and decomposable stream joins can consume it", remoteStream)
 		}
 	}
 	shared := groupScan != nil || joinL != nil
-
-	// Streams exported to a shard fabric live in worker processes: only the
-	// shared single-stream windowed path can consume them (the fabric feeds
-	// sealed basic windows into the stream's query group). Isolated
-	// queries, joins and non-windowed scans would need local basket
-	// cursors, which see nothing.
-	for _, sc := range streams {
-		if sc.Stream.RemoteTag() != "" && groupScan == nil {
-			return nil, fmt.Errorf("datacell: stream %q is exported to the shard fabric; only shared queries over a single windowed stream scan can consume it", sc.Stream.Name)
-		}
-	}
 
 	var emitters emitter.Multi
 	var outCh *emitter.Channel
@@ -271,7 +293,7 @@ func (e *Engine) registerQuery(name string, sel *sql.SelectStmt, mode Mode, opts
 	e.mu.Unlock()
 
 	if groupScan != nil {
-		if err := e.joinGroup(q, groupScan); err != nil {
+		if err := e.joinGroup(q, groupScan, keySuffix); err != nil {
 			e.mu.Lock()
 			delete(e.queries, q.name)
 			e.mu.Unlock()
@@ -281,7 +303,13 @@ func (e *Engine) registerQuery(name string, sel *sql.SelectStmt, mode Mode, opts
 		return q, nil
 	}
 	if joinL != nil {
-		e.joinJoinGroup(q, joinL, joinR)
+		if err := e.joinJoinGroup(q, joinL, joinR, keySuffix); err != nil {
+			e.mu.Lock()
+			delete(e.queries, q.name)
+			e.mu.Unlock()
+			fac.Stop()
+			return nil, err
+		}
 		return q, nil
 	}
 
@@ -327,8 +355,12 @@ func (e *Engine) registerQuery(name string, sel *sql.SelectStmt, mode Mode, opts
 // worker processes run the shard front ends, and sealed epoch fragments
 // arrive through Group.OfferRemote — so no local shard transitions or
 // append subscriptions exist.
-func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) error {
-	key := plan.GroupKey(sc)
+//
+// keySuffix, when non-empty, privatizes the group: an isolated query over
+// an exported stream still needs the fabric feed, so it gets a group of
+// its own under a nonce-unique key instead of sharing the stream's.
+func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream, keySuffix string) error {
+	key := plan.GroupKey(sc) + keySuffix
 	remote := sc.Stream.RemoteTag() != ""
 	var mem *factory.Member
 	var createErr error
@@ -418,6 +450,18 @@ func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) error {
 	return nil
 }
 
+// joinSideOffer adapts one side of a join group to the fabric's
+// RemoteGroup contract: the coordinator routes a side-spec's worker
+// fragments here, and they land in that side's merger.
+type joinSideOffer struct {
+	g    *factory.JoinGroup
+	side int
+}
+
+func (o joinSideOffer) OfferRemote(shard int, frags []*window.Frag, wm int64) {
+	o.g.OfferRemote(o.side, shard, frags, wm)
+}
+
 // joinJoinGroup registers q as a member of its stream pair's shared join
 // group, creating the group — two stream front ends, per-side operator
 // DAGs, shared pair caches, and one scheduler transition per (side,
@@ -425,12 +469,23 @@ func (e *Engine) joinGroup(q *Query, sc *plan.ScanStream) error {
 // single-stream groups, the member's private tail runs as its own
 // transition under the query's name, so pause/resume/drop of one join
 // query never stalls its siblings or the shared slicing.
-func (e *Engine) joinJoinGroup(q *Query, left, right *plan.ScanStream) {
-	key := plan.JoinGroupKey(left, right)
+//
+// A side whose stream is exported to the shard fabric gets its own
+// slicing spec (the spec key carries a #L / #R suffix so the two sides of
+// one group stay distinct on the wire): the workers co-partition that
+// stream's shards and ship sealed epoch fragments into the side's merger
+// via OfferRemote, while pairing — and the join itself — stays
+// coordinator-side, where the members' shared pair caches live. The sides
+// are independent, so a remote stream can join a local one. keySuffix
+// privatizes the group for isolated queries, as in joinGroup.
+func (e *Engine) joinJoinGroup(q *Query, left, right *plan.ScanStream, keySuffix string) error {
+	key := plan.JoinGroupKey(left, right) + keySuffix
+	scans := [2]*plan.ScanStream{left, right}
 	var mem *factory.JoinMember
+	var createErr error
 	gv, n := e.cat.JoinGroup(key, func() any {
 		gname := fmt.Sprintf("group:%s#%d", key, e.groupSeq.Add(1))
-		g := factory.NewJoinGroup(factory.JoinGroupConfig{
+		cfg := factory.JoinGroupConfig{
 			Key:          key,
 			SchedGroup:   gname,
 			Left:         left,
@@ -438,11 +493,43 @@ func (e *Engine) joinJoinGroup(q *Query, left, right *plan.ScanStream) {
 			Now:          e.now,
 			NotifyMember: func(query string) { e.sched.NotifyGroup(query) },
 			NotifyShards: func() { e.sched.NotifyGroup(gname) },
-		})
-		// Join the creating member before the shard transitions go live so
-		// no basic window can seal against an empty member list.
+		}
+		var specs [2]*FabricSpec
+		for side, sc := range scans {
+			if sc.Stream.RemoteTag() == "" {
+				continue
+			}
+			fab := e.fabricHandler()
+			if fab == nil {
+				createErr = fmt.Errorf("datacell: stream %q is exported to the shard fabric but no fabric is attached", sc.Stream.Name)
+				return nil
+			}
+			spec, err := fab.AddSpec(sc.Stream.Name, fmt.Sprintf("%s#%c", key, "LR"[side]), sc.Window, sc.Out)
+			if err != nil {
+				createErr = err
+				if specs[0] != nil {
+					specs[0].Drop()
+				}
+				return nil
+			}
+			specs[side] = spec
+			cfg.Remote[side] = &factory.RemoteSource{
+				Shards:  spec.Shards,
+				Advance: spec.Advance,
+				Close:   spec.Drop,
+			}
+		}
+		g := factory.NewJoinGroup(cfg)
+		// Join the creating member before the shard transitions (or the
+		// fabric feeds) go live so no basic window can seal against an
+		// empty member list.
 		mem = g.Join(q.name, q.fac)
 		for side := 0; side < 2; side++ {
+			if specs[side] != nil {
+				side, spec := side, specs[side]
+				spec.Attach(joinSideOffer{g: g, side: side})
+				continue
+			}
 			for sh := 0; sh < g.NumShards(side); sh++ {
 				side, sh := side, sh
 				e.sched.Add(&scheduler.Transition{
@@ -457,6 +544,13 @@ func (e *Engine) joinJoinGroup(q *Query, left, right *plan.ScanStream) {
 		g.SubscribeAppend()
 		return g
 	})
+	if createErr != nil || gv == nil {
+		e.cat.LeaveGroup(key)
+		if createErr == nil {
+			createErr = fmt.Errorf("datacell: group %q failed to initialize", key)
+		}
+		return createErr
+	}
 	g := gv.(*factory.JoinGroup)
 	if mem == nil {
 		mem = g.Join(q.name, q.fac)
@@ -475,6 +569,7 @@ func (e *Engine) joinJoinGroup(q *Query, left, right *plan.ScanStream) {
 	// Cover anything sealed (or appended) during setup.
 	e.sched.NotifyGroup(q.groupSched)
 	e.sched.NotifyGroup(q.name)
+	return nil
 }
 
 // Name reports the query name.

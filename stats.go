@@ -42,7 +42,8 @@ type GroupInfo struct {
 	MemoMisses int64
 	// MergeClasses counts the group-owned merge rings: classes of two or
 	// more members whose full-window merges are byte-identical
-	// (plan.MergeKey) and therefore evaluate once per sealed window.
+	// (plan.MergeKey; plan.JoinMergeKey for join groups) and therefore
+	// evaluate once per sealed window.
 	// MergeHits / MergeMisses are the merged-view memo counters — for an
 	// N-member class, one miss and N-1 hits per full window.
 	MergeClasses int
@@ -233,10 +234,7 @@ func (e *Engine) NetworkString() string {
 					g.MergeClasses, 100*g.MergeHitRate(), g.PostNodes, 100*g.PostHitRate())
 			}
 			if g.Kind == "join" {
-				// post=n/a: join groups share no post-merge work yet (the
-				// members recompute aggregates above the join privately;
-				// DESIGN-SHARING.md documents the gap).
-				fmt.Fprintf(&b, " post=n/a paircaches=%d pairs=%d computed=%d", g.PairCaches, g.CachedPairs, g.PairsComputed)
+				fmt.Fprintf(&b, " paircaches=%d pairs=%d computed=%d", g.PairCaches, g.CachedPairs, g.PairsComputed)
 			}
 			b.WriteByte('\n')
 		}
