@@ -37,7 +37,7 @@ func main() {
 	assertShards := flag.Bool("assert-shard-scaling", false,
 		"with -bench: fail if 4-shard ingest is >10% slower than 1-shard (multi-core hosts only)")
 	assertFloors := flag.Bool("assert-floors", false,
-		"with -bench: assert the tracked scaling floors (shard4_vs_shard1 ≥ 0.9, fabric_direct_vs_local ≥ 1.0 and joinshared16_vs_isolated16 ≥ 1.5 on multi-core, grouped16_vs_isolated16 ≥ 1.5, memo16_vs_nomemo16 ≥ 1.5, sharedmerge16_vs_nosharedmerge16 ≥ 1.5, codec_delta_ratio and codec_dict_ratio ≥ 2.0)")
+		"with -bench: assert the tracked scaling floors (shard4_vs_shard1 ≥ 0.9, fabric_direct_vs_local ≥ 1.0 and joinshared16_vs_isolated16 ≥ 1.5 on multi-core, grouped16_vs_isolated16 ≥ 1.5, memo16_vs_nomemo16 ≥ 1.5, sharedmerge16_vs_nosharedmerge16 ≥ 1.5, fused_vs_chunked ≥ 1.3, plancache_ratio ≥ 2.0, codec_delta_ratio and codec_dict_ratio ≥ 2.0)")
 	compare := flag.String("compare", "", "previous BENCH_*.json to compare -against")
 	against := flag.String("against", "", "current BENCH_*.json for -compare")
 	history := flag.String("history", "",
@@ -128,6 +128,11 @@ func main() {
 			// container the loopback fabric and the engine fight for the
 			// same CPU, so the floor is skipped (report-only) there.
 			assertFloor("fabric_direct_vs_local", 1.0, true)
+			// Fusion and the plan cache are single-core wins — fewer
+			// intermediate copies, fewer compiles — so their floors hold
+			// on every machine class, 1-core CI containers included.
+			assertFloor("fused_vs_chunked", 1.3, false)
+			assertFloor("plancache_ratio", 2.0, false)
 			// The codec ratios are deterministic byte counts — no machine
 			// class caveat.
 			assertFloor("codec_delta_ratio", 2.0, false)

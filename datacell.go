@@ -76,6 +76,19 @@ type Engine struct {
 	// stay unique across teardown/re-create cycles of the same key.
 	groupSeq atomic.Int64
 
+	// Plan cache (query.go): compiled registration artifacts — optimized
+	// plan, decomposition, resolved mode — keyed on (SQL text, requested
+	// mode, catalog generation). Re-registering the same query text (fleets
+	// of per-tenant threshold variants, reconnect storms) skips parse,
+	// bind, optimize and decompose entirely; any DDL bumps the catalog
+	// generation and
+	// naturally orphans stale entries. planMu guards the map only; entries
+	// are immutable once published.
+	planMu    sync.Mutex
+	planCache map[string]*planEntry
+	planHits  atomic.Int64
+	planMiss  atomic.Int64
+
 	mu      sync.Mutex
 	queries map[string]*Query
 	fabric  Fabric // attached scale-out fabric (nil: single-process)
@@ -193,6 +206,8 @@ func New(opts *Options) *Engine {
 		buf:     o.ResultBuffer,
 		shards:  o.DefaultShards,
 		queries: make(map[string]*Query),
+
+		planCache: make(map[string]*planEntry),
 	}
 	if o.Heartbeat > 0 {
 		e.heartbeat = scheduler.NewTicker(o.Heartbeat, func(time.Time) {
@@ -324,7 +339,7 @@ func (e *Engine) execStmt(stmt sql.Stmt) (*Result, error) {
 		case "REEVAL":
 			mode = ModeReeval
 		}
-		q, err := e.register(s.Name, s.Select, mode, &RegisterOptions{Isolated: s.Isolated, Tenant: s.Tenant})
+		q, err := e.register(s.Name, "", s.Select, mode, &RegisterOptions{Isolated: s.Isolated, Tenant: s.Tenant, NoFuse: s.NoFuse})
 		if err != nil {
 			return nil, err
 		}
@@ -490,11 +505,101 @@ func (e *Engine) Query1(src string) (*bat.Chunk, error) {
 	return e.Select(sel)
 }
 
-// Append pushes rows into a stream's basket. Row values are native Go
-// values matching the stream schema (int/int64, float64, string, bool,
-// time.Time).
-func (e *Engine) Append(stream string, rows ...[]any) error {
-	return e.appendRows(stream, "", rows...)
+// AppendOption adjusts one Append call. Options mix freely with data
+// arguments in any order.
+type AppendOption func(*appendConfig)
+
+type appendConfig struct {
+	tenant string
+}
+
+// AsTenant charges the appended rows to the named tenant's account: they
+// count against its append-rate quota and block under its consumer-lag
+// backpressure before entering the shared append path (a throttled tenant
+// delays only itself).
+func AsTenant(tenant string) AppendOption {
+	return func(c *appendConfig) { c.tenant = tenant }
+}
+
+// Append is the single ingest entry point: it pushes data into a stream's
+// basket or bulk-loads a persistent table, dispatching on what the name
+// resolves to in the catalog. Data arguments are polymorphic —
+//
+//	e.Append("trades", []any{1, "MSFT", 31.2})          // boxed rows
+//	e.Append("trades", chunk)                           // pre-built columnar chunk (zero-boxing)
+//	e.Append("trades", chunk, datacell.AsTenant("acme")) // on a tenant's account
+//
+// any mix of []any rows, *bat.Chunk chunks, and AppendOption values, in
+// any order. Rows are native Go values matching the schema (int/int64,
+// float64, string, bool, time.Time) and are boxed into one chunk; each
+// chunk argument appends as-is. A call with no data still appends one
+// empty chunk to a stream, advancing its arrival clock — exactly the
+// historical Append(stream) behavior heartbeat-style callers rely on.
+// Every stream append, rows or chunk, tenant or anonymous, funnels
+// through the same gated path (quota admission, then basket append).
+func (e *Engine) Append(target string, args ...any) error {
+	var cfg appendConfig
+	var chunks []*bat.Chunk
+	var rows [][]any
+	for _, a := range args {
+		switch v := a.(type) {
+		case []any:
+			rows = append(rows, v)
+		case [][]any: // a whole batch of rows at once
+			rows = append(rows, v...)
+		case *bat.Chunk:
+			chunks = append(chunks, v)
+		case AppendOption:
+			v(&cfg)
+		default:
+			return fmt.Errorf("datacell: Append argument %T (want []any row, *bat.Chunk, or AppendOption)", a)
+		}
+	}
+	if _, ok := e.cat.Stream(target); ok {
+		if len(rows) > 0 || len(chunks) == 0 {
+			if err := e.appendRows(target, cfg.tenant, rows...); err != nil {
+				return err
+			}
+		}
+		for _, c := range chunks {
+			if err := e.appendChunkAs(target, c, cfg.tenant); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t, ok := e.cat.Table(target)
+	if !ok {
+		return fmt.Errorf("datacell: unknown stream or table %q", target)
+	}
+	if cfg.tenant != "" {
+		return fmt.Errorf("datacell: AsTenant applies to streams; %q is a table", target)
+	}
+	if len(rows) > 0 {
+		c := bat.NewChunk(t.Schema())
+		for _, row := range rows {
+			vals := make([]bat.Value, len(row))
+			for i, gv := range row {
+				v, err := bat.GoValue(gv)
+				if err != nil {
+					return err
+				}
+				vals[i] = v
+			}
+			if err := c.AppendRow(vals...); err != nil {
+				return err
+			}
+		}
+		if err := t.Append(c); err != nil {
+			return err
+		}
+	}
+	for _, c := range chunks {
+		if err := t.Append(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // appendRows boxes rows into a chunk and runs the gated append path on
@@ -524,6 +629,8 @@ func (e *Engine) appendRows(stream, as string, rows ...[]any) error {
 
 // AppendTable bulk-loads a pre-built columnar chunk into a persistent
 // table.
+//
+// Deprecated: use Append(table, c) — Append dispatches on the catalog.
 func (e *Engine) AppendTable(table string, c *bat.Chunk) error {
 	t, ok := e.cat.Table(table)
 	if !ok {
@@ -534,6 +641,8 @@ func (e *Engine) AppendTable(table string, c *bat.Chunk) error {
 
 // AppendChunk pushes a pre-built columnar chunk into a stream's basket —
 // the zero-boxing path used by receptors and benchmarks.
+//
+// Deprecated: use Append(stream, c).
 func (e *Engine) AppendChunk(stream string, c *bat.Chunk) error {
 	return e.appendChunkAs(stream, c, "")
 }

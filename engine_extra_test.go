@@ -181,7 +181,7 @@ func TestQueryOverflowingVacuum(t *testing.T) {
 		for j := range rows {
 			rows[j] = []any{time.UnixMicro(int64(i + j)), i + j}
 		}
-		_ = e.Append("s", rows...)
+		_ = e.Append("s", rows)
 	}
 	e.Drain()
 	res := collect(e, q)

@@ -26,11 +26,11 @@ func main() {
 	if _, err := eng.Exec(linearroad.CreateStreamSQL); err != nil {
 		log.Fatal(err)
 	}
-	segStats, err := eng.Register("seg_stats", linearroad.SegmentStatsSQL(), nil)
+	segStats, err := eng.RegisterQuery("seg_stats", linearroad.SegmentStatsSQL())
 	if err != nil {
 		log.Fatal(err)
 	}
-	accidents, err := eng.Register("accidents", linearroad.AccidentSQL(), nil)
+	accidents, err := eng.RegisterQuery("accidents", linearroad.AccidentSQL())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func main() {
 	chunks := linearroad.Generate(cfg)
 	var reports int64
 	for _, c := range chunks {
-		if err := eng.AppendChunk("lr_pos", c); err != nil {
+		if err := eng.Append("lr_pos", c); err != nil {
 			log.Fatal(err)
 		}
 		reports += int64(c.Rows())

@@ -25,12 +25,12 @@ func main() {
 	must("CREATE STREAM alerts (ts TIMESTAMP, src INT, severity INT)")
 
 	// Q1: heavy hitters per source over a sliding window.
-	heavy, err := eng.Register("heavy_hitters", `
+	heavy, err := eng.RegisterQuery("heavy_hitters", `
 		SELECT src, sum(bytes) AS total
 		FROM flows [SIZE 300 SLIDE 100]
 		GROUP BY src
 		HAVING sum(bytes) > 500000
-		ORDER BY total DESC LIMIT 5`, nil)
+		ORDER BY total DESC LIMIT 5`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,10 +38,10 @@ func main() {
 	// Q2: flows from sources with an active high-severity alert — a
 	// windowed stream⋈stream join, executed incrementally by caching
 	// per-basic-window-pair join results.
-	suspicious, err := eng.Register("suspicious", `
+	suspicious, err := eng.RegisterQuery("suspicious", `
 		SELECT f.src, f.dst, f.bytes, a.severity
 		FROM flows [SIZE 300 SLIDE 100] f, alerts [SIZE 300 SLIDE 100] a
-		WHERE f.src = a.src AND a.severity >= 8`, nil)
+		WHERE f.src = a.src AND a.severity >= 8`)
 	if err != nil {
 		log.Fatal(err)
 	}

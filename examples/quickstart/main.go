@@ -24,11 +24,11 @@ func main() {
 	// readings, re-reported every 4. The engine picks the incremental
 	// execution mode because the plan decomposes into cacheable
 	// basic-window partials.
-	q, err := eng.Register("room_avg", `
+	q, err := eng.RegisterQuery("room_avg", `
 		SELECT room, avg(temp) AS avg_temp, max(temp) AS max_temp
 		FROM sensors [SIZE 8 SLIDE 4]
 		GROUP BY room
-		ORDER BY room`, nil)
+		ORDER BY room`)
 	if err != nil {
 		log.Fatal(err)
 	}

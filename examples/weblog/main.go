@@ -40,25 +40,25 @@ func main() {
 
 	// Q1: per-section traffic value over a sliding window, joining the
 	// stream with the persistent table inside the continuous plan.
-	bySection, err := eng.Register("by_section", `
+	bySection, err := eng.RegisterQuery("by_section", `
 		SELECT p.section, count(*) AS hits, sum(r.bytes) AS bytes,
 		       avg(r.ms) AS avg_ms
 		FROM requests [SIZE 400 SLIDE 100] r
 		JOIN pages p ON r.path = p.path
 		GROUP BY p.section
-		ORDER BY hits DESC`, nil)
+		ORDER BY hits DESC`)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Q2: error-rate alarm — sections of the site throwing 5xx.
-	errors5xx, err := eng.Register("errors_5xx", `
+	errors5xx, err := eng.RegisterQuery("errors_5xx", `
 		SELECT path, count(*) AS errors
 		FROM requests [SIZE 400 SLIDE 100]
 		WHERE status >= 500
 		GROUP BY path
 		HAVING count(*) >= 3
-		ORDER BY errors DESC`, nil)
+		ORDER BY errors DESC`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,7 +23,23 @@ type Grouping struct {
 // all rows (the SQL "aggregate without GROUP BY" case), or zero groups if
 // the input is empty.
 func Group(keys []bat.Vector, sel Sel, n int) Grouping {
+	return GroupHint(keys, sel, n, defaultGroupHint)
+}
+
+// defaultGroupHint is the historical fixed capacity of the grouping hash
+// tables — the pre-sizing baseline when no cardinality estimate exists.
+const defaultGroupHint = 64
+
+// GroupHint is Group with an explicit hash-table capacity hint, fed by
+// observed per-window group cardinality (the factory remembers each
+// pipeline's last output size). The hint only pre-sizes the group-id map —
+// group ids, representatives and ordering are identical for every hint, so
+// callers may pass any non-negative estimate without affecting results.
+func GroupHint(keys []bat.Vector, sel Sel, n, hint int) Grouping {
 	rows := SelLen(sel, n)
+	if hint <= 0 {
+		hint = defaultGroupHint
+	}
 	if len(keys) == 0 {
 		g := Grouping{GIDs: make([]int32, rows)}
 		if rows > 0 {
@@ -34,13 +50,13 @@ func Group(keys []bat.Vector, sel Sel, n int) Grouping {
 	}
 	if len(keys) == 1 {
 		if isIntKind(keys[0]) {
-			return groupInt(bat.AsInts(keys[0]), sel, rows)
+			return groupInt(bat.AsInts(keys[0]), sel, rows, hint)
 		}
 		if xs, ok := keys[0].(bat.Strs); ok {
-			return groupStr(xs, sel, rows)
+			return groupStr(xs, sel, rows, hint)
 		}
 	}
-	return groupComposite(keys, sel, rows)
+	return groupComposite(keys, sel, rows, hint)
 }
 
 func firstPos(sel Sel) int32 {
@@ -50,9 +66,9 @@ func firstPos(sel Sel) int32 {
 	return sel[0]
 }
 
-func groupInt(xs []int64, sel Sel, rows int) Grouping {
+func groupInt(xs []int64, sel Sel, rows, hint int) Grouping {
 	g := Grouping{GIDs: make([]int32, 0, rows)}
-	ids := make(map[int64]int32, 64)
+	ids := make(map[int64]int32, hint)
 	eachSel(xs, sel, func(i int32, x int64) {
 		id, ok := ids[x]
 		if !ok {
@@ -66,9 +82,9 @@ func groupInt(xs []int64, sel Sel, rows int) Grouping {
 	return g
 }
 
-func groupStr(xs []string, sel Sel, rows int) Grouping {
+func groupStr(xs []string, sel Sel, rows, hint int) Grouping {
 	g := Grouping{GIDs: make([]int32, 0, rows)}
-	ids := make(map[string]int32, 64)
+	ids := make(map[string]int32, hint)
 	eachSel(xs, sel, func(i int32, x string) {
 		id, ok := ids[x]
 		if !ok {
@@ -82,9 +98,9 @@ func groupStr(xs []string, sel Sel, rows int) Grouping {
 	return g
 }
 
-func groupComposite(keys []bat.Vector, sel Sel, rows int) Grouping {
+func groupComposite(keys []bat.Vector, sel Sel, rows, hint int) Grouping {
 	g := Grouping{GIDs: make([]int32, 0, rows)}
-	ids := make(map[string]int32, 64)
+	ids := make(map[string]int32, hint)
 	var buf []byte
 	n := keys[0].Len()
 	forSel(sel, n, func(i int32) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"datacell/internal/basket"
 	"datacell/internal/bat"
@@ -131,7 +132,17 @@ type Catalog struct {
 	// under the lock — never interleaves with schema lookups.
 	gmu    sync.Mutex
 	groups map[string]*groupSlot
+
+	// gen counts schema mutations (create/drop of tables and streams).
+	// Cached compilation artifacts key on it: a plan cached under one
+	// generation is valid only while the generation is unchanged, since
+	// name resolution could bind differently after any DDL.
+	gen atomic.Int64
 }
+
+// Gen reports the current schema generation. It increments on every
+// successful CreateTable/CreateStream*/DropTable/DropStream.
+func (c *Catalog) Gen() int64 { return c.gen.Load() }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -150,6 +161,7 @@ func (c *Catalog) CreateTable(name string, schema bat.Schema) (*Table, error) {
 	}
 	t := NewTable(name, schema)
 	c.tables[name] = t
+	c.gen.Add(1)
 	return t, nil
 }
 
@@ -170,6 +182,7 @@ func (c *Catalog) CreateStreamSharded(name string, schema bat.Schema, shards, ke
 	}
 	s := &Stream{Name: name, schema: schema, Basket: basket.NewSharded(name, schema, shards, keyIdx)}
 	c.streams[name] = s
+	c.gen.Add(1)
 	return s, nil
 }
 
@@ -207,6 +220,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: no table %q", name)
 	}
 	delete(c.tables, name)
+	c.gen.Add(1)
 	return nil
 }
 
@@ -219,6 +233,7 @@ func (c *Catalog) DropStream(name string) error {
 		return fmt.Errorf("catalog: no stream %q", name)
 	}
 	delete(c.streams, name)
+	c.gen.Add(1)
 	return nil
 }
 

@@ -124,13 +124,13 @@ func runQuery(mode datacell.Mode, sql string, chunks []*bat.Chunk, extraDDL ...s
 	if _, err := eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)"); err != nil {
 		panic(err)
 	}
-	q, err := eng.Register("q", sql, &datacell.RegisterOptions{Mode: mode, NoChannel: true})
+	q, err := eng.RegisterQuery("q", sql, datacell.WithMode(mode), datacell.NoChannel())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: register %q: %v", sql, err))
 	}
 	start := time.Now()
 	for _, c := range chunks {
-		if err := eng.AppendChunk("s", c); err != nil {
+		if err := eng.Append("s", c); err != nil {
 			panic(err)
 		}
 	}
@@ -275,7 +275,7 @@ func runTwoStream(mode datacell.Mode, sql string, n, batch, nkeys int) runResult
 			panic(err)
 		}
 	}
-	q, err := eng.Register("q", sql, &datacell.RegisterOptions{Mode: mode, NoChannel: true})
+	q, err := eng.RegisterQuery("q", sql, datacell.WithMode(mode), datacell.NoChannel())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: register %q: %v", sql, err))
 	}
@@ -283,10 +283,10 @@ func runTwoStream(mode datacell.Mode, sql string, n, batch, nkeys int) runResult
 	chunksR := sensorChunks(n, batch, nkeys)
 	start := time.Now()
 	for i := range chunksS {
-		if err := eng.AppendChunk("s", chunksS[i]); err != nil {
+		if err := eng.Append("s", chunksS[i]); err != nil {
 			panic(err)
 		}
-		if err := eng.AppendChunk("r", chunksR[i]); err != nil {
+		if err := eng.Append("r", chunksR[i]); err != nil {
 			panic(err)
 		}
 	}
@@ -350,16 +350,16 @@ func runStreamTable(sql string, chunks []*bat.Chunk, ddl []string, dimRows int) 
 		gs[i] = int64(i % 32)
 	}
 	dimChunk := &bat.Chunk{Schema: sch, Cols: []bat.Vector{ks, gs}}
-	if err := eng.AppendTable("dim", dimChunk); err != nil {
+	if err := eng.Append("dim", dimChunk); err != nil {
 		panic(err)
 	}
-	q, err := eng.Register("q", sql, &datacell.RegisterOptions{NoChannel: true})
+	q, err := eng.RegisterQuery("q", sql, datacell.NoChannel())
 	if err != nil {
 		panic(err)
 	}
 	start := time.Now()
 	for _, c := range chunks {
-		if err := eng.AppendChunk("s", c); err != nil {
+		if err := eng.Append("s", c); err != nil {
 			panic(err)
 		}
 	}
@@ -388,8 +388,7 @@ func E5QueryNetwork(counts []int, tuples int) *Table {
 		for i := 0; i < qn; i++ {
 			sql := fmt.Sprintf(
 				"SELECT k, count(*) AS n FROM s [SIZE 1024 SLIDE 256] GROUP BY k HAVING count(*) > %d", i%7)
-			q, err := eng.Register(fmt.Sprintf("q%03d", i), sql,
-				&datacell.RegisterOptions{NoChannel: true})
+			q, err := eng.RegisterQuery(fmt.Sprintf("q%03d", i), sql, datacell.NoChannel())
 			if err != nil {
 				panic(err)
 			}
@@ -398,7 +397,7 @@ func E5QueryNetwork(counts []int, tuples int) *Table {
 		chunks := sensorChunks(tuples, 512, 16)
 		start := time.Now()
 		for _, c := range chunks {
-			if err := eng.AppendChunk("s", c); err != nil {
+			if err := eng.Append("s", c); err != nil {
 				panic(err)
 			}
 		}
@@ -435,12 +434,12 @@ func E6LinearRoad(xways []int, durationSec int) *Table {
 		if _, err := eng.Exec(linearroad.CreateStreamSQL); err != nil {
 			panic(err)
 		}
-		seg, err := eng.Register("seg_stats", linearroad.SegmentStatsSQL(), nil)
+		seg, err := eng.RegisterQuery("seg_stats", linearroad.SegmentStatsSQL())
 		if err != nil {
 			panic(err)
 		}
-		if _, err := eng.Register("accidents", linearroad.AccidentSQL(),
-			&datacell.RegisterOptions{NoChannel: true}); err != nil {
+		if _, err := eng.RegisterQuery("accidents", linearroad.AccidentSQL(),
+			datacell.NoChannel()); err != nil {
 			panic(err)
 		}
 		cfg := linearroad.Config{
@@ -451,7 +450,7 @@ func E6LinearRoad(xways []int, durationSec int) *Table {
 		var reports int64
 		start := time.Now()
 		for _, c := range chunks {
-			if err := eng.AppendChunk("lr_pos", c); err != nil {
+			if err := eng.Append("lr_pos", c); err != nil {
 				panic(err)
 			}
 			reports += int64(c.Rows())
@@ -493,9 +492,9 @@ func E7Analysis(tuples, intervals int) (*Table, string) {
 	if _, err := eng.Exec("CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT)"); err != nil {
 		panic(err)
 	}
-	q, err := eng.Register("watch",
+	q, err := eng.RegisterQuery("watch",
 		"SELECT k, avg(v) AS m FROM s [SIZE 2048 SLIDE 512] GROUP BY k",
-		&datacell.RegisterOptions{NoChannel: true})
+		datacell.NoChannel())
 	if err != nil {
 		panic(err)
 	}
@@ -511,7 +510,7 @@ func E7Analysis(tuples, intervals int) (*Table, string) {
 	start := time.Now()
 	col.Sample(0)
 	for i, c := range chunks {
-		if err := eng.AppendChunk("s", c); err != nil {
+		if err := eng.Append("s", c); err != nil {
 			panic(err)
 		}
 		if (i+1)%per == 0 {

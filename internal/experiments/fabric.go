@@ -99,14 +99,14 @@ func fabricFanout(queries, workers, n, batch, nkeys int, snapshot, noDirect bool
 	for j := 0; j < queries; j++ {
 		sql := fmt.Sprintf(
 			"SELECT count(*) AS n FROM s [SIZE 8192 SLIDE 2048] WHERE v > %d.0", 400+(j%8)*12)
-		if _, err := eng.Register(fmt.Sprintf("q%02d", j), sql,
-			&datacell.RegisterOptions{Mode: datacell.ModeIncremental, NoChannel: true}); err != nil {
+		if _, err := eng.RegisterQuery(fmt.Sprintf("q%02d", j), sql,
+			datacell.WithMode(datacell.ModeIncremental), datacell.NoChannel()); err != nil {
 			panic(err)
 		}
 	}
 	start := time.Now()
 	for _, c := range chunks {
-		_ = eng.AppendChunk("s", c)
+		_ = eng.Append("s", c)
 	}
 	if workers > 0 {
 		coord.Drain()

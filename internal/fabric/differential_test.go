@@ -164,6 +164,38 @@ func runDiffFabric(t *testing.T, ddl string, nWorkers int, qs []diffQuery, sChun
 	return out
 }
 
+// TestFabricDifferentialNoFuse is the cross-executor spot-check: the
+// local leg runs with the fused tail executor ablated (NoFuse) while the
+// fabric leg keeps the fused default. Byte-identical results pin the
+// fusion contract across the wire — fused-over-fabric equals
+// unfused-local equals (by TestFabricDifferential) fused-local.
+func TestFabricDifferentialNoFuse(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			slide := 4 * (1 + rng.Intn(3))
+			size := slide * (1 + rng.Intn(3))
+			ddl := "CREATE STREAM s (ts TIMESTAMP, k INT, v FLOAT) SHARD 2 KEY k;\n" +
+				"CREATE STREAM r (ts TIMESTAMP, k INT, v FLOAT) SHARD 3"
+			nkeys := 2 + rng.Intn(5)
+			sChunks := diffChunks(rng, 150, nkeys)
+			rChunks := diffChunks(rng, 150, nkeys)
+			qs := diffWorkload(rng, size, slide)
+			ablated := make([]diffQuery, len(qs))
+			for i, dq := range qs {
+				opts := *dq.opts
+				opts.NoFuse = true
+				ablated[i] = diffQuery{dq.sql, &opts}
+			}
+
+			local := runDiffLocal(t, ddl, ablated, sChunks, rChunks)
+			fab := runDiffFabric(t, ddl, 2, qs, sChunks, rChunks)
+			assertSameResults(t, fmt.Sprintf("nofuse seed=%d size=%d slide=%d", seed, size, slide), fab, local)
+		})
+	}
+}
+
 // TestFabricDifferential is the property-based arm of the equivalence
 // suite: the fabric must be indistinguishable from the single-process
 // engine on any accepted workload, not just the hand-picked matrix.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"datacell/internal/bat"
+	"datacell/internal/kernel"
 	"datacell/internal/plan"
 )
 
@@ -17,9 +18,18 @@ import (
 // member tails fan out only where their plans diverge. The nodes are not
 // separately scheduled: whichever member tail transition reaches a node
 // first evaluates it (under the window's memo latch) and siblings reuse
-// the memoized chunk, which keeps member-granular pause/drop intact — a
+// the memoized result, which keeps member-granular pause/drop intact — a
 // paused member never blocks a sibling, it just finds more memo hits when
 // it catches up.
+//
+// Evaluation is fused (internal/kernel): memo cells hold lazy views —
+// a filter node's cell is just a candidate list over its parent's view,
+// and an aggregate node consumes its parent's view directly, evaluating
+// keys and arguments under the selection. A view materializes (latched,
+// once across all members) only when some member's chain actually ends
+// at that node and needs the dense chunk for its tail. Bytes are
+// identical to the former chunk-per-node memo: materializing a filter
+// view IS the FetchChunk the unfused step performed eagerly.
 type dag struct {
 	mu    sync.Mutex
 	nodes map[string]*dagNode
@@ -33,6 +43,10 @@ type dagNode struct {
 	step   plan.PipelineStep // the operator; unset for aggregate nodes
 	agg    *plan.Aggregate   // partial-aggregate nodes
 	refs   int               // registered paths through this node
+	// hint is the newest observed output cardinality of an aggregate
+	// node, pre-sizing the next window's grouping hash table. Capacity
+	// never affects the grouping, so the hint is best-effort racy.
+	hint atomic.Int64
 }
 
 func newDAG() *dag { return &dag{nodes: make(map[string]*dagNode)} }
@@ -43,7 +57,7 @@ func newDAG() *dag { return &dag{nodes: make(map[string]*dagNode)} }
 // nil: an empty chain means the member consumes raw basic windows).
 // Each registered path holds one reference on every node it traverses;
 // unregister releases them.
-func (d *dag) register(steps []plan.PipelineStep, agg *plan.Aggregate) (leaf, aggNode *dagNode) {
+func (d *dag) register(steps []plan.PipelineStep, agg *plan.Aggregate, aggFp string) (leaf, aggNode *dagNode) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, s := range steps {
@@ -56,11 +70,16 @@ func (d *dag) register(steps []plan.PipelineStep, agg *plan.Aggregate) (leaf, ag
 	}
 	d.retain(leaf)
 	if agg != nil {
-		childFp := "raw"
-		if leaf != nil {
-			childFp = leaf.fp
+		// aggFp is the caller's memoized render (plan-cache-shared plans
+		// pay it once); fall back to rendering here when absent.
+		fp := aggFp
+		if fp == "" {
+			childFp := "raw"
+			if leaf != nil {
+				childFp = leaf.fp
+			}
+			fp = plan.FingerprintAggregate(agg, childFp)
 		}
-		fp := plan.FingerprintAggregate(agg, childFp)
 		n := d.nodes[fp]
 		if n == nil {
 			n = &dagNode{fp: fp, parent: leaf, agg: agg}
@@ -102,11 +121,11 @@ func (d *dag) Nodes() int {
 // dagWin is one sealed basic window's memo table, shared by every member
 // the window was fanned out to. Cells latch with sync.Once: concurrent
 // member tails needing the same node compute it once and the rest wait
-// for (then reuse) the memoized chunk. The memo holds plain immutable
-// chunks — members keep them in their rings for a full window extent, so
-// their lifetime is governed by the rings (via GC), while the refcounted
-// SharedBuf view of the raw tuples is released per member as soon as its
-// chain is evaluated.
+// for (then reuse) the memoized view. Memoized views reference the raw
+// window's shared buffer only until the batch of member firings that
+// carries this dagWin completes; whatever a member keeps longer (ring
+// contents) is a materialized immutable chunk, so buffer lifetime stays
+// governed by the refcounted fanout exactly as before.
 type dagWin struct {
 	mu   sync.Mutex
 	memo map[*dagNode]*memoCell
@@ -114,7 +133,7 @@ type dagWin struct {
 
 type memoCell struct {
 	once sync.Once
-	out  *bat.Chunk
+	out  *kernel.View
 }
 
 func newDagWin() *dagWin { return &dagWin{memo: make(map[*dagNode]*memoCell)} }
@@ -138,7 +157,10 @@ func (w *dagWin) cell(n *dagNode) *memoCell {
 // already did. A member's own recursive parent lookups are deliberately
 // not hits (a lone member resolving filter then aggregate must report
 // zero sharing), which is what makes hits/(hits+misses) an honest
-// cross-query sharing rate.
+// cross-query sharing rate. The leaf's view materializes here (latched in
+// the view, so siblings ending at the same node share one
+// reconstruction); interior filter nodes that only feed aggregates never
+// materialize at all.
 func (d *dag) eval(w *dagWin, n *dagNode, raw *bat.Chunk, hits, misses *atomic.Int64) *bat.Chunk {
 	if n == nil {
 		return raw
@@ -147,23 +169,25 @@ func (d *dag) eval(w *dagWin, n *dagNode, raw *bat.Chunk, hits, misses *atomic.I
 	if !computed {
 		hits.Add(1)
 	}
-	return out
+	return out.Materialize()
 }
 
 // evalNode resolves n through the window memo, recursing parent-first.
 // computed reports whether THIS call performed n's evaluation (as opposed
 // to finding it latched).
-func (d *dag) evalNode(w *dagWin, n *dagNode, raw *bat.Chunk, misses *atomic.Int64) (out *bat.Chunk, computed bool) {
+func (d *dag) evalNode(w *dagWin, n *dagNode, raw *bat.Chunk, misses *atomic.Int64) (out *kernel.View, computed bool) {
 	if n == nil {
-		return raw, false
+		return kernel.NewView(raw), false
 	}
 	c := w.cell(n)
 	c.once.Do(func() {
 		in, _ := d.evalNode(w, n.parent, raw, misses)
 		if n.agg != nil {
-			c.out = plan.RunAggregate(n.agg, in)
+			part := kernel.Aggregate(n.agg, in, int(n.hint.Load()))
+			n.hint.Store(int64(part.Rows()))
+			c.out = kernel.NewView(part)
 		} else {
-			c.out = plan.ApplyStep(n.step, in)
+			c.out = kernel.ApplyStep(n.step, in)
 		}
 		misses.Add(1)
 		computed = true

@@ -53,6 +53,7 @@ import (
 	"datacell/internal/basket"
 	"datacell/internal/bat"
 	"datacell/internal/emitter"
+	"datacell/internal/kernel"
 	"datacell/internal/plan"
 	"datacell/internal/window"
 )
@@ -108,6 +109,15 @@ type Config struct {
 	// to measure what sharing past the merge boundary buys; it never
 	// changes results.
 	NoSharedMerge bool
+	// NoFuse disables the fused vectorized tail executor for this
+	// factory's private evaluation paths: per-basic-window pipelines run
+	// the classic one-materialized-chunk-per-operator executor
+	// (plan.Exec), no predicates push into the slice step, and grouping
+	// hash tables keep their fixed default capacity. A group's shared
+	// operator DAG is structural and stays fused either way. Results are
+	// byte-identical with or without; benchmarks and the ablation
+	// equivalence suite use it to measure (and prove) what fusion buys.
+	NoFuse bool
 	// Emit receives every evaluation's result set.
 	Emit emitter.Emitter
 	// Now supplies the wall clock in microseconds; defaults to the system
@@ -176,6 +186,12 @@ type Factory struct {
 	cfg    Config
 	inputs []*input
 	jc     window.PairCache
+	// pipes holds one compiled fused pipeline per decomposition pipeline
+	// (nil entries fall back to the unfused plan.Exec executor): the
+	// kernel-fused per-basic-window chains used by deliver and the
+	// incremental fallback. Empty when NoFuse or when the factory has no
+	// decomposition.
+	pipes []*kernel.Pipeline
 	// reevalJoin marks a re-evaluation-mode join whose plan decomposes:
 	// the full-window recompute is expressed as the merge of cached
 	// basic-window pairs through the pair cache (group-shared for
@@ -240,6 +256,19 @@ func New(cfg Config, bind map[*plan.ScanStream]*basket.Sharded) (*Factory, error
 	if len(scans) == 0 {
 		return nil, fmt.Errorf("factory %s: plan reads no stream", cfg.Name)
 	}
+	if cfg.Decomp != nil && (cfg.Mode == Incremental || f.reevalJoin) && !cfg.NoFuse {
+		// Compile the fused per-basic-window chains. Single-stream
+		// aggregate plans skip materializing the pipeline output: only the
+		// per-window partials merge downstream, so the filtered
+		// intermediate chunk is never reconstructed.
+		needOut := cfg.Decomp.Agg == nil
+		f.pipes = make([]*kernel.Pipeline, len(cfg.Decomp.Pipelines))
+		for i := range cfg.Decomp.Pipelines {
+			if kp, ok := kernel.Compile(cfg.Decomp, i, cfg.Decomp.Agg, needOut); ok {
+				f.pipes[i] = kp
+			}
+		}
+	}
 	if cfg.Shared {
 		joined := cfg.Decomp != nil && cfg.Decomp.Join != nil
 		if len(scans) != 1 && !(joined && len(scans) == 2) {
@@ -265,12 +294,28 @@ func New(cfg Config, bind map[*plan.ScanStream]*basket.Sharded) (*Factory, error
 			f.inputs = append(f.inputs, in)
 			continue
 		}
+		// Slice-time predicate pushdown: a private incremental factory owns
+		// its slicers, so the fused chain's leading filters move into the
+		// slice step — non-qualifying rows are dropped before they are
+		// buffered into a window, and the chain skips the already-applied
+		// prefix. Shared factories (group-owned slicers), re-evaluation
+		// plans (raw windows) and fabric-fed front ends never qualify.
+		var pre func(*bat.Chunk) *bat.Chunk
+		if cfg.Mode == Incremental && idx < len(f.pipes) && f.pipes[idx] != nil {
+			if preds := f.pipes[idx].LeadingFilters(); len(preds) > 0 {
+				pre = kernel.Prefilter(preds)
+				f.pipes[idx].SetSkip(len(preds))
+			}
+		}
 		for i := 0; i < shb.NumShards(); i++ {
 			b := shb.Shard(i)
 			si := &shardIn{idx: i, bk: b, cid: b.Register()}
 			if s.Window != nil {
 				si.sl = window.NewShardSlicer(s.Window, s.Out)
 				si.wm.Store(si.sl.Watermark())
+				if pre != nil {
+					si.sl.SetPrefilter(pre)
+				}
 			}
 			in.shards = append(in.shards, si)
 		}
@@ -606,15 +651,26 @@ func (f *Factory) deliver(idx int, in *input, si *shardIn, frags []*window.Frag)
 	if f.cfg.Mode == Incremental {
 		d := f.cfg.Decomp
 		pipe := d.Pipelines[idx]
-		for _, fr := range frags {
-			ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: fr.Data}}
-			out, err := ex.Run(pipe.Root)
-			if err != nil {
-				out = bat.NewChunk(pipe.Root.Schema())
+		if kp := f.pipe(idx); kp != nil {
+			// Fused path: filter → project → partial aggregate run as one
+			// pass over the fragment, materializing at most once. For
+			// aggregate plans fr.Out stays nil (the merged window's Out is
+			// an empty chunk nothing downstream reads — MergeAggregate
+			// consumes the concatenated partials).
+			for _, fr := range frags {
+				fr.Out, fr.Partial = kp.Run(fr.Data)
 			}
-			fr.Out = out
-			if d.Agg != nil {
-				fr.Partial = plan.RunAggregate(d.Agg, out)
+		} else {
+			for _, fr := range frags {
+				ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: fr.Data}}
+				out, err := ex.Run(pipe.Root)
+				if err != nil {
+					out = bat.NewChunk(pipe.Root.Schema())
+				}
+				fr.Out = out
+				if d.Agg != nil {
+					fr.Partial = plan.RunAggregate(d.Agg, out)
+				}
 			}
 		}
 	}
@@ -630,6 +686,16 @@ func (f *Factory) deliver(idx int, in *input, si *shardIn, frags []*window.Frag)
 	}
 	in.mergeMu.Unlock()
 	return emitted
+}
+
+// pipe returns the compiled fused pipeline for input idx, or nil when the
+// factory runs unfused (NoFuse, no decomposition, or a chain the
+// linearizer rejected).
+func (f *Factory) pipe(idx int) *kernel.Pipeline {
+	if idx >= len(f.pipes) {
+		return nil
+	}
+	return f.pipes[idx]
 }
 
 // atomicMax raises a to v and reports whether it advanced.
@@ -768,15 +834,24 @@ func (f *Factory) incrementalStep(idx int, bw *window.BW) int {
 		// error substitutes an empty intermediate — like the fragment path
 		// — so the ring stays window-aligned and the shared buffer is
 		// still released below.
-		pipe := d.Pipelines[idx]
-		ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: bw.Data}}
-		out, err := ex.Run(pipe.Root)
-		if err != nil {
-			out = bat.NewChunk(pipe.Root.Schema())
-		}
-		bw.Out = out
-		if d.Agg != nil {
-			bw.Partial = plan.RunAggregate(d.Agg, out)
+		if kp := f.pipe(idx); kp != nil {
+			// Fused fallback. The fallback only sees raw windows (group
+			// fanout, re-evaluation joins), so the chain runs in full —
+			// pushdown skips are installed only on factories whose own
+			// slicers pre-filter, and those always arrive via the fragment
+			// path above.
+			bw.Out, bw.Partial = kp.Run(bw.Data)
+		} else {
+			pipe := d.Pipelines[idx]
+			ex := &plan.Exec{StreamInputs: map[*plan.ScanStream]*bat.Chunk{pipe.Scan: bw.Data}}
+			out, err := ex.Run(pipe.Root)
+			if err != nil {
+				out = bat.NewChunk(pipe.Root.Schema())
+			}
+			bw.Out = out
+			if d.Agg != nil {
+				bw.Partial = plan.RunAggregate(d.Agg, out)
+			}
 		}
 	}
 	if bw.Free != nil {

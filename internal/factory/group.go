@@ -471,15 +471,15 @@ func (g *Group) Join(query string, fac *Factory) *Member {
 	m := &Member{g: g, query: query, fac: fac}
 	d := fac.cfg.Decomp
 	if d != nil && !fac.cfg.NoMemo && fac.cfg.Mode == Incremental && d.Join == nil {
-		if steps, ok := plan.PipelineSteps(d.Pipelines[0].Root, d.Pipelines[0].Scan); ok {
-			m.leaf, m.aggLeaf = g.dag.register(steps, d.Agg)
+		if steps, ok := d.StepsMemo(0); ok {
+			m.leaf, m.aggLeaf = g.dag.register(steps, d.Agg, d.AggFingerprintMemo())
 			if !fac.cfg.NoSharedMerge {
-				if key, ok := plan.MergeKey(d, steps); ok {
+				if key, ok := d.MergeKeyMemo(); ok {
 					m.classKey = key
 					m.hasPost = d.Post != nil
 					if d.Post != nil {
-						if psteps, ok := plan.PostSteps(d.Post, d.MergedLeaf, key); ok {
-							m.postLeaf, _ = g.postDag.register(psteps, nil)
+						if psteps, ok := d.PostStepsMemo(key); ok {
+							m.postLeaf, _ = g.postDag.register(psteps, nil, "")
 						}
 					}
 				}

@@ -279,15 +279,14 @@ func (g *JoinGroup) Join(query string, fac *Factory) *JoinMember {
 	piped := !fac.cfg.NoMemo
 	if !fac.cfg.NoMemo {
 		for side := 0; side < 2; side++ {
-			p := d.Pipelines[side]
-			if steps, ok := plan.PipelineSteps(p.Root, p.Scan); ok {
-				m.leaf[side], _ = g.dags[side].register(steps, nil)
+			if steps, ok := d.StepsMemo(side); ok {
+				m.leaf[side], _ = g.dags[side].register(steps, nil, "")
 			} else {
 				piped = false
 			}
 		}
 	}
-	m.pcKey = plan.Fingerprint(d.Join)
+	m.pcKey = d.JoinFingerprintMemo()
 	var classKey string
 	if piped && !fac.cfg.NoSharedMerge {
 		// Both side pipelines linearized into the side DAGs, so the merged
@@ -295,12 +294,12 @@ func (g *JoinGroup) Join(query string, fac *Factory) *JoinMember {
 		// member can resolve it from the class's shared merge cells. The
 		// class key embeds the join fingerprint, which covers both side
 		// pipelines: class siblings necessarily share this pair cache too.
-		classKey, _ = plan.JoinMergeKey(d)
+		classKey, _ = d.JoinMergeKeyMemo()
 	}
 	if classKey != "" && d.Post != nil {
 		m.hasPost = true
-		if psteps, ok := plan.PostSteps(d.Post, d.MergedLeaf, classKey); ok {
-			m.postLeaf, _ = g.postDag.register(psteps, nil)
+		if psteps, ok := d.PostStepsMemo(classKey); ok {
+			m.postLeaf, _ = g.postDag.register(psteps, nil, "")
 		}
 	}
 	g.mu.Lock()

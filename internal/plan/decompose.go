@@ -34,6 +34,11 @@ type Decomposition struct {
 	// Post is the fragment above the merge; nil means the merged chunk is
 	// the query result.
 	Post Node
+
+	// memo caches the linearizations and canonical fingerprints derived
+	// from this (immutable) decomposition, so plan-cache-shared plans pay
+	// the renders once across registrations. See memo.go.
+	memo decompMemo
 }
 
 // Pipeline is one per-basic-window fragment.

@@ -52,6 +52,15 @@ type ShardSlicer struct {
 	nextGen   int64 // all gens < nextGen have been flushed
 	maxGen    int64 // newest epoch that has received a row
 	open      map[int64]*openFrag
+	// pre, when set, filters each row run before it is buffered into its
+	// epoch (slice-time predicate pushdown): non-qualifying rows never
+	// enter a window view. Epoch assignment, watermarks and MaxArrival are
+	// computed over the full pre-filter arrivals, so window boundaries and
+	// latency metadata stay byte-identical to an unfiltered slicer; only
+	// the buffered rows shrink. Installed by factories whose pipeline
+	// starts with eligible filters; never set on fabric-fed or
+	// re-evaluation slicers, which need the raw window.
+	pre func(*bat.Chunk) *bat.Chunk
 }
 
 type openFrag struct {
@@ -149,13 +158,23 @@ func (s *ShardSlicer) rowGen(i int, seqs, ts []int64) int64 {
 	return g
 }
 
+// SetPrefilter installs a slice-time pushdown filter (see the pre field).
+// Set before the first Push; the slicer applies it to every buffered run.
+func (s *ShardSlicer) SetPrefilter(f func(*bat.Chunk) *bat.Chunk) { s.pre = f }
+
 func (s *ShardSlicer) bucket(gen int64, c *bat.Chunk, arrivals []int64) {
+	if s.pre != nil {
+		c = s.pre(c)
+	}
 	f := s.open[gen]
 	if f == nil {
 		f = &openFrag{data: bat.NewChunk(s.schema)}
 		s.open[gen] = f
 	}
 	f.data.AppendChunk(c)
+	// MaxArrival spans the epoch's full pre-filter arrivals: the latency
+	// a result reports must not change because its trigger row was
+	// filtered out early.
 	for _, a := range arrivals {
 		if a > f.maxArr {
 			f.maxArr = a

@@ -164,7 +164,7 @@ func TestQuickBatchSplitInvariance(t *testing.T) {
 			if pos+take > len(rows) {
 				take = len(rows) - pos
 			}
-			if err := e.Append("s", rows[pos:pos+take]...); err != nil {
+			if err := e.Append("s", rows[pos:pos+take]); err != nil {
 				t.Fatal(err)
 			}
 			pos += take

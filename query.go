@@ -54,6 +54,13 @@ type RegisterOptions struct {
 	// the pre-PR-4 behavior. Results are unaffected; benchmarks use it to
 	// measure what sharing past the merge boundary buys.
 	NoSharedMerge bool
+	// NoFuse disables the fused vectorized tail executor for this query:
+	// per-basic-window pipelines evaluate operator-at-a-time with a
+	// materialized chunk per step (the pre-fusion executor), slice-time
+	// predicate pushdown is off, and aggregate hash tables use the default
+	// capacity. Results are byte-identical with or without it; the ablation
+	// suite and benchmarks use it to measure what fusion buys.
+	NoFuse bool
 	// Tenant attributes the query to a named tenant for quota accounting
 	// and admission control (SQL: REGISTER QUERY name TENANT t AS ...).
 	// Registration fails with a *QuotaError when the tenant is at its
@@ -98,25 +105,125 @@ type Query struct {
 // for all member queries and only each query's private operator tail runs
 // per member.
 func (e *Engine) Register(name, selectSQL string, opts *RegisterOptions) (*Query, error) {
-	stmt, err := sql.Parse(selectSQL)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*sql.SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("datacell: Register expects a SELECT, got %T", stmt)
-	}
 	o := RegisterOptions{}
 	if opts != nil {
 		o = *opts
 	}
-	return e.register(name, sel, o.Mode, &o)
+	// sel is nil: registerQuery parses lazily, so a plan-cache hit skips
+	// the parser along with bind/optimize/decompose — re-registering a
+	// known text is pure wiring.
+	return e.register(name, selectSQL, nil, o.Mode, &o)
+}
+
+// planEntry is one plan-cache value: the compiled artifacts of a
+// registration that every later registration of the same SQL text (same
+// requested mode, same catalog generation) can reuse verbatim. Plans and
+// decompositions are immutable after optimization — factories key private
+// state on scan-node identity but never write through it — so entries are
+// shared by reference across any number of live queries.
+type planEntry struct {
+	opt    plan.Node
+	decomp *plan.Decomposition
+	fmode  factory.Mode
+}
+
+func (e *Engine) planCacheGet(key string) (*planEntry, bool) {
+	e.planMu.Lock()
+	ent, ok := e.planCache[key]
+	e.planMu.Unlock()
+	if ok {
+		e.planHits.Add(1)
+	} else {
+		e.planMiss.Add(1)
+	}
+	return ent, ok
+}
+
+func (e *Engine) planCachePut(key string, ent *planEntry) {
+	e.planMu.Lock()
+	e.planCache[key] = ent
+	e.planMu.Unlock()
+}
+
+// PlanCacheStats reports the plan cache's lifetime hit/miss counters and
+// current entry count. Misses count registrations that compiled from
+// scratch (including every registration via Exec, which has no stable SQL
+// text to key on — those bypass the cache).
+func (e *Engine) PlanCacheStats() (hits, misses int64, entries int) {
+	e.planMu.Lock()
+	entries = len(e.planCache)
+	e.planMu.Unlock()
+	return e.planHits.Load(), e.planMiss.Load(), entries
+}
+
+// RegisterOption adjusts one RegisterQuery call; each sets one field of
+// RegisterOptions, so the two registration surfaces stay equivalent.
+type RegisterOption func(*RegisterOptions)
+
+// WithMode selects the execution strategy (default ModeAuto).
+func WithMode(m Mode) RegisterOption {
+	return func(o *RegisterOptions) { o.Mode = m }
+}
+
+// WithTenant attributes the query to a named tenant for quota accounting
+// and admission control.
+func WithTenant(tenant string) RegisterOption {
+	return func(o *RegisterOptions) { o.Tenant = tenant }
+}
+
+// Isolated opts the query out of shared multi-query execution.
+func Isolated() RegisterOption {
+	return func(o *RegisterOptions) { o.Isolated = true }
+}
+
+// NoMemo keeps a grouped query out of its group's shared operator DAG
+// (implies NoSharedMerge); results are unaffected.
+func NoMemo() RegisterOption {
+	return func(o *RegisterOptions) { o.NoMemo = true }
+}
+
+// NoSharedMerge keeps a grouped query out of its group's merge classes
+// and post-merge trie; results are unaffected.
+func NoSharedMerge() RegisterOption {
+	return func(o *RegisterOptions) { o.NoSharedMerge = true }
+}
+
+// NoFuse disables the fused vectorized tail executor for the query;
+// results are byte-identical, only the evaluation strategy changes.
+func NoFuse() RegisterOption {
+	return func(o *RegisterOptions) { o.NoFuse = true }
+}
+
+// NoChannel suppresses the query's Out channel.
+func NoChannel() RegisterOption {
+	return func(o *RegisterOptions) { o.NoChannel = true }
+}
+
+// RegisterQuery is Register with functional options — the preferred
+// registration surface:
+//
+//	q, err := eng.RegisterQuery("hot", sql)                                  // defaults
+//	q, err := eng.RegisterQuery("hot", sql, datacell.Isolated())             // opt out of sharing
+//	q, err := eng.RegisterQuery("hot", sql, datacell.WithTenant("acme"),
+//	    datacell.WithMode(datacell.ModeIncremental))
+//
+// Both surfaces share the plan cache, tenant admission, and every
+// execution path; RegisterOptions remains for callers that build options
+// programmatically.
+func (e *Engine) RegisterQuery(name, selectSQL string, opts ...RegisterOption) (*Query, error) {
+	o := RegisterOptions{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return e.Register(name, selectSQL, &o)
 }
 
 // register wraps registerQuery with tenant admission control: the slot
 // is reserved before any planning work (so concurrent registrations
 // cannot overshoot MaxQueries) and released again on every failure path.
-func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *RegisterOptions) (*Query, error) {
+// src is the query's SQL text for plan-cache keying ("" bypasses the
+// cache — the Exec path, which holds only the parsed statement).
+func (e *Engine) register(name, src string, sel *sql.SelectStmt, mode Mode, opts *RegisterOptions) (*Query, error) {
 	var ts *tenantState
 	if opts != nil && opts.Tenant != "" {
 		ts = e.tenantState(opts.Tenant)
@@ -124,7 +231,7 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 			return nil, err
 		}
 	}
-	q, err := e.registerQuery(name, sel, mode, opts)
+	q, err := e.registerQuery(name, src, sel, mode, opts)
 	if ts != nil {
 		if err != nil {
 			ts.releaseSlot("")
@@ -139,7 +246,7 @@ func (e *Engine) register(name string, sel *sql.SelectStmt, mode Mode, opts *Reg
 	return q, err
 }
 
-func (e *Engine) registerQuery(name string, sel *sql.SelectStmt, mode Mode, opts *RegisterOptions) (*Query, error) {
+func (e *Engine) registerQuery(name, src string, sel *sql.SelectStmt, mode Mode, opts *RegisterOptions) (*Query, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -151,40 +258,67 @@ func (e *Engine) registerQuery(name string, sel *sql.SelectStmt, mode Mode, opts
 	}
 	e.mu.Unlock()
 
-	bound, err := plan.Bind(e.cat, sel)
-	if err != nil {
-		return nil, err
+	// Plan cache: identical SQL text under an unchanged catalog resolves
+	// to the same bound, optimized, decomposed plan — skip recompiling.
+	// The catalog generation in the key invalidates on any DDL (names
+	// could bind differently); the requested mode is in the key because
+	// the mode switch below changes which artifacts get built.
+	var cacheKey string
+	var ent *planEntry
+	if src != "" {
+		cacheKey = fmt.Sprintf("%d|%d|%s", e.cat.Gen(), mode, src)
+		ent, _ = e.planCacheGet(cacheKey)
 	}
-	opt := plan.Optimize(bound)
+	if ent == nil {
+		if sel == nil {
+			stmt, err := sql.Parse(src)
+			if err != nil {
+				return nil, err
+			}
+			s, ok := stmt.(*sql.SelectStmt)
+			if !ok {
+				return nil, fmt.Errorf("datacell: Register expects a SELECT, got %T", stmt)
+			}
+			sel = s
+		}
+		bound, err := plan.Bind(e.cat, sel)
+		if err != nil {
+			return nil, err
+		}
+		opt := plan.Optimize(bound)
+
+		// Resolve the execution mode: the paper's mode 2 (incremental)
+		// when the plan decomposes, mode 1 (re-evaluation) otherwise.
+		ent = &planEntry{opt: opt, fmode: factory.Reeval}
+		switch mode {
+		case ModeIncremental:
+			d, err := plan.Decompose(opt)
+			if err != nil {
+				return nil, fmt.Errorf("datacell: incremental mode: %w", err)
+			}
+			ent.decomp, ent.fmode = d, factory.Incremental
+		case ModeAuto:
+			if d, err := plan.Decompose(opt); err == nil {
+				ent.decomp, ent.fmode = d, factory.Incremental
+			}
+		case ModeReeval:
+			// A forced re-evaluation join whose plan decomposes still runs
+			// the pair-cache tail: the decomposition certifies the recompute
+			// equals the merge of cached basic-window pairs, and shared,
+			// isolated and fabric-routed registrations of the same join then
+			// order joined rows identically.
+			if d, err := plan.Decompose(opt); err == nil && d.Join != nil {
+				ent.decomp = d
+			}
+		}
+		if cacheKey != "" {
+			e.planCachePut(cacheKey, ent)
+		}
+	}
+	opt, decomp, fmode := ent.opt, ent.decomp, ent.fmode
 	streams := plan.Streams(opt)
 	if len(streams) == 0 {
 		return nil, fmt.Errorf("datacell: %q reads no stream; use Exec for one-time queries", name)
-	}
-
-	// Resolve the execution mode: the paper's mode 2 (incremental) when
-	// the plan decomposes, mode 1 (re-evaluation) otherwise.
-	var decomp *plan.Decomposition
-	fmode := factory.Reeval
-	switch mode {
-	case ModeIncremental:
-		d, err := plan.Decompose(opt)
-		if err != nil {
-			return nil, fmt.Errorf("datacell: incremental mode: %w", err)
-		}
-		decomp, fmode = d, factory.Incremental
-	case ModeAuto:
-		if d, err := plan.Decompose(opt); err == nil {
-			decomp, fmode = d, factory.Incremental
-		}
-	case ModeReeval:
-		// A forced re-evaluation join whose plan decomposes still runs
-		// the pair-cache tail: the decomposition certifies the recompute
-		// equals the merge of cached basic-window pairs, and shared,
-		// isolated and fabric-routed registrations of the same join then
-		// order joined rows identically.
-		if d, err := plan.Decompose(opt); err == nil && d.Join != nil {
-			decomp = d
-		}
 	}
 
 	// Shared multi-query execution: a single windowed stream scan joins
@@ -271,6 +405,7 @@ func (e *Engine) registerQuery(name string, sel *sql.SelectStmt, mode Mode, opts
 		Shared:        shared,
 		NoMemo:        opts != nil && opts.NoMemo,
 		NoSharedMerge: opts != nil && opts.NoSharedMerge,
+		NoFuse:        opts != nil && opts.NoFuse,
 		Emit:          emit,
 		Now:           e.now,
 		// A firing that raises an input's event-time watermark re-enables

@@ -296,12 +296,16 @@ func (ts *tenantState) finishThrottleLocked(waited bool, start time.Time) {
 // the rows count against the tenant's append-rate quota and block under
 // its consumer-lag backpressure before entering the ordinary append path
 // (which is shared — a throttled tenant delays only itself).
+//
+// Deprecated: use Append(stream, rows..., AsTenant(tenant)).
 func (e *Engine) AppendTenant(tenant, stream string, rows ...[]any) error {
 	return e.appendRows(stream, tenant, rows...)
 }
 
 // AppendChunkTenant is AppendTenant for a pre-built columnar chunk — the
 // zero-boxing tenant ingest path used by the multi-tenant harness.
+//
+// Deprecated: use Append(stream, c, AsTenant(tenant)).
 func (e *Engine) AppendChunkTenant(tenant, stream string, c *bat.Chunk) error {
 	return e.appendChunkAs(stream, c, tenant)
 }

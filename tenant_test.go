@@ -164,7 +164,7 @@ func TestTenantThrottledResultsIdentical(t *testing.T) {
 		for i := 0; i < len(rows); i += 4 {
 			var err error
 			if tenant == "" {
-				err = e.Append("s", rows[i:i+4]...)
+				err = e.Append("s", rows[i:i+4])
 			} else {
 				err = e.AppendTenant(tenant, "s", rows[i:i+4]...)
 			}
@@ -382,7 +382,7 @@ func TestTenantGatedReceptorIngest(t *testing.T) {
 	// Dropping the binding query releases the stream: ingest reverts to
 	// the anonymous (uncharged, unthrottled) path.
 	mustExec(t, e, "DROP QUERY g")
-	if err := e.Append("r1", rows[:100]...); err != nil {
+	if err := e.Append("r1", rows[:100]); err != nil {
 		t.Fatal(err)
 	}
 	for _, st := range e.TenantStats() {
